@@ -1,0 +1,330 @@
+//! Request/response workloads: an nginx-like static server with a wrk-like
+//! closed-loop client (§6.3), reusable as a Redis-on-Flash-like key-value
+//! server with a memtier-like driver (§6.2's OffloadDB setup).
+//!
+//! The server runs on host 0. In configuration C2 every file is in the page
+//! cache (responses come from memory); in configuration C1 nothing is
+//! cached and every request triggers a read on an NVMe-TCP storage
+//! connection whose target lives on host 1 — exactly the paper's topology
+//! (the drive resides on the workload generator).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ano_sim::payload::{DataMode, Payload};
+use ano_sim::stats::Samples;
+use ano_sim::time::SimTime;
+use ano_stack::app::{AppEvent, HostApi, HostApp};
+use ano_stack::world::ConnId;
+
+/// Where response bytes come from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Backing {
+    /// C2: page cache — respond immediately from memory.
+    PageCache,
+    /// C1: read from the NVMe-TCP storage queues first.
+    Storage {
+        /// The initiator connections (one queue per core, like nvme-tcp).
+        conns: Vec<ConnId>,
+        /// Device capacity to spread reads over.
+        span: u64,
+    },
+}
+
+/// The server application (host 0).
+pub struct Server {
+    /// Request size on the wire (the GET line / KV key).
+    request_size: usize,
+    /// Response payload size (file size / value size).
+    response_size: usize,
+    /// CPU cycles of application logic per request (parse, lookup).
+    app_cycles: u64,
+    backing: Backing,
+    mode: DataMode,
+    rx_pending: HashMap<ConnId, usize>,
+    io_map: HashMap<u64, ConnId>,
+    next_io: u64,
+    stats: Rc<RefCell<ServerStats>>,
+}
+
+/// Server counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Requests served.
+    pub served: u64,
+    /// Storage reads issued (C1).
+    pub storage_reads: u64,
+}
+
+impl Server {
+    /// Creates a server.
+    pub fn new(
+        request_size: usize,
+        response_size: usize,
+        backing: Backing,
+        mode: DataMode,
+    ) -> Server {
+        Server {
+            request_size,
+            response_size,
+            app_cycles: 2_000,
+            backing,
+            mode,
+            rx_pending: HashMap::new(),
+            io_map: HashMap::new(),
+            next_io: 0,
+            stats: Rc::new(RefCell::new(ServerStats::default())),
+        }
+    }
+
+    /// Handle to the counters.
+    pub fn stats(&self) -> Rc<RefCell<ServerStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    fn respond(&mut self, api: &mut HostApi, conn: ConnId, body: Payload) {
+        api.charge(self.app_cycles);
+        api.send(conn, body);
+        self.stats.borrow_mut().served += 1;
+    }
+
+    fn response_payload(&self) -> Payload {
+        match self.mode {
+            DataMode::Functional => Payload::real(vec![0x5Eu8; self.response_size]),
+            DataMode::Modeled => Payload::synthetic(self.response_size),
+        }
+    }
+
+    fn handle_request(&mut self, api: &mut HostApi, conn: ConnId) {
+        match &self.backing {
+            Backing::PageCache => {
+                let body = self.response_payload();
+                self.respond(api, conn, body);
+            }
+            Backing::Storage { conns, span } => {
+                let id = self.next_io;
+                self.next_io += 1;
+                self.io_map.insert(id, conn);
+                // Pseudo-random but deterministic placement, 4K-aligned;
+                // queues are used round-robin like per-core nvme-tcp queues.
+                let storage = conns[(id as usize) % conns.len()];
+                let slot = (id.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % (*span).max(1);
+                let offset = (slot / 4096) * 4096;
+                api.nvme_read(storage, id, offset, self.response_size as u32);
+                self.stats.borrow_mut().storage_reads += 1;
+            }
+        }
+    }
+}
+
+impl HostApp for Server {
+    fn on_event(&mut self, api: &mut HostApi, event: AppEvent<'_>) {
+        match event {
+            AppEvent::Data { conn, chunks } => {
+                let got: usize = chunks.iter().map(|c| c.payload.len()).sum();
+                let pending = self.rx_pending.entry(conn).or_insert(0);
+                *pending += got;
+                let mut complete = 0;
+                while *pending >= self.request_size {
+                    *pending -= self.request_size;
+                    complete += 1;
+                }
+                for _ in 0..complete {
+                    self.handle_request(api, conn);
+                }
+            }
+            AppEvent::NvmeDone { completion, .. } => {
+                if let Some(conn) = self.io_map.remove(&completion.id) {
+                    // Serve from the block buffer (functional) or account it.
+                    let body = match (&completion.buffer, self.mode) {
+                        (Some(buf), DataMode::Functional) => {
+                            Payload::real(buf.borrow().clone())
+                        }
+                        _ => self.response_payload(),
+                    };
+                    self.respond(api, conn, body);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Closed-loop client statistics.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    /// Responses fully received.
+    pub responses: u64,
+    /// Response payload bytes received.
+    pub bytes: u64,
+    /// Per-request latencies in microseconds.
+    pub latency_us: Samples,
+    /// Responses received after `measure_from` (set by the harness).
+    pub measured_responses: u64,
+}
+
+/// The wrk/memtier-like client (host 1): each connection repeatedly sends a
+/// request and waits for the full response.
+pub struct Client {
+    conns: Vec<ConnId>,
+    request_size: usize,
+    response_size: usize,
+    mode: DataMode,
+    got: HashMap<ConnId, u64>,
+    sent_at: HashMap<ConnId, SimTime>,
+    /// Only count latency/responses after this instant (warm-up trim).
+    pub measure_from: SimTime,
+    stats: Rc<RefCell<ClientStats>>,
+}
+
+impl Client {
+    /// Creates a client over `conns`.
+    pub fn new(
+        conns: Vec<ConnId>,
+        request_size: usize,
+        response_size: usize,
+        mode: DataMode,
+    ) -> Client {
+        Client {
+            conns,
+            request_size,
+            response_size,
+            mode,
+            got: HashMap::new(),
+            sent_at: HashMap::new(),
+            measure_from: SimTime::ZERO,
+            stats: Rc::new(RefCell::new(ClientStats::default())),
+        }
+    }
+
+    /// Handle to the counters.
+    pub fn stats(&self) -> Rc<RefCell<ClientStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    fn request(&mut self, api: &mut HostApi, conn: ConnId) {
+        let req = match self.mode {
+            DataMode::Functional => Payload::real(vec![0x47u8; self.request_size]),
+            DataMode::Modeled => Payload::synthetic(self.request_size),
+        };
+        self.sent_at.insert(conn, api.now);
+        api.send(conn, req);
+    }
+}
+
+impl HostApp for Client {
+    fn on_event(&mut self, api: &mut HostApi, event: AppEvent<'_>) {
+        match event {
+            AppEvent::Start => {
+                let conns = self.conns.clone();
+                for c in conns {
+                    self.request(api, c);
+                }
+            }
+            AppEvent::Data { conn, chunks } => {
+                let n: u64 = chunks.iter().map(|c| c.payload.len() as u64).sum();
+                let acc = self.got.entry(conn).or_insert(0);
+                *acc += n;
+                let mut finished = 0;
+                while *acc >= self.response_size as u64 {
+                    *acc -= self.response_size as u64;
+                    finished += 1;
+                }
+                for _ in 0..finished {
+                    let mut s = self.stats.borrow_mut();
+                    s.responses += 1;
+                    s.bytes += self.response_size as u64;
+                    if api.now >= self.measure_from {
+                        s.measured_responses += 1;
+                        if let Some(t0) = self.sent_at.get(&conn) {
+                            s.latency_us.add_duration_us(api.now.since(*t0));
+                        }
+                    }
+                    drop(s);
+                    self.request(api, conn);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ano_stack::prelude::*;
+
+    #[test]
+    fn page_cache_request_response_loop() {
+        let mut w = World::new(WorldConfig {
+            seed: 5,
+            ..Default::default()
+        });
+        let conns: Vec<ConnId> = (0..8)
+            .map(|_| {
+                w.connect(
+                    ConnSpec::Tls(TlsSpec::offloaded_zc()),
+                    ConnSpec::Tls(TlsSpec::offloaded_zc()),
+                )
+            })
+            .collect();
+        let server = Server::new(128, 64 * 1024, Backing::PageCache, DataMode::Modeled);
+        let served = server.stats();
+        let client = Client::new(conns, 128, 64 * 1024, DataMode::Modeled);
+        let stats = client.stats();
+        w.set_app(0, Box::new(server));
+        w.set_app(1, Box::new(client));
+        w.start();
+        w.run_until(SimTime::from_millis(50));
+        let s = stats.borrow();
+        assert!(s.responses > 50, "responses {}", s.responses);
+        assert!(served.borrow().served >= s.responses, "server is never behind");
+        assert!(s.latency_us.mean() > 0.0);
+    }
+
+    #[test]
+    fn storage_backed_requests_go_through_nvme() {
+        let mut w = World::new(WorldConfig {
+            seed: 6,
+            ..Default::default()
+        });
+        let http: Vec<ConnId> = (0..4)
+            .map(|_| {
+                w.connect(
+                    ConnSpec::Tls(TlsSpec::offloaded_zc()),
+                    ConnSpec::Tls(TlsSpec::offloaded_zc()),
+                )
+            })
+            .collect();
+        let storage = w.connect(
+            ConnSpec::NvmeHost(NvmeHostSpec::offloaded()),
+            ConnSpec::NvmeTarget(NvmeTargetSpec {
+                crc_tx_offload: true,
+                ..Default::default()
+            }),
+        );
+        let server = Server::new(
+            128,
+            256 * 1024,
+            Backing::Storage {
+                conns: vec![storage],
+                span: 1 << 30,
+            },
+            DataMode::Modeled,
+        );
+        let sstats = server.stats();
+        let client = Client::new(http, 128, 256 * 1024, DataMode::Modeled);
+        let cstats = client.stats();
+        w.set_app(0, Box::new(server));
+        w.set_app(1, Box::new(client));
+        w.start();
+        w.run_until(SimTime::from_millis(100));
+        let s = cstats.borrow();
+        assert!(s.responses > 10, "responses {}", s.responses);
+        assert!(sstats.borrow().storage_reads >= s.responses);
+        // Throughput must respect the drive's ~21.4 Gbps ceiling.
+        let gbps = s.bytes as f64 * 8.0 / 0.1 / 1e9;
+        assert!(gbps < 22.5, "drive-bound: {gbps:.1} Gbps");
+    }
+}

@@ -1,0 +1,146 @@
+//! iperf-like bulk streamer (the paper's §6.1/§6.4 microbenchmark driver).
+//!
+//! The sender keeps every connection's TCP queue topped up; the receiver is
+//! a sink. Throughput is read from the world's per-connection delivered
+//! counters.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ano_sim::payload::{DataMode, Payload};
+use ano_stack::app::{AppEvent, HostApi, HostApp};
+use ano_stack::world::ConnId;
+
+/// Shared sender counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IperfStats {
+    /// Application bytes pushed.
+    pub sent_bytes: u64,
+    /// Send calls.
+    pub sends: u64,
+}
+
+/// The streaming sender.
+pub struct IperfSender {
+    conns: Vec<ConnId>,
+    /// Bytes per send call (the paper uses 256 KiB messages).
+    message: usize,
+    mode: DataMode,
+    stats: Rc<RefCell<IperfStats>>,
+}
+
+impl IperfSender {
+    /// Creates a sender over `conns` pushing `message`-byte writes.
+    pub fn new(conns: Vec<ConnId>, message: usize, mode: DataMode) -> IperfSender {
+        IperfSender {
+            conns,
+            message,
+            mode,
+            stats: Rc::new(RefCell::new(IperfStats::default())),
+        }
+    }
+
+    /// Handle to the counters.
+    pub fn stats(&self) -> Rc<RefCell<IperfStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    fn payload(&self) -> Payload {
+        match self.mode {
+            DataMode::Functional => Payload::real(vec![0xA7u8; self.message]),
+            DataMode::Modeled => Payload::synthetic(self.message),
+        }
+    }
+
+    fn push(&mut self, api: &mut HostApi, conn: ConnId) {
+        api.send(conn, self.payload());
+        let mut s = self.stats.borrow_mut();
+        s.sent_bytes += self.message as u64;
+        s.sends += 1;
+    }
+}
+
+impl HostApp for IperfSender {
+    fn on_event(&mut self, api: &mut HostApi, event: AppEvent<'_>) {
+        match event {
+            AppEvent::Start => {
+                let conns = self.conns.clone();
+                let prime = (256 << 10) / self.message + 1;
+                for c in conns {
+                    // Prime the queue deep enough to keep TCP window-bound.
+                    for _ in 0..prime {
+                        self.push(api, c);
+                    }
+                }
+            }
+            AppEvent::Writable { conn } => {
+                // Refill in bulk so the stream stays window-bound, never
+                // application-bound.
+                let n = (128 << 10) / self.message + 1;
+                for _ in 0..n {
+                    self.push(api, conn);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A sink that counts received bytes (receiver side of iperf).
+#[derive(Default)]
+pub struct IperfSink {
+    /// Total application bytes observed.
+    pub received: Rc<RefCell<u64>>,
+}
+
+impl IperfSink {
+    /// Creates a sink.
+    pub fn new() -> IperfSink {
+        IperfSink::default()
+    }
+
+    /// Handle to the byte counter.
+    pub fn received(&self) -> Rc<RefCell<u64>> {
+        Rc::clone(&self.received)
+    }
+}
+
+impl HostApp for IperfSink {
+    fn on_event(&mut self, _api: &mut HostApi, event: AppEvent<'_>) {
+        if let AppEvent::Data { chunks, .. } = event {
+            let n: u64 = chunks.iter().map(|c| c.payload.len() as u64).sum();
+            *self.received.borrow_mut() += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ano_sim::time::SimTime;
+    use ano_stack::prelude::*;
+
+    #[test]
+    fn iperf_saturates_a_modeled_link() {
+        let mut w = World::new(WorldConfig {
+            seed: 3,
+            cores: [1, 8],
+            ..Default::default()
+        });
+        let conn = w.connect(
+            ConnSpec::Tls(TlsSpec::offloaded_zc()),
+            ConnSpec::Tls(TlsSpec::offloaded_zc()),
+        );
+        let tx = IperfSender::new(vec![conn], 256 * 1024, DataMode::Modeled);
+        let sink = IperfSink::new();
+        let received = sink.received();
+        w.set_app(0, Box::new(tx));
+        w.set_app(1, Box::new(sink));
+        w.start();
+        w.run_until(SimTime::from_millis(20));
+        let bytes = *received.borrow();
+        assert!(bytes > 10 << 20, "moved {bytes} bytes in 20 ms");
+        let gbps = bytes as f64 * 8.0 / 0.020 / 1e9;
+        assert!(gbps > 5.0, "throughput {gbps:.1} Gbps");
+    }
+}

@@ -1,0 +1,131 @@
+//! Embedded datasets behind the paper's motivation figures.
+//!
+//! Fig. 3 counts lines of code in the Linux TCP/IP stack per year and
+//! Fig. 4 lists Mellanox NIC prices; both are *data* figures (no system to
+//! run). We reproduce them from the values the paper reports/plots so the
+//! harness can regenerate every figure. Sources: paper Fig. 3 (kernel LoC,
+//! approximate read-off), Fig. 4 + Table 2 (March-2020 pricing list).
+
+/// One year of Linux TCP/IP stack code size (Fig. 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocYear {
+    /// Calendar year.
+    pub year: u32,
+    /// Lines modified during the year (all components).
+    pub modified: u32,
+    /// Total lines at year end (all components).
+    pub total: u32,
+}
+
+/// Fig. 3's series: the stack churns 5–25% of its lines every year while
+/// growing steadily — the maintenance burden argument against TOEs.
+pub const LINUX_TCPIP_LOC: [LocYear; 10] = [
+    LocYear { year: 2010, modified: 35_000, total: 255_000 },
+    LocYear { year: 2011, modified: 42_000, total: 262_000 },
+    LocYear { year: 2012, modified: 48_000, total: 271_000 },
+    LocYear { year: 2013, modified: 55_000, total: 282_000 },
+    LocYear { year: 2014, modified: 60_000, total: 295_000 },
+    LocYear { year: 2015, modified: 58_000, total: 309_000 },
+    LocYear { year: 2016, modified: 67_000, total: 324_000 },
+    LocYear { year: 2017, modified: 75_000, total: 341_000 },
+    LocYear { year: 2018, modified: 83_000, total: 360_000 },
+    LocYear { year: 2019, modified: 90_000, total: 380_000 },
+];
+
+/// One NIC price point (Fig. 4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NicPrice {
+    /// ConnectX generation (3–6).
+    pub generation: u8,
+    /// Port speed in Gbps.
+    pub speed_gbps: u32,
+    /// Number of ports.
+    pub ports: u8,
+    /// USD price from the March-2020 list.
+    pub usd: f64,
+}
+
+/// Fig. 4's points: price tracks speed × ports, *not* generation — newer
+/// generations add offloads (Table 2) at the same price, so "clients get
+/// ASIC NIC offloads essentially for free" (§2.5).
+pub const CONNECTX_PRICES: [NicPrice; 16] = [
+    NicPrice { generation: 3, speed_gbps: 10, ports: 1, usd: 190.0 },
+    NicPrice { generation: 3, speed_gbps: 10, ports: 2, usd: 260.0 },
+    NicPrice { generation: 4, speed_gbps: 10, ports: 1, usd: 185.0 },
+    NicPrice { generation: 4, speed_gbps: 10, ports: 2, usd: 255.0 },
+    NicPrice { generation: 4, speed_gbps: 25, ports: 1, usd: 245.0 },
+    NicPrice { generation: 4, speed_gbps: 25, ports: 2, usd: 325.0 },
+    NicPrice { generation: 5, speed_gbps: 25, ports: 1, usd: 250.0 },
+    NicPrice { generation: 5, speed_gbps: 25, ports: 2, usd: 330.0 },
+    NicPrice { generation: 3, speed_gbps: 40, ports: 1, usd: 390.0 },
+    NicPrice { generation: 4, speed_gbps: 40, ports: 2, usd: 505.0 },
+    NicPrice { generation: 4, speed_gbps: 50, ports: 1, usd: 430.0 },
+    NicPrice { generation: 5, speed_gbps: 50, ports: 2, usd: 570.0 },
+    NicPrice { generation: 4, speed_gbps: 100, ports: 1, usd: 710.0 },
+    NicPrice { generation: 5, speed_gbps: 100, ports: 1, usd: 720.0 },
+    NicPrice { generation: 5, speed_gbps: 100, ports: 2, usd: 860.0 },
+    NicPrice { generation: 6, speed_gbps: 100, ports: 2, usd: 875.0 },
+];
+
+/// Offload capabilities introduced per ConnectX generation (Table 2).
+pub const GENERATION_OFFLOADS: [(u8, u16, &str); 4] = [
+    (3, 2011, "stateless checksum, LSO for TCP over VXLAN/NVGRE"),
+    (4, 2014, "LRO, RSS, VLAN insert/strip, ARFS, ODP, T10-DIF"),
+    (5, 2016, "header rewrite, adaptive routing, NVMe-oF, host chaining, MPI tag matching, USO"),
+    (6, 2019, "block-level AES-XTS; Dx: autonomous TLS offload (this paper)"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_churn_is_5_to_25_percent() {
+        for y in LINUX_TCPIP_LOC {
+            let churn = y.modified as f64 / y.total as f64;
+            assert!(
+                (0.05..=0.25).contains(&churn),
+                "{}: churn {churn:.2}",
+                y.year
+            );
+        }
+    }
+
+    #[test]
+    fn loc_totals_grow_monotonically() {
+        for w in LINUX_TCPIP_LOC.windows(2) {
+            assert!(w[1].total > w[0].total);
+        }
+    }
+
+    /// §2.5's claim: same (speed, ports) across generations → similar price
+    /// (within ~10%), despite added offloads.
+    #[test]
+    fn price_tracks_speed_not_generation() {
+        for a in CONNECTX_PRICES {
+            for b in CONNECTX_PRICES {
+                if a.speed_gbps == b.speed_gbps && a.ports == b.ports {
+                    let ratio = a.usd / b.usd;
+                    assert!(
+                        (0.9..=1.12).contains(&ratio),
+                        "{a:?} vs {b:?}: ratio {ratio:.2}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn price_increases_with_capability() {
+        // More speed or more ports costs more, within a generation.
+        let p = |g: u8, s: u32, n: u8| {
+            CONNECTX_PRICES
+                .iter()
+                .find(|x| x.generation == g && x.speed_gbps == s && x.ports == n)
+                .map(|x| x.usd)
+        };
+        assert!(p(4, 25, 1).unwrap() > p(4, 10, 1).unwrap());
+        assert!(p(4, 25, 2).unwrap() > p(4, 25, 1).unwrap());
+        assert!(p(5, 100, 1).unwrap() > p(5, 50, 2).unwrap());
+    }
+}

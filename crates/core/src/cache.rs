@@ -1,0 +1,228 @@
+//! NIC context-cache model.
+//!
+//! Autonomous offloads keep per-flow state in on-NIC memory. The paper's
+//! ConnectX-6 Dx has 4 MiB for ~208 B contexts — about 20 K flows — beyond
+//! which state spills to host memory and each reuse costs a PCIe round trip
+//! (§6.5). [`LruSet`] models that cache: constant-time touch/insert with
+//! least-recently-used eviction, reporting hits and misses so experiments
+//! can charge the miss penalty.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Outcome of touching the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The entry was resident.
+    Hit,
+    /// The entry was fetched (and possibly another evicted).
+    Miss,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A fixed-capacity LRU set with O(1) touch.
+#[derive(Debug)]
+pub struct LruSet<K: Eq + Hash + Clone> {
+    map: HashMap<K, usize>,
+    keys: Vec<Option<K>>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone> LruSet<K> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> LruSet<K> {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruSet {
+            map: HashMap::new(),
+            keys: Vec::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let Node { prev, next } = self.nodes[idx];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx] = Node {
+            prev: NIL,
+            next: self.head,
+        };
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Touches `key`: marks it most-recently-used, inserting (and evicting
+    /// the LRU entry if full) when absent. Returns hit or miss.
+    pub fn touch(&mut self, key: &K) -> CacheOutcome {
+        if let Some(&idx) = self.map.get(key) {
+            self.hits += 1;
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return CacheOutcome::Hit;
+        }
+        self.misses += 1;
+        if self.map.len() == self.capacity {
+            // Evict the least recently used.
+            let victim = self.tail;
+            self.unlink(victim);
+            let k = self.keys[victim].take().expect("occupied node");
+            self.map.remove(&k);
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.keys.push(None);
+                self.nodes.push(Node {
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.keys.len() - 1
+            }
+        };
+        self.keys[idx] = Some(key.clone());
+        self.map.insert(key.clone(), idx);
+        self.push_front(idx);
+        CacheOutcome::Miss
+    }
+
+    /// Removes `key` if present (flow teardown).
+    pub fn remove(&mut self, key: &K) {
+        if let Some(idx) = self.map.remove(key) {
+            self.unlink(idx);
+            self.keys[idx] = None;
+            self.free.push(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_then_miss_accounting() {
+        let mut c = LruSet::new(2);
+        assert_eq!(c.touch(&1), CacheOutcome::Miss);
+        assert_eq!(c.touch(&1), CacheOutcome::Hit);
+        assert_eq!(c.touch(&2), CacheOutcome::Miss);
+        assert_eq!(c.len(), 2);
+        assert_eq!((c.hits(), c.misses()), (1, 2));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = LruSet::new(2);
+        c.touch(&1);
+        c.touch(&2);
+        c.touch(&1); // 2 is now LRU
+        c.touch(&3); // evicts 2
+        assert_eq!(c.touch(&1), CacheOutcome::Hit);
+        assert_eq!(c.touch(&2), CacheOutcome::Miss, "2 was evicted");
+        // That insert evicted 3 (LRU after 1 was touched).
+        assert_eq!(c.touch(&3), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut c = LruSet::new(1);
+        c.touch(&"a");
+        c.remove(&"a");
+        assert!(c.is_empty());
+        assert_eq!(c.touch(&"b"), CacheOutcome::Miss);
+        assert_eq!(c.touch(&"b"), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = LruSet::new(100);
+        // Cycle through 200 keys twice: after warm-up, every touch misses.
+        for round in 0..2 {
+            for k in 0..200 {
+                c.touch(&k);
+            }
+            let _ = round;
+        }
+        assert_eq!(c.hits(), 0, "perfect LRU thrash");
+        assert_eq!(c.misses(), 400);
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits_after_warmup() {
+        let mut c = LruSet::new(100);
+        for _ in 0..3 {
+            for k in 0..50 {
+                c.touch(&k);
+            }
+        }
+        assert_eq!(c.misses(), 50);
+        assert_eq!(c.hits(), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _: LruSet<u32> = LruSet::new(0);
+    }
+}

@@ -1,0 +1,296 @@
+//! A deliberately tiny L5P used by tests, benches and the quickstart
+//! example.
+//!
+//! The demo protocol has every property Table 3 demands, in miniature:
+//!
+//! * messages are `[0xA5, len_hi, len_lo, 0x5A] body… trailer`, where the
+//!   4-byte header carries a **plaintext magic pattern** (`0xA5 … 0x5A`) and
+//!   a **length field**;
+//! * the offloaded operation XORs body bytes with a key (size-preserving
+//!   "encryption") and fills/verifies a 1-byte XOR-sum trailer (a toy
+//!   digest) — both **incrementally computable with constant-size state**.
+
+use ano_tcp::segment::SkbFlags;
+
+use crate::flow::{scan_window, L5Flow};
+use crate::msg::{DataRef, FrameIndex, MsgHeader, SearchWindow};
+
+/// First magic byte of the demo header.
+pub const MAGIC0: u8 = 0xA5;
+/// Last magic byte of the demo header.
+pub const MAGIC1: u8 = 0x5A;
+/// Demo header length.
+pub const HDR_LEN: usize = 4;
+/// Key used by [`encode_msg`] and the examples.
+pub const DEFAULT_KEY: u8 = 7;
+
+/// Encodes a plaintext body into a wire message with [`DEFAULT_KEY`].
+pub fn encode_msg(plain: &[u8]) -> Vec<u8> {
+    encode_msg_keyed(plain, DEFAULT_KEY)
+}
+
+/// Encodes a plaintext body into a wire message: header, XOR-ciphered body,
+/// XOR-sum trailer.
+///
+/// # Panics
+///
+/// Panics if the body exceeds 65535 bytes.
+pub fn encode_msg_keyed(plain: &[u8], key: u8) -> Vec<u8> {
+    assert!(plain.len() <= u16::MAX as usize, "demo body too large");
+    let mut out = Vec::with_capacity(HDR_LEN + plain.len() + 1);
+    out.push(MAGIC0);
+    out.extend_from_slice(&(plain.len() as u16).to_be_bytes());
+    out.push(MAGIC1);
+    let mut sum = 0u8;
+    for &b in plain {
+        let wire = b ^ key;
+        sum ^= wire;
+        out.push(wire);
+    }
+    out.push(sum);
+    out
+}
+
+/// Decodes one wire message back to its plaintext body.
+///
+/// Returns `None` on bad framing or a trailer mismatch.
+pub fn decode_msg(wire: &[u8], key: u8) -> Option<Vec<u8>> {
+    if wire.len() < HDR_LEN + 1 || wire[0] != MAGIC0 || wire[3] != MAGIC1 {
+        return None;
+    }
+    let body_len = u16::from_be_bytes([wire[1], wire[2]]) as usize;
+    if wire.len() != HDR_LEN + body_len + 1 {
+        return None;
+    }
+    let body = &wire[HDR_LEN..HDR_LEN + body_len];
+    let sum = body.iter().fold(0u8, |a, b| a ^ b);
+    if sum != wire[HDR_LEN + body_len] {
+        return None;
+    }
+    Some(body.iter().map(|b| b ^ key).collect())
+}
+
+#[derive(Debug)]
+enum Mode {
+    /// Real bytes, real transform.
+    Functional { key: u8 },
+    /// Synthetic payloads; framing from the index.
+    Modeled { frames: FrameIndex },
+}
+
+/// Direction of the demo op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dir {
+    Tx,
+    Rx,
+}
+
+/// Demo [`L5Flow`] implementation.
+#[derive(Debug)]
+pub struct DemoFlow {
+    mode: Mode,
+    dir: Dir,
+    cur_total: u32,
+    sum: u8,
+    trailer: Option<u8>,
+    ok: bool,
+}
+
+impl DemoFlow {
+    fn new(mode: Mode, dir: Dir) -> DemoFlow {
+        DemoFlow {
+            mode,
+            dir,
+            cur_total: 0,
+            sum: 0,
+            trailer: None,
+            ok: true,
+        }
+    }
+
+    /// Receive-side functional-mode flow ("decrypt" with `key`, verify sums).
+    pub fn rx_functional(key: u8) -> DemoFlow {
+        DemoFlow::new(Mode::Functional { key }, Dir::Rx)
+    }
+
+    /// Transmit-side functional-mode flow ("encrypt", fill sums).
+    pub fn tx_functional(key: u8) -> DemoFlow {
+        DemoFlow::new(Mode::Functional { key }, Dir::Tx)
+    }
+
+    /// Receive-side modeled-mode flow over a shared frame index.
+    pub fn rx_modeled(frames: FrameIndex) -> DemoFlow {
+        DemoFlow::new(Mode::Modeled { frames }, Dir::Rx)
+    }
+
+    /// Transmit-side modeled-mode flow over a shared frame index.
+    pub fn tx_modeled(frames: FrameIndex) -> DemoFlow {
+        DemoFlow::new(Mode::Modeled { frames }, Dir::Tx)
+    }
+
+    fn parse_hdr_bytes(hdr: &[u8]) -> Option<MsgHeader> {
+        if hdr.len() != HDR_LEN || hdr[0] != MAGIC0 || hdr[3] != MAGIC1 {
+            return None;
+        }
+        let body_len = u16::from_be_bytes([hdr[1], hdr[2]]) as u32;
+        Some(MsgHeader {
+            total_len: HDR_LEN as u32 + body_len + 1,
+        })
+    }
+}
+
+impl L5Flow for DemoFlow {
+    fn header_len(&self) -> usize {
+        HDR_LEN
+    }
+
+    fn parse_at(&self, stream_off: u64, hdr: Option<&[u8]>) -> Option<MsgHeader> {
+        match (&self.mode, hdr) {
+            (Mode::Functional { .. }, Some(h)) => Self::parse_hdr_bytes(h),
+            (Mode::Modeled { frames }, _) => frames.at(stream_off).map(|(h, _)| h),
+            _ => None,
+        }
+    }
+
+    fn probe_at(&self, stream_off: u64, hdr: Option<&[u8]>) -> Option<MsgHeader> {
+        self.parse_at(stream_off, hdr)
+    }
+
+    fn begin_msg(&mut self, _msg_index: u64, stream_off: u64, hdr: Option<&[u8]>) {
+        self.cur_total = match (&self.mode, hdr) {
+            (Mode::Functional { .. }, Some(h)) => {
+                Self::parse_hdr_bytes(h).map(|m| m.total_len).unwrap_or(0)
+            }
+            (Mode::Modeled { frames }, _) => {
+                frames.at(stream_off).map(|(m, _)| m.total_len).unwrap_or(0)
+            }
+            _ => 0,
+        };
+        self.sum = 0;
+        self.trailer = None;
+    }
+
+    fn process(&mut self, msg_off: u32, mut data: DataRef<'_>) {
+        let (key, bytes) = match (&self.mode, &mut data) {
+            (Mode::Functional { key }, DataRef::Real(b)) => (*key, b),
+            _ => return, // modeled: nothing to transform
+        };
+        let trailer_off = self.cur_total - 1;
+        for (i, b) in bytes.iter_mut().enumerate() {
+            let off = msg_off + i as u32;
+            if off < trailer_off {
+                match self.dir {
+                    Dir::Rx => {
+                        self.sum ^= *b;
+                        *b ^= key;
+                    }
+                    Dir::Tx => {
+                        *b ^= key;
+                        self.sum ^= *b;
+                    }
+                }
+            } else {
+                match self.dir {
+                    Dir::Rx => self.trailer = Some(*b),
+                    Dir::Tx => *b = self.sum, // fill the dummy trailer
+                }
+            }
+        }
+    }
+
+    fn end_msg(&mut self) -> bool {
+        let ok = match (&self.mode, self.dir) {
+            (Mode::Functional { .. }, Dir::Rx) => self.trailer == Some(self.sum),
+            _ => true,
+        };
+        self.ok &= ok;
+        ok
+    }
+
+    fn resync_to(&mut self, _msg_index: u64) {
+        self.sum = 0;
+        self.trailer = None;
+        self.cur_total = 0;
+    }
+
+    fn packet_flags(&mut self, offloaded: bool) -> SkbFlags {
+        SkbFlags {
+            tls_decrypted: offloaded,
+            ..Default::default()
+        }
+    }
+
+    fn search(&self, window_off: u64, window: SearchWindow<'_>) -> Option<(u64, MsgHeader)> {
+        match (&self.mode, window) {
+            (Mode::Functional { .. }, SearchWindow::Real(b)) => scan_window(self, window_off, b),
+            (Mode::Modeled { frames }, w) => frames
+                .next_at_or_after(window_off)
+                .filter(|&(off, _, _)| off + HDR_LEN as u64 <= window_off + w.len() as u64)
+                .map(|(off, h, _)| (off, h)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let plain = b"hello autonomous offloads".to_vec();
+        let wire = encode_msg_keyed(&plain, 0x33);
+        assert_eq!(wire.len(), HDR_LEN + plain.len() + 1);
+        assert_eq!(decode_msg(&wire, 0x33), Some(plain));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let wire = encode_msg(b"payload");
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x40;
+            // Any single-bit-ish corruption must be rejected (magic, length,
+            // body-vs-trailer, or trailer itself).
+            assert_ne!(decode_msg(&bad, DEFAULT_KEY), Some(b"payload".to_vec()), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn header_parse() {
+        let wire = encode_msg(&[0u8; 300]);
+        let h = DemoFlow::parse_hdr_bytes(&wire[..HDR_LEN]).expect("valid header");
+        assert_eq!(h.total_len as usize, wire.len());
+        assert!(DemoFlow::parse_hdr_bytes(&[0xA5, 0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn tx_flow_encrypts_like_encode() {
+        use crate::walker::Walker;
+        let plain = b"the quick brown fox".to_vec();
+        let expect = encode_msg_keyed(&plain, 9);
+        // Build a "skipped" message: header + plaintext body + dummy trailer.
+        let mut wire = Vec::new();
+        wire.push(MAGIC0);
+        wire.extend_from_slice(&(plain.len() as u16).to_be_bytes());
+        wire.push(MAGIC1);
+        wire.extend_from_slice(&plain);
+        wire.push(0); // dummy trailer the NIC must fill
+        let mut op = DemoFlow::tx_functional(9);
+        let mut w = Walker::new(0, 0);
+        let out = w.walk(&mut op, &mut DataRef::Real(&mut wire));
+        assert!(out.clean && !out.desync);
+        assert_eq!(wire, expect, "NIC-transformed bytes match software encode");
+    }
+
+    #[test]
+    fn modeled_search_uses_index() {
+        let fi = FrameIndex::new();
+        fi.push(100, 50);
+        let f = DemoFlow::rx_modeled(fi);
+        let hit = f.search(0, SearchWindow::Modeled(200));
+        assert_eq!(hit.map(|(o, _)| o), Some(100));
+        assert!(f.search(0, SearchWindow::Modeled(50)).is_none(), "out of window");
+        assert!(f.search(101, SearchWindow::Modeled(500)).is_none(), "no later frame");
+    }
+}

@@ -1,0 +1,268 @@
+//! Deep-packet-inspection offload (paper §7, "Pattern matching").
+//!
+//! DPI software looks for known patterns in L5P message payloads; the paper
+//! observes this fits the autonomous-offload preconditions because matching
+//! is confined to messages ("patterns are matched only within L5P messages
+//! and never across") and a string matcher's dynamic state is a constant-
+//! size automaton position. [`PatternScanner`] is that matcher (a KMP
+//! prefix automaton, resumable across packets), and [`DpiRxFlow`] runs it
+//! inside the offload framework over the demo protocol's message framing:
+//! per packet, the NIC reports whether a match completed, and software
+//! falls back to scanning un-offloaded messages itself.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use ano_tcp::segment::SkbFlags;
+
+use crate::demo::DemoFlow;
+use crate::flow::L5Flow;
+use crate::msg::{DataRef, MsgHeader, SearchWindow};
+
+/// A resumable fixed-string matcher with constant-size dynamic state
+/// (the KMP automaton position — one integer).
+#[derive(Clone, Debug)]
+pub struct PatternScanner {
+    pattern: Vec<u8>,
+    /// KMP failure function.
+    fail: Vec<usize>,
+    /// Automaton position (the constant-size dynamic state).
+    state: usize,
+    /// Matches found so far (offsets of the byte *after* each match).
+    matches: u64,
+}
+
+impl PatternScanner {
+    /// Builds a scanner for `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty.
+    pub fn new(pattern: &[u8]) -> PatternScanner {
+        assert!(!pattern.is_empty(), "pattern must be non-empty");
+        let mut fail = vec![0usize; pattern.len()];
+        let mut k = 0;
+        for i in 1..pattern.len() {
+            while k > 0 && pattern[i] != pattern[k] {
+                k = fail[k - 1];
+            }
+            if pattern[i] == pattern[k] {
+                k += 1;
+            }
+            fail[i] = k;
+        }
+        PatternScanner {
+            pattern: pattern.to_vec(),
+            fail,
+            state: 0,
+            matches: 0,
+        }
+    }
+
+    /// Feeds bytes (any split); returns how many matches completed inside
+    /// this range.
+    pub fn feed(&mut self, data: &[u8]) -> u64 {
+        let mut found = 0;
+        for &b in data {
+            while self.state > 0 && b != self.pattern[self.state] {
+                self.state = self.fail[self.state - 1];
+            }
+            if b == self.pattern[self.state] {
+                self.state += 1;
+            }
+            if self.state == self.pattern.len() {
+                found += 1;
+                self.state = self.fail[self.state - 1];
+            }
+        }
+        self.matches += found;
+        found
+    }
+
+    /// Resets the automaton at a message boundary (patterns never span
+    /// messages, §7).
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+
+    /// Total matches observed.
+    pub fn matches(&self) -> u64 {
+        self.matches
+    }
+
+    /// Exports the constant-size dynamic state.
+    pub fn export(&self) -> usize {
+        self.state
+    }
+
+    /// Resumes from an exported state.
+    pub fn resume(&mut self, state: usize) {
+        assert!(state < self.pattern.len(), "state out of range");
+        self.state = state;
+    }
+}
+
+/// DPI receive offload over the demo protocol's framing: decrypts like
+/// [`DemoFlow`] and additionally scans plaintext bodies for a pattern.
+#[derive(Debug)]
+pub struct DpiRxFlow {
+    inner: DemoFlow,
+    scanner: PatternScanner,
+    /// Matches completed during the current packet (reported via metadata,
+    /// here surfaced through counters).
+    pkt_matches: u64,
+    total_matches: Rc<Cell<u64>>,
+}
+
+impl DpiRxFlow {
+    /// Creates a functional-mode DPI flow with the demo key and `pattern`.
+    pub fn new(key: u8, pattern: &[u8]) -> DpiRxFlow {
+        DpiRxFlow {
+            inner: DemoFlow::rx_functional(key),
+            scanner: PatternScanner::new(pattern),
+            pkt_matches: 0,
+            total_matches: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Shared handle to the match counter — what DPI software reads from
+    /// offload metadata instead of rescanning payloads.
+    pub fn matches_handle(&self) -> Rc<Cell<u64>> {
+        Rc::clone(&self.total_matches)
+    }
+}
+
+impl L5Flow for DpiRxFlow {
+    fn header_len(&self) -> usize {
+        self.inner.header_len()
+    }
+
+    fn parse_at(&self, stream_off: u64, hdr: Option<&[u8]>) -> Option<MsgHeader> {
+        self.inner.parse_at(stream_off, hdr)
+    }
+
+    fn probe_at(&self, stream_off: u64, hdr: Option<&[u8]>) -> Option<MsgHeader> {
+        self.inner.probe_at(stream_off, hdr)
+    }
+
+    fn begin_msg(&mut self, msg_index: u64, stream_off: u64, hdr: Option<&[u8]>) {
+        self.inner.begin_msg(msg_index, stream_off, hdr);
+        self.scanner.reset(); // patterns never span messages
+    }
+
+    fn process(&mut self, msg_off: u32, mut data: DataRef<'_>) {
+        // Let the demo op decrypt in place first…
+        let len = data.len();
+        match &mut data {
+            DataRef::Real(bytes) => {
+                self.inner.process(msg_off, DataRef::Real(bytes));
+                // …then scan the plaintext.
+                self.pkt_matches += self.scanner.feed(bytes);
+            }
+            DataRef::Modeled(n) => self.inner.process(msg_off, DataRef::Modeled(*n)),
+        }
+        let _ = len;
+    }
+
+    fn end_msg(&mut self) -> bool {
+        self.inner.end_msg()
+    }
+
+    fn resync_to(&mut self, msg_index: u64) {
+        self.inner.resync_to(msg_index);
+        self.scanner.reset();
+    }
+
+    fn packet_flags(&mut self, offloaded: bool) -> SkbFlags {
+        if offloaded {
+            self.total_matches.set(self.total_matches.get() + self.pkt_matches);
+        }
+        self.pkt_matches = 0;
+        self.inner.packet_flags(offloaded)
+    }
+
+    fn search(&self, window_off: u64, window: SearchWindow<'_>) -> Option<(u64, MsgHeader)> {
+        self.inner.search(window_off, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo;
+    use crate::rx::RxEngine;
+
+    #[test]
+    fn kmp_matches_with_any_split() {
+        let mut s = PatternScanner::new(b"abcab");
+        let hay = b"xxabcabcabyy"; // matches at ..7 and ..10 (overlapping)
+        assert_eq!(s.feed(hay), 2);
+        let mut split = PatternScanner::new(b"abcab");
+        let mut total = 0;
+        for chunk in hay.chunks(3) {
+            total += split.feed(chunk);
+        }
+        assert_eq!(total, 2, "splits do not change matches");
+    }
+
+    #[test]
+    fn state_export_resume() {
+        let mut a = PatternScanner::new(b"needle");
+        a.feed(b"xxxnee");
+        let st = a.export();
+        let mut b = PatternScanner::new(b"needle");
+        b.resume(st);
+        assert_eq!(b.feed(b"dle"), 1, "resumed mid-pattern");
+    }
+
+    #[test]
+    fn reset_prevents_cross_message_matches() {
+        let mut s = PatternScanner::new(b"split");
+        s.feed(b"spl");
+        s.reset(); // message boundary
+        assert_eq!(s.feed(b"it"), 0, "no match across messages");
+    }
+
+    #[test]
+    fn dpi_flow_counts_matches_in_offloaded_stream() {
+        // Three messages; the pattern appears three times across bodies,
+        // and the bodies travel "encrypted" so only the NIC (or a software
+        // fallback) can see the plaintext.
+        let bodies: Vec<Vec<u8>> = vec![
+            b"nothing here".to_vec(),
+            b"..virus..".to_vec(),
+            b"virus again: virus".to_vec(),
+        ];
+        let stream: Vec<u8> = bodies.iter().flat_map(|b| demo::encode_msg(b)).collect();
+        let flow = DpiRxFlow::new(demo::DEFAULT_KEY, b"virus");
+        let matches = flow.matches_handle();
+        let mut e = RxEngine::new(Box::new(flow), 0, 0);
+        for (i, chunk) in stream.chunks(7).enumerate() {
+            let mut buf = chunk.to_vec();
+            let flags = e.on_packet((i * 7) as u64, &mut crate::msg::DataRef::Real(&mut buf));
+            assert!(flags.tls_decrypted);
+        }
+        assert_eq!(matches.get(), 3, "NIC found every in-message pattern");
+    }
+
+    #[test]
+    fn dpi_pattern_split_across_packets_still_matches() {
+        let body = b"....splitme....".to_vec();
+        let wire = demo::encode_msg(&body);
+        let flow = DpiRxFlow::new(demo::DEFAULT_KEY, b"splitme");
+        let matches = flow.matches_handle();
+        let mut e = RxEngine::new(Box::new(flow), 0, 0);
+        // Two-byte packets: the pattern spans several of them.
+        for (i, chunk) in wire.chunks(2).enumerate() {
+            let mut buf = chunk.to_vec();
+            e.on_packet((i * 2) as u64, &mut crate::msg::DataRef::Real(&mut buf));
+        }
+        assert_eq!(matches.get(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_pattern_rejected() {
+        PatternScanner::new(b"");
+    }
+}

@@ -1,0 +1,180 @@
+//! The offloadable-operation interface between the generic engines and a
+//! concrete L5P (TLS, NVMe-TCP, or a composition).
+//!
+//! A type implementing [`L5Flow`] captures everything protocol-specific the
+//! NIC needs, and nothing else. The trait is the codification of Table 3's
+//! preconditions:
+//!
+//! * **size-preserving / pre-provisioned buffers** — [`L5Flow::process`]
+//!   transforms bytes in place (or places them into pre-registered
+//!   destination buffers) and never changes stream length;
+//! * **incrementally computable, constant-size state** — `process` is called
+//!   with arbitrary byte ranges in order; all state lives inside the impl
+//!   and must be reconstructible at a message boundary from the message
+//!   *count* alone ([`L5Flow::resync_to`]);
+//! * **plaintext magic pattern + length field** — [`L5Flow::probe_at`]
+//!   validates a candidate header during speculative search, and the header
+//!   always yields the message's total length ([`L5Flow::parse_at`]).
+
+use ano_sim::payload::Payload;
+use ano_tcp::segment::SkbFlags;
+
+use crate::msg::{DataRef, EngineEvent, MsgHeader, SearchWindow};
+
+/// Per-flow, per-direction protocol handler executed "in the NIC".
+pub trait L5Flow: std::fmt::Debug {
+    /// Number of leading bytes required to parse any message header
+    /// (the generic header carrying the length field).
+    fn header_len(&self) -> usize;
+
+    /// Parses a header at a *known* message boundary (in-sequence path).
+    ///
+    /// `hdr` holds exactly [`L5Flow::header_len`] bytes in functional mode
+    /// and is `None` in modeled mode (implementations consult their
+    /// [`crate::msg::FrameIndex`]). Returns `None` if the bytes do not form
+    /// a valid header (stream desynchronization or corruption).
+    fn parse_at(&self, stream_off: u64, hdr: Option<&[u8]>) -> Option<MsgHeader>;
+
+    /// Strict magic-pattern validation of a *speculative* header candidate
+    /// during search/tracking (§4.3). Must be at least as strict as
+    /// [`L5Flow::parse_at`].
+    fn probe_at(&self, stream_off: u64, hdr: Option<&[u8]>) -> Option<MsgHeader>;
+
+    /// Begins message number `msg_index`, whose header starts at stream
+    /// offset `stream_off`. `hdr` as in [`L5Flow::parse_at`].
+    fn begin_msg(&mut self, msg_index: u64, stream_off: u64, hdr: Option<&[u8]>);
+
+    /// Processes message bytes `[msg_off, msg_off + data.len())`, where
+    /// `msg_off` counts from the start of the message and the first call
+    /// for a message begins at `header_len()` (the generic header bytes are
+    /// delivered via [`L5Flow::begin_msg`]). Ranges arrive in order and
+    /// exactly once per message.
+    fn process(&mut self, msg_off: u32, data: DataRef<'_>);
+
+    /// Ends the current message; returns whether integrity checks (CRC,
+    /// AEAD tag) passed.
+    fn end_msg(&mut self) -> bool;
+
+    /// Repositions dynamic state to the boundary *before* message
+    /// `msg_index` (§3.2: boundary state depends only on the number of
+    /// previous messages — e.g. the TLS record sequence number).
+    fn resync_to(&mut self, msg_index: u64);
+
+    /// Maps this packet's walk outcome onto SKB offload bits. `offloaded`
+    /// is true when every byte of the packet was processed with all
+    /// integrity checks passing so far.
+    fn packet_flags(&mut self, offloaded: bool) -> SkbFlags;
+
+    /// Speculative search: the stream offset and header of the first valid
+    /// magic pattern whose header begins inside `window` (which starts at
+    /// stream offset `window_off`), or `None`. Functional implementations
+    /// can delegate to [`scan_window`]; modeled ones consult their
+    /// [`crate::msg::FrameIndex`].
+    fn search(&self, window_off: u64, window: SearchWindow<'_>) -> Option<(u64, MsgHeader)>;
+
+    /// Drains engine events produced by a nested (composed) engine, if any.
+    fn take_events(&mut self) -> Vec<EngineEvent> {
+        Vec::new()
+    }
+
+    /// Forwards a resync confirmation to a nested engine, if any. Returns
+    /// true if a nested engine consumed it.
+    fn resync_response(&mut self, _layer: u8, _tcpsn: u64, _ok: bool, _msg_index: u64) -> bool {
+        false
+    }
+}
+
+/// Scans real bytes for the first offset where [`L5Flow::probe_at`]
+/// accepts a header. Headers must begin *and* fit within the window to be
+/// found (split patterns are handled by the engine's carry buffer).
+pub fn scan_window(op: &dyn L5Flow, window_off: u64, bytes: &[u8]) -> Option<(u64, MsgHeader)> {
+    let hl = op.header_len();
+    if bytes.len() < hl {
+        return None;
+    }
+    for i in 0..=(bytes.len() - hl) {
+        let off = window_off + i as u64;
+        if let Some(h) = op.probe_at(off, Some(&bytes[i..i + hl])) {
+            return Some((off, h));
+        }
+    }
+    None
+}
+
+/// Reference to the L5P message containing a given stream offset, for
+/// transmit-side context recovery (§4.2, Fig. 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxMsgRef {
+    /// Stream offset of the message's first header byte.
+    pub msg_start: u64,
+    /// The message's index in the stream (drives boundary state).
+    pub msg_index: u64,
+}
+
+/// The transmit-side upcall interface the L5P exposes to the NIC driver —
+/// the Rust rendering of Listing 2's `l5o_get_tx_msgstate`, plus access to
+/// the retransmit-buffered stream bytes the driver replays over PCIe.
+pub trait L5TxSource {
+    /// `l5o_get_tx_msgstate`: which message contains `stream_off`?
+    ///
+    /// The L5P must answer for any byte still unacknowledged (it "holds a
+    /// reference to the buffers which contain transmitted L5P message data,
+    /// similarly to how TCP holds a reference to all unacknowledged data").
+    fn msg_at(&self, stream_off: u64) -> Option<TxMsgRef>;
+
+    /// Fetches stream bytes `[from, to)` from host memory for replay.
+    /// The driver accounts this transfer against PCIe bandwidth (Fig. 16b).
+    fn stream_bytes(&self, from: u64, to: u64) -> Payload;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Nop;
+
+    impl L5Flow for Nop {
+        fn header_len(&self) -> usize {
+            3
+        }
+        fn parse_at(&self, _o: u64, _h: Option<&[u8]>) -> Option<MsgHeader> {
+            Some(MsgHeader { total_len: 10 })
+        }
+        fn probe_at(&self, _o: u64, _h: Option<&[u8]>) -> Option<MsgHeader> {
+            None
+        }
+        fn begin_msg(&mut self, _i: u64, _o: u64, _h: Option<&[u8]>) {}
+        fn process(&mut self, _o: u32, _d: DataRef<'_>) {}
+        fn end_msg(&mut self) -> bool {
+            true
+        }
+        fn resync_to(&mut self, _i: u64) {}
+        fn packet_flags(&mut self, offloaded: bool) -> SkbFlags {
+            SkbFlags {
+                tls_decrypted: offloaded,
+                ..Default::default()
+            }
+        }
+        fn search(&self, window_off: u64, window: SearchWindow<'_>) -> Option<(u64, MsgHeader)> {
+            match window {
+                SearchWindow::Real(b) => scan_window(self, window_off, b),
+                SearchWindow::Modeled(_) => None,
+            }
+        }
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let mut n = Nop;
+        assert!(n.take_events().is_empty());
+        assert!(!n.resync_response(0, 0, true, 0));
+        assert!(n.packet_flags(true).tls_decrypted);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let b: Box<dyn L5Flow> = Box::new(Nop);
+        assert_eq!(b.header_len(), 3);
+    }
+}

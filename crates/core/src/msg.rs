@@ -1,0 +1,295 @@
+//! Message framing abstractions shared by the offload engines.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A parsed L5P message header, as seen by the NIC.
+///
+/// `total_len` covers the *entire* on-wire message: generic header, any
+/// protocol-specific header extension, body, and trailer (digest/tag). The
+/// NIC uses it to find the next message boundary (§4.3: "the NIC computes
+/// the TCP sequence number of the next L5P message by using the length of
+/// the current message").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgHeader {
+    /// Total message length on the wire, in bytes.
+    pub total_len: u32,
+}
+
+/// One contiguous range of packet data handed to an offload operation:
+/// real mutable bytes in functional mode, a length in modeled mode.
+#[derive(Debug)]
+pub enum DataRef<'a> {
+    /// Functional mode: the NIC transforms these bytes in place.
+    Real(&'a mut [u8]),
+    /// Modeled mode: only the length is simulated.
+    Modeled(usize),
+}
+
+impl DataRef<'_> {
+    /// Length of the range.
+    pub fn len(&self) -> usize {
+        match self {
+            DataRef::Real(b) => b.len(),
+            DataRef::Modeled(n) => *n,
+        }
+    }
+
+    /// True when the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows the real bytes, or `None` in modeled mode.
+    pub fn as_real(&self) -> Option<&[u8]> {
+        match self {
+            DataRef::Real(b) => Some(b),
+            DataRef::Modeled(_) => None,
+        }
+    }
+
+    /// Reborrows a sub-range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&mut self, start: usize, end: usize) -> DataRef<'_> {
+        match self {
+            DataRef::Real(b) => DataRef::Real(&mut b[start..end]),
+            DataRef::Modeled(n) => {
+                assert!(start <= end && end <= *n, "slice out of range");
+                DataRef::Modeled(end - start)
+            }
+        }
+    }
+}
+
+/// A read-only view of packet bytes used by speculative search.
+#[derive(Clone, Copy, Debug)]
+pub enum SearchWindow<'a> {
+    /// Functional mode: scan these bytes for the magic pattern.
+    Real(&'a [u8]),
+    /// Modeled mode: a window of this many bytes (impls consult their
+    /// [`FrameIndex`]).
+    Modeled(usize),
+}
+
+impl SearchWindow<'_> {
+    /// Window length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            SearchWindow::Real(b) => b.len(),
+            SearchWindow::Modeled(n) => *n,
+        }
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Events an offload engine emits for the NIC driver to act on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// The NIC speculatively identified a message header at this stream
+    /// offset and asks the L5P to confirm (`l5o_resync_rx_req`, §4.3).
+    ResyncRequest {
+        /// Protocol layer that asked: 0 is the outermost engine; a composed
+        /// NVMe-TLS offload reports its inner NVMe engine as layer 1 (§5.3:
+        /// recovery is "performed independently for each protocol").
+        layer: u8,
+        /// Absolute stream offset (unwrapped `tcpsn`) of the candidate
+        /// header, in that layer's own byte-stream space.
+        tcpsn: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    off: u64,
+    len: u32,
+    idx: u64,
+    tag: u64,
+    meta: Option<Rc<Vec<u8>>>,
+}
+
+#[derive(Debug, Default)]
+struct FrameIndexInner {
+    /// Every message, in stream order.
+    frames: Vec<Frame>,
+}
+
+/// Ground-truth message framing for one flow, in *modeled* mode.
+///
+/// In functional mode the NIC discovers framing by parsing real bytes; in
+/// modeled mode payloads are synthetic, so the sending L5P registers each
+/// message's position here and the NIC-side engines consult it instead of
+/// scanning bytes. This preserves behaviour exactly (the magic patterns of
+/// TLS/NVMe-TCP make false positives negligible — §5.1/§5.2 list 5–10 byte
+/// patterns) while keeping gigabyte-scale sweeps tractable.
+#[derive(Clone, Debug, Default)]
+pub struct FrameIndex(Rc<RefCell<FrameIndexInner>>);
+
+impl FrameIndex {
+    /// Creates an empty index.
+    pub fn new() -> FrameIndex {
+        FrameIndex::default()
+    }
+
+    /// Records a message of `total_len` bytes starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if messages are not appended in order.
+    pub fn push(&self, offset: u64, total_len: u32) -> u64 {
+        self.push_tagged(offset, total_len, 0)
+    }
+
+    /// Like [`FrameIndex::push`] with an application tag (e.g. the NVMe CID
+    /// a modeled copy-offload needs to find its destination buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if messages are not appended in order.
+    pub fn push_tagged(&self, offset: u64, total_len: u32, tag: u64) -> u64 {
+        self.push_full(offset, total_len, tag, None)
+    }
+
+    /// Full form: tag plus an opaque metadata blob (e.g. the logical header
+    /// fields a modeled-mode parser would otherwise read from real bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if messages are not appended in order.
+    pub fn push_full(&self, offset: u64, total_len: u32, tag: u64, meta: Option<Vec<u8>>) -> u64 {
+        let mut inner = self.0.borrow_mut();
+        let idx = inner
+            .frames
+            .last()
+            .map(|f| {
+                assert!(offset >= f.off + f.len as u64, "frames must be appended in stream order");
+                f.idx + 1
+            })
+            .unwrap_or(0);
+        inner.frames.push(Frame {
+            off: offset,
+            len: total_len,
+            idx,
+            tag,
+            meta: meta.map(Rc::new),
+        });
+        idx
+    }
+
+    /// The application tag of the message starting exactly at `offset`.
+    pub fn tag_at(&self, offset: u64) -> Option<u64> {
+        let inner = self.0.borrow();
+        inner
+            .frames
+            .binary_search_by_key(&offset, |f| f.off)
+            .ok()
+            .map(|i| inner.frames[i].tag)
+    }
+
+    /// The metadata blob of the message starting exactly at `offset`.
+    pub fn meta_at(&self, offset: u64) -> Option<Rc<Vec<u8>>> {
+        let inner = self.0.borrow();
+        inner
+            .frames
+            .binary_search_by_key(&offset, |f| f.off)
+            .ok()
+            .and_then(|i| inner.frames[i].meta.clone())
+    }
+
+    /// The message starting exactly at `offset`, if any.
+    pub fn at(&self, offset: u64) -> Option<(MsgHeader, u64)> {
+        let inner = self.0.borrow();
+        inner
+            .frames
+            .binary_search_by_key(&offset, |f| f.off)
+            .ok()
+            .map(|i| {
+                let f = &inner.frames[i];
+                (MsgHeader { total_len: f.len }, f.idx)
+            })
+    }
+
+    /// The first message boundary at or after `offset`.
+    pub fn next_at_or_after(&self, offset: u64) -> Option<(u64, MsgHeader, u64)> {
+        let inner = self.0.borrow();
+        let i = inner.frames.partition_point(|f| f.off < offset);
+        inner
+            .frames
+            .get(i)
+            .map(|f| (f.off, MsgHeader { total_len: f.len }, f.idx))
+    }
+
+    /// Drops index entries fully below `offset` (acked long ago).
+    pub fn prune_below(&self, offset: u64) {
+        let mut inner = self.0.borrow_mut();
+        let keep_from = inner
+            .frames
+            .partition_point(|f| f.off + f.len as u64 <= offset);
+        inner.frames.drain(..keep_from);
+    }
+
+    /// Number of indexed frames (diagnostics).
+    pub fn len(&self) -> usize {
+        self.0.borrow().frames.len()
+    }
+
+    /// True when no frames are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataref_len_and_slice() {
+        let mut buf = [1u8, 2, 3, 4, 5];
+        let mut r = DataRef::Real(&mut buf);
+        assert_eq!(r.len(), 5);
+        let sub = r.slice(1, 3);
+        assert_eq!(sub.len(), 2);
+        let mut m = DataRef::Modeled(10);
+        assert_eq!(m.slice(2, 9).len(), 7);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn frame_index_ordered_lookup() {
+        let fi = FrameIndex::new();
+        assert_eq!(fi.push(0, 100), 0);
+        assert_eq!(fi.push(100, 50), 1);
+        assert_eq!(fi.push(150, 200), 2);
+        assert_eq!(fi.at(100), Some((MsgHeader { total_len: 50 }, 1)));
+        assert_eq!(fi.at(101), None);
+        assert_eq!(fi.next_at_or_after(101).map(|x| x.0), Some(150));
+        assert_eq!(fi.next_at_or_after(350), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn frame_index_rejects_out_of_order() {
+        let fi = FrameIndex::new();
+        fi.push(100, 50);
+        fi.push(0, 10);
+    }
+
+    #[test]
+    fn prune_drops_only_fully_acked() {
+        let fi = FrameIndex::new();
+        fi.push(0, 100);
+        fi.push(100, 100);
+        fi.prune_below(150);
+        assert_eq!(fi.len(), 1);
+        assert!(fi.at(100).is_some());
+        fi.prune_below(200);
+        assert!(fi.is_empty());
+    }
+}

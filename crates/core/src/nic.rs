@@ -1,0 +1,341 @@
+//! The NIC device model: per-flow engines, the bounded context cache, and
+//! PCIe accounting.
+//!
+//! This is the "hardware" half of the architecture. Flows are registered by
+//! the driver (`l5o_create`), each carrying an [`RxEngine`] and/or
+//! [`TxEngine`]; every packet of an offloaded flow touches the context
+//! cache ([`LruSet`]) so experiments can observe the paper's §6.5 scaling
+//! behaviour; recovery replays and cache fills are accumulated as PCIe
+//! bytes for Fig. 16b.
+
+use std::collections::HashMap;
+
+use ano_sim::payload::Payload;
+use ano_tcp::segment::{FlowId, SkbFlags};
+
+use crate::cache::{CacheOutcome, LruSet};
+use crate::flow::L5TxSource;
+use crate::msg::{DataRef, EngineEvent};
+use crate::rx::{RxEngine, RxStats};
+use crate::tx::{TxEngine, TxStats};
+
+/// NIC configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NicConfig {
+    /// How many per-flow contexts fit in NIC memory (paper: 4 MiB / 208 B ≈
+    /// 20 K flows, §6.5).
+    pub ctx_cache_capacity: usize,
+    /// Per-flow context size in bytes (PCIe cost of a cache fill).
+    pub ctx_bytes: u64,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig {
+            ctx_cache_capacity: 20_000,
+            ctx_bytes: 208,
+        }
+    }
+}
+
+/// Direction tag for cache keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Dir {
+    Rx,
+    Tx,
+}
+
+/// Aggregate NIC counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NicCounters {
+    /// Context-cache hits.
+    pub cache_hits: u64,
+    /// Context-cache misses (each costs a PCIe fill + latency).
+    pub cache_misses: u64,
+    /// PCIe bytes for tx context recovery replays (Fig. 6 / Fig. 16b).
+    pub pcie_replay_bytes: u64,
+    /// PCIe bytes for context-cache fills and write-backs.
+    pub pcie_ctx_bytes: u64,
+}
+
+impl NicCounters {
+    /// All PCIe bytes attributable to autonomous-offload upkeep.
+    pub fn pcie_total_bytes(&self) -> u64 {
+        self.pcie_replay_bytes + self.pcie_ctx_bytes
+    }
+}
+
+/// Result of NIC receive processing for one packet.
+#[derive(Debug)]
+pub struct RxProcess {
+    /// Flags the driver writes into the SKB.
+    pub flags: SkbFlags,
+    /// Resync requests to forward to the L5P (`l5o_resync_rx_req`).
+    pub events: Vec<EngineEvent>,
+    /// Whether the flow context missed in the NIC cache.
+    pub cache_miss: bool,
+}
+
+/// Result of NIC transmit processing for one packet.
+#[derive(Debug)]
+pub struct TxProcess {
+    /// The offloaded operation ran on this packet.
+    pub offloaded: bool,
+    /// PCIe bytes replayed for context recovery.
+    pub replay_bytes: u64,
+    /// Whether the flow context missed in the NIC cache.
+    pub cache_miss: bool,
+}
+
+/// One NIC with autonomous-offload engines.
+pub struct Nic {
+    cfg: NicConfig,
+    rx: HashMap<FlowId, RxEngine>,
+    tx: HashMap<FlowId, TxEngine>,
+    cache: LruSet<(FlowId, Dir)>,
+    counters: NicCounters,
+}
+
+impl std::fmt::Debug for Nic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nic")
+            .field("rx_flows", &self.rx.len())
+            .field("tx_flows", &self.tx.len())
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+impl Nic {
+    /// Creates a NIC with the given configuration.
+    pub fn new(cfg: NicConfig) -> Nic {
+        Nic {
+            cfg,
+            rx: HashMap::new(),
+            tx: HashMap::new(),
+            cache: LruSet::new(cfg.ctx_cache_capacity),
+            counters: NicCounters::default(),
+        }
+    }
+
+    /// Registers a receive offload for `flow` (`l5o_create`, rx half).
+    pub fn install_rx(&mut self, flow: FlowId, engine: RxEngine) {
+        self.rx.insert(flow, engine);
+    }
+
+    /// Registers a transmit offload for `flow` (`l5o_create`, tx half).
+    pub fn install_tx(&mut self, flow: FlowId, engine: TxEngine) {
+        self.tx.insert(flow, engine);
+    }
+
+    /// Tears down a flow's offloads (`l5o_destroy`).
+    pub fn destroy(&mut self, flow: FlowId) {
+        self.rx.remove(&flow);
+        self.tx.remove(&flow);
+        self.cache.remove(&(flow, Dir::Rx));
+        self.cache.remove(&(flow, Dir::Tx));
+    }
+
+    /// True if `flow` has a receive offload installed.
+    pub fn has_rx(&self, flow: FlowId) -> bool {
+        self.rx.contains_key(&flow)
+    }
+
+    /// True if `flow` has a transmit offload installed.
+    pub fn has_tx(&self, flow: FlowId) -> bool {
+        self.tx.contains_key(&flow)
+    }
+
+    /// Aggregate counters.
+    pub fn counters(&self) -> NicCounters {
+        self.counters
+    }
+
+    /// Per-flow receive-engine stats.
+    pub fn rx_stats(&self, flow: FlowId) -> Option<RxStats> {
+        self.rx.get(&flow).map(|e| e.stats())
+    }
+
+    /// Per-flow transmit-engine stats.
+    pub fn tx_stats(&self, flow: FlowId) -> Option<TxStats> {
+        self.tx.get(&flow).map(|e| e.stats())
+    }
+
+    /// Immutable access to a flow's receive engine.
+    pub fn rx_engine(&self, flow: FlowId) -> Option<&RxEngine> {
+        self.rx.get(&flow)
+    }
+
+    fn touch_cache(&mut self, flow: FlowId, dir: Dir) -> bool {
+        let miss = self.cache.touch(&(flow, dir)) == CacheOutcome::Miss;
+        if miss {
+            self.counters.cache_misses += 1;
+            // Fill + eventual write-back of the evicted context.
+            self.counters.pcie_ctx_bytes += 2 * self.cfg.ctx_bytes;
+        } else {
+            self.counters.cache_hits += 1;
+        }
+        miss
+    }
+
+    /// Processes one received packet. For non-offloaded flows this is a
+    /// pass-through with default flags.
+    pub fn rx_process(&mut self, flow: FlowId, seq: u64, payload: &mut Payload) -> RxProcess {
+        // Zero-length segments (pure ACKs) carry no stream bytes; their
+        // sequence number is not meaningful to the offload cursor.
+        if payload.is_empty() {
+            return RxProcess {
+                flags: SkbFlags::default(),
+                events: Vec::new(),
+                cache_miss: false,
+            };
+        }
+        let Some(engine) = self.rx.get_mut(&flow) else {
+            return RxProcess {
+                flags: SkbFlags::default(),
+                events: Vec::new(),
+                cache_miss: false,
+            };
+        };
+        let flags = with_dataref(payload, |d| engine.on_packet(seq, d));
+        let events = engine.take_events();
+        let cache_miss = self.touch_cache(flow, Dir::Rx);
+        RxProcess {
+            flags,
+            events,
+            cache_miss,
+        }
+    }
+
+    /// Forwards the L5P's resync confirmation (`l5o_resync_rx_resp`).
+    pub fn resync_response(&mut self, flow: FlowId, layer: u8, tcpsn: u64, ok: bool, msg_index: u64) {
+        if let Some(e) = self.rx.get_mut(&flow) {
+            e.on_resync_response(layer, tcpsn, ok, msg_index);
+        }
+    }
+
+    /// Processes one packet being transmitted. For non-offloaded flows this
+    /// is a pass-through.
+    pub fn tx_process(
+        &mut self,
+        flow: FlowId,
+        seq: u64,
+        payload: &mut Payload,
+        src: &dyn L5TxSource,
+    ) -> TxProcess {
+        let Some(engine) = self.tx.get_mut(&flow) else {
+            return TxProcess {
+                offloaded: false,
+                replay_bytes: 0,
+                cache_miss: false,
+            };
+        };
+        let verdict = with_dataref(payload, |d| engine.on_packet(seq, d, src));
+        self.counters.pcie_replay_bytes += verdict.replay_bytes;
+        let cache_miss = self.touch_cache(flow, Dir::Tx);
+        TxProcess {
+            offloaded: verdict.offloaded,
+            replay_bytes: verdict.replay_bytes,
+            cache_miss,
+        }
+    }
+}
+
+/// Runs `f` over a payload as a [`DataRef`], writing transformed bytes back
+/// for real payloads.
+pub fn with_dataref<R>(p: &mut Payload, f: impl FnOnce(&mut DataRef<'_>) -> R) -> R {
+    match p {
+        Payload::Real(bytes) => {
+            let mut buf = bytes.to_vec();
+            let r = f(&mut DataRef::Real(&mut buf));
+            *p = Payload::real(buf);
+            r
+        }
+        Payload::Synthetic { len } => f(&mut DataRef::Modeled(*len)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::{self, DemoFlow};
+    use crate::flow::TxMsgRef;
+
+    struct NoSrc;
+    impl L5TxSource for NoSrc {
+        fn msg_at(&self, _o: u64) -> Option<TxMsgRef> {
+            None
+        }
+        fn stream_bytes(&self, _f: u64, _t: u64) -> Payload {
+            Payload::empty()
+        }
+    }
+
+    #[test]
+    fn pass_through_without_offload() {
+        let mut nic = Nic::new(NicConfig::default());
+        let mut p = Payload::real(vec![1, 2, 3]);
+        let r = nic.rx_process(FlowId(1), 0, &mut p);
+        assert_eq!(r.flags, SkbFlags::default());
+        assert_eq!(p.to_vec(), vec![1, 2, 3]);
+        let t = nic.tx_process(FlowId(1), 0, &mut p, &NoSrc);
+        assert!(!t.offloaded);
+    }
+
+    #[test]
+    fn rx_offload_transforms_payload() {
+        let mut nic = Nic::new(NicConfig::default());
+        let flow = FlowId(5);
+        nic.install_rx(
+            flow,
+            RxEngine::new(Box::new(DemoFlow::rx_functional(demo::DEFAULT_KEY)), 0, 0),
+        );
+        let body = b"nic sees everything".to_vec();
+        let wire = demo::encode_msg(&body);
+        let mut p = Payload::real(wire.clone());
+        let r = nic.rx_process(flow, 0, &mut p);
+        assert!(r.flags.tls_decrypted);
+        // Body region was decrypted in place.
+        let out = p.to_vec();
+        assert_eq!(&out[demo::HDR_LEN..demo::HDR_LEN + body.len()], &body[..]);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let cfg = NicConfig {
+            ctx_cache_capacity: 2,
+            ctx_bytes: 208,
+        };
+        let mut nic = Nic::new(cfg);
+        for i in 0..3u64 {
+            nic.install_rx(
+                FlowId(i),
+                RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0),
+            );
+        }
+        let msg = demo::encode_msg_keyed(b"x", 0);
+        // Round-robin over 3 flows with a 2-entry cache: always miss.
+        for round in 0..4 {
+            for i in 0..3u64 {
+                let seq = round * msg.len() as u64;
+                let mut p = Payload::real(msg.clone());
+                nic.rx_process(FlowId(i), seq, &mut p);
+            }
+        }
+        let c = nic.counters();
+        assert_eq!(c.cache_hits, 0);
+        assert_eq!(c.cache_misses, 12);
+        assert_eq!(c.pcie_ctx_bytes, 12 * 2 * 208);
+    }
+
+    #[test]
+    fn destroy_removes_everything() {
+        let mut nic = Nic::new(NicConfig::default());
+        let flow = FlowId(9);
+        nic.install_rx(flow, RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
+        assert!(nic.has_rx(flow));
+        nic.destroy(flow);
+        assert!(!nic.has_rx(flow));
+        assert!(nic.rx_stats(flow).is_none());
+    }
+}

@@ -1,0 +1,643 @@
+//! The receive-side offload engine: the paper's §4.3 state machine (Fig. 7).
+//!
+//! Per flow, the NIC is in one of three states:
+//!
+//! * **Offloading** — the context knows the next expected TCP sequence and
+//!   the position within the current L5P message; in-sequence packets are
+//!   processed inline.
+//! * **Searching** — after unrecoverable out-of-sequence data, the NIC scans
+//!   payloads for the protocol's plaintext magic pattern; a hit issues an
+//!   `l5o_resync_rx_req` to software and moves to tracking.
+//! * **Tracking** — the NIC follows message boundaries via length fields,
+//!   verifying each expected header, while the candidate awaits software
+//!   confirmation; confirmation resumes offloading at the next boundary
+//!   (transition d2), a mismatch or rejection returns to searching (d1).
+
+use ano_tcp::segment::SkbFlags;
+
+use crate::flow::L5Flow;
+use crate::msg::{DataRef, EngineEvent, SearchWindow};
+use crate::walker::{window_of, TrackWalker, Walker};
+
+/// Receive-engine counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RxStats {
+    /// Packets inspected.
+    pub pkts: u64,
+    /// Packets fully offloaded (every byte processed, checks passing).
+    pub pkts_offloaded: u64,
+    /// Retransmissions of already-processed data bypassed (Fig. 8a).
+    pub retransmit_bypass: u64,
+    /// Boundary-based context updates without software help (Fig. 8b).
+    pub boundary_resyncs: u64,
+    /// Speculative-search confirmations requested from software (Fig. 8c).
+    pub resync_requests: u64,
+    /// Confirmations that matched and resumed offloading (d2).
+    pub resync_ok: u64,
+    /// Confirmations rejected by software or invalidated by tracking (d1).
+    pub resync_failed: u64,
+    /// Header parse failures while offloading (stream desync).
+    pub desyncs: u64,
+}
+
+/// Which state the engine is in (diagnostics; names follow Fig. 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxStateKind {
+    /// Processing in-sequence packets.
+    Offloading,
+    /// Scanning for a magic pattern.
+    Searching,
+    /// Following a speculative candidate, awaiting confirmation.
+    Tracking,
+}
+
+enum RxState {
+    Offloading(Walker),
+    Searching {
+        /// Trailing bytes of the previous contiguous packet, so magic
+        /// patterns split across packets are still found (§4.3: "it can
+        /// identify patterns split between packets if they arrive
+        /// in-sequence").
+        carry: Vec<u8>,
+        carry_off: u64,
+    },
+    Tracking {
+        candidate: u64,
+        walker: TrackWalker,
+        /// Software already confirmed; resume at the next known boundary.
+        confirmed: Option<u64>, // base msg_index from software
+    },
+}
+
+
+/// Walks `data[from..]` through `w` without writing transformed bytes back:
+/// the packet is not offloaded (its SKB bit stays clear, software will
+/// process these bytes itself), but the context's dynamic state must still
+/// advance — exactly what HW does when it processes a tail to re-seat the
+/// cursor. Real payloads are walked over a scratch copy.
+fn ghost_walk(
+    w: &mut Walker,
+    op: &mut dyn L5Flow,
+    data: &mut DataRef<'_>,
+    from: usize,
+) -> crate::walker::WalkOutcome {
+    match data {
+        DataRef::Real(b) => {
+            let mut tmp = b[from..].to_vec();
+            w.walk(op, &mut DataRef::Real(&mut tmp))
+        }
+        DataRef::Modeled(n) => w.walk(op, &mut DataRef::Modeled(*n - from)),
+    }
+}
+
+/// The per-flow receive offload engine (NIC context + resync logic).
+pub struct RxEngine {
+    op: Box<dyn L5Flow>,
+    state: RxState,
+    events: Vec<EngineEvent>,
+    stats: RxStats,
+}
+
+impl std::fmt::Debug for RxEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RxEngine")
+            .field("state", &self.state_kind())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl RxEngine {
+    /// Creates an engine whose context starts offloading at stream offset
+    /// `start_off`, message index `msg_index` (the `l5o_create` moment).
+    pub fn new(op: Box<dyn L5Flow>, start_off: u64, msg_index: u64) -> RxEngine {
+        RxEngine {
+            op,
+            state: RxState::Offloading(Walker::new(start_off, msg_index)),
+            events: Vec::new(),
+            stats: RxStats::default(),
+        }
+    }
+
+    /// Current state (Fig. 7 node).
+    pub fn state_kind(&self) -> RxStateKind {
+        match &self.state {
+            RxState::Offloading(_) => RxStateKind::Offloading,
+            RxState::Searching { .. } => RxStateKind::Searching,
+            RxState::Tracking { .. } => RxStateKind::Tracking,
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RxStats {
+        self.stats
+    }
+
+    /// The next offloadable stream offset, when offloading.
+    pub fn expected(&self) -> Option<u64> {
+        match &self.state {
+            RxState::Offloading(w) => Some(w.expected()),
+            _ => None,
+        }
+    }
+
+    /// Drains pending driver events (resync requests), including any from a
+    /// nested (composed) engine.
+    pub fn take_events(&mut self) -> Vec<EngineEvent> {
+        let mut ev = std::mem::take(&mut self.events);
+        ev.extend(self.op.take_events());
+        ev
+    }
+
+    /// Access to the flow op (for protocol-specific inspection in tests).
+    pub fn op(&self) -> &dyn L5Flow {
+        self.op.as_ref()
+    }
+
+    /// Processes one packet whose payload starts at unwrapped stream offset
+    /// `seq`. Returns the SKB flags the driver attaches.
+    pub fn on_packet(&mut self, seq: u64, data: &mut DataRef<'_>) -> SkbFlags {
+        self.stats.pkts += 1;
+        let seq_end = seq + data.len() as u64;
+        let state = std::mem::replace(
+            &mut self.state,
+            RxState::Searching {
+                carry: Vec::new(),
+                carry_off: 0,
+            },
+        );
+        let mut offloaded = false;
+        match state {
+            RxState::Offloading(mut w) => {
+                let exp = w.expected();
+                if seq == exp {
+                    let out = w.walk(self.op.as_mut(), data);
+                    if out.desync {
+                        self.stats.desyncs += 1;
+                        self.enter_searching(seq_end);
+                    } else {
+                        offloaded = out.clean;
+                        self.state = RxState::Offloading(w);
+                    }
+                } else if seq_end <= exp {
+                    // Fig. 8a: pure retransmission of the past — bypass.
+                    self.stats.retransmit_bypass += 1;
+                    self.state = RxState::Offloading(w);
+                } else if seq < exp {
+                    // Overlap: the tail from `exp` is new, in-sequence data;
+                    // the packet itself is not offloaded (its seq does not
+                    // match the context), so HW advances its state without
+                    // writing back (software will process these bytes).
+                    self.stats.retransmit_bypass += 1;
+                    let out = ghost_walk(&mut w, self.op.as_mut(), data, (exp - seq) as usize);
+                    if out.desync {
+                        self.stats.desyncs += 1;
+                        self.enter_searching(seq_end);
+                    } else {
+                        self.state = RxState::Offloading(w);
+                    }
+                } else {
+                    // Gap: where is the next message boundary M?
+                    match w.next_boundary() {
+                        Some(nb) if nb >= seq_end => {
+                            // Packet entirely before M: ignore it (§4.3).
+                            self.state = RxState::Offloading(w);
+                        }
+                        Some(nb) if nb >= seq => {
+                            // Fig. 8b: M's header is inside this packet —
+                            // re-seat the context at M and advance state over
+                            // the tail (not written back: packet unoffloaded).
+                            self.stats.boundary_resyncs += 1;
+                            let idx = w.boundary_msg_index();
+                            self.op.resync_to(idx);
+                            let mut w2 = Walker::new(nb, idx);
+                            let out = ghost_walk(&mut w2, self.op.as_mut(), data, (nb - seq) as usize);
+                            if out.desync {
+                                self.stats.desyncs += 1;
+                                self.enter_searching(seq_end);
+                            } else {
+                                self.state = RxState::Offloading(w2);
+                            }
+                        }
+                        _ => {
+                            // Fig. 8c: M passed inside the gap (or is
+                            // unknown) — speculative search, starting with
+                            // this very packet.
+                            self.enter_searching(seq);
+                            self.do_search(seq, data);
+                        }
+                    }
+                }
+            }
+            RxState::Searching { carry, carry_off } => {
+                self.state = RxState::Searching { carry, carry_off };
+                self.do_search(seq, data);
+            }
+            RxState::Tracking {
+                candidate,
+                walker,
+                confirmed,
+            } => {
+                self.do_track(candidate, walker, confirmed, seq, data);
+            }
+        }
+        if offloaded {
+            self.stats.pkts_offloaded += 1;
+        }
+        self.op.packet_flags(offloaded)
+    }
+
+    /// Delivers the software's answer to a resync request
+    /// (`l5o_resync_rx_resp`): does a message really start at `tcpsn`, and
+    /// if so, which message index is it?
+    pub fn on_resync_response(&mut self, layer: u8, tcpsn: u64, ok: bool, msg_index: u64) {
+        if layer > 0 {
+            self.op.resync_response(layer - 1, tcpsn, ok, msg_index);
+            return;
+        }
+        let state = std::mem::replace(
+            &mut self.state,
+            RxState::Searching {
+                carry: Vec::new(),
+                carry_off: 0,
+            },
+        );
+        match state {
+            RxState::Tracking {
+                candidate,
+                walker,
+                confirmed,
+            } if candidate == tcpsn => {
+                if !ok {
+                    self.stats.resync_failed += 1;
+                    // d1: stay in searching (already the placeholder state).
+                } else {
+                    self.stats.resync_ok += 1;
+                    self.state = RxState::Tracking {
+                        candidate,
+                        walker,
+                        confirmed: Some(msg_index),
+                    };
+                    self.try_resume();
+                    let _ = confirmed;
+                }
+            }
+            other => {
+                // Stale or mismatched response: ignore it.
+                self.state = other;
+            }
+        }
+    }
+
+    fn enter_searching(&mut self, carry_off: u64) {
+        self.state = RxState::Searching {
+            carry: Vec::new(),
+            carry_off,
+        };
+    }
+
+    /// d2: if confirmed and the tracker knows the next boundary, resume.
+    fn try_resume(&mut self) {
+        let resume = if let RxState::Tracking {
+            walker,
+            confirmed: Some(base_idx),
+            ..
+        } = &self.state
+        {
+            walker
+                .next_boundary()
+                .map(|nb| (nb, *base_idx + walker.boundaries_passed() + 1))
+        } else {
+            None
+        };
+        if let Some((nb, idx)) = resume {
+            self.op.resync_to(idx);
+            self.state = RxState::Offloading(Walker::new(nb, idx));
+        }
+    }
+
+    fn do_search(&mut self, seq: u64, data: &mut DataRef<'_>) {
+        let hl = self.op.header_len();
+        let (carry, carry_off) = match &mut self.state {
+            RxState::Searching { carry, carry_off } => (std::mem::take(carry), *carry_off),
+            _ => (Vec::new(), 0),
+        };
+
+        // Build the search window, prepending carried bytes when contiguous.
+        let contiguous = !carry.is_empty() && carry_off + carry.len() as u64 == seq;
+        let mut combined: Vec<u8>;
+        let (window_off, hit) = if contiguous {
+            if let Some(bytes) = data.as_real() {
+                combined = carry.clone();
+                combined.extend_from_slice(bytes);
+                (carry_off, self.op.search(carry_off, SearchWindow::Real(&combined)))
+            } else {
+                (seq, self.op.search(seq, window_of(data, 0)))
+            }
+        } else {
+            (seq, self.op.search(seq, window_of(data, 0)))
+        };
+        let _ = window_off;
+
+        if let Some((c, h)) = hit.filter(|(_, h)| h.total_len as usize >= hl) {
+            self.stats.resync_requests += 1;
+            self.events.push(EngineEvent::ResyncRequest { layer: 0, tcpsn: c });
+            let mut walker = TrackWalker::new(c, h, hl);
+            // Track the remainder of this packet past the candidate header.
+            let track_from = c + hl as u64;
+            let seq_end = seq + data.len() as u64;
+            let ok = if track_from >= seq_end {
+                true
+            } else if track_from >= seq {
+                walker.walk(&*self.op, &data.slice((track_from - seq) as usize, data.len()))
+            } else {
+                // Candidate header ends inside the carry region: feed the
+                // carried tail first, then the packet.
+                let carried_tail = &carry[(track_from - carry_off) as usize..];
+                let mut tmp = carried_tail.to_vec();
+                let a = walker.walk(&*self.op, &DataRef::Real(&mut tmp));
+                a && walker.walk(&*self.op, data)
+            };
+            if ok {
+                self.state = RxState::Tracking {
+                    candidate: c,
+                    walker,
+                    confirmed: None,
+                };
+            } else {
+                // Immediately invalidated (d1): back to searching.
+                self.stats.resync_failed += 1;
+                self.update_carry(seq, data, hl);
+            }
+        } else {
+            self.update_carry(seq, data, hl);
+        }
+    }
+
+    /// Remembers the last `header_len - 1` bytes for split-pattern search.
+    fn update_carry(&mut self, seq: u64, data: &DataRef<'_>, hl: usize) {
+        let (carry, carry_off) = match data.as_real() {
+            Some(bytes) => {
+                let keep = (hl - 1).min(bytes.len());
+                (
+                    bytes[bytes.len() - keep..].to_vec(),
+                    seq + (bytes.len() - keep) as u64,
+                )
+            }
+            None => (Vec::new(), seq + data.len() as u64),
+        };
+        self.state = RxState::Searching { carry, carry_off };
+    }
+
+    fn do_track(
+        &mut self,
+        candidate: u64,
+        mut walker: TrackWalker,
+        confirmed: Option<u64>,
+        seq: u64,
+        data: &mut DataRef<'_>,
+    ) {
+        let seq_end = seq + data.len() as u64;
+        let exp = walker.expected();
+        if seq_end <= exp {
+            // Duplicate of tracked data: ignore.
+            self.state = RxState::Tracking {
+                candidate,
+                walker,
+                confirmed,
+            };
+            return;
+        }
+        if seq > exp {
+            // Lost track of the stream: back to searching, scan this packet.
+            self.stats.resync_failed += 1;
+            self.enter_searching(seq);
+            self.do_search(seq, data);
+            return;
+        }
+        let start = (exp - seq) as usize;
+        let ok = walker.walk(&*self.op, &data.slice(start, data.len()));
+        if ok {
+            self.state = RxState::Tracking {
+                candidate,
+                walker,
+                confirmed,
+            };
+            self.try_resume();
+        } else {
+            // d1: unexpected pattern — back to searching.
+            self.stats.resync_failed += 1;
+            self.enter_searching(seq_end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::{self, DemoFlow};
+    use crate::msg::FrameIndex;
+
+    /// Builds a stream of demo messages and splits it into packets of
+    /// `mtu` bytes; returns (packets as (seq, bytes), full wire stream).
+    fn packets(bodies: &[usize], mtu: usize) -> (Vec<(u64, Vec<u8>)>, Vec<u8>) {
+        let mut stream = Vec::new();
+        for &b in bodies {
+            let body: Vec<u8> = (0..b).map(|i| (i % 251) as u8).collect();
+            stream.extend_from_slice(&demo::encode_msg(&body));
+        }
+        let pkts = stream
+            .chunks(mtu)
+            .enumerate()
+            .map(|(i, c)| ((i * mtu) as u64, c.to_vec()))
+            .collect();
+        (pkts, stream)
+    }
+
+    fn engine() -> RxEngine {
+        RxEngine::new(Box::new(DemoFlow::rx_functional(demo::DEFAULT_KEY)), 0, 0)
+    }
+
+    #[test]
+    fn in_sequence_fully_offloaded() {
+        let (pkts, _) = packets(&[100, 200, 50], 60);
+        let mut e = engine();
+        for (seq, mut p) in pkts {
+            let flags = e.on_packet(seq, &mut DataRef::Real(&mut p));
+            assert!(flags.tls_decrypted, "packet at {seq} offloaded");
+        }
+        let s = e.stats();
+        assert_eq!(s.pkts, s.pkts_offloaded);
+        assert_eq!(e.state_kind(), RxStateKind::Offloading);
+    }
+
+    #[test]
+    fn retransmission_bypasses_offload() {
+        let (pkts, _) = packets(&[300], 100);
+        let mut e = engine();
+        let (s0, p0) = pkts[0].clone();
+        e.on_packet(s0, &mut DataRef::Real(&mut p0.clone()));
+        // Same packet again: Fig. 8a.
+        let flags = e.on_packet(s0, &mut DataRef::Real(&mut p0.clone()));
+        assert!(!flags.tls_decrypted);
+        assert_eq!(e.stats().retransmit_bypass, 1);
+        // Stream continues offloaded.
+        let (s1, mut p1) = pkts[1].clone();
+        assert!(e.on_packet(s1, &mut DataRef::Real(&mut p1)).tls_decrypted);
+    }
+
+    #[test]
+    fn data_loss_resumes_at_known_boundary() {
+        // Fig. 8b: drop a mid-message packet; the engine re-seats at the
+        // next header (offset 205), which falls inside packet 3 [180, 240).
+        let (pkts, _) = packets(&[200, 100, 100], 60);
+        let mut e = engine();
+        let mut offloaded = Vec::new();
+        for (i, (seq, p)) in pkts.iter().enumerate() {
+            if i == 2 {
+                continue; // lost, never retransmitted (receiver-side view)
+            }
+            let flags = e.on_packet(*seq, &mut DataRef::Real(&mut p.clone()));
+            offloaded.push((i, flags.tls_decrypted));
+        }
+        assert!(e.stats().boundary_resyncs >= 1, "used Fig 8b path");
+        assert_eq!(e.stats().resync_requests, 0, "no software help needed");
+        // Everything after the re-seat boundary packet is offloaded again.
+        let last = offloaded.last().unwrap();
+        assert!(last.1, "tail packets offloaded after boundary resync");
+    }
+
+    #[test]
+    fn header_loss_triggers_speculative_search_and_confirm() {
+        // Fig. 8c: drop packets containing a message boundary the context
+        // cannot compute past, forcing search + tracking + confirmation.
+        // Wire lengths: 505, 85, 85, 85, 405, 505, 405 ->
+        // boundaries at 0, 505, 590, 675, 760, 1165, 1670; total 2075.
+        let bodies = [500usize, 80, 80, 80, 400, 500, 400];
+        let (pkts, _) = packets(&bodies, 100);
+        let boundaries = [0u64, 505, 590, 675, 760, 1165, 1670];
+        let mut e = engine();
+        let mut events = Vec::new();
+        for (i, (seq, p)) in pkts.iter().enumerate().take(13) {
+            if i == 5 || i == 6 {
+                continue; // lost, never retransmitted (receiver-side view)
+            }
+            e.on_packet(*seq, &mut DataRef::Real(&mut p.clone()));
+            events.extend(e.take_events());
+        }
+        assert!(!events.is_empty(), "engine asked software for confirmation");
+        let EngineEvent::ResyncRequest { tcpsn, layer } = events[0];
+        assert_eq!(layer, 0);
+        assert_eq!(e.state_kind(), RxStateKind::Tracking);
+
+        // Software confirms: it knows the message index at that offset.
+        let idx = boundaries.iter().position(|&b| b == tcpsn).expect("real boundary") as u64;
+        e.on_resync_response(0, tcpsn, true, idx);
+        assert_eq!(e.stats().resync_ok, 1);
+
+        // Feed the rest of the stream; offloading resumes at a boundary.
+        let mut tail_offloaded = false;
+        for (seq, p) in pkts.iter().skip(13) {
+            let flags = e.on_packet(*seq, &mut DataRef::Real(&mut p.clone()));
+            tail_offloaded |= flags.tls_decrypted;
+        }
+        assert!(tail_offloaded, "offloading resumed after confirmation");
+        assert_eq!(e.state_kind(), RxStateKind::Offloading);
+    }
+
+    #[test]
+    fn rejection_returns_to_searching() {
+        // Wire lengths 505, 405, 305: boundaries at 0, 505, 910.
+        let (pkts, _) = packets(&[500, 400, 300], 100);
+        let mut e = engine();
+        // Start mid-stream: the engine must search.
+        let mut tcpsn = None;
+        for (s, p) in pkts.iter().skip(6) {
+            e.on_packet(*s, &mut DataRef::Real(&mut p.clone()));
+            if let Some(EngineEvent::ResyncRequest { tcpsn: t, .. }) = e.take_events().first() {
+                tcpsn = Some(*t);
+                break;
+            }
+        }
+        let t = tcpsn.expect("boundary at 910 lies in packet 9");
+        assert_eq!(t, 910);
+        e.on_resync_response(0, t, false, 0);
+        assert_eq!(e.state_kind(), RxStateKind::Searching);
+        assert!(e.stats().resync_failed >= 1);
+    }
+
+    #[test]
+    fn stale_response_is_ignored() {
+        let mut e = engine();
+        e.on_resync_response(0, 1234, true, 0);
+        assert_eq!(e.state_kind(), RxStateKind::Offloading, "unchanged");
+        assert_eq!(e.stats().resync_ok, 0);
+    }
+
+    #[test]
+    fn modeled_mode_matches_functional_behaviour() {
+        let bodies = [100usize, 100, 100];
+        let (pkts, stream) = packets(&bodies, 60);
+        let fi = FrameIndex::new();
+        let mut off = 0u64;
+        for &b in &bodies {
+            let total = (demo::HDR_LEN + b + 1) as u32;
+            fi.push(off, total);
+            off += total as u64;
+        }
+        assert_eq!(off, stream.len() as u64);
+
+        let mut ef = engine();
+        let mut em = RxEngine::new(Box::new(DemoFlow::rx_modeled(fi)), 0, 0);
+        for (i, (seq, p)) in pkts.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            let ff = ef.on_packet(*seq, &mut DataRef::Real(&mut p.clone()));
+            let fm = em.on_packet(*seq, &mut DataRef::Modeled(p.len()));
+            assert_eq!(
+                ff.tls_decrypted, fm.tls_decrypted,
+                "packet {i}: functional and modeled agree"
+            );
+        }
+        assert_eq!(ef.stats().boundary_resyncs, em.stats().boundary_resyncs);
+    }
+
+    #[test]
+    fn split_magic_pattern_found_via_carry() {
+        // Put the engine in searching, then deliver a header split across
+        // two contiguous packets.
+        let mut e = engine();
+        let body = vec![9u8; 50];
+        let msg = demo::encode_msg(&body);
+        // Jump into the void so the engine searches (gap with no boundary).
+        let mut junk = vec![0u8; 40];
+        e.on_packet(1000, &mut DataRef::Real(&mut junk));
+        assert_eq!(e.state_kind(), RxStateKind::Searching);
+        //
+
+        // Deliver the message header split at byte 2 (mid-magic).
+        let base = 1040u64;
+        let mut a = msg[..2].to_vec();
+        let mut b = msg[2..].to_vec();
+        e.on_packet(base, &mut DataRef::Real(&mut a));
+        assert_eq!(e.state_kind(), RxStateKind::Searching, "half a header is not enough");
+        e.on_packet(base + 2, &mut DataRef::Real(&mut b));
+        assert_eq!(e.state_kind(), RxStateKind::Tracking, "carry found the split pattern");
+        let ev = e.take_events();
+        assert!(matches!(
+            ev.first(),
+            Some(EngineEvent::ResyncRequest { tcpsn, .. }) if *tcpsn == base
+        ));
+    }
+
+    #[test]
+    fn desync_on_garbage_enters_search() {
+        let mut e = engine();
+        let mut junk = vec![0xEEu8; 100];
+        let flags = e.on_packet(0, &mut DataRef::Real(&mut junk));
+        assert!(!flags.tls_decrypted);
+        assert_eq!(e.stats().desyncs, 1);
+        assert_eq!(e.state_kind(), RxStateKind::Searching);
+    }
+}

@@ -1,0 +1,393 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439).
+//!
+//! TLS 1.3's second mandatory cipher. The paper (§3.2) notes that
+//! ChaCha20-Poly1305, like AES-GCM, satisfies the incremental-computation
+//! precondition for autonomous offloading; this implementation demonstrates
+//! that by exposing the same streaming shape as [`crate::gcm`].
+
+use crate::AuthError;
+
+/// Poly1305 tag length.
+pub const TAG_LEN: usize = 16;
+/// ChaCha20 nonce length (RFC 8439).
+pub const NONCE_LEN: usize = 12;
+/// Key length.
+pub const KEY_LEN: usize = 32;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Produces one 64-byte ChaCha20 keystream block.
+pub fn chacha20_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+    }
+    let mut work = state;
+    for _ in 0..10 {
+        quarter_round(&mut work, 0, 4, 8, 12);
+        quarter_round(&mut work, 1, 5, 9, 13);
+        quarter_round(&mut work, 2, 6, 10, 14);
+        quarter_round(&mut work, 3, 7, 11, 15);
+        quarter_round(&mut work, 0, 5, 10, 15);
+        quarter_round(&mut work, 1, 6, 11, 12);
+        quarter_round(&mut work, 2, 7, 8, 13);
+        quarter_round(&mut work, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let v = work[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Streaming Poly1305 MAC.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u64; 5],
+    s_mul: [u64; 4], // r[1..5] * 5, for the reduction fold
+    h: [u64; 5],
+    pad: [u32; 4],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Creates a MAC from a 32-byte one-time key.
+    pub fn new(key: &[u8; 32]) -> Poly1305 {
+        let le = |i: usize| u32::from_le_bytes(key[i..i + 4].try_into().expect("4 bytes")) as u64;
+        let r = [
+            le(0) & 0x3ff_ffff,
+            (le(3) >> 2) & 0x3ff_ff03,
+            (le(6) >> 4) & 0x3ff_c0ff,
+            (le(9) >> 6) & 0x3f0_3fff,
+            (le(12) >> 8) & 0x00f_ffff,
+        ];
+        Poly1305 {
+            r,
+            s_mul: [r[1] * 5, r[2] * 5, r[3] * 5, r[4] * 5],
+            h: [0; 5],
+            pad: [
+                u32::from_le_bytes(key[16..20].try_into().expect("4 bytes")),
+                u32::from_le_bytes(key[20..24].try_into().expect("4 bytes")),
+                u32::from_le_bytes(key[24..28].try_into().expect("4 bytes")),
+                u32::from_le_bytes(key[28..32].try_into().expect("4 bytes")),
+            ],
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    fn block(&mut self, m: &[u8; 16], partial: bool) {
+        let le = |i: usize| u32::from_le_bytes(m[i..i + 4].try_into().expect("4 bytes")) as u64;
+        let hibit: u64 = if partial { 0 } else { 1 << 24 };
+        self.h[0] += le(0) & 0x3ff_ffff;
+        self.h[1] += (le(3) >> 2) & 0x3ff_ffff;
+        self.h[2] += (le(6) >> 4) & 0x3ff_ffff;
+        self.h[3] += (le(9) >> 6) & 0x3ff_ffff;
+        self.h[4] += (le(12) >> 8) | hibit;
+
+        let [h0, h1, h2, h3, h4] = self.h;
+        let [r0, r1, r2, r3, r4] = self.r;
+        let [s1, s2, s3, s4] = self.s_mul;
+        let d0 = (h0 as u128) * r0 as u128
+            + (h1 as u128) * s4 as u128
+            + (h2 as u128) * s3 as u128
+            + (h3 as u128) * s2 as u128
+            + (h4 as u128) * s1 as u128;
+        let mut d1 = (h0 as u128) * r1 as u128
+            + (h1 as u128) * r0 as u128
+            + (h2 as u128) * s4 as u128
+            + (h3 as u128) * s3 as u128
+            + (h4 as u128) * s2 as u128;
+        let mut d2 = (h0 as u128) * r2 as u128
+            + (h1 as u128) * r1 as u128
+            + (h2 as u128) * r0 as u128
+            + (h3 as u128) * s4 as u128
+            + (h4 as u128) * s3 as u128;
+        let mut d3 = (h0 as u128) * r3 as u128
+            + (h1 as u128) * r2 as u128
+            + (h2 as u128) * r1 as u128
+            + (h3 as u128) * r0 as u128
+            + (h4 as u128) * s4 as u128;
+        let mut d4 = (h0 as u128) * r4 as u128
+            + (h1 as u128) * r3 as u128
+            + (h2 as u128) * r2 as u128
+            + (h3 as u128) * r1 as u128
+            + (h4 as u128) * r0 as u128;
+
+        const M: u128 = 0x3ff_ffff;
+        let mut c = d0 >> 26;
+        let h0 = (d0 & M) as u64;
+        d1 += c;
+        c = d1 >> 26;
+        let h1 = (d1 & M) as u64;
+        d2 += c;
+        c = d2 >> 26;
+        let h2 = (d2 & M) as u64;
+        d3 += c;
+        c = d3 >> 26;
+        let h3 = (d3 & M) as u64;
+        d4 += c;
+        c = d4 >> 26;
+        let h4 = (d4 & M) as u64;
+        let mut h0 = h0 + (c as u64) * 5;
+        let c2 = h0 >> 26;
+        h0 &= 0x3ff_ffff;
+        let h1 = h1 + c2;
+        self.h = [h0, h1, h2, h3, h4];
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let b = self.buf;
+                self.block(&b, false);
+                self.buf_len = 0;
+            }
+            if data.is_empty() {
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(16);
+        for c in &mut chunks {
+            self.block(c.try_into().expect("16 bytes"), false);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Produces the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            let mut b = [0u8; 16];
+            b[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            b[self.buf_len] = 1;
+            self.block(&b, true);
+        }
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+        // Full carry.
+        let mut c = h1 >> 26;
+        h1 &= 0x3ff_ffff;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= 0x3ff_ffff;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= 0x3ff_ffff;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= 0x3ff_ffff;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= 0x3ff_ffff;
+        h1 += c;
+
+        // Compare to p = 2^130 - 5 by computing h + 5 - 2^130.
+        let mut g0 = h0 + 5;
+        c = g0 >> 26;
+        g0 &= 0x3ff_ffff;
+        let mut g1 = h1 + c;
+        c = g1 >> 26;
+        g1 &= 0x3ff_ffff;
+        let mut g2 = h2 + c;
+        c = g2 >> 26;
+        g2 &= 0x3ff_ffff;
+        let mut g3 = h3 + c;
+        c = g3 >> 26;
+        g3 &= 0x3ff_ffff;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        let take_g = (g4 >> 63) == 0; // no borrow => h >= p, use g
+        let (f0, f1, f2, f3, f4) = if take_g {
+            (g0, g1, g2, g3, g4 & 0x3ff_ffff)
+        } else {
+            (h0, h1, h2, h3, h4)
+        };
+
+        // h mod 2^128, little-endian words.
+        let w0 = (f0 | (f1 << 26)) as u32;
+        let w1 = ((f1 >> 6) | (f2 << 20)) as u32;
+        let w2 = ((f2 >> 12) | (f3 << 14)) as u32;
+        let w3 = ((f3 >> 18) | (f4 << 8)) as u32;
+
+        // Add s with carry.
+        let mut out = [0u8; TAG_LEN];
+        let mut carry: u64 = 0;
+        for (i, (w, p)) in [w0, w1, w2, w3].iter().zip(self.pad.iter()).enumerate() {
+            let sum = *w as u64 + *p as u64 + carry;
+            out[4 * i..4 * i + 4].copy_from_slice(&(sum as u32).to_le_bytes());
+            carry = sum >> 32;
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Poly1305 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poly1305").field("buffered", &self.buf_len).finish()
+    }
+}
+
+fn aead_mac(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    ciphertext: &[u8],
+) -> [u8; TAG_LEN] {
+    let block0 = chacha20_block(key, 0, nonce);
+    let poly_key: [u8; 32] = block0[..32].try_into().expect("32 bytes");
+    let mut mac = Poly1305::new(&poly_key);
+    mac.update(aad);
+    if aad.len() % 16 != 0 {
+        mac.update(&vec![0u8; 16 - aad.len() % 16]);
+    }
+    mac.update(ciphertext);
+    if ciphertext.len() % 16 != 0 {
+        mac.update(&vec![0u8; 16 - ciphertext.len() % 16]);
+    }
+    let mut lens = [0u8; 16];
+    lens[..8].copy_from_slice(&(aad.len() as u64).to_le_bytes());
+    lens[8..].copy_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+    mac.update(&lens);
+    mac.finalize()
+}
+
+fn xor_keystream(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(64).enumerate() {
+        let ks = chacha20_block(key, 1 + i as u32, nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// One-shot ChaCha20-Poly1305 encryption in place; returns the tag.
+pub fn seal(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], aad: &[u8], data: &mut [u8]) -> [u8; TAG_LEN] {
+    xor_keystream(key, nonce, data);
+    aead_mac(key, nonce, aad, data)
+}
+
+/// One-shot decryption in place with tag verification.
+///
+/// # Errors
+///
+/// Returns [`AuthError`] on mismatch; the buffer must then be discarded.
+pub fn open(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    data: &mut [u8],
+    tag: &[u8; TAG_LEN],
+) -> Result<(), AuthError> {
+    let computed = aead_mac(key, nonce, aad, data);
+    let diff = computed.iter().zip(tag).fold(0u8, |a, (x, y)| a | (x ^ y));
+    xor_keystream(key, nonce, data);
+    if diff == 0 {
+        Ok(())
+    } else {
+        Err(AuthError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::{from_hex, to_hex};
+
+    /// RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn chacha_block_vector() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = from_hex("000000090000004a00000000").try_into().unwrap();
+        let out = chacha20_block(&key, 1, &nonce);
+        assert_eq!(
+            to_hex(&out[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+        );
+        assert_eq!(to_hex(&out[48..64]), "b5129cd1de164eb9cbd083e8a2503c4e");
+    }
+
+    /// RFC 8439 §2.5.2 Poly1305 test vector.
+    #[test]
+    fn poly1305_vector() {
+        let key: [u8; 32] = from_hex(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .try_into()
+        .unwrap();
+        let mut m = Poly1305::new(&key);
+        m.update(b"Cryptographic Forum Research Group");
+        assert_eq!(to_hex(&m.finalize()), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    /// RFC 8439 §2.8.2 AEAD test vector.
+    #[test]
+    fn aead_vector() {
+        let key: [u8; 32] = from_hex(
+            "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
+        )
+        .try_into()
+        .unwrap();
+        let nonce: [u8; 12] = from_hex("070000004041424344454647").try_into().unwrap();
+        let aad = from_hex("50515253c0c1c2c3c4c5c6c7");
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        let tag = seal(&key, &nonce, &aad, &mut data);
+        assert_eq!(to_hex(&data[..16]), "d31a8d34648e60db7b86afbc53ef7ec2");
+        assert_eq!(to_hex(&tag), "1ae10b594f09e26a7e902ecbd0600691");
+    }
+
+    #[test]
+    fn roundtrip_and_reject() {
+        let key = [0x42u8; 32];
+        let nonce = [7u8; 12];
+        let msg = b"autonomous offloads".to_vec();
+        let mut data = msg.clone();
+        let tag = seal(&key, &nonce, b"hdr", &mut data);
+        let mut rt = data.clone();
+        open(&key, &nonce, b"hdr", &mut rt, &tag).expect("auth ok");
+        assert_eq!(rt, msg);
+        let mut bad = data.clone();
+        bad[0] ^= 1;
+        assert!(open(&key, &nonce, b"hdr", &mut bad, &tag).is_err());
+    }
+
+    #[test]
+    fn poly_split_updates_match() {
+        let key = [9u8; 32];
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut one = Poly1305::new(&key);
+        one.update(&data);
+        let whole = one.finalize();
+        for split in [1usize, 15, 16, 17, 99] {
+            let mut m = Poly1305::new(&key);
+            m.update(&data[..split]);
+            m.update(&data[split..]);
+            assert_eq!(m.finalize(), whole, "split {split}");
+        }
+    }
+}

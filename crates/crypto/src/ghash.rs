@@ -1,0 +1,234 @@
+//! GHASH universal hash over GF(2^128), as specified for GCM
+//! (NIST SP 800-38D).
+//!
+//! The accumulator plus a partial-block buffer is the *entire* mutable state,
+//! which is what makes GCM "incrementally computable over any byte range of a
+//! message given only constant-size state" — the §3.2 precondition for
+//! autonomous offloading.
+
+/// Multiplies two elements of GF(2^128) in the GCM bit order.
+///
+/// Bit 0 of the polynomial is the most-significant bit of the first byte, and
+/// the field is reduced by `x^128 + x^7 + x^2 + x + 1` (the `0xE1` constant
+/// below is that polynomial's low bits reflected into GCM's ordering).
+pub fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xE1u128 << 120;
+    let mut z = 0u128;
+    let mut v = x;
+    for i in 0..128 {
+        if (y >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+/// Converts a 16-byte block to the u128 big-endian polynomial representation.
+#[inline]
+pub fn block_to_u128(b: &[u8; 16]) -> u128 {
+    u128::from_be_bytes(*b)
+}
+
+/// Converts back to bytes.
+#[inline]
+pub fn u128_to_block(v: u128) -> [u8; 16] {
+    v.to_be_bytes()
+}
+
+/// Streaming GHASH with an internal partial-block buffer.
+///
+/// # Examples
+///
+/// ```
+/// use ano_crypto::ghash::Ghash;
+/// let h = 0x66e94bd4ef8a2c3b884cfa59ca342b2eu128;
+/// let mut a = Ghash::new(h);
+/// a.update(b"hello world, this is ghash input");
+/// let mut b = Ghash::new(h);
+/// b.update(b"hello world, ");
+/// b.update(b"this is ghash input");
+/// assert_eq!(a.clone().finalize(), b.clone().finalize());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ghash {
+    h: u128,
+    acc: u128,
+    pending: [u8; 16],
+    pending_len: usize,
+}
+
+impl Ghash {
+    /// Creates a GHASH instance keyed by `h` (the encrypted all-zero block).
+    pub fn new(h: u128) -> Ghash {
+        Ghash {
+            h,
+            acc: 0,
+            pending: [0; 16],
+            pending_len: 0,
+        }
+    }
+
+    /// Absorbs bytes; block boundaries may fall anywhere.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.pending_len > 0 {
+            let take = (16 - self.pending_len).min(data.len());
+            self.pending[self.pending_len..self.pending_len + take].copy_from_slice(&data[..take]);
+            self.pending_len += take;
+            data = &data[take..];
+            if self.pending_len == 16 {
+                let block = self.pending;
+                self.absorb_block(&block);
+                self.pending_len = 0;
+            }
+            if data.is_empty() {
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(16);
+        for c in &mut chunks {
+            let block: &[u8; 16] = c.try_into().expect("exact chunk");
+            self.absorb_block(block);
+        }
+        let rem = chunks.remainder();
+        self.pending[..rem.len()].copy_from_slice(rem);
+        self.pending_len = rem.len();
+    }
+
+    /// Pads any partial block with zeros and absorbs it (GCM does this
+    /// between the AAD and ciphertext sections and before the length block).
+    pub fn pad_block(&mut self) {
+        if self.pending_len > 0 {
+            for b in &mut self.pending[self.pending_len..] {
+                *b = 0;
+            }
+            let block = self.pending;
+            self.absorb_block(&block);
+            self.pending_len = 0;
+        }
+    }
+
+    fn absorb_block(&mut self, block: &[u8; 16]) {
+        self.acc = gf_mul(self.acc ^ block_to_u128(block), self.h);
+    }
+
+    /// Pads, then returns the accumulator.
+    pub fn finalize(mut self) -> u128 {
+        self.pad_block();
+        self.acc
+    }
+
+    /// Snapshot of `(acc, pending, pending_len)` — the constant-size dynamic
+    /// state an offload context must retain.
+    pub fn export(&self) -> GhashState {
+        GhashState {
+            acc: self.acc,
+            pending: self.pending,
+            pending_len: self.pending_len as u8,
+        }
+    }
+
+    /// Rebuilds a GHASH mid-stream from an exported state.
+    pub fn resume(h: u128, st: &GhashState) -> Ghash {
+        Ghash {
+            h,
+            acc: st.acc,
+            pending: st.pending,
+            pending_len: st.pending_len as usize,
+        }
+    }
+}
+
+/// Exported GHASH state (33 bytes of information).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GhashState {
+    /// The accumulator polynomial.
+    pub acc: u128,
+    /// Bytes of an incomplete block.
+    pub pending: [u8; 16],
+    /// How many bytes of `pending` are valid.
+    pub pending_len: u8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::from_hex;
+
+    #[test]
+    fn gf_mul_identity_and_zero() {
+        // The multiplicative identity in GCM's representation is 0x80...0
+        // (the polynomial "1" with bit 0 in the MSB position).
+        let one = 1u128 << 127;
+        let x = 0x0123456789abcdef0123456789abcdefu128;
+        assert_eq!(gf_mul(x, one), x);
+        assert_eq!(gf_mul(x, 0), 0);
+        assert_eq!(gf_mul(0, x), 0);
+    }
+
+    #[test]
+    fn gf_mul_commutes() {
+        let a = 0xdeadbeefdeadbeefdeadbeefdeadbeefu128;
+        let b = 0x0102030405060708090a0b0c0d0e0f10u128;
+        assert_eq!(gf_mul(a, b), gf_mul(b, a));
+    }
+
+    #[test]
+    fn ghash_matches_nist_case_2() {
+        // NIST GCM test case 2: H = 66e94bd4ef8a2c3b884cfa59ca342b2e,
+        // C = 0388dace60b6a392f328c2b971b2fe78, len block = 0^64 || 0x80 (128 bits).
+        let h = block_to_u128(
+            &from_hex("66e94bd4ef8a2c3b884cfa59ca342b2e").try_into().unwrap(),
+        );
+        let mut g = Ghash::new(h);
+        g.update(&from_hex("0388dace60b6a392f328c2b971b2fe78"));
+        let mut len_block = [0u8; 16];
+        len_block[8..16].copy_from_slice(&(128u64).to_be_bytes());
+        g.update(&len_block);
+        let out = u128_to_block(g.finalize());
+        assert_eq!(out.to_vec(), from_hex("f38cbb1ad69223dcc3457ae5b6b0f885"));
+    }
+
+    #[test]
+    fn split_updates_equal_one_shot() {
+        let h = 0x5e2ec746917062882c85b0685353deb7u128;
+        let data: Vec<u8> = (0..200u16).map(|i| (i * 7) as u8).collect();
+        let mut one = Ghash::new(h);
+        one.update(&data);
+        for split in [1usize, 15, 16, 17, 31, 100, 199] {
+            let mut two = Ghash::new(h);
+            two.update(&data[..split]);
+            two.update(&data[split..]);
+            assert_eq!(one.clone().finalize(), two.finalize(), "split {split}");
+        }
+    }
+
+    #[test]
+    fn export_resume_mid_stream() {
+        let h = 0xabcdefabcdefabcdefabcdefabcdefabu128;
+        let data: Vec<u8> = (0..77u8).collect();
+        let mut full = Ghash::new(h);
+        full.update(&data);
+
+        let mut part = Ghash::new(h);
+        part.update(&data[..33]);
+        let st = part.export();
+        let mut resumed = Ghash::resume(h, &st);
+        resumed.update(&data[33..]);
+        assert_eq!(full.finalize(), resumed.finalize());
+    }
+
+    #[test]
+    fn pad_block_is_idempotent_on_boundary() {
+        let h = 0x1u128 << 127;
+        let mut g = Ghash::new(h);
+        g.update(&[0xAAu8; 32]);
+        let before = g.clone().finalize();
+        g.pad_block();
+        assert_eq!(g.finalize(), before);
+    }
+}

@@ -1,0 +1,60 @@
+//! Minimal hex helpers for test vectors and diagnostics.
+
+/// Decodes a hex string into bytes.
+///
+/// # Panics
+///
+/// Panics on odd length or non-hex characters (intended for literals).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ano_crypto::hex::from_hex("0aff"), vec![0x0a, 0xff]);
+/// ```
+pub fn from_hex(s: &str) -> Vec<u8> {
+    assert!(s.len() % 2 == 0, "hex string must have even length");
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("invalid hex digit"))
+        .collect()
+}
+
+/// Encodes bytes as lowercase hex.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ano_crypto::hex::to_hex(&[0x0a, 0xff]), "0aff");
+/// ```
+pub fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = vec![0x00, 0x01, 0xde, 0xad, 0xbe, 0xef];
+        assert_eq!(from_hex(&to_hex(&v)), v);
+    }
+
+    #[test]
+    fn empty_is_ok() {
+        assert_eq!(from_hex(""), Vec::<u8>::new());
+        assert_eq!(to_hex(&[]), "");
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_length_panics() {
+        from_hex("abc");
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_hex_panics() {
+        from_hex("zz");
+    }
+}

@@ -1,0 +1,137 @@
+//! HMAC (RFC 2104), generic over any [`Digest`].
+
+use crate::sha::Digest;
+
+/// Streaming HMAC keyed message authentication.
+///
+/// # Examples
+///
+/// ```
+/// use ano_crypto::hmac::Hmac;
+/// use ano_crypto::sha::Sha256;
+/// use ano_crypto::hex::to_hex;
+///
+/// let mut m = Hmac::<Sha256>::new(b"key");
+/// m.update(b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(
+///     to_hex(&m.finalize()),
+///     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    opad_key: Vec<u8>,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Creates an HMAC with the given key (any length).
+    pub fn new(key: &[u8]) -> Hmac<D> {
+        let mut key_block = vec![0u8; D::BLOCK_LEN];
+        if key.len() > D::BLOCK_LEN {
+            let hashed = D::digest(key);
+            key_block[..hashed.len()].copy_from_slice(&hashed);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+        let mut inner = D::new();
+        inner.update(&ipad);
+        Hmac {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the MAC.
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_hash = self.inner.finalize();
+        let mut outer = D::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_hash);
+        outer.finalize()
+    }
+
+    /// One-shot MAC.
+    pub fn mac(key: &[u8], data: &[u8]) -> Vec<u8> {
+        let mut m = Hmac::<D>::new(key);
+        m.update(data);
+        m.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::{from_hex, to_hex};
+    use crate::sha::{Sha1, Sha256};
+
+    /// RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let out = Hmac::<Sha256>::mac(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&out),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let out = Hmac::<Sha256>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&out),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 4231 test case 3 (0xaa key, 0xdd data).
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let out = Hmac::<Sha256>::mac(&key, &data);
+        assert_eq!(
+            to_hex(&out),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// Long key forces the hash-the-key path (RFC 4231 case 6).
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let out = Hmac::<Sha256>::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            to_hex(&out),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    /// RFC 2202 test case 1 for HMAC-SHA1.
+    #[test]
+    fn rfc2202_sha1_case1() {
+        let key = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+        let out = Hmac::<Sha1>::mac(&key, b"Hi There");
+        assert_eq!(to_hex(&out), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let key = b"some key";
+        let data: Vec<u8> = (0..300u16).map(|i| i as u8).collect();
+        let whole = Hmac::<Sha256>::mac(key, &data);
+        let mut m = Hmac::<Sha256>::new(key);
+        m.update(&data[..123]);
+        m.update(&data[123..]);
+        assert_eq!(m.finalize(), whole);
+    }
+}

@@ -1,0 +1,544 @@
+//! The NVMe-TCP host (initiator): submits I/O capsules, registers
+//! request-response state with the NIC, and consumes response streams with
+//! offload-aware fallbacks (§5.1).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use ano_core::flow::TxMsgRef;
+use ano_core::msg::FrameIndex;
+use ano_crypto::crc32c::crc32c;
+use ano_sim::cost::CostModel;
+use ano_sim::payload::{DataMode, Payload};
+
+use crate::offload::{meta_cmd_pdu, RrBuffer, RrEntry, RrMap};
+use crate::parser::{ParsedPdu, PduParser, StreamChunk};
+use crate::pdu::{encode_capsule_cmd, IoOpcode, PduType, CH_LEN, DDGST_LEN, SQE_LEN};
+
+/// Host configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NvmeHostConfig {
+    /// Payload fidelity.
+    pub mode: DataMode,
+    /// Rely on the NIC copy offload (skip the memcpy when bytes were placed).
+    pub copy_offload: bool,
+    /// Rely on the NIC CRC offload (skip software digest verification).
+    pub crc_offload: bool,
+}
+
+/// A finished I/O.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// Caller's request id.
+    pub id: u64,
+    /// Opcode.
+    pub op: IoOpcode,
+    /// Success (digest verified, status 0).
+    pub ok: bool,
+    /// Bytes the NIC placed directly (copy skipped).
+    pub placed_bytes: u64,
+    /// Bytes copied in software.
+    pub copied_bytes: u64,
+    /// The destination buffer (reads, functional mode).
+    pub buffer: Option<RrBuffer>,
+}
+
+#[derive(Debug)]
+struct Inflight {
+    id: u64,
+    op: IoOpcode,
+    len: u32,
+    buf: Option<RrBuffer>,
+    failed: bool,
+    placed_bytes: u64,
+    copied_bytes: u64,
+}
+
+/// Host-side counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NvmeHostStats {
+    /// Reads submitted.
+    pub reads: u64,
+    /// Writes submitted.
+    pub writes: u64,
+    /// Completions received.
+    pub completions: u64,
+    /// Data bytes placed by the NIC (copy skipped).
+    pub bytes_placed: u64,
+    /// Data bytes copied by software.
+    pub bytes_copied: u64,
+    /// Data PDUs whose digest was verified in software.
+    pub crc_software: u64,
+    /// Data PDUs whose digest check was skipped (NIC verified).
+    pub crc_skipped: u64,
+    /// Digest failures.
+    pub crc_failures: u64,
+}
+
+/// The initiator endpoint for one NVMe-TCP queue (one TCP connection).
+pub struct NvmeTcpHost {
+    cfg: NvmeHostConfig,
+    rr: RrMap,
+    parser: PduParser,
+    next_cid: u16,
+    inflight: HashMap<u16, Inflight>,
+    tx_off: u64,
+    tx_frames: FrameIndex,
+    tx_msgs: VecDeque<TxMsgRef>,
+    completions: Vec<Completion>,
+    /// Working-set hint for the copy cost model (Fig. 10's LLC cliff).
+    pub working_set: u64,
+    stats: NvmeHostStats,
+}
+
+impl std::fmt::Debug for NvmeTcpHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NvmeTcpHost")
+            .field("inflight", &self.inflight.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl NvmeTcpHost {
+    /// Creates a host endpoint. `rr` must be the map shared with the NIC's
+    /// receive flow; `parser` must be built over the *target's* frame index
+    /// in modeled mode.
+    pub fn new(cfg: NvmeHostConfig, rr: RrMap, parser: PduParser) -> NvmeTcpHost {
+        NvmeTcpHost::with_frames(cfg, rr, parser, FrameIndex::new())
+    }
+
+    /// Like [`NvmeTcpHost::new`] with a caller-provided transmit frame index.
+    pub fn with_frames(
+        cfg: NvmeHostConfig,
+        rr: RrMap,
+        parser: PduParser,
+        tx_frames: FrameIndex,
+    ) -> NvmeTcpHost {
+        NvmeTcpHost {
+            cfg,
+            rr,
+            parser,
+            next_cid: 0,
+            inflight: HashMap::new(),
+            tx_off: 0,
+            tx_frames,
+            tx_msgs: VecDeque::new(),
+            completions: Vec::new(),
+            working_set: 0,
+            stats: NvmeHostStats::default(),
+        }
+    }
+
+    /// The RR-state map (shared with the NIC).
+    pub fn rr(&self) -> RrMap {
+        self.rr.clone()
+    }
+
+    /// The host's transmit frame index (for a modeled-mode NIC tx engine
+    /// or the peer's modeled-mode parser).
+    pub fn tx_frames(&self) -> FrameIndex {
+        self.tx_frames.clone()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> NvmeHostStats {
+        self.stats
+    }
+
+    /// In-flight request count.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Access to the parser (resync request/response plumbing).
+    pub fn parser_mut(&mut self) -> &mut PduParser {
+        &mut self.parser
+    }
+
+    fn alloc_cid(&mut self) -> u16 {
+        loop {
+            let cid = self.next_cid;
+            self.next_cid = self.next_cid.wrapping_add(1);
+            if !self.inflight.contains_key(&cid) {
+                return cid;
+            }
+        }
+    }
+
+    /// Submits a read of `len` bytes at device offset `offset`. Returns the
+    /// wire bytes to hand to TCP and the CPU cycles consumed.
+    pub fn submit_read(&mut self, id: u64, offset: u64, len: u32, cost: &CostModel) -> (Payload, u64) {
+        let cid = self.alloc_cid();
+        self.stats.reads += 1;
+        // l5o_add_rr_state: register the destination buffer before sending.
+        let buf: Option<RrBuffer> = match self.cfg.mode {
+            DataMode::Functional => Some(Rc::new(RefCell::new(vec![0u8; len as usize]))),
+            DataMode::Modeled => None,
+        };
+        if self.cfg.copy_offload {
+            self.rr.add(
+                cid,
+                RrEntry {
+                    buf: buf.clone(),
+                    len,
+                },
+            );
+        }
+        self.inflight.insert(
+            cid,
+            Inflight {
+                id,
+                op: IoOpcode::Read,
+                len,
+                buf,
+                failed: false,
+                placed_bytes: 0,
+                copied_bytes: 0,
+            },
+        );
+        let wire = self.emit_cmd(cid, IoOpcode::Read, offset, len, None);
+        (wire, cost.syscall)
+    }
+
+    /// Submits a write of `data` at device offset `offset`.
+    pub fn submit_write(&mut self, id: u64, offset: u64, data: &Payload, cost: &CostModel) -> (Payload, u64) {
+        let cid = self.alloc_cid();
+        self.stats.writes += 1;
+        let len = data.len() as u32;
+        self.inflight.insert(
+            cid,
+            Inflight {
+                id,
+                op: IoOpcode::Write,
+                len,
+                buf: None,
+                failed: false,
+                placed_bytes: 0,
+                copied_bytes: 0,
+            },
+        );
+        let mut cycles = cost.syscall;
+        if !self.cfg.crc_offload {
+            cycles += cost.crc_cycles(len as usize);
+        }
+        let wire = match self.cfg.mode {
+            DataMode::Functional => {
+                let bytes = data.as_real().expect("functional mode requires real bytes");
+                let mut w = encode_capsule_cmd(cid, IoOpcode::Write, offset, len, Some(bytes));
+                if self.cfg.crc_offload {
+                    // Dummy digest: the NIC tx offload fills it (§5.1).
+                    let n = w.len();
+                    w[n - DDGST_LEN..].copy_from_slice(&[0; DDGST_LEN]);
+                }
+                let wire = Payload::real(w);
+                self.push_tx_frame(cid, IoOpcode::Write, offset, len, len, wire.len() as u32);
+                wire
+            }
+            DataMode::Modeled => {
+                let total = (CH_LEN + SQE_LEN) as u32 + len + DDGST_LEN as u32;
+                self.push_tx_frame(cid, IoOpcode::Write, offset, len, len, total);
+                Payload::synthetic(total as usize)
+            }
+        };
+        (wire, cycles)
+    }
+
+    fn emit_cmd(&mut self, cid: u16, op: IoOpcode, offset: u64, len: u32, data: Option<&[u8]>) -> Payload {
+        match self.cfg.mode {
+            DataMode::Functional => {
+                let w = encode_capsule_cmd(cid, op, offset, len, data);
+                let wire = Payload::real(w);
+                self.push_tx_frame(cid, op, offset, len, 0, wire.len() as u32);
+                wire
+            }
+            DataMode::Modeled => {
+                let total = (CH_LEN + SQE_LEN) as u32;
+                self.push_tx_frame(cid, op, offset, len, 0, total);
+                Payload::synthetic(total as usize)
+            }
+        }
+    }
+
+    fn push_tx_frame(&mut self, cid: u16, op: IoOpcode, offset: u64, len: u32, inline: u32, total: u32) {
+        let idx = self.tx_frames.push_full(
+            self.tx_off,
+            total,
+            0,
+            Some(meta_cmd_pdu(cid, op as u8, offset, len, inline)),
+        );
+        self.tx_msgs.push_back(TxMsgRef {
+            msg_start: self.tx_off,
+            msg_index: idx,
+        });
+        self.tx_off += total as u64;
+    }
+
+    /// `l5o_get_tx_msgstate` for the host's capsule stream.
+    pub fn record_at(&self, off: u64) -> Option<TxMsgRef> {
+        if off >= self.tx_off {
+            return None;
+        }
+        let i = self.tx_msgs.partition_point(|r| r.msg_start <= off);
+        if i == 0 {
+            None
+        } else {
+            Some(self.tx_msgs[i - 1])
+        }
+    }
+
+    /// Releases acknowledged capsule state.
+    pub fn release_below(&mut self, acked: u64) {
+        while self.tx_msgs.len() > 1 && self.tx_msgs[1].msg_start <= acked {
+            self.tx_msgs.pop_front();
+        }
+        self.tx_frames.prune_below(acked);
+    }
+
+    /// Consumes in-order response-stream chunks; returns CPU cycles.
+    pub fn on_chunks<I>(&mut self, chunks: I, cost: &CostModel) -> u64
+    where
+        I: IntoIterator<Item = StreamChunk>,
+    {
+        let mut cycles = 0u64;
+        for c in chunks {
+            for pdu in self.parser.on_chunk(c) {
+                cycles += self.on_pdu(pdu, cost);
+            }
+        }
+        cycles
+    }
+
+    /// Drains completed requests.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn on_pdu(&mut self, pdu: ParsedPdu, cost: &CostModel) -> u64 {
+        let mut cycles = 0u64;
+        match pdu.kind {
+            PduType::C2HData => {
+                let Some(cid) = pdu.cid() else {
+                    return 0;
+                };
+                let Some(req) = self.inflight.get_mut(&cid) else {
+                    return 0;
+                };
+                let dlen = pdu.data_len();
+                // Copy: skipped when every byte was placed by the NIC
+                // ("the relevant memcpy source and destination addresses
+                // turn out to be equal", §5.1).
+                let placed = self.cfg.copy_offload && pdu.all_placed;
+                if placed {
+                    req.placed_bytes += dlen as u64;
+                    self.stats.bytes_placed += dlen as u64;
+                } else {
+                    cycles += cost.copy_cycles(dlen, self.working_set);
+                    req.copied_bytes += dlen as u64;
+                    self.stats.bytes_copied += dlen as u64;
+                    if let (Some(buf), Some(bytes)) =
+                        (&req.buf, pdu.data_bytes().as_real())
+                    {
+                        let datao = pdu.ext.map(|e| e.datao).unwrap_or(0) as usize;
+                        let mut b = buf.borrow_mut();
+                        if datao + bytes.len() <= b.len() {
+                            b[datao..datao + bytes.len()].copy_from_slice(bytes);
+                        } else {
+                            req.failed = true;
+                        }
+                    }
+                }
+                // Digest: skipped when the NIC verified every packet.
+                if self.cfg.crc_offload && pdu.all_crc_ok {
+                    self.stats.crc_skipped += 1;
+                } else {
+                    cycles += cost.crc_cycles(dlen);
+                    self.stats.crc_software += 1;
+                    if let (Some(wire_dg), Some(bytes)) = (pdu.ddgst, pdu.data_bytes().as_real()) {
+                        // NOTE: placed bytes were delivered decrypted/placed;
+                        // the wire digest covers the original data, which for
+                        // NVMe (no transformation) is the same bytes.
+                        if crc32c(bytes) != wire_dg {
+                            req.failed = true;
+                            self.stats.crc_failures += 1;
+                        }
+                    }
+                }
+            }
+            PduType::CapsuleResp => {
+                let Some(cid) = cid_of_resp(&pdu) else {
+                    return 0;
+                };
+                let Some(req) = self.inflight.remove(&cid) else {
+                    return 0;
+                };
+                cycles += cost.per_req_nvme;
+                self.rr.del(cid); // l5o_del_rr_state
+                self.stats.completions += 1;
+                self.completions.push(Completion {
+                    id: req.id,
+                    op: req.op,
+                    ok: !req.failed,
+                    placed_bytes: req.placed_bytes,
+                    copied_bytes: req.copied_bytes,
+                    buffer: req.buf,
+                });
+                let _ = req.len;
+            }
+            _ => {}
+        }
+        cycles
+    }
+}
+
+/// Extracts the CID from a response capsule in either mode.
+fn cid_of_resp(pdu: &ParsedPdu) -> Option<u16> {
+    pdu.cid()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offload::NvmeMode;
+    use crate::pdu::{encode_capsule_resp, encode_data_pdu};
+    use ano_tcp::segment::SkbFlags;
+
+    fn cost() -> CostModel {
+        CostModel::calibrated()
+    }
+
+    fn host(copy: bool, crc: bool) -> NvmeTcpHost {
+        NvmeTcpHost::new(
+            NvmeHostConfig {
+                mode: DataMode::Functional,
+                copy_offload: copy,
+                crc_offload: crc,
+            },
+            RrMap::new(),
+            PduParser::new(NvmeMode::Functional),
+        )
+    }
+
+    fn deliver(h: &mut NvmeTcpHost, stream: &[u8], flags: SkbFlags, c: &CostModel) -> u64 {
+        let mut cycles = 0;
+        let mut off = 0u64;
+        for ch in stream.chunks(1448) {
+            cycles += h.on_chunks(
+                [StreamChunk {
+                    offset: off,
+                    payload: Payload::real(ch.to_vec()),
+                    flags,
+                }],
+                c,
+            );
+            off += ch.len() as u64;
+        }
+        cycles
+    }
+
+    #[test]
+    fn read_completes_with_software_copy_and_crc() {
+        let c = cost();
+        let mut h = host(false, false);
+        let (_wire, _) = h.submit_read(1, 0, 4096, &c);
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let stream = [
+            encode_data_pdu(PduType::C2HData, 0, 0, &data, false),
+            encode_capsule_resp(0, 0),
+        ]
+        .concat();
+        let cycles = deliver(&mut h, &stream, SkbFlags::default(), &c);
+        let comps = h.take_completions();
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].ok);
+        assert_eq!(comps[0].copied_bytes, 4096);
+        assert_eq!(comps[0].placed_bytes, 0);
+        let buf = comps[0].buffer.as_ref().expect("functional buffer");
+        assert_eq!(&buf.borrow()[..], &data[..]);
+        assert!(cycles >= c.crc_cycles(4096) + c.copy_cycles(4096, 0));
+        assert_eq!(h.stats().crc_software, 1);
+    }
+
+    #[test]
+    fn offloaded_read_skips_copy_and_crc() {
+        let c = cost();
+        let mut h = host(true, true);
+        let (_wire, _) = h.submit_read(2, 0, 2048, &c);
+        // The NIC placed the bytes already (simulate by writing the buffer).
+        let data = vec![0x5Au8; 2048];
+        {
+            let entry = h.rr().get(0).expect("registered");
+            entry.buf.as_ref().unwrap().borrow_mut().copy_from_slice(&data);
+        }
+        let stream = [
+            encode_data_pdu(PduType::C2HData, 0, 0, &data, false),
+            encode_capsule_resp(0, 0),
+        ]
+        .concat();
+        let flags = SkbFlags {
+            nvme_crc_ok: true,
+            nvme_placed: true,
+            ..Default::default()
+        };
+        let cycles = deliver(&mut h, &stream, flags, &c);
+        let comps = h.take_completions();
+        assert!(comps[0].ok);
+        assert_eq!(comps[0].placed_bytes, 2048);
+        assert_eq!(comps[0].copied_bytes, 0);
+        assert_eq!(&comps[0].buffer.as_ref().unwrap().borrow()[..], &data[..]);
+        assert_eq!(
+            cycles,
+            c.syscall * 0 + c.per_req_nvme,
+            "only completion-path cycles remain"
+        );
+        assert!(h.rr().is_empty(), "l5o_del_rr_state after response");
+    }
+
+    #[test]
+    fn crc_failure_fails_request() {
+        let c = cost();
+        let mut h = host(false, false);
+        h.submit_read(3, 0, 100, &c);
+        let data = vec![1u8; 100];
+        let mut pdu = encode_data_pdu(PduType::C2HData, 0, 0, &data, false);
+        let n = pdu.len();
+        pdu[n - 2] ^= 0xFF; // corrupt digest
+        let stream = [pdu, encode_capsule_resp(0, 0)].concat();
+        deliver(&mut h, &stream, SkbFlags::default(), &c);
+        let comps = h.take_completions();
+        assert!(!comps[0].ok);
+        assert_eq!(h.stats().crc_failures, 1);
+    }
+
+    #[test]
+    fn write_capsule_carries_dummy_digest_under_offload() {
+        let c = cost();
+        let mut h = host(false, true);
+        let data = Payload::real(vec![3u8; 500]);
+        let (wire, cycles) = h.submit_write(4, 0, &data, &c);
+        let bytes = wire.as_real().unwrap();
+        assert_eq!(&bytes[bytes.len() - 4..], &[0, 0, 0, 0], "dummy digest");
+        assert_eq!(cycles, c.syscall, "no software CRC under offload");
+
+        let mut h2 = host(false, false);
+        let (wire2, cycles2) = h2.submit_write(5, 0, &data, &c);
+        let b2 = wire2.as_real().unwrap();
+        assert_ne!(&b2[b2.len() - 4..], &[0, 0, 0, 0], "real digest");
+        assert!(cycles2 > cycles);
+    }
+
+    #[test]
+    fn tx_record_map_answers_recovery() {
+        let c = cost();
+        let mut h = host(false, false);
+        let (w1, _) = h.submit_read(1, 0, 100, &c);
+        let (w2, _) = h.submit_read(2, 0, 100, &c);
+        let m = h.record_at(w1.len() as u64 + 3).expect("second capsule");
+        assert_eq!(m.msg_start, w1.len() as u64);
+        assert_eq!(m.msg_index, 1);
+        h.release_below(w1.len() as u64 + w2.len() as u64);
+        assert!(h.record_at(3).is_none());
+    }
+}

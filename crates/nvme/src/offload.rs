@@ -1,0 +1,724 @@
+//! NIC-side NVMe-TCP offload flows (§5.1).
+//!
+//! Receive ([`NvmeRxFlow`]): verifies each capsule's CRC32C data digest and
+//! DMA-places C2HData payloads directly into the pre-registered block-layer
+//! buffer for their CID (Fig. 9), setting the per-packet `crc_ok` and
+//! `placed` SKB bits. Transmit ([`NvmeTxFlow`]): computes the data digest of
+//! outgoing capsules and fills the dummy digest field the software left.
+//!
+//! The CID → buffer map ([`RrMap`]) is the request-response state of
+//! Listing 1's `l5o_add_rr_state` / `l5o_del_rr_state`.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ano_core::flow::{scan_window, L5Flow};
+use ano_core::msg::{DataRef, FrameIndex, MsgHeader, SearchWindow};
+use ano_crypto::crc32c::Crc32c;
+use ano_tcp::segment::SkbFlags;
+
+use crate::pdu::{
+    parse_data_ext, parse_sqe, CommonHeader, PduType, CH_LEN, DDGST_LEN,
+};
+
+/// A destination buffer for a read request (block-layer pages).
+pub type RrBuffer = Rc<RefCell<Vec<u8>>>;
+
+/// One registered request-response state entry.
+#[derive(Clone, Debug)]
+pub struct RrEntry {
+    /// Destination bytes (None in modeled mode — presence still gates the
+    /// `placed` bit).
+    pub buf: Option<RrBuffer>,
+    /// Expected transfer length.
+    pub len: u32,
+}
+
+/// The CID → destination-buffer map shared between the host L5P software
+/// and the NIC (`l5o_add_rr_state` / `l5o_del_rr_state`, §4.1).
+#[derive(Clone, Debug, Default)]
+pub struct RrMap(Rc<RefCell<HashMap<u16, RrEntry>>>);
+
+impl RrMap {
+    /// Creates an empty map.
+    pub fn new() -> RrMap {
+        RrMap::default()
+    }
+
+    /// Registers state for `cid` before the request goes out.
+    pub fn add(&self, cid: u16, entry: RrEntry) {
+        self.0.borrow_mut().insert(cid, entry);
+    }
+
+    /// Deletes state after the response is consumed.
+    pub fn del(&self, cid: u16) {
+        self.0.borrow_mut().remove(&cid);
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, cid: u16) -> Option<RrEntry> {
+        self.0.borrow().get(&cid).cloned()
+    }
+
+    /// Number of registered entries.
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// True when no state is registered.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+}
+
+/// Payload fidelity of an NVMe flow.
+#[derive(Clone, Debug)]
+pub enum NvmeMode {
+    /// Real bytes.
+    Functional,
+    /// Synthetic bytes with framing/metadata from the shared index.
+    Modeled(FrameIndex),
+}
+
+/// Metadata blob for modeled-mode data PDUs:
+/// `[kind, cid_lo, cid_hi, datao(4), datal(4)]`.
+pub fn meta_data_pdu(kind: PduType, cid: u16, datao: u32, datal: u32) -> Vec<u8> {
+    let mut m = Vec::with_capacity(11);
+    m.push(kind as u8);
+    m.extend_from_slice(&cid.to_le_bytes());
+    m.extend_from_slice(&datao.to_le_bytes());
+    m.extend_from_slice(&datal.to_le_bytes());
+    m
+}
+
+/// Metadata blob for modeled-mode command capsules:
+/// `[kind, cid(2), op, offset(8), len(4), inline_data_len(4)]`.
+pub fn meta_cmd_pdu(cid: u16, op: u8, offset: u64, len: u32, inline: u32) -> Vec<u8> {
+    let mut m = Vec::with_capacity(20);
+    m.push(PduType::CapsuleCmd as u8);
+    m.extend_from_slice(&cid.to_le_bytes());
+    m.push(op);
+    m.extend_from_slice(&offset.to_le_bytes());
+    m.extend_from_slice(&len.to_le_bytes());
+    m.extend_from_slice(&inline.to_le_bytes());
+    m
+}
+
+/// Metadata blob for modeled-mode response capsules: `[kind, cid(2), status(2)]`.
+pub fn meta_resp_pdu(cid: u16, status: u16) -> Vec<u8> {
+    let mut m = Vec::with_capacity(5);
+    m.push(PduType::CapsuleResp as u8);
+    m.extend_from_slice(&cid.to_le_bytes());
+    m.extend_from_slice(&status.to_le_bytes());
+    m
+}
+
+/// Decoded modeled metadata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PduMeta {
+    /// Data-bearing PDU.
+    Data {
+        /// PDU type.
+        kind: PduType,
+        /// Command id.
+        cid: u16,
+        /// Buffer offset.
+        datao: u32,
+        /// Data length.
+        datal: u32,
+    },
+    /// Command capsule.
+    Cmd {
+        /// Command id.
+        cid: u16,
+        /// Opcode byte.
+        op: u8,
+        /// Device byte offset.
+        offset: u64,
+        /// Transfer length.
+        len: u32,
+        /// Inline data bytes (writes).
+        inline: u32,
+    },
+    /// Response capsule.
+    Resp {
+        /// Command id.
+        cid: u16,
+        /// Status code.
+        status: u16,
+    },
+}
+
+/// Decodes a metadata blob.
+pub fn decode_meta(m: &[u8]) -> Option<PduMeta> {
+    let kind = PduType::from_byte(*m.first()?)?;
+    match kind {
+        PduType::C2HData | PduType::H2CData => Some(PduMeta::Data {
+            kind,
+            cid: u16::from_le_bytes([m[1], m[2]]),
+            datao: u32::from_le_bytes(m[3..7].try_into().ok()?),
+            datal: u32::from_le_bytes(m[7..11].try_into().ok()?),
+        }),
+        PduType::CapsuleCmd => Some(PduMeta::Cmd {
+            cid: u16::from_le_bytes([m[1], m[2]]),
+            op: m[3],
+            offset: u64::from_le_bytes(m[4..12].try_into().ok()?),
+            len: u32::from_le_bytes(m[12..16].try_into().ok()?),
+            inline: u32::from_le_bytes(m[16..20].try_into().ok()?),
+        }),
+        PduType::CapsuleResp => Some(PduMeta::Resp {
+            cid: u16::from_le_bytes([m[1], m[2]]),
+            status: u16::from_le_bytes([m[3], m[4]]),
+        }),
+        _ => None,
+    }
+}
+
+/// Receive-side NVMe flow: CRC verification + direct data placement.
+pub struct NvmeRxFlow {
+    mode: NvmeMode,
+    rr: RrMap,
+    /// Copy offload enabled (place C2HData into registered buffers).
+    place: bool,
+    // Per-PDU cursor state.
+    kind: Option<PduType>,
+    hlen: u32,
+    data_len: u32,
+    has_ddgst: bool,
+    cid: Option<u16>,
+    datao: u32,
+    ext_buf: Vec<u8>,
+    crc: Crc32c,
+    ddgst_buf: [u8; DDGST_LEN],
+    ddgst_got: usize,
+    // Per-packet accumulation.
+    pkt_placed: bool,
+}
+
+impl std::fmt::Debug for NvmeRxFlow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NvmeRxFlow")
+            .field("kind", &self.kind)
+            .field("place", &self.place)
+            .finish()
+    }
+}
+
+impl NvmeRxFlow {
+    /// Creates the receive flow. `place` enables the copy offload.
+    pub fn new(mode: NvmeMode, rr: RrMap, place: bool) -> NvmeRxFlow {
+        NvmeRxFlow {
+            mode,
+            rr,
+            place,
+            kind: None,
+            hlen: 0,
+            data_len: 0,
+            has_ddgst: false,
+            cid: None,
+            datao: 0,
+            ext_buf: Vec::new(),
+            crc: Crc32c::new(),
+            ddgst_buf: [0; DDGST_LEN],
+            ddgst_got: 0,
+            pkt_placed: true,
+        }
+    }
+
+    fn parse_common(&self, stream_off: u64, hdr: Option<&[u8]>) -> Option<MsgHeader> {
+        match (&self.mode, hdr) {
+            (NvmeMode::Functional, Some(h)) => CommonHeader::parse(h).map(|ch| MsgHeader {
+                total_len: ch.plen,
+            }),
+            (NvmeMode::Modeled(frames), _) => frames.at(stream_off).map(|(m, _)| m),
+            _ => None,
+        }
+    }
+}
+
+impl L5Flow for NvmeRxFlow {
+    fn header_len(&self) -> usize {
+        CH_LEN
+    }
+
+    fn parse_at(&self, stream_off: u64, hdr: Option<&[u8]>) -> Option<MsgHeader> {
+        self.parse_common(stream_off, hdr)
+    }
+
+    fn probe_at(&self, stream_off: u64, hdr: Option<&[u8]>) -> Option<MsgHeader> {
+        self.parse_common(stream_off, hdr)
+    }
+
+    fn begin_msg(&mut self, _msg_index: u64, stream_off: u64, hdr: Option<&[u8]>) {
+        self.ext_buf.clear();
+        self.crc = Crc32c::new();
+        self.ddgst_got = 0;
+        self.cid = None;
+        self.datao = 0;
+        match (&self.mode, hdr) {
+            (NvmeMode::Functional, Some(h)) => {
+                let ch = CommonHeader::parse(h).expect("walker validated header");
+                self.kind = Some(ch.kind);
+                self.hlen = ch.hlen as u32;
+                self.data_len = ch.data_len() as u32;
+                self.has_ddgst = ch.has_ddgst();
+            }
+            (NvmeMode::Modeled(frames), _) => {
+                let total = frames.at(stream_off).map(|(m, _)| m.total_len).unwrap_or(0);
+                match frames.meta_at(stream_off).as_deref().and_then(|m| decode_meta(m)) {
+                    Some(PduMeta::Data { kind, cid, datao, datal }) => {
+                        self.kind = Some(kind);
+                        self.hlen = kind.hlen() as u32;
+                        self.data_len = datal;
+                        self.has_ddgst = true;
+                        self.cid = Some(cid);
+                        self.datao = datao;
+                    }
+                    Some(PduMeta::Cmd { cid, inline, .. }) => {
+                        self.kind = Some(PduType::CapsuleCmd);
+                        self.hlen = PduType::CapsuleCmd.hlen() as u32;
+                        self.data_len = inline;
+                        self.has_ddgst = inline > 0;
+                        self.cid = Some(cid);
+                    }
+                    Some(PduMeta::Resp { cid, .. }) => {
+                        self.kind = Some(PduType::CapsuleResp);
+                        self.hlen = PduType::CapsuleResp.hlen() as u32;
+                        self.data_len = 0;
+                        self.has_ddgst = false;
+                        self.cid = Some(cid);
+                    }
+                    None => {
+                        self.kind = None;
+                        self.hlen = total.max(CH_LEN as u32);
+                        self.data_len = 0;
+                        self.has_ddgst = false;
+                    }
+                }
+            }
+            _ => {
+                self.kind = None;
+            }
+        }
+    }
+
+    fn process(&mut self, msg_off: u32, mut data: DataRef<'_>) {
+        let len = data.len() as u32;
+        let ext_end = self.hlen;
+        let data_end = self.hlen + self.data_len;
+        let mut pos = 0u32;
+        // Extended header bytes.
+        if msg_off < ext_end {
+            let take = (ext_end - msg_off).min(len);
+            if let Some(bytes) = data.as_real() {
+                self.ext_buf.extend_from_slice(&bytes[..take as usize]);
+                if msg_off + take == ext_end {
+                    // Complete extended header: extract CID & geometry.
+                    match self.kind {
+                        Some(PduType::C2HData) | Some(PduType::H2CData) => {
+                            if let Some(ext) = parse_data_ext(&self.ext_buf) {
+                                self.cid = Some(ext.cid);
+                                self.datao = ext.datao;
+                            }
+                        }
+                        Some(PduType::CapsuleCmd) => {
+                            if let Some(sqe) = parse_sqe(&self.ext_buf) {
+                                self.cid = Some(sqe.cid);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            pos += take;
+        }
+        // Data section: digest + placement.
+        while pos < len {
+            let off = msg_off + pos;
+            if off < data_end {
+                let take = (data_end - off).min(len - pos);
+                let chunk = data.slice(pos as usize, (pos + take) as usize);
+                if let Some(bytes) = chunk.as_real() {
+                    self.crc.update(bytes);
+                }
+                if self.place && self.kind == Some(PduType::C2HData) {
+                    let entry = self.cid.and_then(|c| self.rr.get(c));
+                    match entry {
+                        Some(e) => {
+                            if let (Some(buf), Some(bytes)) = (&e.buf, chunk.as_real()) {
+                                let dst = (self.datao + (off - self.hlen)) as usize;
+                                let mut b = buf.borrow_mut();
+                                if dst + bytes.len() <= b.len() {
+                                    b[dst..dst + bytes.len()].copy_from_slice(bytes);
+                                } else {
+                                    self.pkt_placed = false;
+                                }
+                            }
+                        }
+                        None => self.pkt_placed = false,
+                    }
+                }
+                pos += take;
+            } else {
+                // Data digest bytes.
+                let take = len - pos;
+                if let Some(bytes) = data.slice(pos as usize, len as usize).as_real() {
+                    let start = (off - data_end) as usize;
+                    self.ddgst_buf[start..start + bytes.len()].copy_from_slice(bytes);
+                    self.ddgst_got = start + bytes.len();
+                }
+                pos += take;
+            }
+        }
+    }
+
+    fn end_msg(&mut self) -> bool {
+        let ok = match (&self.mode, self.has_ddgst) {
+            (NvmeMode::Functional, true) => {
+                self.ddgst_got == DDGST_LEN
+                    && self.crc.finalize() == u32::from_le_bytes(self.ddgst_buf)
+            }
+            _ => true,
+        };
+        self.kind = None;
+        ok
+    }
+
+    fn resync_to(&mut self, _msg_index: u64) {
+        // Capsule digests are per-message; nothing carries across boundaries.
+        self.kind = None;
+        self.ext_buf.clear();
+        self.ddgst_got = 0;
+    }
+
+    fn packet_flags(&mut self, offloaded: bool) -> SkbFlags {
+        let placed = offloaded && self.pkt_placed;
+        self.pkt_placed = true;
+        SkbFlags {
+            tls_decrypted: false,
+            nvme_crc_ok: offloaded,
+            nvme_placed: placed,
+        }
+    }
+
+    fn search(&self, window_off: u64, window: SearchWindow<'_>) -> Option<(u64, MsgHeader)> {
+        match (&self.mode, window) {
+            (NvmeMode::Functional, SearchWindow::Real(b)) => scan_window(self, window_off, b),
+            (NvmeMode::Modeled(frames), w) => frames
+                .next_at_or_after(window_off)
+                .filter(|&(off, _, _)| off + CH_LEN as u64 <= window_off + w.len() as u64)
+                .map(|(off, h, _)| (off, h)),
+            _ => None,
+        }
+    }
+}
+
+/// Transmit-side NVMe flow: computes data digests and fills the dummy
+/// digest fields the software left behind (§5.1, "NVMe-TCP prepares
+/// capsules with dummy CRC fields, which the offload fills").
+pub struct NvmeTxFlow {
+    mode: NvmeMode,
+    kind: Option<PduType>,
+    hlen: u32,
+    data_len: u32,
+    has_ddgst: bool,
+    crc: Crc32c,
+    digest: Option<[u8; DDGST_LEN]>,
+}
+
+impl std::fmt::Debug for NvmeTxFlow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NvmeTxFlow").field("kind", &self.kind).finish()
+    }
+}
+
+impl NvmeTxFlow {
+    /// Creates the transmit flow.
+    pub fn new(mode: NvmeMode) -> NvmeTxFlow {
+        NvmeTxFlow {
+            mode,
+            kind: None,
+            hlen: 0,
+            data_len: 0,
+            has_ddgst: false,
+            crc: Crc32c::new(),
+            digest: None,
+        }
+    }
+
+    fn parse_common(&self, stream_off: u64, hdr: Option<&[u8]>) -> Option<MsgHeader> {
+        match (&self.mode, hdr) {
+            (NvmeMode::Functional, Some(h)) => CommonHeader::parse(h).map(|ch| MsgHeader {
+                total_len: ch.plen,
+            }),
+            (NvmeMode::Modeled(frames), _) => frames.at(stream_off).map(|(m, _)| m),
+            _ => None,
+        }
+    }
+}
+
+impl L5Flow for NvmeTxFlow {
+    fn header_len(&self) -> usize {
+        CH_LEN
+    }
+
+    fn parse_at(&self, stream_off: u64, hdr: Option<&[u8]>) -> Option<MsgHeader> {
+        self.parse_common(stream_off, hdr)
+    }
+
+    fn probe_at(&self, stream_off: u64, hdr: Option<&[u8]>) -> Option<MsgHeader> {
+        self.parse_common(stream_off, hdr)
+    }
+
+    fn begin_msg(&mut self, _msg_index: u64, stream_off: u64, hdr: Option<&[u8]>) {
+        self.crc = Crc32c::new();
+        self.digest = None;
+        match (&self.mode, hdr) {
+            (NvmeMode::Functional, Some(h)) => {
+                let ch = CommonHeader::parse(h).expect("walker validated header");
+                self.kind = Some(ch.kind);
+                self.hlen = ch.hlen as u32;
+                self.data_len = ch.data_len() as u32;
+                self.has_ddgst = ch.has_ddgst();
+            }
+            (NvmeMode::Modeled(frames), _) => {
+                match frames.meta_at(stream_off).as_deref().and_then(|m| decode_meta(m)) {
+                    Some(PduMeta::Data { kind, datal, .. }) => {
+                        self.kind = Some(kind);
+                        self.hlen = kind.hlen() as u32;
+                        self.data_len = datal;
+                        self.has_ddgst = true;
+                    }
+                    Some(PduMeta::Cmd { inline, .. }) => {
+                        self.kind = Some(PduType::CapsuleCmd);
+                        self.hlen = PduType::CapsuleCmd.hlen() as u32;
+                        self.data_len = inline;
+                        self.has_ddgst = inline > 0;
+                    }
+                    _ => {
+                        self.kind = Some(PduType::CapsuleResp);
+                        self.hlen = PduType::CapsuleResp.hlen() as u32;
+                        self.data_len = 0;
+                        self.has_ddgst = false;
+                    }
+                }
+            }
+            _ => {
+                self.kind = None;
+            }
+        }
+    }
+
+    fn process(&mut self, msg_off: u32, mut data: DataRef<'_>) {
+        if !self.has_ddgst {
+            return;
+        }
+        let len = data.len() as u32;
+        let data_start = self.hlen;
+        let data_end = self.hlen + self.data_len;
+        let mut pos = 0u32;
+        while pos < len {
+            let off = msg_off + pos;
+            if off < data_start {
+                pos += (data_start - off).min(len - pos);
+            } else if off < data_end {
+                let take = (data_end - off).min(len - pos);
+                if let Some(bytes) = data.slice(pos as usize, (pos + take) as usize).as_real() {
+                    self.crc.update(bytes);
+                }
+                pos += take;
+            } else {
+                // Digest field: fill it.
+                let take = len - pos;
+                let digest = *self
+                    .digest
+                    .get_or_insert_with(|| self.crc.finalize().to_le_bytes());
+                let mut range = data.slice(pos as usize, len as usize);
+                if let DataRef::Real(bytes) = &mut range {
+                    let start = (off - data_end) as usize;
+                    bytes.copy_from_slice(&digest[start..start + bytes.len()]);
+                }
+                pos += take;
+            }
+        }
+    }
+
+    fn end_msg(&mut self) -> bool {
+        self.kind = None;
+        true
+    }
+
+    fn resync_to(&mut self, _msg_index: u64) {
+        self.kind = None;
+        self.digest = None;
+    }
+
+    fn packet_flags(&mut self, offloaded: bool) -> SkbFlags {
+        SkbFlags {
+            nvme_crc_ok: offloaded,
+            ..Default::default()
+        }
+    }
+
+    fn search(&self, window_off: u64, window: SearchWindow<'_>) -> Option<(u64, MsgHeader)> {
+        match (&self.mode, window) {
+            (NvmeMode::Functional, SearchWindow::Real(b)) => scan_window(self, window_off, b),
+            (NvmeMode::Modeled(frames), w) => frames
+                .next_at_or_after(window_off)
+                .filter(|&(off, _, _)| off + CH_LEN as u64 <= window_off + w.len() as u64)
+                .map(|(off, h, _)| (off, h)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdu::{encode_capsule_resp, encode_data_pdu};
+    use ano_core::rx::RxEngine;
+    use ano_crypto::crc32c::crc32c;
+
+    #[test]
+    fn rx_places_and_verifies() {
+        let rr = RrMap::new();
+        let buf: RrBuffer = Rc::new(RefCell::new(vec![0u8; 8192]));
+        rr.add(
+            5,
+            RrEntry {
+                buf: Some(Rc::clone(&buf)),
+                len: 8192,
+            },
+        );
+        let data: Vec<u8> = (0..8192u32).map(|i| (i % 253) as u8).collect();
+        let wire = [
+            encode_data_pdu(PduType::C2HData, 5, 0, &data[..4096], false),
+            encode_data_pdu(PduType::C2HData, 5, 4096, &data[4096..], false),
+            encode_capsule_resp(5, 0),
+        ]
+        .concat();
+
+        let mut e = RxEngine::new(
+            Box::new(NvmeRxFlow::new(NvmeMode::Functional, rr.clone(), true)),
+            0,
+            0,
+        );
+        for (i, chunk) in wire.chunks(1448).enumerate() {
+            let mut b = chunk.to_vec();
+            let flags = e.on_packet((i * 1448) as u64, &mut DataRef::Real(&mut b));
+            assert!(flags.nvme_crc_ok, "packet {i} crc ok");
+            assert!(flags.nvme_placed, "packet {i} placed");
+        }
+        assert_eq!(&buf.borrow()[..], &data[..], "zero-copy placement landed");
+    }
+
+    #[test]
+    fn rx_detects_bad_digest() {
+        let rr = RrMap::new();
+        let mut wire = encode_data_pdu(PduType::C2HData, 1, 0, &[1, 2, 3, 4], false);
+        let n = wire.len();
+        wire[n - 1] ^= 0xFF;
+        let mut e = RxEngine::new(
+            Box::new(NvmeRxFlow::new(NvmeMode::Functional, rr, false)),
+            0,
+            0,
+        );
+        let flags = e.on_packet(0, &mut DataRef::Real(&mut wire));
+        assert!(!flags.nvme_crc_ok);
+    }
+
+    #[test]
+    fn rx_without_registration_clears_placed() {
+        let rr = RrMap::new(); // nothing registered
+        let mut wire = encode_data_pdu(PduType::C2HData, 9, 0, &[7; 100], false);
+        let mut e = RxEngine::new(
+            Box::new(NvmeRxFlow::new(NvmeMode::Functional, rr, true)),
+            0,
+            0,
+        );
+        let flags = e.on_packet(0, &mut DataRef::Real(&mut wire));
+        assert!(flags.nvme_crc_ok, "digest still verifies");
+        assert!(!flags.nvme_placed, "no RR state, no placement");
+    }
+
+    #[test]
+    fn tx_fills_dummy_digest() {
+        use ano_core::flow::{L5TxSource, TxMsgRef};
+        use ano_core::tx::TxEngine;
+        use ano_sim::payload::Payload;
+
+        struct Src(Vec<u8>);
+        impl L5TxSource for Src {
+            fn msg_at(&self, off: u64) -> Option<TxMsgRef> {
+                (off < self.0.len() as u64).then_some(TxMsgRef {
+                    msg_start: 0,
+                    msg_index: 0,
+                })
+            }
+            fn stream_bytes(&self, f: u64, t: u64) -> Payload {
+                Payload::real(self.0[f as usize..t as usize].to_vec())
+            }
+        }
+
+        let data: Vec<u8> = (0..5000u32).map(|i| (i * 7) as u8).collect();
+        let skipped = encode_data_pdu(PduType::C2HData, 2, 0, &data, true);
+        let src = Src(skipped.clone());
+        let mut e = TxEngine::new(Box::new(NvmeTxFlow::new(NvmeMode::Functional)), 0, 0);
+        let mut wire = Vec::new();
+        for chunk in skipped.chunks(1448) {
+            let mut b = chunk.to_vec();
+            let v = e.on_packet(wire.len() as u64, &mut DataRef::Real(&mut b), &src);
+            assert!(v.offloaded);
+            wire.extend_from_slice(&b);
+        }
+        let n = wire.len();
+        let filled = u32::from_le_bytes(wire[n - 4..].try_into().unwrap());
+        assert_eq!(filled, crc32c(&data), "NIC filled the real digest");
+        // Everything else untouched.
+        assert_eq!(&wire[..n - 4], &skipped[..n - 4]);
+    }
+
+    #[test]
+    fn modeled_rx_uses_meta() {
+        let frames = FrameIndex::new();
+        let rr = RrMap::new();
+        rr.add(3, RrEntry { buf: None, len: 4096 });
+        let total = (PduType::C2HData.hlen() + 4096 + DDGST_LEN) as u32;
+        frames.push_full(0, total, 0, Some(meta_data_pdu(PduType::C2HData, 3, 0, 4096)));
+        let mut e = RxEngine::new(
+            Box::new(NvmeRxFlow::new(NvmeMode::Modeled(frames), rr, true)),
+            0,
+            0,
+        );
+        let flags = e.on_packet(0, &mut DataRef::Modeled(total as usize));
+        assert!(flags.nvme_crc_ok && flags.nvme_placed);
+    }
+
+    #[test]
+    fn meta_roundtrips() {
+        let m = meta_data_pdu(PduType::C2HData, 7, 100, 200);
+        assert_eq!(
+            decode_meta(&m),
+            Some(PduMeta::Data {
+                kind: PduType::C2HData,
+                cid: 7,
+                datao: 100,
+                datal: 200
+            })
+        );
+        let m = meta_cmd_pdu(9, 2, 1 << 40, 65536, 0);
+        assert_eq!(
+            decode_meta(&m),
+            Some(PduMeta::Cmd {
+                cid: 9,
+                op: 2,
+                offset: 1 << 40,
+                len: 65536,
+                inline: 0
+            })
+        );
+        let m = meta_resp_pdu(1, 0);
+        assert_eq!(decode_meta(&m), Some(PduMeta::Resp { cid: 1, status: 0 }));
+    }
+}

@@ -1,0 +1,466 @@
+//! Software-side PDU stream parser, shared by host and target.
+//!
+//! Consumes in-order byte-stream chunks (raw TCP chunks, or plaintext
+//! chunks from kTLS in the combined NVMe-TLS stack) and yields complete
+//! PDUs, preserving per-packet offload flags so the caller can decide
+//! whether to skip the copy and CRC work (§5.1's software fallback rules).
+
+use ano_sim::payload::Payload;
+use ano_tcp::segment::SkbFlags;
+
+use crate::offload::{decode_meta, NvmeMode, PduMeta};
+use crate::pdu::{
+    parse_cqe, parse_data_ext, parse_sqe, CommonHeader, DataExt, PduType, SqeFields, CH_LEN,
+    DDGST_LEN,
+};
+
+/// One in-order run of stream bytes with its packet's offload flags.
+#[derive(Clone, Debug)]
+pub struct StreamChunk {
+    /// Stream offset of the first byte.
+    pub offset: u64,
+    /// The bytes.
+    pub payload: Payload,
+    /// SKB flags of the packet these bytes arrived in.
+    pub flags: SkbFlags,
+}
+
+/// A fully reassembled PDU.
+#[derive(Clone, Debug)]
+pub struct ParsedPdu {
+    /// Stream offset of the PDU's first byte.
+    pub start: u64,
+    /// PDU type.
+    pub kind: PduType,
+    /// Total wire length.
+    pub total: u32,
+    /// Parsed SQE (command capsules, functional mode).
+    pub sqe: Option<SqeFields>,
+    /// Parsed data extended header (data PDUs, functional mode).
+    pub ext: Option<DataExt>,
+    /// Parsed CQE `(cid, status)` (response capsules, functional mode).
+    pub cqe: Option<(u16, u16)>,
+    /// Modeled-mode metadata.
+    pub meta: Option<PduMeta>,
+    /// Data-section runs with their flags.
+    pub data: Vec<(Payload, SkbFlags)>,
+    /// Wire data digest (functional mode, when present).
+    pub ddgst: Option<u32>,
+    /// Every data byte arrived with the NIC `crc_ok` bit.
+    pub all_crc_ok: bool,
+    /// Every data byte arrived with the NIC `placed` bit.
+    pub all_placed: bool,
+}
+
+impl ParsedPdu {
+    /// The command id this PDU refers to, in either mode.
+    pub fn cid(&self) -> Option<u16> {
+        if let Some(sqe) = self.sqe {
+            return Some(sqe.cid);
+        }
+        if let Some(ext) = self.ext {
+            return Some(ext.cid);
+        }
+        if let Some((cid, _)) = self.cqe {
+            return Some(cid);
+        }
+        match self.meta {
+            Some(PduMeta::Data { cid, .. })
+            | Some(PduMeta::Cmd { cid, .. })
+            | Some(PduMeta::Resp { cid, .. }) => Some(cid),
+            None => None,
+        }
+    }
+
+    /// Data-section length.
+    pub fn data_len(&self) -> usize {
+        self.data.iter().map(|(p, _)| p.len()).sum()
+    }
+
+    /// Concatenated data bytes (functional mode).
+    pub fn data_bytes(&self) -> Payload {
+        Payload::concat(self.data.iter().map(|(p, _)| p))
+    }
+}
+
+struct CurPdu {
+    start: u64,
+    kind: PduType,
+    hlen: u32,
+    data_len: u32,
+    has_ddgst: bool,
+    total: u32,
+    consumed: u32,
+    ext: Vec<u8>,
+    meta: Option<PduMeta>,
+    data: Vec<(Payload, SkbFlags)>,
+    ddgst: [u8; DDGST_LEN],
+    ddgst_got: usize,
+    all_crc_ok: bool,
+    all_placed: bool,
+}
+
+/// The parser state machine.
+pub struct PduParser {
+    mode: NvmeMode,
+    pos: u64,
+    hdr: Vec<u8>,
+    hdr_start: u64,
+    cur: Option<CurPdu>,
+    /// Stream-framing errors (garbage headers).
+    pub errors: u64,
+    /// Recent PDU starts for resync confirmation: (offset, index).
+    starts: std::collections::VecDeque<(u64, u64)>,
+    next_index: u64,
+    pending_resync: Vec<u64>,
+    responses: Vec<(u64, bool, u64)>,
+}
+
+impl std::fmt::Debug for PduParser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PduParser")
+            .field("pos", &self.pos)
+            .field("errors", &self.errors)
+            .finish()
+    }
+}
+
+impl PduParser {
+    /// Creates a parser. In modeled mode, `mode` must hold the *sender's*
+    /// frame index.
+    pub fn new(mode: NvmeMode) -> PduParser {
+        PduParser {
+            mode,
+            pos: 0,
+            hdr: Vec::new(),
+            hdr_start: 0,
+            cur: None,
+            errors: 0,
+            starts: std::collections::VecDeque::new(),
+            next_index: 0,
+            pending_resync: Vec::new(),
+            responses: Vec::new(),
+        }
+    }
+
+    /// Current consumed stream offset.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Registers a NIC resync request (`l5o_resync_rx_req`) against this
+    /// protocol layer's stream.
+    pub fn on_resync_request(&mut self, tcpsn: u64) {
+        self.pending_resync.push(tcpsn);
+        self.flush_resyncs();
+    }
+
+    /// Drains ready resync answers: (tcpsn, is-a-boundary, msg_index).
+    pub fn take_resync_responses(&mut self) -> Vec<(u64, bool, u64)> {
+        std::mem::take(&mut self.responses)
+    }
+
+    fn flush_resyncs(&mut self) {
+        let mut still = Vec::new();
+        for tcpsn in std::mem::take(&mut self.pending_resync) {
+            if tcpsn >= self.pos {
+                still.push(tcpsn);
+                continue;
+            }
+            match self.starts.iter().find(|&&(o, _)| o == tcpsn) {
+                Some(&(_, idx)) => self.responses.push((tcpsn, true, idx)),
+                None => self.responses.push((tcpsn, false, 0)),
+            }
+        }
+        self.pending_resync = still;
+    }
+
+    /// Consumes one in-order chunk, returning completed PDUs.
+    pub fn on_chunk(&mut self, chunk: StreamChunk) -> Vec<ParsedPdu> {
+        debug_assert_eq!(chunk.offset, self.pos, "chunks must be in order");
+        let mut out = Vec::new();
+        let len = chunk.payload.len();
+        let mut consumed = 0usize;
+        while consumed < len {
+            match &mut self.cur {
+                None => {
+                    if self.hdr.is_empty() {
+                        self.hdr_start = self.pos;
+                    }
+                    let need = CH_LEN - self.hdr.len();
+                    let take = need.min(len - consumed);
+                    match chunk.payload.as_real() {
+                        Some(bytes) => self.hdr.extend_from_slice(&bytes[consumed..consumed + take]),
+                        None => self.hdr.extend(std::iter::repeat(0).take(take)),
+                    }
+                    consumed += take;
+                    self.pos += take as u64;
+                    if self.hdr.len() == CH_LEN {
+                        let started = self.begin_pdu();
+                        self.hdr.clear();
+                        if !started {
+                            self.errors += 1;
+                        }
+                    }
+                }
+                Some(cur) => {
+                    let take = ((cur.total - cur.consumed) as usize).min(len - consumed);
+                    let off = cur.consumed;
+                    Self::feed(cur, off, chunk.payload.slice(consumed, consumed + take), chunk.flags);
+                    cur.consumed += take as u32;
+                    consumed += take;
+                    self.pos += take as u64;
+                    if cur.consumed == cur.total {
+                        out.push(self.finish_pdu());
+                    }
+                }
+            }
+        }
+        self.flush_resyncs();
+        out
+    }
+
+    /// Starts a PDU once the common header is known. Returns false on a
+    /// framing error.
+    fn begin_pdu(&mut self) -> bool {
+        let start = self.hdr_start;
+        let parsed = match &self.mode {
+            NvmeMode::Functional => CommonHeader::parse(&self.hdr).map(|ch| CurPdu {
+                start,
+                kind: ch.kind,
+                hlen: ch.hlen as u32,
+                data_len: ch.data_len() as u32,
+                has_ddgst: ch.has_ddgst(),
+                total: ch.plen,
+                consumed: CH_LEN as u32,
+                ext: Vec::new(),
+                meta: None,
+                data: Vec::new(),
+                ddgst: [0; DDGST_LEN],
+                ddgst_got: 0,
+                all_crc_ok: true,
+                all_placed: true,
+            }),
+            NvmeMode::Modeled(frames) => {
+                let total = frames.at(start).map(|(m, _)| m.total_len);
+                let meta = frames.meta_at(start).as_deref().and_then(|m| decode_meta(m));
+                match (total, meta) {
+                    (Some(total), Some(meta)) => {
+                        let (kind, hlen, data_len, has_ddgst) = match meta {
+                            PduMeta::Data { kind, datal, .. } => {
+                                (kind, kind.hlen() as u32, datal, true)
+                            }
+                            PduMeta::Cmd { inline, .. } => (
+                                PduType::CapsuleCmd,
+                                PduType::CapsuleCmd.hlen() as u32,
+                                inline,
+                                inline > 0,
+                            ),
+                            PduMeta::Resp { .. } => (
+                                PduType::CapsuleResp,
+                                PduType::CapsuleResp.hlen() as u32,
+                                0,
+                                false,
+                            ),
+                        };
+                        Some(CurPdu {
+                            start,
+                            kind,
+                            hlen,
+                            data_len,
+                            has_ddgst,
+                            total,
+                            consumed: CH_LEN as u32,
+                            ext: Vec::new(),
+                            meta: Some(meta),
+                            data: Vec::new(),
+                            ddgst: [0; DDGST_LEN],
+                            ddgst_got: 0,
+                            all_crc_ok: true,
+                            all_placed: true,
+                        })
+                    }
+                    _ => None,
+                }
+            }
+        };
+        match parsed {
+            Some(cur) => {
+                if self.starts.len() >= 4096 {
+                    self.starts.pop_front();
+                }
+                self.starts.push_back((start, self.next_index));
+                self.next_index += 1;
+                self.cur = Some(cur);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn feed(cur: &mut CurPdu, off: u32, payload: Payload, flags: SkbFlags) {
+        let len = payload.len() as u32;
+        let ext_end = cur.hlen;
+        let data_end = cur.hlen + cur.data_len;
+        let mut pos = 0u32;
+        // Extended header.
+        if off < ext_end {
+            let take = (ext_end - off).min(len);
+            if let Some(bytes) = payload.as_real() {
+                cur.ext.extend_from_slice(&bytes[..take as usize]);
+            }
+            pos += take;
+        }
+        while pos < len {
+            let o = off + pos;
+            if o < data_end {
+                let take = (data_end - o).min(len - pos);
+                cur.data
+                    .push((payload.slice(pos as usize, (pos + take) as usize), flags));
+                cur.all_crc_ok &= flags.nvme_crc_ok;
+                cur.all_placed &= flags.nvme_placed;
+                pos += take;
+            } else {
+                let take = len - pos;
+                if let Some(bytes) = payload.slice(pos as usize, len as usize).as_real() {
+                    let s = (o - data_end) as usize;
+                    cur.ddgst[s..s + bytes.len()].copy_from_slice(bytes);
+                    cur.ddgst_got = s + bytes.len();
+                }
+                pos += take;
+            }
+        }
+    }
+
+    fn finish_pdu(&mut self) -> ParsedPdu {
+        let cur = self.cur.take().expect("PDU in progress");
+        let (sqe, ext, cqe) = match cur.kind {
+            PduType::CapsuleCmd => (parse_sqe(&cur.ext), None, None),
+            PduType::C2HData | PduType::H2CData | PduType::R2T => {
+                (None, parse_data_ext(&cur.ext), None)
+            }
+            PduType::CapsuleResp => (None, None, parse_cqe(&cur.ext)),
+            _ => (None, None, None),
+        };
+        ParsedPdu {
+            start: cur.start,
+            kind: cur.kind,
+            total: cur.total,
+            sqe,
+            ext,
+            cqe,
+            meta: cur.meta,
+            data: cur.data,
+            ddgst: (cur.has_ddgst && cur.ddgst_got == DDGST_LEN)
+                .then(|| u32::from_le_bytes(cur.ddgst)),
+            all_crc_ok: cur.all_crc_ok,
+            all_placed: cur.all_placed,
+        }
+    }
+
+    /// The parser's payload-fidelity mode.
+    pub fn mode(&self) -> &NvmeMode {
+        &self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdu::{encode_capsule_cmd, encode_capsule_resp, encode_data_pdu, IoOpcode};
+    use ano_crypto::crc32c::crc32c;
+
+    fn chunkify(stream: &[u8], sz: usize, flags: SkbFlags) -> Vec<StreamChunk> {
+        stream
+            .chunks(sz)
+            .enumerate()
+            .map(|(i, c)| StreamChunk {
+                offset: (i * sz) as u64,
+                payload: Payload::real(c.to_vec()),
+                flags,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parses_mixed_pdu_stream() {
+        let data = vec![9u8; 3000];
+        let stream = [
+            encode_capsule_cmd(1, IoOpcode::Read, 0, 3000, None),
+            encode_data_pdu(PduType::C2HData, 1, 0, &data, false),
+            encode_capsule_resp(1, 0),
+        ]
+        .concat();
+        let mut p = PduParser::new(NvmeMode::Functional);
+        let mut pdus = Vec::new();
+        for c in chunkify(&stream, 700, SkbFlags::default()) {
+            pdus.extend(p.on_chunk(c));
+        }
+        assert_eq!(pdus.len(), 3);
+        assert_eq!(pdus[0].kind, PduType::CapsuleCmd);
+        assert_eq!(pdus[0].cid(), Some(1));
+        assert_eq!(pdus[1].kind, PduType::C2HData);
+        assert_eq!(pdus[1].data_len(), 3000);
+        assert_eq!(pdus[1].ddgst, Some(crc32c(&data)));
+        assert!(!pdus[1].all_crc_ok, "no offload bits on these packets");
+        assert_eq!(pdus[2].kind, PduType::CapsuleResp);
+        assert_eq!(p.errors, 0);
+    }
+
+    #[test]
+    fn flags_gate_crc_and_placed() {
+        let data = vec![1u8; 2000];
+        let stream = encode_data_pdu(PduType::C2HData, 2, 0, &data, false);
+        let ok_flags = SkbFlags {
+            nvme_crc_ok: true,
+            nvme_placed: true,
+            ..Default::default()
+        };
+        let mut p = PduParser::new(NvmeMode::Functional);
+        let mut pdus = Vec::new();
+        for c in chunkify(&stream, 512, ok_flags) {
+            pdus.extend(p.on_chunk(c));
+        }
+        assert!(pdus[0].all_crc_ok && pdus[0].all_placed);
+
+        // One un-offloaded packet poisons the PDU classification.
+        let mut p = PduParser::new(NvmeMode::Functional);
+        let mut chunks = chunkify(&stream, 512, ok_flags);
+        chunks[1].flags = SkbFlags::default();
+        let mut pdus = Vec::new();
+        for c in chunks {
+            pdus.extend(p.on_chunk(c));
+        }
+        assert!(!pdus[0].all_crc_ok && !pdus[0].all_placed);
+    }
+
+    #[test]
+    fn resync_confirmation_over_pdu_stream() {
+        let stream = [
+            encode_capsule_resp(1, 0),
+            encode_capsule_resp(2, 0),
+        ]
+        .concat();
+        let second_start = (stream.len() / 2) as u64;
+        let mut p = PduParser::new(NvmeMode::Functional);
+        p.on_resync_request(second_start);
+        p.on_resync_request(5); // not a boundary
+        for c in chunkify(&stream, 16, SkbFlags::default()) {
+            p.on_chunk(c);
+        }
+        let mut r = p.take_resync_responses();
+        r.sort();
+        assert_eq!(r, vec![(5, false, 0), (second_start, true, 1)]);
+    }
+
+    #[test]
+    fn garbage_header_counts_error() {
+        let mut p = PduParser::new(NvmeMode::Functional);
+        p.on_chunk(StreamChunk {
+            offset: 0,
+            payload: Payload::real(vec![0xFFu8; 16]),
+            flags: SkbFlags::default(),
+        });
+        assert!(p.errors >= 1);
+    }
+}

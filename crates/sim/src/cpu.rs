@@ -1,0 +1,175 @@
+//! CPU cycle accounting.
+//!
+//! The paper reports CPU consumption as "busy cores" and per-message cycle
+//! budgets. [`CpuSet`] models a socket of cores at a fixed frequency: work is
+//! expressed in cycles, occupies a core for `cycles / freq` of simulated
+//! time, and is accumulated for utilization reporting.
+
+use crate::time::{SimDuration, SimTime};
+
+/// One core's accounting state.
+#[derive(Clone, Copy, Debug, Default)]
+struct Core {
+    busy_until: SimTime,
+    busy_cycles: u64,
+}
+
+/// A set of identical cores at a fixed clock frequency.
+///
+/// # Examples
+///
+/// ```
+/// use ano_sim::cpu::CpuSet;
+/// use ano_sim::time::SimTime;
+///
+/// let mut cpu = CpuSet::new(1, 2_000_000_000); // one 2 GHz core
+/// let done = cpu.run(0, SimTime::ZERO, 2_000);  // 2000 cycles = 1 us
+/// assert_eq!(done, SimTime::from_micros(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CpuSet {
+    freq_hz: u64,
+    cores: Vec<Core>,
+}
+
+impl CpuSet {
+    /// Creates `n` cores running at `freq_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `freq_hz == 0`.
+    pub fn new(n: usize, freq_hz: u64) -> CpuSet {
+        assert!(n > 0, "need at least one core");
+        assert!(freq_hz > 0, "frequency must be positive");
+        CpuSet {
+            freq_hz,
+            cores: vec![Core::default(); n],
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Core clock in Hz.
+    pub fn freq_hz(&self) -> u64 {
+        self.freq_hz
+    }
+
+    /// Converts a cycle count to wall (simulated) time on this CPU.
+    pub fn cycles_to_time(&self, cycles: u64) -> SimDuration {
+        SimDuration::from_nanos(cycles.saturating_mul(1_000_000_000) / self.freq_hz)
+    }
+
+    /// Converts a simulated duration to cycles on this CPU.
+    pub fn time_to_cycles(&self, d: SimDuration) -> u64 {
+        ((d.as_nanos() as u128 * self.freq_hz as u128) / 1_000_000_000) as u64
+    }
+
+    /// Runs `cycles` of work on `core`, starting no earlier than `now` and no
+    /// earlier than the core's previous work finishing. Returns completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn run(&mut self, core: usize, now: SimTime, cycles: u64) -> SimTime {
+        let c = &mut self.cores[core];
+        let start = now.max(c.busy_until);
+        let done = start + SimDuration::from_nanos(cycles.saturating_mul(1_000_000_000) / self.freq_hz);
+        c.busy_until = done;
+        c.busy_cycles += cycles;
+        done
+    }
+
+    /// When `core` will next be free.
+    pub fn free_at(&self, core: usize) -> SimTime {
+        self.cores[core].busy_until
+    }
+
+    /// The core that frees up earliest (ties go to the lowest index).
+    pub fn least_busy(&self) -> usize {
+        self.cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, c)| (c.busy_until, *i))
+            .map(|(i, _)| i)
+            .expect("at least one core")
+    }
+
+    /// Total cycles consumed across all cores.
+    pub fn total_busy_cycles(&self) -> u64 {
+        self.cores.iter().map(|c| c.busy_cycles).sum()
+    }
+
+    /// Per-core cycle counters (for windowed utilization: snapshot, run, diff).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.cores.iter().map(|c| c.busy_cycles).collect()
+    }
+
+    /// Average number of busy cores over a window, given a [`CpuSet::snapshot`]
+    /// taken at the window start and the window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot shape does not match or the window is empty.
+    pub fn busy_cores_since(&self, start_snapshot: &[u64], window: SimDuration) -> f64 {
+        assert_eq!(start_snapshot.len(), self.cores.len(), "snapshot mismatch");
+        assert!(window > SimDuration::ZERO, "empty window");
+        let cycles: u64 = self
+            .cores
+            .iter()
+            .zip(start_snapshot)
+            .map(|(c, s)| c.busy_cycles - s)
+            .sum();
+        let busy_secs = cycles as f64 / self.freq_hz as f64;
+        busy_secs / window.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_queues_on_a_core() {
+        let mut cpu = CpuSet::new(1, 1_000_000_000);
+        let a = cpu.run(0, SimTime::ZERO, 1_000);
+        let b = cpu.run(0, SimTime::ZERO, 1_000);
+        assert_eq!(a, SimTime::from_micros(1));
+        assert_eq!(b, SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn least_busy_balances() {
+        let mut cpu = CpuSet::new(2, 1_000_000_000);
+        cpu.run(0, SimTime::ZERO, 5_000);
+        assert_eq!(cpu.least_busy(), 1);
+        cpu.run(1, SimTime::ZERO, 10_000);
+        assert_eq!(cpu.least_busy(), 0);
+    }
+
+    #[test]
+    fn busy_cores_measures_utilization() {
+        let mut cpu = CpuSet::new(4, 2_000_000_000);
+        let snap = cpu.snapshot();
+        // Two cores fully busy for 1 ms each: 2e6 cycles apiece.
+        cpu.run(0, SimTime::ZERO, 2_000_000);
+        cpu.run(1, SimTime::ZERO, 2_000_000);
+        let busy = cpu.busy_cores_since(&snap, SimDuration::from_millis(1));
+        assert!((busy - 2.0).abs() < 1e-9, "busy={busy}");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let cpu = CpuSet::new(1, 2_000_000_000);
+        assert_eq!(cpu.cycles_to_time(2_000), SimDuration::from_micros(1));
+        assert_eq!(cpu.time_to_cycles(SimDuration::from_micros(1)), 2_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cores_rejected() {
+        let _ = CpuSet::new(0, 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Point-to-point link model with impairments.
+//!
+//! A [`Link`] is a unidirectional pipe with a serialization rate, a
+//! propagation delay, and optional impairments (loss, reordering,
+//! duplication) matching the paper's §6.4 methodology, where loss and
+//! reordering are injected at rates of 0–5%.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Stochastic impairments applied per packet.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Impairments {
+    /// Probability a packet is dropped.
+    pub loss: f64,
+    /// Probability a packet is delayed past its successors (reordered).
+    pub reorder: f64,
+    /// Extra delay range applied to reordered packets, in nanoseconds.
+    pub reorder_extra_ns: (u64, u64),
+    /// Probability a packet is delivered twice.
+    pub duplicate: f64,
+}
+
+impl Impairments {
+    /// No impairments.
+    pub fn none() -> Impairments {
+        Impairments::default()
+    }
+
+    /// Loss-only impairment at probability `p`.
+    pub fn loss(p: f64) -> Impairments {
+        Impairments {
+            loss: p,
+            ..Default::default()
+        }
+    }
+
+    /// Reordering-only impairment at probability `p`, with an extra delay of
+    /// 50–500 µs (a few wire RTTs, enough to displace several packets).
+    pub fn reorder(p: f64) -> Impairments {
+        Impairments {
+            reorder: p,
+            reorder_extra_ns: (50_000, 500_000),
+            ..Default::default()
+        }
+    }
+}
+
+/// Counters describing what a link did so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets handed to the link.
+    pub offered: u64,
+    /// Packets delivered (duplicates count once per delivery).
+    pub delivered: u64,
+    /// Packets dropped by the loss process.
+    pub lost: u64,
+    /// Packets given extra reordering delay.
+    pub reordered: u64,
+    /// Extra deliveries due to duplication.
+    pub duplicated: u64,
+    /// Total payload bytes offered.
+    pub bytes: u64,
+}
+
+/// A unidirectional link.
+///
+/// # Examples
+///
+/// ```
+/// use ano_sim::link::{Impairments, Link};
+/// use ano_sim::rng::SimRng;
+/// use ano_sim::time::{SimDuration, SimTime};
+///
+/// let mut link = Link::new(100_000_000_000, SimDuration::from_micros(2), Impairments::none());
+/// let mut rng = SimRng::seed(1);
+/// let deliveries = link.transmit(SimTime::ZERO, 1500, &mut rng);
+/// assert_eq!(deliveries.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    rate_bps: u64,
+    propagation: SimDuration,
+    impair: Impairments,
+    busy_until: SimTime,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Creates a link with serialization rate `rate_bps` (bits/second) and
+    /// one-way propagation delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_bps` is zero.
+    pub fn new(rate_bps: u64, propagation: SimDuration, impair: Impairments) -> Link {
+        assert!(rate_bps > 0, "link rate must be positive");
+        Link {
+            rate_bps,
+            propagation,
+            impair,
+            busy_until: SimTime::ZERO,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Replaces the impairment configuration.
+    pub fn set_impairments(&mut self, impair: Impairments) {
+        self.impair = impair;
+    }
+
+    /// The link's serialization rate in bits per second.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Serialization time of a `wire_bytes`-sized frame.
+    pub fn serialization(&self, wire_bytes: usize) -> SimDuration {
+        SimDuration::from_nanos((wire_bytes as u64 * 8).saturating_mul(1_000_000_000) / self.rate_bps)
+    }
+
+    /// Offers one frame to the link at time `now`; returns the delivery
+    /// times at the far end (empty if lost, two entries if duplicated).
+    ///
+    /// Frames queue behind one another: the wire serializes one frame at a
+    /// time, so delivery order (absent reordering) matches offer order.
+    pub fn transmit(&mut self, now: SimTime, wire_bytes: usize, rng: &mut SimRng) -> Vec<SimTime> {
+        self.stats.offered += 1;
+        self.stats.bytes += wire_bytes as u64;
+
+        let start = now.max(self.busy_until);
+        let done = start + self.serialization(wire_bytes);
+        self.busy_until = done;
+
+        if rng.chance(self.impair.loss) {
+            self.stats.lost += 1;
+            return Vec::new();
+        }
+
+        let mut arrival = done + self.propagation;
+        if rng.chance(self.impair.reorder) {
+            let (lo, hi) = self.impair.reorder_extra_ns;
+            let extra = if hi > lo { rng.range_u64(lo, hi) } else { lo };
+            arrival += SimDuration::from_nanos(extra);
+            self.stats.reordered += 1;
+        }
+
+        let mut deliveries = vec![arrival];
+        if rng.chance(self.impair.duplicate) {
+            deliveries.push(arrival + SimDuration::from_micros(5));
+            self.stats.duplicated += 1;
+        }
+        self.stats.delivered += deliveries.len() as u64;
+        deliveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbps(g: u64) -> u64 {
+        g * 1_000_000_000
+    }
+
+    #[test]
+    fn serialization_matches_rate() {
+        let link = Link::new(gbps(100), SimDuration::ZERO, Impairments::none());
+        // 1500 B at 100 Gbps = 120 ns.
+        assert_eq!(link.serialization(1500), SimDuration::from_nanos(120));
+    }
+
+    #[test]
+    fn frames_queue_behind_each_other() {
+        let mut link = Link::new(gbps(1), SimDuration::from_micros(1), Impairments::none());
+        let mut rng = SimRng::seed(1);
+        let a = link.transmit(SimTime::ZERO, 1250, &mut rng)[0]; // 10 us ser
+        let b = link.transmit(SimTime::ZERO, 1250, &mut rng)[0];
+        assert_eq!(a, SimTime::from_micros(11));
+        assert_eq!(b, SimTime::from_micros(21), "second frame waits for the wire");
+    }
+
+    #[test]
+    fn loss_drops_roughly_p() {
+        let mut link = Link::new(gbps(100), SimDuration::ZERO, Impairments::loss(0.05));
+        let mut rng = SimRng::seed(2);
+        for _ in 0..20_000 {
+            link.transmit(SimTime::ZERO, 100, &mut rng);
+        }
+        let lost = link.stats().lost;
+        assert!((800..1200).contains(&lost), "5% of 20000 ~ {lost}");
+    }
+
+    #[test]
+    fn reordered_frames_arrive_late() {
+        let mut link = Link::new(gbps(100), SimDuration::ZERO, Impairments::reorder(1.0));
+        let mut rng = SimRng::seed(3);
+        let t = link.transmit(SimTime::ZERO, 100, &mut rng)[0];
+        assert!(t >= SimTime::from_micros(50));
+        assert_eq!(link.stats().reordered, 1);
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let imp = Impairments {
+            duplicate: 1.0,
+            ..Default::default()
+        };
+        let mut link = Link::new(gbps(100), SimDuration::ZERO, imp);
+        let mut rng = SimRng::seed(4);
+        let d = link.transmit(SimTime::ZERO, 100, &mut rng);
+        assert_eq!(d.len(), 2);
+        assert!(d[1] > d[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        let _ = Link::new(0, SimDuration::ZERO, Impairments::none());
+    }
+}

@@ -1,0 +1,172 @@
+//! Small measurement helpers shared by experiments.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Counts bytes delivered over a window to report throughput.
+///
+/// # Examples
+///
+/// ```
+/// use ano_sim::stats::ThroughputMeter;
+/// use ano_sim::time::{SimDuration, SimTime};
+///
+/// let mut m = ThroughputMeter::new();
+/// m.start(SimTime::from_millis(1));
+/// m.add(125_000_000); // 125 MB over the window below
+/// let gbps = m.gbps(SimTime::from_millis(1) + SimDuration::from_millis(100));
+/// assert!((gbps - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThroughputMeter {
+    bytes: u64,
+    started: SimTime,
+    counting: bool,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter that ignores bytes until [`ThroughputMeter::start`].
+    pub fn new() -> ThroughputMeter {
+        ThroughputMeter::default()
+    }
+
+    /// Begins counting at `now` (used to skip warm-up).
+    pub fn start(&mut self, now: SimTime) {
+        self.started = now;
+        self.bytes = 0;
+        self.counting = true;
+    }
+
+    /// Records `n` delivered bytes (no-op before `start`).
+    pub fn add(&mut self, n: u64) {
+        if self.counting {
+            self.bytes += n;
+        }
+    }
+
+    /// Bytes recorded since `start`.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Average Gbit/s between `start` and `now`; zero for an empty window.
+    pub fn gbps(&self, now: SimTime) -> f64 {
+        let w = now.since(self.started);
+        if !self.counting || w == SimDuration::ZERO {
+            return 0.0;
+        }
+        (self.bytes as f64 * 8.0) / w.as_secs_f64() / 1e9
+    }
+}
+
+/// Collects samples and reports mean/percentiles (request latencies, Table 4).
+#[derive(Clone, Debug, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Creates an empty collection.
+    pub fn new() -> Samples {
+        Samples::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Adds a duration sample in microseconds.
+    pub fn add_duration_us(&mut self, d: SimDuration) {
+        self.add(d.as_micros_f64());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean; zero for an empty collection.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Sample standard deviation; zero with fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
+            / (self.values.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// The `p`-th percentile (0–100) by nearest-rank; zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.values.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+        v[rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_ignores_bytes_before_start() {
+        let mut m = ThroughputMeter::new();
+        m.add(1_000);
+        assert_eq!(m.bytes(), 0);
+        m.start(SimTime::ZERO);
+        m.add(1_000);
+        assert_eq!(m.bytes(), 1_000);
+    }
+
+    #[test]
+    fn meter_empty_window_is_zero() {
+        let mut m = ThroughputMeter::new();
+        m.start(SimTime::from_millis(5));
+        assert_eq!(m.gbps(SimTime::from_millis(5)), 0.0);
+    }
+
+    #[test]
+    fn samples_stats() {
+        let mut s = Samples::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.add(v);
+        }
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(50.0), 3.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+        assert!((s.stddev() - 1.5811).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_samples_are_safe() {
+        let s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+}

@@ -1,0 +1,853 @@
+//! Event dispatch: the world's packet, timer, resync and application paths.
+
+use ano_core::flow::{L5TxSource, TxMsgRef};
+use ano_core::msg::EngineEvent;
+use ano_nvme::parser::StreamChunk;
+use ano_sim::payload::Payload;
+use ano_sim::time::SimTime;
+use ano_tcp::segment::{RxChunk, WIRE_HEADER_BYTES};
+use ano_tls::ktls::PlainChunk;
+use ano_tls::record::OVERHEAD as TLS_OVERHEAD;
+
+use crate::app::{Action, AppEvent, HostApi};
+use crate::world::{ConnId, Event, Proto, World};
+
+/// Send-queue low watermark: a `Writable` notification fires when a
+/// connection that sent data drains below this.
+const LOW_WATER: u64 = 512 << 10;
+
+/// Deferred application notifications collected while host state is borrowed.
+enum AppCall {
+    Data { conn: ConnId, plains: Vec<PlainChunk> },
+    NvmeDone {
+        conn: ConnId,
+        completions: Vec<ano_nvme::host::Completion>,
+    },
+    Writable { conn: ConnId },
+}
+
+/// Transmit-side recovery adapter: `l5o_get_tx_msgstate` resolves through
+/// the L5P's record map, byte replay through TCP's retransmit buffer.
+struct TxAdapter<'a> {
+    proto: &'a Proto,
+    tcp: &'a ano_tcp::sender::TcpSender,
+}
+
+impl L5TxSource for TxAdapter<'_> {
+    fn msg_at(&self, off: u64) -> Option<TxMsgRef> {
+        match self.proto {
+            Proto::Raw => None,
+            Proto::Tls { tx, .. } => tx.record_at(off),
+            Proto::NvmeHost { host } => host.record_at(off),
+            Proto::NvmeTarget { target, .. } => target.record_at(off),
+            Proto::NvmeTlsHost { tls_tx, .. } => tls_tx.record_at(off),
+            Proto::NvmeTlsTarget { tls_tx, .. } => tls_tx.record_at(off),
+        }
+    }
+
+    fn stream_bytes(&self, from: u64, to: u64) -> Payload {
+        self.tcp.stream_range(from, to)
+    }
+}
+
+impl World {
+    /// Kicks off both applications.
+    pub fn start(&mut self) {
+        for h in 0..2 {
+            self.fire_app(h, |app, api| app.on_event(api, AppEvent::Start));
+        }
+    }
+
+    /// Runs until the queue drains or `until` is reached.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.sched.peek_time() {
+            if t > until {
+                break;
+            }
+            let (_, ev) = self.sched.pop().expect("peeked");
+            self.dispatch(ev);
+        }
+    }
+
+    /// True when no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.sched.is_empty()
+    }
+
+    /// Events dispatched so far.
+    pub fn events_dispatched(&self) -> u64 {
+        self.sched.dispatched()
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Packet {
+                host,
+                conn,
+                seq,
+                seq64,
+                ack,
+                wnd,
+                sack,
+                payload,
+            } => self.handle_packet(host as usize, conn, seq, seq64, ack, wnd, sack, payload),
+            Event::Consume { host, conn, bytes } => {
+                let h = host as usize;
+                if let Some(c) = self.hosts[h].conns.get_mut(&conn) {
+                    c.tcp.consume(bytes);
+                }
+                self.pump_conn(h, conn); // emits the window-update ACK
+            }
+            Event::Rto { host, conn, gen } => self.handle_rto(host as usize, conn, gen),
+            Event::ResyncReq {
+                host,
+                conn,
+                layer,
+                tcpsn,
+            } => self.handle_resync_req(host as usize, conn, layer, tcpsn),
+            Event::ResyncResp {
+                host,
+                conn,
+                layer,
+                tcpsn,
+                ok,
+                idx,
+            } => {
+                let h = &mut self.hosts[host as usize];
+                if let Some(c) = h.conns.get(&conn) {
+                    h.nic.resync_response(c.in_flow, layer, tcpsn, ok, idx);
+                }
+            }
+            Event::TargetReply { host, conn, token } => {
+                self.handle_target_reply(host as usize, conn, token)
+            }
+            Event::AppTimer { host, token } => {
+                self.fire_app(host as usize, |app, api| {
+                    app.on_event(api, AppEvent::Timer { token })
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Packet receive path.
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_packet(
+        &mut self,
+        h: usize,
+        conn: ConnId,
+        seq: u32,
+        seq64: u64,
+        ack: u32,
+        wnd: u32,
+        sack: Vec<(u32, u32)>,
+        mut payload: Payload,
+    ) {
+        let now = self.sched.now();
+        let cost = self.cfg.cost.clone();
+        let resync_delay = self.cfg.resync_delay;
+        let mut app_calls: Vec<AppCall> = Vec::new();
+        let mut resync_reqs: Vec<(u8, u64)> = Vec::new();
+        let mut resync_resps: Vec<(u8, u64, bool, u64)> = Vec::new();
+        let mut target_replies: Vec<(u64, SimTime)> = Vec::new();
+
+        {
+            let host = &mut self.hosts[h];
+            let Some(c) = host.conns.get_mut(&conn) else {
+                return;
+            };
+
+            // 1. NIC receive processing (offload engines).
+            let rxp = host.nic.rx_process(c.in_flow, seq64, &mut payload);
+            for ev in rxp.events {
+                let EngineEvent::ResyncRequest { layer, tcpsn } = ev;
+                resync_reqs.push((layer, tcpsn));
+            }
+
+            // 2. TCP + per-packet stack cost, plus the per-batch wakeup
+            // cost when this core switches connections (batching model).
+            // Pure ACKs ride the cheap path.
+            let cycles = if payload.is_empty() {
+                cost.per_ack
+            } else {
+                let mut cyc = per_pkt_rx_cost(&c.proto, &cost);
+                if rxp.flags != Default::default() {
+                    cyc += cost.per_pkt_rx_offload_extra;
+                }
+                if host.last_conn[c.core] != Some(conn) {
+                    host.last_conn[c.core] = Some(conn);
+                    cyc += cost.per_wakeup;
+                }
+                cyc
+            };
+            let mut done = host.cpu.run(c.core, now, cycles);
+            c.tcp.on_packet_wnd(seq, ack, wnd, &sack, payload, rxp.flags, now);
+
+            // 3. Release transmit-side L5P state below the cumulative ack.
+            let acked = c.tcp.sender().snd_una();
+            release_proto(&mut c.proto, acked);
+
+            // 4. Deliver in-order chunks to the L5P layers.
+            let chunks = c.tcp.take_ready();
+            if !chunks.is_empty() {
+                let consumed: u64 = chunks.iter().map(|ch| ch.payload.len() as u64).sum();
+                let (proto_cycles, calls) = proto_rx(
+                    c,
+                    chunks,
+                    &cost,
+                    now,
+                    conn,
+                    &mut resync_resps,
+                    &mut target_replies,
+                );
+                done = host.cpu.run(c.core, now, proto_cycles);
+                app_calls.extend(calls);
+                // The window reopens when the CPU actually finishes the
+                // protocol work for these bytes.
+                self.sched.schedule(
+                    done,
+                    Event::Consume {
+                        host: h as u8,
+                        conn,
+                        bytes: consumed,
+                    },
+                );
+            } else {
+                // Still poll resync responses (requests may have matured).
+                poll_resyncs(&mut c.proto, &mut resync_resps);
+                let _ = done;
+            }
+
+            // 5. Writable notification.
+            if c.blocked && c.tcp.unsent_bytes() < LOW_WATER {
+                c.blocked = false;
+                app_calls.push(AppCall::Writable { conn });
+            }
+        }
+
+        for (layer, tcpsn) in resync_reqs {
+            self.sched.schedule(
+                now + resync_delay,
+                Event::ResyncReq {
+                    host: h as u8,
+                    conn,
+                    layer,
+                    tcpsn,
+                },
+            );
+        }
+        for (layer, tcpsn, ok, idx) in resync_resps {
+            self.sched.schedule(
+                now + resync_delay,
+                Event::ResyncResp {
+                    host: h as u8,
+                    conn,
+                    layer,
+                    tcpsn,
+                    ok,
+                    idx,
+                },
+            );
+        }
+        for (token, ready) in target_replies {
+            self.sched.schedule(
+                ready,
+                Event::TargetReply {
+                    host: h as u8,
+                    conn,
+                    token,
+                },
+            );
+        }
+        self.run_app_calls(h, app_calls);
+        self.pump_conn(h, conn);
+    }
+
+    fn handle_rto(&mut self, h: usize, conn: ConnId, gen: u64) {
+        let now = self.sched.now();
+        {
+            let host = &mut self.hosts[h];
+            let Some(c) = host.conns.get_mut(&conn) else {
+                return;
+            };
+            if c.rto_gen != gen || c.armed_rto != Some(now) {
+                return; // stale timer
+            }
+            c.armed_rto = None;
+            c.tcp.on_rto(now);
+        }
+        self.pump_conn(h, conn);
+    }
+
+    fn handle_resync_req(&mut self, h: usize, conn: ConnId, layer: u8, tcpsn: u64) {
+        let now = self.sched.now();
+        let cost = self.cfg.cost.clone();
+        let mut resps = Vec::new();
+        {
+            let host = &mut self.hosts[h];
+            let Some(c) = host.conns.get_mut(&conn) else {
+                return;
+            };
+            host.cpu.run(c.core, now, cost.resync_confirm_cpu);
+            match (&mut c.proto, layer) {
+                (Proto::Tls { rx, .. }, 0) => rx.on_resync_request(tcpsn),
+                (Proto::NvmeHost { host: nh }, 0) => nh.parser_mut().on_resync_request(tcpsn),
+                (Proto::NvmeTarget { target, .. }, 0) => {
+                    target.parser_mut().on_resync_request(tcpsn)
+                }
+                (Proto::NvmeTlsHost { tls_rx, .. }, 0) => tls_rx.on_resync_request(tcpsn),
+                (Proto::NvmeTlsHost { host: nh, .. }, 1) => {
+                    nh.parser_mut().on_resync_request(tcpsn)
+                }
+                (Proto::NvmeTlsTarget { tls_rx, .. }, 0) => tls_rx.on_resync_request(tcpsn),
+                (Proto::NvmeTlsTarget { target, .. }, 1) => {
+                    target.parser_mut().on_resync_request(tcpsn)
+                }
+                _ => {}
+            }
+            poll_resyncs(&mut c.proto, &mut resps);
+        }
+        for (layer, tcpsn, ok, idx) in resps {
+            self.sched.schedule(
+                now + self.cfg.resync_delay,
+                Event::ResyncResp {
+                    host: h as u8,
+                    conn,
+                    layer,
+                    tcpsn,
+                    ok,
+                    idx,
+                },
+            );
+        }
+    }
+
+    fn handle_target_reply(&mut self, h: usize, conn: ConnId, token: u64) {
+        let now = self.sched.now();
+        let cost = self.cfg.cost.clone();
+        {
+            let host = &mut self.hosts[h];
+            let Some(c) = host.conns.get_mut(&conn) else {
+                return;
+            };
+            let (wire, cycles): (Vec<Payload>, u64) = match &mut c.proto {
+                Proto::NvmeTarget {
+                    target, pending, ..
+                } => {
+                    let Some(reply) = pending.remove(&token) else {
+                        return;
+                    };
+                    target.emit(reply, &cost)
+                }
+                Proto::NvmeTlsTarget {
+                    target,
+                    pending,
+                    tls_tx,
+                    inner,
+                    ..
+                } => {
+                    let Some(reply) = pending.remove(&token) else {
+                        return;
+                    };
+                    let (capsules, mut cyc) = target.emit(reply, &cost);
+                    // Wrap the capsule stream in TLS records.
+                    let mut records = Vec::new();
+                    for cap in capsules {
+                        inner.borrow_mut().push_capsule(&cap);
+                        let (recs, c2) = tls_tx.send(&cap, &cost);
+                        cyc += c2;
+                        records.extend(recs);
+                    }
+                    (records, cyc)
+                }
+                _ => return,
+            };
+            host.cpu.run(c.core, now, cycles);
+            for w in wire {
+                c.tcp.send(w);
+            }
+        }
+        self.pump_conn(h, conn);
+    }
+
+    // ------------------------------------------------------------------
+    // Transmit pump.
+
+    /// Drains TCP's transmit queue through the NIC onto the link.
+    pub(crate) fn pump_conn(&mut self, h: usize, conn: ConnId) {
+        let now = self.sched.now();
+        let cost = self.cfg.cost.clone();
+        let peer = (1 - h) as u8;
+        loop {
+            let host = &mut self.hosts[h];
+            let Some(c) = host.conns.get_mut(&conn) else {
+                return;
+            };
+            // Transmission is paced by the core: a packet effectively
+            // leaves when the core's queued work drains. Using that time
+            // for TCP keeps RTT samples and RTO arming consistent with the
+            // actual send time (otherwise a backlogged core causes spurious
+            // RTOs for packets that have not reached the wire yet).
+            let eff_now = host.cpu.free_at(c.core).max(now);
+            let Some(seg) = c.tcp.poll_transmit(eff_now) else {
+                break;
+            };
+            // Pure ACKs leave from softirq context promptly: they pay their
+            // (small) CPU cost but do not queue behind heavy L5P work.
+            let tx_cost = if seg.payload.is_empty() {
+                cost.per_ack
+            } else {
+                cost.per_pkt_tx
+            };
+            let tx_done = host.cpu.run(c.core, now, tx_cost);
+            let mut payload = seg.payload;
+            let mut send_at = if payload.is_empty() {
+                now + ano_sim::time::SimDuration::from_nanos(500)
+            } else {
+                tx_done
+            };
+            if host.nic.has_tx(c.out_flow) && !payload.is_empty() {
+                let adapter = TxAdapter {
+                    proto: &c.proto,
+                    tcp: c.tcp.sender(),
+                };
+                let res = host
+                    .nic
+                    .tx_process(c.out_flow, seg.seq64, &mut payload, &adapter);
+                if res.replay_bytes > 0 {
+                    // Context recovery: replayed bytes cross PCIe; the
+                    // driver also burns a few cycles setting it up.
+                    send_at = send_at + cost.pcie_transfer(res.replay_bytes);
+                    host.cpu.run(c.core, now, cost.ctx_recovery_cpu);
+                }
+                if res.cache_miss {
+                    send_at = send_at + cost.nic_cache_miss_latency;
+                }
+            }
+            let wire_len = payload.len() + WIRE_HEADER_BYTES;
+            let link = &mut self.links[h]; // links[0] is 0→1
+            for arrival in link.transmit(send_at, wire_len, &mut self.rng) {
+                self.sched.schedule(
+                    arrival + cost.nic_latency,
+                    Event::Packet {
+                        host: peer,
+                        conn,
+                        seq: seg.seq,
+                        seq64: seg.seq64,
+                        ack: seg.ack,
+                        wnd: seg.wnd,
+                        sack: seg.sack.clone(),
+                        payload: payload.clone(),
+                    },
+                );
+            }
+        }
+        // Arm/refresh the retransmission timer.
+        let host = &mut self.hosts[h];
+        if let Some(c) = host.conns.get_mut(&conn) {
+            match c.tcp.rto_deadline() {
+                Some(d) => {
+                    if c.armed_rto != Some(d) {
+                        c.armed_rto = Some(d);
+                        c.rto_gen += 1;
+                        self.sched.schedule(
+                            d,
+                            Event::Rto {
+                                host: h as u8,
+                                conn,
+                                gen: c.rto_gen,
+                            },
+                        );
+                    }
+                }
+                None => c.armed_rto = None,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Application plumbing.
+
+    fn fire_app(&mut self, h: usize, f: impl FnOnce(&mut dyn crate::app::HostApp, &mut HostApi)) {
+        let Some(mut app) = self.apps[h].take() else {
+            return;
+        };
+        let mut api = HostApi::new(self.sched.now());
+        f(app.as_mut(), &mut api);
+        self.apps[h] = Some(app);
+        let actions = std::mem::take(&mut api.actions);
+        self.run_actions(h, actions);
+    }
+
+    fn run_app_calls(&mut self, h: usize, calls: Vec<AppCall>) {
+        for call in calls {
+            match call {
+                AppCall::Data { conn, plains } => self.fire_app(h, |app, api| {
+                    app.on_event(
+                        api,
+                        AppEvent::Data {
+                            conn,
+                            chunks: &plains,
+                        },
+                    )
+                }),
+                AppCall::NvmeDone { conn, completions } => {
+                    for completion in &completions {
+                        self.fire_app(h, |app, api| {
+                            app.on_event(
+                                api,
+                                AppEvent::NvmeDone {
+                                    conn,
+                                    completion,
+                                },
+                            )
+                        });
+                    }
+                }
+                AppCall::Writable { conn } => self.fire_app(h, |app, api| {
+                    app.on_event(api, AppEvent::Writable { conn })
+                }),
+            }
+        }
+    }
+
+    fn run_actions(&mut self, h: usize, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { conn, data } => self.proto_send(h, conn, data),
+                Action::NvmeRead {
+                    conn,
+                    id,
+                    offset,
+                    len,
+                } => self.nvme_submit(h, conn, id, offset, len, None),
+                Action::NvmeWrite {
+                    conn,
+                    id,
+                    offset,
+                    data,
+                } => self.nvme_submit(h, conn, id, offset, data.len() as u32, Some(data)),
+                Action::Charge { cycles } => {
+                    let now = self.sched.now();
+                    let host = &mut self.hosts[h];
+                    let core = host.cpu.least_busy();
+                    host.cpu.run(core, now, cycles);
+                }
+                Action::Timer { token, at } => {
+                    self.sched.schedule(
+                        at,
+                        Event::AppTimer {
+                            host: h as u8,
+                            token,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Application bytes into a Raw or TLS connection.
+    fn proto_send(&mut self, h: usize, conn: ConnId, data: Payload) {
+        let now = self.sched.now();
+        let cost = self.cfg.cost.clone();
+        {
+            let host = &mut self.hosts[h];
+            let Some(c) = host.conns.get_mut(&conn) else {
+                return;
+            };
+            let mut cycles = cost.syscall;
+            match &mut c.proto {
+                Proto::Raw => {
+                    cycles += ano_sim::cost::CostModel::bytes_cycles(cost.stack_cpb, data.len());
+                    c.tcp.send(data);
+                }
+                Proto::Tls { tx, .. } => {
+                    let (wire, cyc) = tx.send(&data, &cost);
+                    cycles += cyc;
+                    for w in wire {
+                        c.tcp.send(w);
+                    }
+                }
+                _ => panic!("Send is only valid on Raw/Tls connections"),
+            }
+            host.cpu.run(c.core, now, cycles);
+            c.blocked = true; // notify (once) when the queue drains
+        }
+        self.pump_conn(h, conn);
+    }
+
+    /// NVMe submission on an initiator connection.
+    fn nvme_submit(
+        &mut self,
+        h: usize,
+        conn: ConnId,
+        id: u64,
+        offset: u64,
+        len: u32,
+        write_data: Option<Payload>,
+    ) {
+        let now = self.sched.now();
+        let cost = self.cfg.cost.clone();
+        {
+            let host = &mut self.hosts[h];
+            let Some(c) = host.conns.get_mut(&conn) else {
+                return;
+            };
+            let (wire, cycles): (Vec<Payload>, u64) = match &mut c.proto {
+                Proto::NvmeHost { host: nh } => match &write_data {
+                    None => {
+                        let (w, cyc) = nh.submit_read(id, offset, len, &cost);
+                        (vec![w], cyc)
+                    }
+                    Some(d) => {
+                        let (w, cyc) = nh.submit_write(id, offset, d, &cost);
+                        (vec![w], cyc)
+                    }
+                },
+                Proto::NvmeTlsHost {
+                    host: nh,
+                    tls_tx,
+                    inner,
+                    ..
+                } => {
+                    let (capsule, mut cyc) = match &write_data {
+                        None => nh.submit_read(id, offset, len, &cost),
+                        Some(d) => nh.submit_write(id, offset, d, &cost),
+                    };
+                    inner.borrow_mut().push_capsule(&capsule);
+                    let (recs, c2) = tls_tx.send(&capsule, &cost);
+                    cyc += c2;
+                    (recs, cyc)
+                }
+                _ => panic!("NVMe I/O is only valid on initiator connections"),
+            };
+            host.cpu.run(c.core, now, cycles);
+            for w in wire {
+                c.tcp.send(w);
+            }
+        }
+        self.pump_conn(h, conn);
+    }
+}
+
+/// Per-packet receive cost of the stack for this connection's protocol.
+fn per_pkt_rx_cost(proto: &Proto, cost: &ano_sim::cost::CostModel) -> u64 {
+    match proto {
+        Proto::NvmeHost { .. } | Proto::NvmeTlsHost { .. } => cost.per_pkt_nvme_rx,
+        _ => cost.per_pkt_rx,
+    }
+}
+
+/// Releases transmit-side L5P state below the cumulative ack.
+fn release_proto(proto: &mut Proto, acked: u64) {
+    match proto {
+        Proto::Raw => {}
+        Proto::Tls { tx, .. } => tx.release_below(acked),
+        Proto::NvmeHost { host } => host.release_below(acked),
+        Proto::NvmeTarget { target, .. } => target.release_below(acked),
+        Proto::NvmeTlsHost {
+            tls_tx,
+            host,
+            inner,
+            ..
+        } => {
+            tls_tx.release_below(acked);
+            let plain_acked =
+                acked.saturating_sub(TLS_OVERHEAD as u64 * tls_tx.stats().records);
+            host.release_below(plain_acked);
+            inner.borrow_mut().prune(plain_acked);
+        }
+        Proto::NvmeTlsTarget {
+            tls_tx,
+            target,
+            inner,
+            ..
+        } => {
+            tls_tx.release_below(acked);
+            let plain_acked =
+                acked.saturating_sub(TLS_OVERHEAD as u64 * tls_tx.stats().records);
+            target.release_below(plain_acked);
+            inner.borrow_mut().prune(plain_acked);
+        }
+    }
+}
+
+/// Drains pending resync responses from all layers of a proto:
+/// `(layer, tcpsn, ok, msg_index)`.
+fn poll_resyncs(proto: &mut Proto, out: &mut Vec<(u8, u64, bool, u64)>) {
+    match proto {
+        Proto::Raw => {}
+        Proto::Tls { rx, .. } => {
+            out.extend(rx.take_resync_responses().into_iter().map(|(t, ok, i)| (0, t, ok, i)));
+        }
+        Proto::NvmeHost { host } => {
+            out.extend(
+                host.parser_mut()
+                    .take_resync_responses()
+                    .into_iter()
+                    .map(|(t, ok, i)| (0, t, ok, i)),
+            );
+        }
+        Proto::NvmeTarget { target, .. } => {
+            out.extend(
+                target
+                    .parser_mut()
+                    .take_resync_responses()
+                    .into_iter()
+                    .map(|(t, ok, i)| (0, t, ok, i)),
+            );
+        }
+        Proto::NvmeTlsHost { tls_rx, host, .. } => {
+            out.extend(
+                tls_rx
+                    .take_resync_responses()
+                    .into_iter()
+                    .map(|(t, ok, i)| (0, t, ok, i)),
+            );
+            out.extend(
+                host.parser_mut()
+                    .take_resync_responses()
+                    .into_iter()
+                    .map(|(t, ok, i)| (1, t, ok, i)),
+            );
+        }
+        Proto::NvmeTlsTarget { tls_rx, target, .. } => {
+            out.extend(
+                tls_rx
+                    .take_resync_responses()
+                    .into_iter()
+                    .map(|(t, ok, i)| (0, t, ok, i)),
+            );
+            out.extend(
+                target
+                    .parser_mut()
+                    .take_resync_responses()
+                    .into_iter()
+                    .map(|(t, ok, i)| (1, t, ok, i)),
+            );
+        }
+    }
+}
+
+/// Delivers in-order chunks into the connection's protocol layers.
+/// Returns `(cycles, app calls)`.
+fn proto_rx(
+    c: &mut crate::world::ConnState,
+    chunks: Vec<RxChunk>,
+    cost: &ano_sim::cost::CostModel,
+    now: SimTime,
+    conn: ConnId,
+    resync_resps: &mut Vec<(u8, u64, bool, u64)>,
+    target_replies: &mut Vec<(u64, SimTime)>,
+) -> (u64, Vec<AppCall>) {
+    let mut cycles = 0u64;
+    let mut calls = Vec::new();
+    match &mut c.proto {
+        Proto::Raw => {
+            let plains: Vec<PlainChunk> = chunks
+                .into_iter()
+                .map(|ch| PlainChunk {
+                    plain_off: ch.offset,
+                    payload: ch.payload,
+                    flags: ch.flags,
+                })
+                .collect();
+            let bytes: u64 = plains.iter().map(|p| p.payload.len() as u64).sum();
+            cycles += ano_sim::cost::CostModel::bytes_cycles(cost.stack_cpb, bytes as usize);
+            c.delivered += bytes;
+            calls.push(AppCall::Data { conn, plains });
+        }
+        Proto::Tls { rx, .. } => {
+            let (plains, cyc) = rx.on_chunks(chunks, cost);
+            cycles += cyc;
+            let bytes: u64 = plains.iter().map(|p| p.payload.len() as u64).sum();
+            c.delivered += bytes;
+            if !plains.is_empty() {
+                calls.push(AppCall::Data { conn, plains });
+            }
+        }
+        Proto::NvmeHost { host } => {
+            let stream = chunks.into_iter().map(|ch| StreamChunk {
+                offset: ch.offset,
+                payload: ch.payload,
+                flags: ch.flags,
+            });
+            cycles += host.on_chunks(stream, cost);
+            let completions = host.take_completions();
+            let bytes: u64 = completions
+                .iter()
+                .map(|x| x.placed_bytes + x.copied_bytes)
+                .sum();
+            c.delivered += bytes;
+            if !completions.is_empty() {
+                calls.push(AppCall::NvmeDone { conn, completions });
+            }
+        }
+        Proto::NvmeTarget {
+            target,
+            pending,
+            next_token,
+        } => {
+            let stream = chunks.into_iter().map(|ch| StreamChunk {
+                offset: ch.offset,
+                payload: ch.payload,
+                flags: ch.flags,
+            });
+            let (replies, cyc) = target.on_chunks(stream, now, cost);
+            cycles += cyc;
+            for r in replies {
+                let token = *next_token;
+                *next_token += 1;
+                pending.insert(token, r.reply);
+                target_replies.push((token, r.ready));
+            }
+        }
+        Proto::NvmeTlsHost {
+            tls_rx, host, ..
+        } => {
+            let (plains, cyc) = tls_rx.on_chunks(chunks, cost);
+            cycles += cyc;
+            let stream = plains.into_iter().map(|p| StreamChunk {
+                offset: p.plain_off,
+                payload: p.payload,
+                flags: p.flags,
+            });
+            cycles += host.on_chunks(stream, cost);
+            let completions = host.take_completions();
+            let bytes: u64 = completions
+                .iter()
+                .map(|x| x.placed_bytes + x.copied_bytes)
+                .sum();
+            c.delivered += bytes;
+            if !completions.is_empty() {
+                calls.push(AppCall::NvmeDone { conn, completions });
+            }
+        }
+        Proto::NvmeTlsTarget {
+            tls_rx,
+            target,
+            pending,
+            next_token,
+            ..
+        } => {
+            let (plains, cyc) = tls_rx.on_chunks(chunks, cost);
+            cycles += cyc;
+            let stream = plains.into_iter().map(|p| StreamChunk {
+                offset: p.plain_off,
+                payload: p.payload,
+                flags: p.flags,
+            });
+            let (replies, cyc2) = target.on_chunks(stream, now, cost);
+            cycles += cyc2;
+            for r in replies {
+                let token = *next_token;
+                *next_token += 1;
+                pending.insert(token, r.reply);
+                target_replies.push((token, r.ready));
+            }
+        }
+    }
+    poll_resyncs(&mut c.proto, resync_resps);
+    (cycles, calls)
+}

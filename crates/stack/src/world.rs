@@ -1,0 +1,928 @@
+//! The two-host discrete-event world: construction and accessors.
+//!
+//! A [`World`] owns two hosts (CPUs, NICs, TCP endpoints, L5P layers), two
+//! unidirectional links, and the event queue. Connections are created with
+//! a [`ConnSpec`] per endpoint; autonomous offload engines are installed on
+//! the NICs according to the spec. Applications ([`crate::app::HostApp`])
+//! drive traffic and receive events.
+//!
+//! Timing model: every packet charges the paper-calibrated per-packet stack
+//! costs to the connection's core; L5P layers return their own cycle counts
+//! (crypto, copies, digests, fallbacks); NIC offload upkeep (context
+//! recovery replays, cache fills) is accounted as PCIe bytes and NIC-side
+//! latency, never as CPU cycles — that asymmetry *is* the paper's thesis.
+//!
+//! Event processing lives in [`crate::runtime`].
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use ano_core::flow::{L5TxSource, TxMsgRef};
+use ano_core::msg::FrameIndex;
+use ano_core::nic::{Nic, NicConfig};
+use ano_core::rx::RxEngine;
+use ano_core::tx::TxEngine;
+use ano_nvme::block::{BlockDevice, BlockDeviceConfig};
+use ano_nvme::host::{NvmeHostConfig, NvmeTcpHost};
+use ano_nvme::offload::{NvmeMode, NvmeRxFlow, NvmeTxFlow, RrMap};
+use ano_nvme::parser::PduParser;
+use ano_nvme::target::{NvmeTargetConfig, NvmeTcpTarget, Reply};
+use ano_sim::cost::CostModel;
+use ano_sim::cpu::CpuSet;
+use ano_sim::link::{Impairments, Link};
+use ano_sim::payload::{DataMode, Payload};
+use ano_sim::rng::SimRng;
+use ano_sim::sched::Scheduler;
+use ano_sim::time::{SimDuration, SimTime};
+use ano_tcp::conn::TcpEndpoint;
+use ano_tcp::segment::FlowId;
+use ano_tcp::TcpConfig;
+use ano_tls::ktls::{KtlsRx, KtlsTx, KtlsTxConfig};
+use ano_tls::offload::{FlowMode, TlsRxFlow, TlsTxFlow};
+use ano_tls::session::TlsSession;
+
+use crate::app::HostApp;
+
+/// Identifies one connection (same id on both hosts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u32);
+
+/// TLS endpoint options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TlsSpec {
+    /// Offload transmit crypto to the NIC.
+    pub tx_offload: bool,
+    /// Offload receive crypto to the NIC.
+    pub rx_offload: bool,
+    /// Zero-copy sendfile (only meaningful with `tx_offload`).
+    pub zerocopy: bool,
+}
+
+impl TlsSpec {
+    /// All offloads on, zero-copy.
+    pub fn offloaded_zc() -> TlsSpec {
+        TlsSpec {
+            tx_offload: true,
+            rx_offload: true,
+            zerocopy: true,
+        }
+    }
+
+    /// All offloads on, with the copy path.
+    pub fn offloaded() -> TlsSpec {
+        TlsSpec {
+            tx_offload: true,
+            rx_offload: true,
+            zerocopy: false,
+        }
+    }
+}
+
+/// NVMe initiator options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NvmeHostSpec {
+    /// NIC copy offload for C2H data.
+    pub copy_offload: bool,
+    /// NIC CRC verification offload (receive).
+    pub crc_offload: bool,
+    /// NIC CRC fill offload for outgoing write data.
+    pub crc_tx_offload: bool,
+}
+
+impl NvmeHostSpec {
+    /// All offloads on.
+    pub fn offloaded() -> NvmeHostSpec {
+        NvmeHostSpec {
+            copy_offload: true,
+            crc_offload: true,
+            crc_tx_offload: true,
+        }
+    }
+}
+
+/// NVMe controller options.
+#[derive(Clone, Debug)]
+pub struct NvmeTargetSpec {
+    /// Backing device.
+    pub device: BlockDeviceConfig,
+    /// NIC CRC fill offload for outgoing read data.
+    pub crc_tx_offload: bool,
+    /// NIC CRC verification offload for incoming write data.
+    pub crc_rx_offload: bool,
+    /// Maximum data bytes per C2HData PDU.
+    pub max_data_pdu: usize,
+}
+
+impl Default for NvmeTargetSpec {
+    fn default() -> Self {
+        NvmeTargetSpec {
+            device: BlockDeviceConfig::default(),
+            crc_tx_offload: false,
+            crc_rx_offload: false,
+            max_data_pdu: 256 * 1024,
+        }
+    }
+}
+
+/// Per-endpoint protocol configuration.
+#[derive(Clone, Debug)]
+pub enum ConnSpec {
+    /// Plain TCP (the paper's "http" baseline).
+    Raw,
+    /// kTLS endpoint.
+    Tls(TlsSpec),
+    /// NVMe-TCP initiator (peer must be `NvmeTarget`).
+    NvmeHost(NvmeHostSpec),
+    /// NVMe-TCP controller.
+    NvmeTarget(NvmeTargetSpec),
+    /// NVMe-TCP initiator inside TLS (combined NVMe-TLS, §5.3).
+    NvmeTlsHost(NvmeHostSpec, TlsSpec),
+    /// NVMe-TCP controller inside TLS.
+    NvmeTlsTarget(NvmeTargetSpec, TlsSpec),
+}
+
+/// World construction parameters.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// RNG seed (drives loss, reordering, key material).
+    pub seed: u64,
+    /// Payload fidelity for all connections.
+    pub mode: DataMode,
+    /// Cost model (per-host).
+    pub cost: CostModel,
+    /// Link rate, bits/second (both directions).
+    pub link_rate_bps: u64,
+    /// One-way propagation delay.
+    pub link_delay: SimDuration,
+    /// Impairments on host0 → host1.
+    pub impair_0to1: Impairments,
+    /// Impairments on host1 → host0.
+    pub impair_1to0: Impairments,
+    /// Cores per host: `[host0, host1]`.
+    pub cores: [usize; 2],
+    /// NIC configuration (context cache).
+    pub nic: NicConfig,
+    /// TCP tunables.
+    pub tcp: TcpConfig,
+    /// Delay for driver↔L5P resync notifications.
+    pub resync_delay: SimDuration,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 1,
+            mode: DataMode::Modeled,
+            cost: CostModel::calibrated(),
+            link_rate_bps: 100_000_000_000,
+            link_delay: SimDuration::from_micros(2),
+            impair_0to1: Impairments::none(),
+            impair_1to0: Impairments::none(),
+            cores: [8, 8],
+            nic: NicConfig::default(),
+            tcp: TcpConfig::default(),
+            resync_delay: SimDuration::from_micros(5),
+        }
+    }
+}
+
+/// Retained plaintext-stream bytes for nested tx-engine recovery.
+#[derive(Debug, Default)]
+pub(crate) struct RetainBuf {
+    start: u64,
+    chunks: VecDeque<Payload>,
+}
+
+impl RetainBuf {
+    fn push(&mut self, p: Payload) {
+        self.chunks.push_back(p);
+    }
+
+    fn end(&self) -> u64 {
+        self.start + self.chunks.iter().map(|c| c.len() as u64).sum::<u64>()
+    }
+
+    fn range(&self, from: u64, to: u64) -> Option<Payload> {
+        if from < self.start || to > self.end() {
+            return None;
+        }
+        let mut parts = Vec::new();
+        let mut off = self.start;
+        for c in &self.chunks {
+            let c_end = off + c.len() as u64;
+            if c_end > from && off < to {
+                let s = from.saturating_sub(off) as usize;
+                let e = (to.min(c_end) - off) as usize;
+                parts.push(c.slice(s, e));
+            }
+            off = c_end;
+            if off >= to {
+                break;
+            }
+        }
+        Some(Payload::concat(parts.iter()))
+    }
+
+    fn prune(&mut self, below: u64) {
+        while let Some(front) = self.chunks.front() {
+            let end = self.start + front.len() as u64;
+            if end <= below {
+                self.start = end;
+                self.chunks.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Shared transmit state for a *nested* NVMe engine inside a TLS tx offload:
+/// capsule boundaries and retained plaintext bytes in plaintext-stream
+/// offsets (the inner engine's recovery upcalls resolve here).
+#[derive(Debug, Default)]
+pub(crate) struct InnerTxShared {
+    msgs: VecDeque<TxMsgRef>,
+    end: u64,
+    retain: RetainBuf,
+}
+
+impl InnerTxShared {
+    pub(crate) fn push_capsule(&mut self, payload: &Payload) {
+        let idx = self.msgs.back().map(|m| m.msg_index + 1).unwrap_or(0);
+        self.msgs.push_back(TxMsgRef {
+            msg_start: self.end,
+            msg_index: idx,
+        });
+        self.end += payload.len() as u64;
+        self.retain.push(payload.clone());
+    }
+
+    pub(crate) fn prune(&mut self, below: u64) {
+        while self.msgs.len() > 1 && self.msgs[1].msg_start <= below {
+            self.msgs.pop_front();
+        }
+        self.retain.prune(below);
+    }
+}
+
+impl L5TxSource for InnerTxShared {
+    fn msg_at(&self, off: u64) -> Option<TxMsgRef> {
+        if off >= self.end {
+            return None;
+        }
+        let i = self.msgs.partition_point(|m| m.msg_start <= off);
+        if i == 0 {
+            None
+        } else {
+            Some(self.msgs[i - 1])
+        }
+    }
+
+    fn stream_bytes(&self, from: u64, to: u64) -> Payload {
+        self.retain
+            .range(from, to)
+            .unwrap_or_else(|| Payload::synthetic((to - from) as usize))
+    }
+}
+
+/// Protocol glue per connection endpoint.
+pub(crate) enum Proto {
+    Raw,
+    Tls {
+        tx: KtlsTx,
+        rx: KtlsRx,
+    },
+    NvmeHost {
+        host: NvmeTcpHost,
+    },
+    NvmeTarget {
+        target: NvmeTcpTarget,
+        pending: HashMap<u64, Reply>,
+        next_token: u64,
+    },
+    NvmeTlsHost {
+        tls_tx: KtlsTx,
+        tls_rx: KtlsRx,
+        host: NvmeTcpHost,
+        inner: Rc<RefCell<InnerTxShared>>,
+    },
+    NvmeTlsTarget {
+        tls_tx: KtlsTx,
+        tls_rx: KtlsRx,
+        target: NvmeTcpTarget,
+        pending: HashMap<u64, Reply>,
+        next_token: u64,
+        inner: Rc<RefCell<InnerTxShared>>,
+    },
+}
+
+/// One endpoint of a connection.
+pub(crate) struct ConnState {
+    pub(crate) tcp: TcpEndpoint,
+    pub(crate) out_flow: FlowId,
+    pub(crate) in_flow: FlowId,
+    pub(crate) proto: Proto,
+    pub(crate) core: usize,
+    pub(crate) armed_rto: Option<SimTime>,
+    pub(crate) rto_gen: u64,
+    /// Application bytes delivered in order (throughput metering).
+    pub(crate) delivered: u64,
+    /// App asked to be told when the send queue drains.
+    pub(crate) blocked: bool,
+}
+
+pub(crate) struct HostState {
+    pub(crate) cpu: CpuSet,
+    pub(crate) nic: Nic,
+    pub(crate) conns: HashMap<ConnId, ConnState>,
+    /// Last connection whose packets each core processed (batching model).
+    pub(crate) last_conn: Vec<Option<ConnId>>,
+}
+
+/// Queued events.
+pub(crate) enum Event {
+    Packet {
+        host: u8,
+        conn: ConnId,
+        seq: u32,
+        seq64: u64,
+        ack: u32,
+        wnd: u32,
+        sack: Vec<(u32, u32)>,
+        payload: Payload,
+    },
+    /// The application finished processing `bytes` of conn's stream
+    /// (reopens the advertised receive window at CPU-completion time).
+    Consume {
+        host: u8,
+        conn: ConnId,
+        bytes: u64,
+    },
+    Rto {
+        host: u8,
+        conn: ConnId,
+        gen: u64,
+    },
+    ResyncReq {
+        host: u8,
+        conn: ConnId,
+        layer: u8,
+        tcpsn: u64,
+    },
+    ResyncResp {
+        host: u8,
+        conn: ConnId,
+        layer: u8,
+        tcpsn: u64,
+        ok: bool,
+        idx: u64,
+    },
+    TargetReply {
+        host: u8,
+        conn: ConnId,
+        token: u64,
+    },
+    AppTimer {
+        host: u8,
+        token: u64,
+    },
+}
+
+/// The simulation.
+pub struct World {
+    pub(crate) cfg: WorldConfig,
+    pub(crate) sched: Scheduler<Event>,
+    pub(crate) rng: SimRng,
+    pub(crate) hosts: Vec<HostState>,
+    /// `links[0]`: host0 → host1; `links[1]`: host1 → host0.
+    pub(crate) links: Vec<Link>,
+    pub(crate) apps: Vec<Option<Box<dyn HostApp>>>,
+    next_conn: u32,
+}
+
+impl World {
+    /// Builds an idle world.
+    pub fn new(cfg: WorldConfig) -> World {
+        let rng = SimRng::seed(cfg.seed);
+        let hosts = (0..2)
+            .map(|i| HostState {
+                cpu: CpuSet::new(cfg.cores[i], cfg.cost.freq_hz),
+                nic: Nic::new(cfg.nic),
+                conns: HashMap::new(),
+                last_conn: vec![None; cfg.cores[i]],
+            })
+            .collect();
+        let links = vec![
+            Link::new(cfg.link_rate_bps, cfg.link_delay, cfg.impair_0to1),
+            Link::new(cfg.link_rate_bps, cfg.link_delay, cfg.impair_1to0),
+        ];
+        World {
+            cfg,
+            sched: Scheduler::new(),
+            rng,
+            hosts,
+            links,
+            apps: vec![None, None],
+            next_conn: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// The cost model in use.
+    pub fn cost(&self) -> CostModel {
+        self.cfg.cost.clone()
+    }
+
+    /// Installs the application for a host.
+    pub fn set_app(&mut self, host: usize, app: Box<dyn HostApp>) {
+        self.apps[host] = Some(app);
+    }
+
+    /// Replaces a link's impairments mid-run (loss/reorder sweeps).
+    pub fn set_impairments(&mut self, dir0to1: bool, imp: Impairments) {
+        self.links[if dir0to1 { 0 } else { 1 }].set_impairments(imp);
+    }
+
+    /// Creates a connection with `spec0` on host 0 and `spec1` on host 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical pairings (an NVMe host whose peer is not a
+    /// matching target, TLS against Raw, …).
+    pub fn connect(&mut self, spec0: ConnSpec, spec1: ConnSpec) -> ConnId {
+        check_pairing(&spec0, &spec1);
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        let flow0 = FlowId(id.0 as u64 * 2);
+        let flow1 = FlowId(id.0 as u64 * 2 + 1);
+
+        let sess01 = TlsSession::from_seed(self.cfg.seed ^ flow0.0.wrapping_mul(0x9E37_79B9));
+        let sess10 = TlsSession::from_seed(self.cfg.seed ^ flow1.0.wrapping_mul(0x9E37_79B9));
+        // Frame indexes per direction: TLS records in TCP-stream offsets,
+        // NVMe capsules in their own (plaintext) stream offsets.
+        let tls_f01 = FrameIndex::new();
+        let tls_f10 = FrameIndex::new();
+        let nvme_f01 = FrameIndex::new();
+        let nvme_f10 = FrameIndex::new();
+
+        let b0 = self.build_endpoint(&spec0, &sess01, &sess10, &tls_f01, &tls_f10, &nvme_f01, &nvme_f10);
+        let b1 = self.build_endpoint(&spec1, &sess10, &sess01, &tls_f10, &tls_f01, &nvme_f10, &nvme_f01);
+
+        if let Some(tx) = b0.tx_engine {
+            self.hosts[0].nic.install_tx(flow0, tx);
+        }
+        if let Some(rx) = b0.rx_engine {
+            self.hosts[0].nic.install_rx(flow1, rx);
+        }
+        if let Some(tx) = b1.tx_engine {
+            self.hosts[1].nic.install_tx(flow1, tx);
+        }
+        if let Some(rx) = b1.rx_engine {
+            self.hosts[1].nic.install_rx(flow0, rx);
+        }
+
+        let core0 = id.0 as usize % self.cfg.cores[0];
+        let core1 = id.0 as usize % self.cfg.cores[1];
+        self.hosts[0].conns.insert(
+            id,
+            ConnState {
+                tcp: TcpEndpoint::new(flow0, self.cfg.tcp.clone()),
+                out_flow: flow0,
+                in_flow: flow1,
+                proto: b0.proto,
+                core: core0,
+                armed_rto: None,
+                rto_gen: 0,
+                delivered: 0,
+                blocked: false,
+            },
+        );
+        self.hosts[1].conns.insert(
+            id,
+            ConnState {
+                tcp: TcpEndpoint::new(flow1, self.cfg.tcp.clone()),
+                out_flow: flow1,
+                in_flow: flow0,
+                proto: b1.proto,
+                core: core1,
+                armed_rto: None,
+                rto_gen: 0,
+                delivered: 0,
+                blocked: false,
+            },
+        );
+        id
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_endpoint(
+        &mut self,
+        spec: &ConnSpec,
+        sess_out: &TlsSession,
+        sess_in: &TlsSession,
+        tls_f_out: &FrameIndex,
+        tls_f_in: &FrameIndex,
+        nvme_f_out: &FrameIndex,
+        nvme_f_in: &FrameIndex,
+    ) -> BuiltEndpoint {
+        let mode = self.cfg.mode;
+        let modeled = mode == DataMode::Modeled;
+        let fm = |f: &FrameIndex| {
+            if modeled {
+                FlowMode::Modeled(f.clone())
+            } else {
+                FlowMode::Functional
+            }
+        };
+        let nm = |f: &FrameIndex| {
+            if modeled {
+                NvmeMode::Modeled(f.clone())
+            } else {
+                NvmeMode::Functional
+            }
+        };
+        match spec {
+            ConnSpec::Raw => BuiltEndpoint {
+                proto: Proto::Raw,
+                tx_engine: None,
+                rx_engine: None,
+            },
+            ConnSpec::Tls(t) => {
+                let tx = KtlsTx::with_frames(
+                    sess_out.clone(),
+                    KtlsTxConfig {
+                        offload: t.tx_offload,
+                        zerocopy: t.zerocopy,
+                        mode,
+                    },
+                    tls_f_out.clone(),
+                );
+                let rx = KtlsRx::new(sess_in.clone(), mode, modeled.then(|| tls_f_in.clone()));
+                let tx_engine = t.tx_offload.then(|| {
+                    TxEngine::new(Box::new(TlsTxFlow::new(sess_out.clone(), fm(tls_f_out))), 0, 0)
+                });
+                let rx_engine = t.rx_offload.then(|| {
+                    RxEngine::new(Box::new(TlsRxFlow::new(sess_in.clone(), fm(tls_f_in))), 0, 0)
+                });
+                BuiltEndpoint {
+                    proto: Proto::Tls { tx, rx },
+                    tx_engine,
+                    rx_engine,
+                }
+            }
+            ConnSpec::NvmeHost(n) => {
+                let rr = RrMap::new();
+                let host = NvmeTcpHost::with_frames(
+                    NvmeHostConfig {
+                        mode,
+                        copy_offload: n.copy_offload,
+                        crc_offload: n.crc_offload,
+                    },
+                    rr.clone(),
+                    PduParser::new(nm(nvme_f_in)),
+                    nvme_f_out.clone(),
+                );
+                let tx_engine = n
+                    .crc_tx_offload
+                    .then(|| TxEngine::new(Box::new(NvmeTxFlow::new(nm(nvme_f_out))), 0, 0));
+                let rx_engine = (n.copy_offload || n.crc_offload).then(|| {
+                    RxEngine::new(
+                        Box::new(NvmeRxFlow::new(nm(nvme_f_in), rr.clone(), n.copy_offload)),
+                        0,
+                        0,
+                    )
+                });
+                BuiltEndpoint {
+                    proto: Proto::NvmeHost { host },
+                    tx_engine,
+                    rx_engine,
+                }
+            }
+            ConnSpec::NvmeTarget(t) => {
+                let device = BlockDevice::new(BlockDeviceConfig {
+                    mode,
+                    ..t.device
+                });
+                let target = NvmeTcpTarget::with_frames(
+                    NvmeTargetConfig {
+                        mode,
+                        crc_tx_offload: t.crc_tx_offload,
+                        crc_rx_offload: t.crc_rx_offload,
+                        max_data_pdu: t.max_data_pdu,
+                    },
+                    device,
+                    PduParser::new(nm(nvme_f_in)),
+                    nvme_f_out.clone(),
+                );
+                let tx_engine = t
+                    .crc_tx_offload
+                    .then(|| TxEngine::new(Box::new(NvmeTxFlow::new(nm(nvme_f_out))), 0, 0));
+                let rx_engine = t.crc_rx_offload.then(|| {
+                    RxEngine::new(
+                        Box::new(NvmeRxFlow::new(nm(nvme_f_in), RrMap::new(), false)),
+                        0,
+                        0,
+                    )
+                });
+                BuiltEndpoint {
+                    proto: Proto::NvmeTarget {
+                        target,
+                        pending: HashMap::new(),
+                        next_token: 0,
+                    },
+                    tx_engine,
+                    rx_engine,
+                }
+            }
+            ConnSpec::NvmeTlsHost(n, t) => {
+                let rr = RrMap::new();
+                let tls_tx = KtlsTx::with_frames(
+                    sess_out.clone(),
+                    KtlsTxConfig {
+                        offload: t.tx_offload,
+                        zerocopy: t.zerocopy,
+                        mode,
+                    },
+                    tls_f_out.clone(),
+                );
+                let tls_rx = KtlsRx::new(sess_in.clone(), mode, modeled.then(|| tls_f_in.clone()));
+                let host = NvmeTcpHost::with_frames(
+                    NvmeHostConfig {
+                        mode,
+                        copy_offload: n.copy_offload,
+                        crc_offload: n.crc_offload,
+                    },
+                    rr.clone(),
+                    PduParser::new(nm(nvme_f_in)),
+                    nvme_f_out.clone(),
+                );
+                let inner: Rc<RefCell<InnerTxShared>> = Rc::new(RefCell::new(InnerTxShared::default()));
+                let tx_engine = t.tx_offload.then(|| {
+                    let mut flow = TlsTxFlow::new(sess_out.clone(), fm(tls_f_out));
+                    if n.crc_tx_offload {
+                        flow = flow.with_inner(
+                            TxEngine::new(Box::new(NvmeTxFlow::new(nm(nvme_f_out))), 0, 0),
+                            Rc::clone(&inner) as Rc<RefCell<dyn L5TxSource>>,
+                        );
+                    }
+                    TxEngine::new(Box::new(flow), 0, 0)
+                });
+                let rx_engine = t.rx_offload.then(|| {
+                    let mut flow = TlsRxFlow::new(sess_in.clone(), fm(tls_f_in));
+                    if n.copy_offload || n.crc_offload {
+                        flow = flow.with_inner(RxEngine::new(
+                            Box::new(NvmeRxFlow::new(nm(nvme_f_in), rr.clone(), n.copy_offload)),
+                            0,
+                            0,
+                        ));
+                    }
+                    RxEngine::new(Box::new(flow), 0, 0)
+                });
+                BuiltEndpoint {
+                    proto: Proto::NvmeTlsHost {
+                        tls_tx,
+                        tls_rx,
+                        host,
+                        inner,
+                    },
+                    tx_engine,
+                    rx_engine,
+                }
+            }
+            ConnSpec::NvmeTlsTarget(tg, t) => {
+                let device = BlockDevice::new(BlockDeviceConfig {
+                    mode,
+                    ..tg.device
+                });
+                let tls_tx = KtlsTx::with_frames(
+                    sess_out.clone(),
+                    KtlsTxConfig {
+                        offload: t.tx_offload,
+                        zerocopy: t.zerocopy,
+                        mode,
+                    },
+                    tls_f_out.clone(),
+                );
+                let tls_rx = KtlsRx::new(sess_in.clone(), mode, modeled.then(|| tls_f_in.clone()));
+                let target = NvmeTcpTarget::with_frames(
+                    NvmeTargetConfig {
+                        mode,
+                        crc_tx_offload: tg.crc_tx_offload,
+                        crc_rx_offload: tg.crc_rx_offload,
+                        max_data_pdu: tg.max_data_pdu,
+                    },
+                    device,
+                    PduParser::new(nm(nvme_f_in)),
+                    nvme_f_out.clone(),
+                );
+                let inner: Rc<RefCell<InnerTxShared>> = Rc::new(RefCell::new(InnerTxShared::default()));
+                let tx_engine = t.tx_offload.then(|| {
+                    let mut flow = TlsTxFlow::new(sess_out.clone(), fm(tls_f_out));
+                    if tg.crc_tx_offload {
+                        flow = flow.with_inner(
+                            TxEngine::new(Box::new(NvmeTxFlow::new(nm(nvme_f_out))), 0, 0),
+                            Rc::clone(&inner) as Rc<RefCell<dyn L5TxSource>>,
+                        );
+                    }
+                    TxEngine::new(Box::new(flow), 0, 0)
+                });
+                let rx_engine = t.rx_offload.then(|| {
+                    let mut flow = TlsRxFlow::new(sess_in.clone(), fm(tls_f_in));
+                    if tg.crc_rx_offload {
+                        flow = flow.with_inner(RxEngine::new(
+                            Box::new(NvmeRxFlow::new(nm(nvme_f_in), RrMap::new(), false)),
+                            0,
+                            0,
+                        ));
+                    }
+                    RxEngine::new(Box::new(flow), 0, 0)
+                });
+                BuiltEndpoint {
+                    proto: Proto::NvmeTlsTarget {
+                        tls_tx,
+                        tls_rx,
+                        target,
+                        pending: HashMap::new(),
+                        next_token: 0,
+                        inner,
+                    },
+                    tx_engine,
+                    rx_engine,
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors for experiments.
+
+    /// Total busy cycles on a host.
+    pub fn cpu_busy_cycles(&self, host: usize) -> u64 {
+        self.hosts[host].cpu.total_busy_cycles()
+    }
+
+    /// Snapshot of per-core busy cycles (windowed utilization).
+    pub fn cpu_snapshot(&self, host: usize) -> Vec<u64> {
+        self.hosts[host].cpu.snapshot()
+    }
+
+    /// Average busy cores over a window started at `snapshot`.
+    pub fn busy_cores_since(&self, host: usize, snapshot: &[u64], window: SimDuration) -> f64 {
+        self.hosts[host].cpu.busy_cores_since(snapshot, window)
+    }
+
+    /// NIC counters for a host.
+    pub fn nic_counters(&self, host: usize) -> ano_core::nic::NicCounters {
+        self.hosts[host].nic.counters()
+    }
+
+    /// Receive-engine stats for a connection's incoming flow at `host`.
+    pub fn rx_engine_stats(&self, host: usize, conn: ConnId) -> Option<ano_core::rx::RxStats> {
+        let c = self.hosts[host].conns.get(&conn)?;
+        self.hosts[host].nic.rx_stats(c.in_flow)
+    }
+
+    /// Transmit-engine stats for a connection's outgoing flow at `host`.
+    pub fn tx_engine_stats(&self, host: usize, conn: ConnId) -> Option<ano_core::tx::TxStats> {
+        let c = self.hosts[host].conns.get(&conn)?;
+        self.hosts[host].nic.tx_stats(c.out_flow)
+    }
+
+    /// Application bytes delivered in order on `conn` at `host`.
+    pub fn delivered_bytes(&self, host: usize, conn: ConnId) -> u64 {
+        self.hosts[host]
+            .conns
+            .get(&conn)
+            .map(|c| c.delivered)
+            .unwrap_or(0)
+    }
+
+    /// kTLS receive stats (record classification, Fig. 17b/18b).
+    pub fn ktls_rx_stats(&self, host: usize, conn: ConnId) -> Option<ano_tls::ktls::KtlsRxStats> {
+        match &self.hosts[host].conns.get(&conn)?.proto {
+            Proto::Tls { rx, .. } => Some(rx.stats()),
+            Proto::NvmeTlsHost { tls_rx, .. } | Proto::NvmeTlsTarget { tls_rx, .. } => {
+                Some(tls_rx.stats())
+            }
+            _ => None,
+        }
+    }
+
+    /// NVMe host stats for an initiator connection.
+    pub fn nvme_host_stats(&self, host: usize, conn: ConnId) -> Option<ano_nvme::host::NvmeHostStats> {
+        match &self.hosts[host].conns.get(&conn)?.proto {
+            Proto::NvmeHost { host: h } => Some(h.stats()),
+            Proto::NvmeTlsHost { host: h, .. } => Some(h.stats()),
+            _ => None,
+        }
+    }
+
+    /// TCP transmit stats.
+    pub fn tcp_tx_stats(&self, host: usize, conn: ConnId) -> Option<ano_tcp::sender::SenderStats> {
+        self.hosts[host].conns.get(&conn).map(|c| c.tcp.tx_stats())
+    }
+
+    /// TCP receive stats.
+    pub fn tcp_rx_stats(&self, host: usize, conn: ConnId) -> Option<ano_tcp::receiver::ReceiverStats> {
+        self.hosts[host].conns.get(&conn).map(|c| c.tcp.rx_stats())
+    }
+
+    /// Link statistics (`true`: host0 → host1).
+    pub fn link_stats(&self, dir0to1: bool) -> ano_sim::link::LinkStats {
+        self.links[if dir0to1 { 0 } else { 1 }].stats()
+    }
+
+    /// Sets the NVMe copy-cost working-set hint for a host connection
+    /// (drives Fig. 10's LLC cliff).
+    pub fn set_nvme_working_set(&mut self, host: usize, conn: ConnId, ws: u64) {
+        if let Some(c) = self.hosts[host].conns.get_mut(&conn) {
+            match &mut c.proto {
+                Proto::NvmeHost { host: h } => h.working_set = ws,
+                Proto::NvmeTlsHost { host: h, .. } => h.working_set = ws,
+                _ => {}
+            }
+        }
+    }
+}
+
+struct BuiltEndpoint {
+    proto: Proto,
+    /// Engine for this endpoint's outgoing flow (installed on its own NIC).
+    tx_engine: Option<TxEngine>,
+    /// Engine for this endpoint's *incoming* flow (installed on its own NIC).
+    rx_engine: Option<RxEngine>,
+}
+
+fn check_pairing(a: &ConnSpec, b: &ConnSpec) {
+    let ok = matches!(
+        (a, b),
+        (ConnSpec::Raw, ConnSpec::Raw)
+            | (ConnSpec::Tls(_), ConnSpec::Tls(_))
+            | (ConnSpec::NvmeHost(_), ConnSpec::NvmeTarget(_))
+            | (ConnSpec::NvmeTarget(_), ConnSpec::NvmeHost(_))
+            | (ConnSpec::NvmeTlsHost(..), ConnSpec::NvmeTlsTarget(..))
+            | (ConnSpec::NvmeTlsTarget(..), ConnSpec::NvmeTlsHost(..))
+    );
+    assert!(ok, "incompatible connection specs");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retain_buf_ranges_and_prune() {
+        let mut r = RetainBuf::default();
+        r.push(Payload::real(vec![1, 2, 3]));
+        r.push(Payload::real(vec![4, 5]));
+        assert_eq!(r.end(), 5);
+        assert_eq!(r.range(1, 4).unwrap().to_vec(), vec![2, 3, 4]);
+        assert!(r.range(0, 6).is_none(), "beyond end");
+        r.prune(3);
+        assert!(r.range(0, 2).is_none(), "pruned below");
+        assert_eq!(r.range(3, 5).unwrap().to_vec(), vec![4, 5]);
+    }
+
+    #[test]
+    fn inner_tx_shared_resolves_messages() {
+        let mut s = InnerTxShared::default();
+        s.push_capsule(&Payload::real(vec![0u8; 100]));
+        s.push_capsule(&Payload::real(vec![1u8; 50]));
+        let m = s.msg_at(120).expect("second capsule");
+        assert_eq!((m.msg_start, m.msg_index), (100, 1));
+        assert!(s.msg_at(150).is_none(), "past the stream end");
+        assert_eq!(s.stream_bytes(100, 110).to_vec(), vec![1u8; 10]);
+        s.prune(100);
+        assert!(s.msg_at(10).is_none(), "acked capsule released");
+        // Pruned ranges degrade to synthetic (modeled-safe) bytes.
+        assert_eq!(s.stream_bytes(0, 10).len(), 10);
+    }
+
+    #[test]
+    fn connect_rejects_mismatched_specs() {
+        let result = std::panic::catch_unwind(|| {
+            let mut w = World::new(WorldConfig::default());
+            w.connect(ConnSpec::Raw, ConnSpec::Tls(TlsSpec::default()));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn engines_installed_per_spec() {
+        let mut w = World::new(WorldConfig::default());
+        let offl = w.connect(
+            ConnSpec::Tls(TlsSpec::offloaded_zc()),
+            ConnSpec::Tls(TlsSpec::offloaded_zc()),
+        );
+        let sw = w.connect(ConnSpec::Tls(TlsSpec::default()), ConnSpec::Tls(TlsSpec::default()));
+        assert!(w.rx_engine_stats(1, offl).is_some(), "rx engine installed");
+        assert!(w.tx_engine_stats(0, offl).is_some(), "tx engine installed");
+        assert!(w.rx_engine_stats(1, sw).is_none(), "software-only: no engines");
+        assert!(w.tx_engine_stats(0, sw).is_none());
+    }
+}

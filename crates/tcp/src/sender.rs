@@ -1,0 +1,646 @@
+//! TCP send side: segmentation, congestion control (Reno with NewReno-style
+//! partial-ack handling), RTT estimation, and retransmission.
+//!
+//! The sender is a pure state machine — the surrounding stack pumps it with
+//! [`TcpSender::poll_transmit`], feeds acknowledgments via
+//! [`TcpSender::on_ack`], and fires [`TcpSender::on_rto`] when the deadline
+//! from [`TcpSender::rto_deadline`] passes.
+
+use std::collections::VecDeque;
+
+use ano_sim::payload::Payload;
+use ano_sim::time::{SimDuration, SimTime};
+
+use crate::segment::{FlowId, Segment};
+use crate::seq::unwrap_seq;
+use crate::TcpConfig;
+
+/// Send-buffer of stream bytes not yet acknowledged, indexed by absolute
+/// stream offset.
+#[derive(Debug, Default)]
+struct SendBuffer {
+    /// Chunks in offset order; front chunk starts at `start`.
+    chunks: VecDeque<Payload>,
+    /// Stream offset of the first byte of `chunks[0]`.
+    start: u64,
+    /// Stream offset one past the last buffered byte.
+    end: u64,
+}
+
+impl SendBuffer {
+    fn push(&mut self, p: Payload) {
+        if p.is_empty() {
+            return;
+        }
+        self.end += p.len() as u64;
+        self.chunks.push_back(p);
+    }
+
+    /// Copies out the byte range `[from, to)`.
+    fn range(&self, from: u64, to: u64) -> Payload {
+        assert!(from >= self.start && to <= self.end && from <= to, "range outside buffer");
+        let mut parts = Vec::new();
+        let mut off = self.start;
+        for c in &self.chunks {
+            let c_end = off + c.len() as u64;
+            if c_end > from && off < to {
+                let s = from.saturating_sub(off) as usize;
+                let e = (to.min(c_end) - off) as usize;
+                parts.push(c.slice(s, e));
+            }
+            off = c_end;
+            if off >= to {
+                break;
+            }
+        }
+        Payload::concat(parts.iter())
+    }
+
+    /// Releases all bytes below `upto` (they were cumulatively acked).
+    fn release(&mut self, upto: u64) {
+        while let Some(front) = self.chunks.front() {
+            let front_end = self.start + front.len() as u64;
+            if front_end <= upto {
+                self.start = front_end;
+                self.chunks.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// What an incoming ACK did (diagnostics and stack wake-up hints).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AckOutcome {
+    /// Acknowledged new data.
+    Advanced,
+    /// A duplicate ACK that did not (yet) trigger recovery.
+    Duplicate,
+    /// Third duplicate — fast retransmit was armed.
+    FastRetransmit,
+    /// Old/irrelevant ACK.
+    Ignored,
+}
+
+/// TCP sender state machine.
+#[derive(Debug)]
+pub struct TcpSender {
+    flow: FlowId,
+    cfg: TcpConfig,
+    buf: SendBuffer,
+    /// Oldest unacknowledged stream offset.
+    snd_una: u64,
+    /// Next stream offset to send for the first time.
+    snd_nxt: u64,
+    /// Retransmission cursor: resend `[cursor, snd_nxt)` before new data.
+    resend_from: Option<u64>,
+    cwnd: f64,
+    ssthresh: f64,
+    dupacks: u32,
+    in_recovery: bool,
+    /// Recovery point: leave recovery when `snd_una` passes this.
+    recover: u64,
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    rto_deadline: Option<SimTime>,
+    /// RTT probe: (stream offset whose ack samples RTT, send time).
+    rtt_probe: Option<(u64, SimTime)>,
+    /// Right edge of the peer's advertised window (absolute offset).
+    snd_limit: u64,
+    /// SACK scoreboard: merged ranges the peer holds out of order.
+    sacked: Vec<(u64, u64)>,
+    /// Highest byte retransmitted in the current recovery round
+    /// (RTT-paced hole probing).
+    retx_mark: u64,
+    stats: SenderStats,
+}
+
+/// Counters for the send side.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SenderStats {
+    /// Segments sent for the first time.
+    pub segments_sent: u64,
+    /// Segments re-sent (fast retransmit or RTO).
+    pub retransmits: u64,
+    /// RTO expirations.
+    pub timeouts: u64,
+    /// Fast-retransmit events.
+    pub fast_retransmits: u64,
+}
+
+impl TcpSender {
+    /// Creates an established-state sender for `flow`.
+    pub fn new(flow: FlowId, cfg: TcpConfig) -> TcpSender {
+        let cwnd = (cfg.init_cwnd_pkts * cfg.mss) as f64;
+        TcpSender {
+            flow,
+            buf: SendBuffer::default(),
+            snd_una: 0,
+            snd_nxt: 0,
+            resend_from: None,
+            cwnd,
+            ssthresh: cfg.max_cwnd as f64,
+            dupacks: 0,
+            in_recovery: false,
+            recover: 0,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: cfg.min_rto.mul(4),
+            rto_deadline: None,
+            rtt_probe: None,
+            snd_limit: cfg.rcv_buf,
+            sacked: Vec::new(),
+            retx_mark: 0,
+            stats: SenderStats::default(),
+            cfg,
+        }
+    }
+
+    /// The flow this sender feeds.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Appends application bytes to the stream.
+    pub fn push(&mut self, payload: Payload) {
+        self.buf.push(payload);
+    }
+
+    /// Bytes queued but not yet sent for the first time.
+    pub fn unsent_bytes(&self) -> u64 {
+        self.buf.end - self.snd_nxt
+    }
+
+    /// Bytes sent and not yet acknowledged.
+    pub fn bytes_in_flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Total stream bytes accepted so far.
+    pub fn stream_end(&self) -> u64 {
+        self.buf.end
+    }
+
+    /// Oldest unacknowledged stream offset.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// Send-side counters.
+    pub fn stats(&self) -> SenderStats {
+        self.stats
+    }
+
+    /// True when everything pushed has been acknowledged.
+    pub fn is_idle(&self) -> bool {
+        self.snd_una == self.buf.end
+    }
+
+    /// Copies the stream bytes `[from, to)` for offload context recovery
+    /// (the L5P keeps references to in-flight message bytes, §4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is below `snd_una` (already released) or beyond
+    /// the buffered stream.
+    pub fn stream_range(&self, from: u64, to: u64) -> Payload {
+        self.buf.range(from, to)
+    }
+
+    /// Produces the next segment to emit, or `None` if cwnd/buffer don't
+    /// allow one. Call in a loop until `None`.
+    pub fn poll_transmit(&mut self, now: SimTime, ack_for_peer: u32) -> Option<Segment> {
+        // SACK-driven loss recovery: while in recovery, probe the holes the
+        // scoreboard exposes, one segment at a time, gated by cwnd and
+        // re-armed once per ACK (RTT-paced, like Linux's SACK recovery).
+        if self.in_recovery && !self.sacked.is_empty() {
+            if let Some(seg) = self.poll_sack_retransmit(now, ack_for_peer) {
+                return Some(seg);
+            }
+        }
+        // Retransmissions first. Each trigger (fast retransmit, RTO,
+        // NewReno partial ack) re-sends exactly one segment; re-sending the
+        // whole flight on every trigger would amplify a single hole into a
+        // go-back-N storm of spurious duplicates.
+        if let Some(cursor) = self.resend_from {
+            if cursor < self.snd_nxt {
+                if (cursor - self.snd_una) < self.cwnd as u64 {
+                    let end = (cursor + self.cfg.mss as u64).min(self.snd_nxt);
+                    let payload = self.buf.range(cursor, end);
+                    self.resend_from = None;
+                    self.stats.retransmits += 1;
+                    self.arm_rto(now);
+                    return Some(Segment {
+                        flow: self.flow,
+                        seq: cursor as u32,
+                        seq64: cursor,
+                        ack: ack_for_peer,
+                        wnd: 0, // filled by the endpoint
+                        sack: Vec::new(),
+                        is_retransmit: true,
+                        payload,
+                    });
+                }
+                return None; // window-limited; resume on next ack
+            }
+            self.resend_from = None;
+        }
+
+        // New data, gated by both cwnd and the peer's advertised window.
+        let flight = self.bytes_in_flight();
+        if flight >= self.cwnd as u64 || self.snd_nxt >= self.buf.end || self.snd_nxt >= self.snd_limit
+        {
+            return None;
+        }
+        let window_room = self.cwnd as u64 - flight;
+        let end = (self.snd_nxt + (self.cfg.mss as u64).min(window_room))
+            .min(self.buf.end)
+            .min(self.snd_limit);
+        if end == self.snd_nxt {
+            return None;
+        }
+        let payload = self.buf.range(self.snd_nxt, end);
+        let seq64 = self.snd_nxt;
+        if self.rtt_probe.is_none() {
+            self.rtt_probe = Some((end, now));
+        }
+        self.snd_nxt = end;
+        self.stats.segments_sent += 1;
+        self.arm_rto(now);
+        Some(Segment {
+            flow: self.flow,
+            seq: seq64 as u32,
+            seq64,
+            ack: ack_for_peer,
+            wnd: 0, // filled by the endpoint
+            sack: Vec::new(),
+            is_retransmit: false,
+            payload,
+        })
+    }
+
+    /// Incorporates selective acknowledgments from the peer.
+    pub fn on_sack(&mut self, ranges: &[(u32, u32)]) {
+        for &(s, e) in ranges {
+            let start = unwrap_seq(self.snd_una, s);
+            let end = unwrap_seq(start.max(1), e).max(start);
+            if end <= self.snd_una || start >= self.snd_nxt {
+                continue;
+            }
+            self.sacked.push((start.max(self.snd_una), end.min(self.snd_nxt)));
+        }
+        // Merge and prune the scoreboard.
+        self.sacked.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.sacked.len());
+        for &(s, e) in &self.sacked {
+            if e <= self.snd_una {
+                continue;
+            }
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s.max(self.snd_una), e)),
+            }
+        }
+        self.sacked = merged;
+    }
+
+    /// The next un-SACKed hole at or after `from`, below the highest SACK.
+    fn next_hole(&self, mut from: u64) -> Option<(u64, u64)> {
+        let highest = self.sacked.last()?.1;
+        for &(s, e) in &self.sacked {
+            if from < s {
+                return Some((from, s));
+            }
+            from = from.max(e);
+        }
+        if from < highest {
+            Some((from, highest))
+        } else {
+            None
+        }
+    }
+
+    fn poll_sack_retransmit(&mut self, now: SimTime, ack_for_peer: u32) -> Option<Segment> {
+        let from = self.retx_mark.max(self.snd_una);
+        let (h, hole_end) = self.next_hole(from)?;
+        if h.saturating_sub(self.snd_una) >= self.cwnd as u64 {
+            return None;
+        }
+        let end = (h + self.cfg.mss as u64).min(hole_end).min(self.snd_nxt);
+        if end <= h {
+            return None;
+        }
+        self.retx_mark = end;
+        self.stats.retransmits += 1;
+        self.arm_rto(now);
+        Some(Segment {
+            flow: self.flow,
+            seq: h as u32,
+            seq64: h,
+            ack: ack_for_peer,
+            wnd: 0, // filled by the endpoint
+            sack: Vec::new(),
+            is_retransmit: true,
+            payload: self.buf.range(h, end),
+        })
+    }
+
+    /// Processes a cumulative acknowledgment (with advertised window `wnd`)
+    /// from the peer.
+    pub fn on_ack_wnd(&mut self, ack_wire: u32, wnd: u32, now: SimTime) -> AckOutcome {
+        let ack = unwrap_seq(self.snd_una, ack_wire);
+        // The window's right edge never moves left.
+        let new_limit = self.snd_limit.max(ack + wnd as u64);
+        let window_update = new_limit > self.snd_limit;
+        self.snd_limit = new_limit;
+        if window_update && ack == self.snd_una {
+            // RFC 5681: an ACK that changes the advertised window is not a
+            // duplicate — it must not feed fast retransmit.
+            return AckOutcome::Ignored;
+        }
+        self.on_ack64(ack, now)
+    }
+
+    /// Processes a cumulative acknowledgment from the peer.
+    pub fn on_ack(&mut self, ack_wire: u32, now: SimTime) -> AckOutcome {
+        let ack = unwrap_seq(self.snd_una, ack_wire);
+        self.snd_limit = self.snd_limit.max(ack + self.cfg.rcv_buf);
+        self.on_ack64(ack, now)
+    }
+
+    fn on_ack64(&mut self, ack: u64, now: SimTime) -> AckOutcome {
+        if ack > self.snd_nxt {
+            return AckOutcome::Ignored;
+        }
+        if ack > self.snd_una {
+            let newly_acked = ack - self.snd_una;
+            self.snd_una = ack;
+            self.buf.release(ack);
+            self.dupacks = 0;
+            self.sacked.retain(|&(_, e)| e > ack);
+            for r in &mut self.sacked {
+                r.0 = r.0.max(ack);
+            }
+            // Allow one fresh probing round of the remaining holes.
+            self.retx_mark = ack;
+
+            // RTT sample (Karn: probe is only set on first transmissions).
+            if let Some((probe_end, sent_at)) = self.rtt_probe {
+                if ack >= probe_end {
+                    self.sample_rtt(now.since(sent_at));
+                    self.rtt_probe = None;
+                }
+            }
+
+            if self.in_recovery {
+                if ack >= self.recover {
+                    self.in_recovery = false;
+                    self.cwnd = self.ssthresh;
+                    self.resend_from = None;
+                } else {
+                    // NewReno partial ack: retransmit the next hole.
+                    self.resend_from = Some(self.snd_una);
+                    self.cwnd = (self.cwnd - newly_acked as f64 + self.cfg.mss as f64)
+                        .max(self.cfg.mss as f64);
+                }
+            } else if self.cwnd < self.ssthresh {
+                // Slow start.
+                self.cwnd = (self.cwnd + newly_acked as f64).min(self.cfg.max_cwnd as f64);
+            } else {
+                // Congestion avoidance.
+                let mss = self.cfg.mss as f64;
+                self.cwnd = (self.cwnd + mss * mss / self.cwnd).min(self.cfg.max_cwnd as f64);
+            }
+
+            if self.bytes_in_flight() == 0 {
+                self.rto_deadline = None;
+            } else {
+                self.rto_deadline = Some(now + self.rto);
+            }
+            return AckOutcome::Advanced;
+        }
+
+        // Duplicate ACK. Modern stacks retransmit early when the window is
+        // too small to ever produce three duplicates (RFC 5827); without
+        // this, thin flows degenerate to RTO-bound recovery.
+        if self.bytes_in_flight() == 0 {
+            return AckOutcome::Ignored;
+        }
+        self.dupacks += 1;
+        // RFC 5827 gating: only lower the threshold when the window is too
+        // small to produce three dupacks AND no new data could be sent
+        // (otherwise limited-transmit-style sending keeps dupacks flowing,
+        // and a lowered threshold turns spurious dupacks into storms).
+        let dupthresh = if self.bytes_in_flight() <= (4 * self.cfg.mss) as u64
+            && self.unsent_bytes() == 0
+        {
+            1
+        } else {
+            3
+        };
+        if self.dupacks >= dupthresh && !self.in_recovery {
+            self.enter_fast_retransmit();
+            return AckOutcome::FastRetransmit;
+        }
+        if self.in_recovery {
+            // Window inflation while the hole persists.
+            self.cwnd = (self.cwnd + self.cfg.mss as f64).min(self.cfg.max_cwnd as f64);
+        }
+        AckOutcome::Duplicate
+    }
+
+    fn enter_fast_retransmit(&mut self) {
+        self.retx_mark = self.snd_una;
+        let flight = self.bytes_in_flight() as f64;
+        self.ssthresh = (flight / 2.0).max((2 * self.cfg.mss) as f64);
+        self.cwnd = self.ssthresh + (3 * self.cfg.mss) as f64;
+        self.in_recovery = true;
+        self.recover = self.snd_nxt;
+        self.resend_from = Some(self.snd_una);
+        self.stats.fast_retransmits += 1;
+        self.rtt_probe = None; // Karn's rule
+    }
+
+    /// When the retransmission timer fires.
+    pub fn rto_deadline(&self) -> Option<SimTime> {
+        self.rto_deadline
+    }
+
+    /// Handles RTO expiry: collapse the window and go back to `snd_una`.
+    pub fn on_rto(&mut self, now: SimTime) {
+        if self.bytes_in_flight() == 0 {
+            self.rto_deadline = None;
+            return;
+        }
+        self.stats.timeouts += 1;
+        let flight = self.bytes_in_flight() as f64;
+        self.ssthresh = (flight / 2.0).max((2 * self.cfg.mss) as f64);
+        self.cwnd = self.cfg.mss as f64;
+        self.in_recovery = false;
+        self.dupacks = 0;
+        self.resend_from = Some(self.snd_una);
+        self.rtt_probe = None;
+        self.rto = self
+            .rto
+            .mul(2)
+            .min(SimDuration::from_secs(2));
+        self.rto_deadline = Some(now + self.rto);
+    }
+
+    /// Arms the retransmission timer if it is not already running.
+    fn arm_rto(&mut self, now: SimTime) {
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rto);
+        }
+    }
+
+    fn sample_rtt(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = SimDuration::from_nanos(rtt.as_nanos() / 2);
+            }
+            Some(srtt) => {
+                let delta = if srtt > rtt { srtt.saturating_sub(rtt) } else { rtt.saturating_sub(srtt) };
+                self.rttvar = SimDuration::from_nanos(
+                    (3 * self.rttvar.as_nanos() + delta.as_nanos()) / 4,
+                );
+                self.srtt = Some(SimDuration::from_nanos(
+                    (7 * srtt.as_nanos() + rtt.as_nanos()) / 8,
+                ));
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        let candidate = srtt + SimDuration::from_nanos(4 * self.rttvar.as_nanos());
+        self.rto = SimDuration::from_nanos(candidate.as_nanos().max(self.cfg.min_rto.as_nanos()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TcpConfig {
+        TcpConfig::default()
+    }
+
+    fn sender() -> TcpSender {
+        TcpSender::new(FlowId(1), cfg())
+    }
+
+    fn drain(s: &mut TcpSender, now: SimTime) -> Vec<Segment> {
+        std::iter::from_fn(|| s.poll_transmit(now, 0)).collect()
+    }
+
+    #[test]
+    fn segments_respect_mss_and_cwnd() {
+        let mut s = sender();
+        s.push(Payload::synthetic(100_000));
+        let segs = drain(&mut s, SimTime::ZERO);
+        let total: usize = segs.iter().map(|x| x.payload.len()).sum();
+        assert_eq!(total as u64, s.cwnd().min(100_000), "initial window limits flight");
+        assert!(segs.iter().all(|x| x.payload.len() <= cfg().mss));
+        assert!(segs.iter().all(|x| !x.is_retransmit));
+    }
+
+    #[test]
+    fn ack_advances_and_grows_window() {
+        let mut s = sender();
+        s.push(Payload::synthetic(1_000_000));
+        let segs = drain(&mut s, SimTime::ZERO);
+        let cwnd0 = s.cwnd();
+        let first_end = segs[0].payload.len() as u32;
+        let out = s.on_ack(first_end, SimTime::from_micros(100));
+        assert_eq!(out, AckOutcome::Advanced);
+        assert_eq!(s.snd_una(), first_end as u64);
+        assert!(s.cwnd() > cwnd0, "slow start grows cwnd");
+        assert!(!drain(&mut s, SimTime::from_micros(100)).is_empty(), "ack frees window");
+    }
+
+    #[test]
+    fn three_dupacks_trigger_fast_retransmit() {
+        let mut s = sender();
+        s.push(Payload::synthetic(1_000_000));
+        let segs = drain(&mut s, SimTime::ZERO);
+        assert!(segs.len() >= 4);
+        // Peer acks nothing new (first segment lost): 3 dup acks at snd_una=0.
+        assert_eq!(s.on_ack(0, SimTime::from_micros(10)), AckOutcome::Duplicate);
+        assert_eq!(s.on_ack(0, SimTime::from_micros(20)), AckOutcome::Duplicate);
+        assert_eq!(s.on_ack(0, SimTime::from_micros(30)), AckOutcome::FastRetransmit);
+        let rtx = s.poll_transmit(SimTime::from_micros(31), 0).expect("retransmit");
+        assert!(rtx.is_retransmit);
+        assert_eq!(rtx.seq, 0);
+        assert_eq!(s.stats().fast_retransmits, 1);
+    }
+
+    #[test]
+    fn rto_collapses_window_and_resends() {
+        let mut s = sender();
+        s.push(Payload::synthetic(100_000));
+        let _ = drain(&mut s, SimTime::ZERO);
+        let deadline = s.rto_deadline().expect("armed");
+        s.on_rto(deadline);
+        assert_eq!(s.cwnd(), cfg().mss as u64);
+        let rtx = s.poll_transmit(deadline, 0).expect("resend after rto");
+        assert_eq!(rtx.seq, 0);
+        assert!(rtx.is_retransmit);
+        assert_eq!(s.stats().timeouts, 1);
+        // cwnd of 1 MSS: only one retransmission allowed until acked.
+        assert!(s.poll_transmit(deadline, 0).is_none());
+    }
+
+    #[test]
+    fn recovery_exits_at_recover_point() {
+        let mut s = sender();
+        s.push(Payload::synthetic(1_000_000));
+        let segs = drain(&mut s, SimTime::ZERO);
+        let recover = s.snd_nxt;
+        for _ in 0..3 {
+            s.on_ack(0, SimTime::from_micros(5));
+        }
+        assert!(s.in_recovery);
+        // Full ack of everything outstanding ends recovery.
+        s.on_ack(recover as u32, SimTime::from_micros(50));
+        assert!(!s.in_recovery);
+        let _ = segs;
+    }
+
+    #[test]
+    fn idle_when_all_acked() {
+        let mut s = sender();
+        s.push(Payload::synthetic(2000));
+        let segs = drain(&mut s, SimTime::ZERO);
+        assert!(!s.is_idle());
+        let end: u32 = segs.last().unwrap().seq_end();
+        s.on_ack(end, SimTime::from_micros(40));
+        assert!(s.is_idle());
+        assert!(s.rto_deadline().is_none(), "timer disarmed when idle");
+    }
+
+    #[test]
+    fn stream_range_supports_recovery_replay() {
+        let mut s = sender();
+        s.push(Payload::real(vec![1, 2, 3, 4, 5]));
+        s.push(Payload::real(vec![6, 7, 8]));
+        let _ = drain(&mut s, SimTime::ZERO);
+        assert_eq!(s.stream_range(2, 7).to_vec(), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn rtt_sampling_sets_rto() {
+        let mut s = sender();
+        s.push(Payload::synthetic(5000));
+        let segs = drain(&mut s, SimTime::ZERO);
+        let end = segs.last().unwrap().seq_end();
+        s.on_ack(end, SimTime::from_micros(200));
+        assert!(s.srtt.is_some());
+        assert!(s.rto >= cfg().min_rto);
+    }
+}

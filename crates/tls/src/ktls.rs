@@ -1,0 +1,784 @@
+//! The kernel-TLS-style software data path (§5.2).
+//!
+//! [`KtlsTx`] frames application bytes into records. With offload enabled it
+//! "skips" encryption — emitting plaintext records with dummy ICVs for the
+//! NIC to fill — and keeps the per-record map that answers the driver's
+//! `l5o_get_tx_msgstate` upcalls. Without offload it encrypts in software.
+//!
+//! [`KtlsRx`] consumes in-order TCP chunks with their SKB offload bits and
+//! reassembles records. Records whose packets all carry the `decrypted` bit
+//! skip crypto entirely; records with no bits fall back to full software
+//! decryption; *partially* offloaded records pay the §5.2 penalty — the
+//! NIC-decrypted ranges must be re-encrypted to reconstruct the ciphertext
+//! that AES-GCM authentication is computed over.
+//!
+//! All CPU work is returned as cycle counts priced by the [`CostModel`].
+
+use std::collections::VecDeque;
+
+use ano_core::flow::TxMsgRef;
+use ano_core::msg::FrameIndex;
+use ano_crypto::gcm::{Direction, GcmStream};
+use ano_sim::cost::CostModel;
+use ano_sim::payload::{DataMode, Payload};
+use ano_tcp::segment::{RxChunk, SkbFlags};
+
+use crate::record::{RecordHeader, HEADER_LEN, MAX_PLAINTEXT, TAG_LEN};
+use crate::session::TlsSession;
+
+/// Transmit-path configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KtlsTxConfig {
+    /// NIC crypto offload enabled (records go down as plaintext).
+    pub offload: bool,
+    /// Zero-copy sendfile: hand page-cache buffers straight to the NIC.
+    /// Only meaningful with `offload` (software TLS cannot encrypt the page
+    /// cache in place).
+    pub zerocopy: bool,
+    /// Payload fidelity.
+    pub mode: DataMode,
+}
+
+/// Transmit-side counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KtlsTxStats {
+    /// Records framed.
+    pub records: u64,
+    /// Application payload bytes accepted.
+    pub app_bytes: u64,
+}
+
+/// The kTLS transmit half for one connection.
+#[derive(Debug)]
+pub struct KtlsTx {
+    session: TlsSession,
+    cfg: KtlsTxConfig,
+    frames: FrameIndex,
+    stream_off: u64,
+    next_seq: u64,
+    records: VecDeque<TxMsgRef>,
+    stats: KtlsTxStats,
+}
+
+impl KtlsTx {
+    /// Creates the transmit half.
+    pub fn new(session: TlsSession, cfg: KtlsTxConfig) -> KtlsTx {
+        KtlsTx::with_frames(session, cfg, FrameIndex::new())
+    }
+
+    /// Creates the transmit half over a caller-provided frame index (so the
+    /// receiving side and NIC engines can share it in modeled mode).
+    pub fn with_frames(session: TlsSession, cfg: KtlsTxConfig, frames: FrameIndex) -> KtlsTx {
+        KtlsTx {
+            session,
+            cfg,
+            frames,
+            stream_off: 0,
+            next_seq: 0,
+            records: VecDeque::new(),
+            stats: KtlsTxStats::default(),
+        }
+    }
+
+    /// The shared frame index (hand to modeled-mode NIC engines).
+    pub fn frames(&self) -> FrameIndex {
+        self.frames.clone()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> KtlsTxStats {
+        self.stats
+    }
+
+    /// Current TCP-stream offset (bytes handed down so far).
+    pub fn stream_off(&self) -> u64 {
+        self.stream_off
+    }
+
+    /// Frames `app` into records; returns the wire chunks for TCP and the
+    /// CPU cycles consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics in functional mode if `app` is synthetic.
+    pub fn send(&mut self, app: &Payload, cost: &CostModel) -> (Vec<Payload>, u64) {
+        let mut out = Vec::new();
+        let mut cycles = 0u64;
+        let len = app.len();
+        self.stats.app_bytes += len as u64;
+        let mut off = 0usize;
+        while off < len {
+            let take = MAX_PLAINTEXT.min(len - off);
+            let chunk = app.slice(off, off + take);
+            cycles += cost.per_record_tx;
+            let wire = match (self.cfg.mode, self.cfg.offload) {
+                (DataMode::Functional, true) => {
+                    let plain = chunk.as_real().expect("functional mode requires real bytes");
+                    let mut w = Vec::with_capacity(take + HEADER_LEN + TAG_LEN);
+                    w.extend_from_slice(&RecordHeader::for_plaintext(take).encode());
+                    w.extend_from_slice(plain);
+                    w.extend_from_slice(&[0u8; TAG_LEN]); // dummy ICV, NIC fills
+                    if !self.cfg.zerocopy {
+                        cycles += cost.copy_cycles(take, 0);
+                    }
+                    Payload::real(w)
+                }
+                (DataMode::Functional, false) => {
+                    let plain = chunk.as_real().expect("functional mode requires real bytes");
+                    cycles += cost.record_alloc + cost.encrypt_cycles(take);
+                    Payload::real(self.session.seal_record(self.next_seq, plain))
+                }
+                (DataMode::Modeled, offload) => {
+                    if offload {
+                        if !self.cfg.zerocopy {
+                            cycles += cost.copy_cycles(take, 0);
+                        }
+                    } else {
+                        cycles += cost.record_alloc + cost.encrypt_cycles(take);
+                    }
+                    Payload::synthetic(take + HEADER_LEN + TAG_LEN)
+                }
+            };
+            let total = wire.len() as u32;
+            self.frames.push(self.stream_off, total);
+            self.records.push_back(TxMsgRef {
+                msg_start: self.stream_off,
+                msg_index: self.next_seq,
+            });
+            self.stream_off += total as u64;
+            self.next_seq += 1;
+            self.stats.records += 1;
+            out.push(wire);
+            off += take;
+        }
+        (out, cycles)
+    }
+
+    /// `l5o_get_tx_msgstate`: the record containing stream offset `off`.
+    pub fn record_at(&self, off: u64) -> Option<TxMsgRef> {
+        if off >= self.stream_off {
+            return None;
+        }
+        let i = self.records.partition_point(|r| r.msg_start <= off);
+        if i == 0 {
+            None
+        } else {
+            Some(self.records[i - 1])
+        }
+    }
+
+    /// Releases record references below the cumulative ack (§4.2: "the L5P
+    /// releases its reference when the entire message is acknowledged").
+    pub fn release_below(&mut self, acked: u64) {
+        while !self.records.is_empty() {
+            let next_start = self
+                .records
+                .get(1)
+                .map(|r| r.msg_start)
+                .unwrap_or(self.stream_off);
+            if next_start <= acked {
+                self.records.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.frames.prune_below(acked);
+    }
+}
+
+/// One in-order run of plaintext handed up by kTLS, with the offload flags
+/// of the packet it came from (so a layered NVMe-TCP consumer can keep its
+/// own per-packet bookkeeping).
+#[derive(Clone, Debug)]
+pub struct PlainChunk {
+    /// Offset in the plaintext byte stream.
+    pub plain_off: u64,
+    /// The bytes.
+    pub payload: Payload,
+    /// SKB flags inherited from the wire packet.
+    pub flags: SkbFlags,
+}
+
+/// Record classification counters (Fig. 17b / Fig. 18b).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecordClass {
+    /// Records whose packets were all offloaded.
+    pub full: u64,
+    /// Records with some offloaded packets (§5.2 costly fallback).
+    pub partial: u64,
+    /// Records with no offloaded packets.
+    pub none: u64,
+}
+
+impl RecordClass {
+    /// Total records.
+    pub fn total(&self) -> u64 {
+        self.full + self.partial + self.none
+    }
+}
+
+/// Receive-side counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KtlsRxStats {
+    /// Record classification.
+    pub class: RecordClass,
+    /// Authentication/framing failures.
+    pub alerts: u64,
+    /// Plaintext bytes delivered.
+    pub plain_bytes: u64,
+}
+
+/// The kTLS receive half for one connection.
+#[derive(Debug)]
+pub struct KtlsRx {
+    session: TlsSession,
+    mode: DataMode,
+    /// Modeled-mode framing (shared with the sender's `KtlsTx`).
+    frames: Option<FrameIndex>,
+    /// Consumed wire-stream offset.
+    pos: u64,
+    /// Next record sequence number.
+    next_seq: u64,
+    /// Plaintext-stream offset delivered so far.
+    plain_pos: u64,
+    hdr_buf: Vec<u8>,
+    /// Wire offset where the in-progress header began.
+    hdr_start: u64,
+    /// Current record: (total wire length, start offset).
+    cur: Option<(u32, u64)>,
+    /// Collected body+tag byte runs of the current record.
+    parts: Vec<(Payload, SkbFlags)>,
+    /// Recent record starts for resync confirmation: (offset, index).
+    starts: VecDeque<(u64, u64)>,
+    /// Outstanding `l5o_resync_rx_req` offsets from the NIC.
+    pending: Vec<u64>,
+    /// Ready `l5o_resync_rx_resp` answers: (tcpsn, ok, msg_index).
+    responses: Vec<(u64, bool, u64)>,
+    stats: KtlsRxStats,
+}
+
+impl KtlsRx {
+    /// Creates the receive half. `frames` must be the sender's index in
+    /// modeled mode and `None` in functional mode.
+    pub fn new(session: TlsSession, mode: DataMode, frames: Option<FrameIndex>) -> KtlsRx {
+        assert_eq!(
+            mode == DataMode::Modeled,
+            frames.is_some(),
+            "modeled mode needs the sender's frame index"
+        );
+        KtlsRx {
+            session,
+            mode,
+            frames,
+            pos: 0,
+            next_seq: 0,
+            plain_pos: 0,
+            hdr_buf: Vec::new(),
+            hdr_start: 0,
+            cur: None,
+            parts: Vec::new(),
+            starts: VecDeque::new(),
+            pending: Vec::new(),
+            responses: Vec::new(),
+            stats: KtlsRxStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> KtlsRxStats {
+        self.stats
+    }
+
+    /// Registers a NIC resync request (`l5o_resync_rx_req`).
+    pub fn on_resync_request(&mut self, tcpsn: u64) {
+        self.pending.push(tcpsn);
+        self.flush_resyncs();
+    }
+
+    /// Drains ready resync answers for the driver.
+    pub fn take_resync_responses(&mut self) -> Vec<(u64, bool, u64)> {
+        std::mem::take(&mut self.responses)
+    }
+
+    fn flush_resyncs(&mut self) {
+        let mut still = Vec::new();
+        for tcpsn in std::mem::take(&mut self.pending) {
+            if tcpsn >= self.pos {
+                still.push(tcpsn); // stream has not reached it yet
+                continue;
+            }
+            let hit = self.starts.iter().find(|&&(o, _)| o == tcpsn);
+            match hit {
+                Some(&(_, idx)) => self.responses.push((tcpsn, true, idx)),
+                None => self.responses.push((tcpsn, false, 0)),
+            }
+        }
+        self.pending = still;
+    }
+
+    /// Consumes in-order chunks from TCP; returns plaintext chunks and the
+    /// CPU cycles spent.
+    pub fn on_chunks<I>(&mut self, chunks: I, cost: &CostModel) -> (Vec<PlainChunk>, u64)
+    where
+        I: IntoIterator<Item = RxChunk>,
+    {
+        let mut out = Vec::new();
+        let mut cycles = 0u64;
+        for chunk in chunks {
+            debug_assert_eq!(chunk.offset, self.pos, "chunks must be in order");
+            let mut consumed = 0usize;
+            let len = chunk.payload.len();
+            while consumed < len {
+                match self.cur {
+                    None => {
+                        if self.hdr_buf.is_empty() {
+                            self.hdr_start = self.pos;
+                        }
+                        let need = HEADER_LEN - self.hdr_buf.len();
+                        let take = need.min(len - consumed);
+                        match chunk.payload.as_real() {
+                            Some(bytes) => self
+                                .hdr_buf
+                                .extend_from_slice(&bytes[consumed..consumed + take]),
+                            None => self.hdr_buf.extend(std::iter::repeat(0).take(take)),
+                        }
+                        consumed += take;
+                        self.pos += take as u64;
+                        if self.hdr_buf.len() == HEADER_LEN {
+                            let start = self.hdr_start;
+                            let total = match self.mode {
+                                DataMode::Modeled => self
+                                    .frames
+                                    .as_ref()
+                                    .and_then(|f| f.at(start))
+                                    .map(|(m, _)| m.total_len),
+                                DataMode::Functional => {
+                                    RecordHeader::parse(&self.hdr_buf).map(|h| h.total_len() as u32)
+                                }
+                            };
+                            self.hdr_buf.clear();
+                            match total {
+                                Some(total) => {
+                                    self.starts_mark(start);
+                                    self.begin_record(total, start);
+                                }
+                                None => {
+                                    // Stream garbage: fatal protocol error.
+                                    self.stats.alerts += 1;
+                                }
+                            }
+                        }
+                    }
+                    Some((total, _start)) => {
+                        let body_and_tag = total as usize - HEADER_LEN;
+                        let have: usize = self.parts.iter().map(|(p, _)| p.len()).sum();
+                        let take = (body_and_tag - have).min(len - consumed);
+                        self.parts
+                            .push((chunk.payload.slice(consumed, consumed + take), chunk.flags));
+                        consumed += take;
+                        self.pos += take as u64;
+                        if have + take == body_and_tag {
+                            let (plains, c) = self.finish_record(cost);
+                            cycles += c;
+                            out.extend(plains);
+                        }
+                    }
+                }
+            }
+            self.flush_resyncs();
+        }
+        (out, cycles)
+    }
+
+    fn starts_mark(&mut self, off: u64) {
+        // Bounded history of record starts for resync confirmation.
+        if self.starts.len() >= 4096 {
+            self.starts.pop_front();
+        }
+        self.starts.push_back((off, self.next_seq));
+    }
+
+    fn begin_record(&mut self, total: u32, start: u64) {
+        self.cur = Some((total, start));
+        self.parts.clear();
+    }
+
+    fn finish_record(&mut self, cost: &CostModel) -> (Vec<PlainChunk>, u64) {
+        let (total, _start) = self.cur.take().expect("record in progress");
+        let parts = std::mem::take(&mut self.parts);
+        self.hdr_buf.clear();
+        let plen = total as usize - HEADER_LEN - TAG_LEN;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        // Classify by per-packet decrypted bits (never coalesced, §4.3).
+        let n_dec = parts.iter().filter(|(_, f)| f.tls_decrypted).count();
+        let offloaded_bytes: usize = parts
+            .iter()
+            .filter(|(_, f)| f.tls_decrypted)
+            .map(|(p, _)| p.len())
+            .sum();
+        let class = if n_dec == parts.len() {
+            self.stats.class.full += 1;
+            Class::Full
+        } else if n_dec == 0 {
+            self.stats.class.none += 1;
+            Class::None
+        } else {
+            self.stats.class.partial += 1;
+            Class::Partial
+        };
+
+        let mut cycles = cost.per_record_rx;
+        match class {
+            Class::Full => {}
+            Class::None => cycles += cost.decrypt_cycles(plen),
+            // §5.2: re-encrypt what the NIC decrypted, then decrypt it all.
+            Class::Partial => {
+                cycles += cost.decrypt_cycles(plen)
+                    + CostModel::bytes_cycles(cost.aes_gcm_enc_cpb, offloaded_bytes)
+            }
+        }
+
+        let plains = match self.mode {
+            DataMode::Modeled => self.emit_chunks(&parts, plen, None),
+            DataMode::Functional => {
+                match self.recover_plaintext(seq, total, &parts, class) {
+                    Some(plain) => self.emit_chunks(&parts, plen, Some(&plain)),
+                    None => {
+                        self.stats.alerts += 1;
+                        Vec::new()
+                    }
+                }
+            }
+        };
+        let delivered: u64 = plains.iter().map(|c| c.payload.len() as u64).sum();
+        self.plain_pos += plen as u64;
+        self.stats.plain_bytes += delivered;
+        (plains, cycles)
+    }
+
+    /// Splits the record's plaintext back into per-packet chunks so flags
+    /// stay packet-accurate for layered consumers.
+    fn emit_chunks(
+        &self,
+        parts: &[(Payload, SkbFlags)],
+        plen: usize,
+        plain: Option<&[u8]>,
+    ) -> Vec<PlainChunk> {
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        for (p, flags) in parts {
+            if off >= plen {
+                break; // tag-only parts
+            }
+            let take = p.len().min(plen - off);
+            let payload = match plain {
+                Some(bytes) => Payload::real(bytes[off..off + take].to_vec()),
+                None => Payload::synthetic(take),
+            };
+            out.push(PlainChunk {
+                plain_off: self.plain_pos + off as u64,
+                payload,
+                flags: *flags,
+            });
+            off += take;
+        }
+        out
+    }
+
+    /// Functional-mode plaintext recovery for all three record classes.
+    fn recover_plaintext(
+        &self,
+        seq: u64,
+        total: u32,
+        parts: &[(Payload, SkbFlags)],
+        class: Class,
+    ) -> Option<Vec<u8>> {
+        let plen = total as usize - HEADER_LEN - TAG_LEN;
+        let mut body_tag = Vec::with_capacity(total as usize - HEADER_LEN);
+        for (p, _) in parts {
+            body_tag.extend_from_slice(p.as_real().expect("functional bytes"));
+        }
+        debug_assert_eq!(body_tag.len(), total as usize - HEADER_LEN);
+        let hdr = RecordHeader::for_plaintext(plen).encode();
+        match class {
+            Class::Full => {
+                // NIC already decrypted and authenticated: body is plaintext.
+                Some(body_tag[..plen].to_vec())
+            }
+            Class::None | Class::Partial => {
+                // Reconstruct the full ciphertext. For partially offloaded
+                // records, NIC-decrypted ranges must be re-encrypted first
+                // (AES-GCM authenticates ciphertext, §5.2).
+                let mut ct = body_tag.clone();
+                if class == Class::Partial {
+                    // XOR-keystream pass over a copy flips plain<->cipher.
+                    let mut flipped = body_tag[..plen].to_vec();
+                    let mut enc = GcmStream::new(
+                        self.session.aes().clone(),
+                        &self.session.nonce(seq),
+                        &hdr,
+                        Direction::Encrypt,
+                    );
+                    enc.process(&mut flipped);
+                    let mut off = 0usize;
+                    for (p, f) in parts {
+                        let take = p.len().min(plen.saturating_sub(off));
+                        if f.tls_decrypted {
+                            ct[off..off + take].copy_from_slice(&flipped[off..off + take]);
+                        }
+                        off += take;
+                        if off >= plen {
+                            break;
+                        }
+                    }
+                }
+                let tag: [u8; TAG_LEN] = ct[plen..plen + TAG_LEN].try_into().expect("tag");
+                let mut body = ct[..plen].to_vec();
+                ano_crypto::gcm::open(
+                    self.session.aes(),
+                    &self.session.nonce(seq),
+                    &hdr,
+                    &mut body,
+                    &tag,
+                )
+                .ok()?;
+                Some(body)
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Class {
+    Full,
+    Partial,
+    None,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::calibrated()
+    }
+
+    fn sessions() -> TlsSession {
+        TlsSession::from_seed(77)
+    }
+
+    fn chunk(off: u64, bytes: Vec<u8>, dec: bool) -> RxChunk {
+        RxChunk {
+            offset: off,
+            payload: Payload::real(bytes),
+            flags: SkbFlags {
+                tls_decrypted: dec,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn tx_software_framing_roundtrips_via_rx() {
+        let s = sessions();
+        let mut tx = KtlsTx::new(
+            s.clone(),
+            KtlsTxConfig {
+                offload: false,
+                zerocopy: false,
+                mode: DataMode::Functional,
+            },
+        );
+        let app: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        let (wire, cycles) = tx.send(&Payload::real(app.clone()), &cost());
+        assert!(cycles > 0);
+        assert_eq!(tx.stats().records, 3, "40000 bytes -> 3 records");
+
+        let mut rx = KtlsRx::new(s, DataMode::Functional, None);
+        let mut stream = Vec::new();
+        for w in &wire {
+            stream.extend_from_slice(&w.to_vec());
+        }
+        // Deliver as un-offloaded packets of 1448.
+        let mut plains = Vec::new();
+        let mut off = 0u64;
+        for c in stream.chunks(1448) {
+            let (p, _) = rx.on_chunks([chunk(off, c.to_vec(), false)], &cost());
+            plains.extend(p);
+            off += c.len() as u64;
+        }
+        let got: Vec<u8> = plains.iter().flat_map(|p| p.payload.to_vec()).collect();
+        assert_eq!(got, app);
+        assert_eq!(rx.stats().class.none, 3);
+        assert_eq!(rx.stats().alerts, 0);
+    }
+
+    #[test]
+    fn offloaded_records_skip_crypto_cycles() {
+        let s = sessions();
+        let c = cost();
+        let mut rx = KtlsRx::new(s.clone(), DataMode::Functional, None);
+        // Simulate a NIC-decrypted record: plaintext body + valid-looking tag,
+        // flagged decrypted.
+        let plain = vec![0x5Au8; 1000];
+        let wire = s.seal_record(0, &plain);
+        // NIC would have decrypted the body in place:
+        let mut nic_view = wire.clone();
+        nic_view[HEADER_LEN..HEADER_LEN + 1000].copy_from_slice(&plain);
+        let (plains, cycles) = rx.on_chunks([chunk(0, nic_view, true)], &c);
+        assert_eq!(plains.len(), 1);
+        assert_eq!(plains[0].payload.to_vec(), plain);
+        assert_eq!(
+            cycles,
+            c.per_record_rx,
+            "offloaded record pays only the per-record cost"
+        );
+        assert_eq!(rx.stats().class.full, 1);
+    }
+
+    #[test]
+    fn partial_record_pays_more_than_full_software() {
+        let c = cost();
+        let s = sessions();
+        let plain = vec![0x77u8; 8000];
+        let wire = s.seal_record(0, &plain);
+
+        // Split into two packets; NIC decrypted only the first.
+        let split = 4000;
+        let mut first = wire[..split].to_vec();
+        // NIC decrypts bytes [5, 4000) in place.
+        let mut dec = GcmStream::new(
+            s.aes().clone(),
+            &s.nonce(0),
+            &wire[..HEADER_LEN],
+            Direction::Decrypt,
+        );
+        dec.process(&mut first[HEADER_LEN..]);
+        let second = wire[split..].to_vec();
+
+        let mut rx = KtlsRx::new(s.clone(), DataMode::Functional, None);
+        let (plains, cycles_partial) = rx.on_chunks(
+            [
+                chunk(0, first, true),
+                chunk(split as u64, second, false),
+            ],
+            &c,
+        );
+        let got: Vec<u8> = plains.iter().flat_map(|p| p.payload.to_vec()).collect();
+        assert_eq!(got, plain, "partial fallback recovers the plaintext");
+        assert_eq!(rx.stats().class.partial, 1);
+        assert_eq!(rx.stats().alerts, 0);
+
+        // Cost comparison vs a fully software record.
+        let mut rx2 = KtlsRx::new(s, DataMode::Functional, None);
+        let (_, cycles_none) = rx2.on_chunks([chunk(0, wire, false)], &c);
+        assert!(
+            cycles_partial > cycles_none,
+            "partial ({cycles_partial}) costlier than none ({cycles_none}) — §5.2"
+        );
+    }
+
+    #[test]
+    fn resync_requests_answered_after_stream_passes() {
+        let s = sessions();
+        let c = cost();
+        let mut tx = KtlsTx::new(
+            s.clone(),
+            KtlsTxConfig {
+                offload: false,
+                zerocopy: false,
+                mode: DataMode::Functional,
+            },
+        );
+        let (wire, _) = tx.send(&Payload::real(vec![1u8; 20_000]), &c);
+        let stream: Vec<u8> = wire.iter().flat_map(|w| w.to_vec()).collect();
+        let rec1_start = (16_384 + HEADER_LEN + TAG_LEN) as u64;
+
+        let mut rx = KtlsRx::new(s, DataMode::Functional, None);
+        // NIC asks about a boundary before software reaches it.
+        rx.on_resync_request(rec1_start);
+        rx.on_resync_request(rec1_start + 3); // not a boundary
+        assert!(rx.take_resync_responses().is_empty(), "not reached yet");
+
+        let mut off = 0u64;
+        for ch in stream.chunks(1448) {
+            rx.on_chunks([chunk(off, ch.to_vec(), false)], &c);
+            off += ch.len() as u64;
+        }
+        let mut resp = rx.take_resync_responses();
+        resp.sort();
+        assert_eq!(resp, vec![(rec1_start, true, 1), (rec1_start + 3, false, 0)]);
+    }
+
+    #[test]
+    fn release_below_trims_record_map() {
+        let s = sessions();
+        let mut tx = KtlsTx::new(
+            s,
+            KtlsTxConfig {
+                offload: true,
+                zerocopy: true,
+                mode: DataMode::Modeled,
+            },
+        );
+        let (_, _) = tx.send(&Payload::synthetic(50_000), &cost());
+        assert!(tx.record_at(0).is_some());
+        let second = tx.record_at(20_000).expect("second record");
+        tx.release_below(second.msg_start);
+        assert!(tx.record_at(0).is_none(), "first record released");
+        assert!(tx.record_at(second.msg_start + 1).is_some());
+        assert!(tx.record_at(tx.stream_off()).is_none());
+    }
+
+    #[test]
+    fn modeled_roundtrip_classifies() {
+        let s = sessions();
+        let c = cost();
+        let mut tx = KtlsTx::new(
+            s.clone(),
+            KtlsTxConfig {
+                offload: true,
+                zerocopy: true,
+                mode: DataMode::Modeled,
+            },
+        );
+        let (wire, _) = tx.send(&Payload::synthetic(33_000), &c);
+        let mut rx = KtlsRx::new(s, DataMode::Modeled, Some(tx.frames()));
+        let mut off = 0u64;
+        let mut plains = Vec::new();
+        for w in &wire {
+            // Deliver each record as two chunks, all offloaded.
+            let half = w.len() / 2;
+            let (p1, _) = rx.on_chunks(
+                [RxChunk {
+                    offset: off,
+                    payload: Payload::synthetic(half),
+                    flags: SkbFlags {
+                        tls_decrypted: true,
+                        ..Default::default()
+                    },
+                }],
+                &c,
+            );
+            let (p2, _) = rx.on_chunks(
+                [RxChunk {
+                    offset: off + half as u64,
+                    payload: Payload::synthetic(w.len() - half),
+                    flags: SkbFlags {
+                        tls_decrypted: true,
+                        ..Default::default()
+                    },
+                }],
+                &c,
+            );
+            off += w.len() as u64;
+            plains.extend(p1);
+            plains.extend(p2);
+        }
+        let total: usize = plains.iter().map(|p| p.payload.len()).sum();
+        assert_eq!(total, 33_000);
+        assert_eq!(rx.stats().class.full, 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! The resilience story (paper §6.4): TLS offload over a lossy, reordering
+//! link, with real crypto end to end.
+//!
+//! Watch the NIC drop in and out of offloading: retransmissions bypass the
+//! engine, boundary-based resyncs recover without software, and header
+//! losses go through the speculative search → track → confirm path. Every
+//! byte still decrypts correctly.
+//!
+//! Run with: `cargo run --release --example lossy_link`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ano_sim::link::Impairments;
+use ano_sim::payload::{DataMode, Payload};
+use ano_sim::time::SimTime;
+use ano_stack::app::{AppEvent, HostApi, HostApp};
+use ano_stack::prelude::*;
+
+struct SendOnce(ConnId, Vec<u8>);
+impl HostApp for SendOnce {
+    fn on_event(&mut self, api: &mut HostApi, event: AppEvent<'_>) {
+        if let AppEvent::Start = event {
+            api.send(self.0, Payload::real(self.1.clone()));
+        }
+    }
+}
+
+#[derive(Default)]
+struct Sink(Rc<RefCell<Vec<u8>>>);
+impl HostApp for Sink {
+    fn on_event(&mut self, _api: &mut HostApi, event: AppEvent<'_>) {
+        if let AppEvent::Data { chunks, .. } = event {
+            let mut g = self.0.borrow_mut();
+            for c in chunks {
+                g.extend_from_slice(&c.payload.to_vec());
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut world = World::new(WorldConfig {
+        seed: 99,
+        mode: DataMode::Functional,
+        impair_0to1: Impairments {
+            loss: 0.02,
+            reorder: 0.01,
+            reorder_extra_ns: (50_000, 300_000),
+            duplicate: 0.005,
+        },
+        ..Default::default()
+    });
+    let conn = world.connect(
+        ConnSpec::Tls(TlsSpec::offloaded()),
+        ConnSpec::Tls(TlsSpec::offloaded()),
+    );
+    let data: Vec<u8> = (0..500_000u32).map(|i| (i % 251) as u8).collect();
+    let got = Rc::new(RefCell::new(Vec::new()));
+    world.set_app(0, Box::new(SendOnce(conn, data.clone())));
+    world.set_app(1, Box::new(Sink(Rc::clone(&got))));
+    world.start();
+    world.run_until(SimTime::from_secs(60));
+
+    assert_eq!(*got.borrow(), data, "exact bytes despite 2% loss");
+    let rx = world.rx_engine_stats(1, conn).expect("rx engine");
+    let tx = world.tx_engine_stats(0, conn).expect("tx engine");
+    let k = world.ktls_rx_stats(1, conn).expect("tls");
+    println!("delivered {} bytes intact over a 2%-loss link", data.len());
+    println!("rx engine: {}/{} packets offloaded, {} boundary resyncs, {} speculative confirms",
+        rx.pkts_offloaded, rx.pkts, rx.boundary_resyncs, rx.resync_ok);
+    println!("tx engine: {} context recoveries, {} bytes replayed over PCIe",
+        tx.recoveries, tx.replay_bytes);
+    println!("records: {} full / {} partial / {} software, {} alerts",
+        k.class.full, k.class.partial, k.class.none, k.alerts);
+    assert_eq!(k.alerts, 0);
+}

@@ -1,0 +1,73 @@
+//! A remote block device over NVMe-TCP with zero-copy + CRC offloads
+//! (paper §5.1, Fig. 9).
+//!
+//! The host reads from a remote Optane-like drive. The NIC DMA-places
+//! capsule payloads straight into the registered block-layer buffers and
+//! verifies the CRC32C data digests; software skips both the memcpy and
+//! the digest pass.
+//!
+//! Run with: `cargo run --release --example remote_storage`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ano_nvme::block::pattern_byte;
+use ano_sim::payload::DataMode;
+use ano_sim::time::SimTime;
+use ano_stack::app::{AppEvent, HostApi, HostApp};
+use ano_stack::prelude::*;
+
+struct Reader {
+    conn: ConnId,
+    done: Rc<RefCell<Vec<ano_nvme::host::Completion>>>,
+}
+
+impl HostApp for Reader {
+    fn on_event(&mut self, api: &mut HostApi, event: AppEvent<'_>) {
+        match event {
+            AppEvent::Start => {
+                for (i, off) in [4096u64, 1 << 20, 7 << 20].iter().enumerate() {
+                    api.nvme_read(self.conn, i as u64, *off, 128 * 1024);
+                }
+            }
+            AppEvent::NvmeDone { completion, .. } => {
+                self.done.borrow_mut().push(completion.clone());
+            }
+            _ => {}
+        }
+    }
+}
+
+fn main() {
+    let mut world = World::new(WorldConfig {
+        seed: 7,
+        mode: DataMode::Functional,
+        ..Default::default()
+    });
+    let conn = world.connect(
+        ConnSpec::NvmeHost(NvmeHostSpec::offloaded()),
+        ConnSpec::NvmeTarget(NvmeTargetSpec {
+            crc_tx_offload: true,
+            crc_rx_offload: true,
+            ..Default::default()
+        }),
+    );
+    let done = Rc::new(RefCell::new(Vec::new()));
+    world.set_app(0, Box::new(Reader { conn, done: Rc::clone(&done) }));
+    world.start();
+    world.run_until(SimTime::from_secs(1));
+
+    let offsets = [4096u64, 1 << 20, 7 << 20];
+    for c in done.borrow().iter() {
+        let buf = c.buffer.as_ref().expect("functional buffer").borrow();
+        let off = offsets[c.id as usize];
+        let intact = buf.iter().enumerate().all(|(j, &v)| v == pattern_byte(off + j as u64));
+        println!(
+            "read {} @ {:>8}: ok={} placed={} B copied={} B content-intact={}",
+            c.id, off, c.ok, c.placed_bytes, c.copied_bytes, intact
+        );
+        assert!(c.ok && intact && c.copied_bytes == 0);
+    }
+    let hs = world.nvme_host_stats(0, conn).expect("host stats");
+    println!("software digests computed: {} (skipped: {})", hs.crc_software, hs.crc_skipped);
+}

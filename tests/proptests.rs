@@ -1,0 +1,145 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+
+use autonomous_nic_offloads::core::demo::{self, DemoFlow};
+use autonomous_nic_offloads::core::msg::DataRef;
+use autonomous_nic_offloads::core::rx::RxEngine;
+use autonomous_nic_offloads::crypto::aes::Aes;
+use autonomous_nic_offloads::crypto::crc32c::{combine, crc32c, Crc32c};
+use autonomous_nic_offloads::crypto::gcm::{seal, Direction, GcmStream};
+use autonomous_nic_offloads::tcp::conn::TcpEndpoint;
+use autonomous_nic_offloads::tcp::segment::{FlowId, SkbFlags};
+use autonomous_nic_offloads::tcp::TcpConfig;
+use ano_sim::payload::Payload;
+use ano_sim::time::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// §3.2's precondition, verified over random data and split points:
+    /// incremental AES-GCM over arbitrary byte ranges equals one-shot.
+    #[test]
+    fn gcm_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        splits in proptest::collection::vec(1usize..2048, 0..6),
+    ) {
+        let aes = Aes::new_128(&[0x11; 16]);
+        let iv = [5u8; 12];
+        let mut oneshot = data.clone();
+        let tag = seal(&aes, &iv, b"hdr", &mut oneshot);
+
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % data.len()).collect();
+        cuts.push(0);
+        cuts.push(data.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let mut buf = data.clone();
+        let mut s = GcmStream::new(aes, &iv, b"hdr", Direction::Encrypt);
+        for w in cuts.windows(2) {
+            s.process(&mut buf[w[0]..w[1]]);
+        }
+        prop_assert_eq!(buf, oneshot);
+        prop_assert_eq!(s.tag(), tag);
+    }
+
+    /// CRC32C combine over any split equals the whole-buffer digest.
+    #[test]
+    fn crc_combine_any_split(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let k = if data.is_empty() { 0 } else { cut.index(data.len()) };
+        let (a, b) = data.split_at(k);
+        prop_assert_eq!(combine(crc32c(a), crc32c(b), b.len() as u64), crc32c(&data));
+        let mut inc = Crc32c::new();
+        inc.update(a);
+        inc.update(b);
+        prop_assert_eq!(inc.finalize(), crc32c(&data));
+    }
+
+    /// TCP delivers exactly the sent stream under arbitrary loss schedules
+    /// (with retransmission driven by the RTO).
+    #[test]
+    fn tcp_exactly_once_under_loss(
+        len in 1usize..30_000,
+        drops in proptest::collection::vec(any::<bool>(), 64),
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+        let mut a = TcpEndpoint::new(FlowId(1), TcpConfig::default());
+        let mut b = TcpEndpoint::new(FlowId(2), TcpConfig::default());
+        a.send(Payload::real(data.clone()));
+        let mut t = 0u64;
+        let mut drop_i = 0usize;
+        let mut got = Vec::new();
+        for iter in 0..40_000 {
+            t += 50;
+            let now = SimTime::from_micros(t);
+            if let Some(d) = a.rto_deadline() {
+                if d <= now {
+                    a.on_rto(now);
+                }
+            }
+            let mut quiet = true;
+            while let Some(seg) = a.poll_transmit(now) {
+                quiet = false;
+                // Arbitrary loss schedule, but let the tail drain so every
+                // run terminates (a 100%-loss schedule proves nothing).
+                let dropped =
+                    iter < 20_000 && !seg.payload.is_empty() && drops[drop_i % drops.len()];
+                drop_i += 1;
+                if !dropped {
+                    b.on_packet_wnd(seg.seq, seg.ack, seg.wnd, &seg.sack, seg.payload, SkbFlags::default(), now);
+                }
+            }
+            for c in b.take_ready() {
+                got.extend_from_slice(&c.payload.to_vec());
+                b.consume(c.payload.len() as u64);
+            }
+            while let Some(seg) = b.poll_transmit(now) {
+                quiet = false;
+                a.on_packet_wnd(seg.seq, seg.ack, seg.wnd, &seg.sack, seg.payload, SkbFlags::default(), now);
+            }
+            if quiet {
+                if a.is_quiescent() && got.len() == data.len() {
+                    break;
+                }
+                // Nothing in flight to react to: jump the clock to the next
+                // retransmission deadline (RTO backoff reaches seconds).
+                if let Some(d) = a.rto_deadline() {
+                    t = t.max(d.as_nanos() / 1_000);
+                }
+            }
+        }
+        prop_assert_eq!(got, data, "stream delivered exactly once, in order");
+    }
+
+    /// The offload engine's transformation is packetization-invariant: any
+    /// way of cutting an in-sequence stream into packets produces the same
+    /// decrypted bytes and all-offloaded packets.
+    #[test]
+    fn rx_engine_packetization_invariant(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..300), 1..6),
+        mtu in 16usize..600,
+    ) {
+        let stream: Vec<u8> = bodies.iter().flat_map(|b| demo::encode_msg(b)).collect();
+        let mut engine = RxEngine::new(Box::new(DemoFlow::rx_functional(demo::DEFAULT_KEY)), 0, 0);
+        let mut out = Vec::new();
+        let mut off = 0u64;
+        for chunk in stream.chunks(mtu) {
+            let mut buf = chunk.to_vec();
+            let flags = engine.on_packet(off, &mut DataRef::Real(&mut buf));
+            prop_assert!(flags.tls_decrypted, "in-sequence packets all offload");
+            out.extend_from_slice(&buf);
+            off += chunk.len() as u64;
+        }
+        // Decrypted bodies appear in place.
+        let mut pos = 0usize;
+        for body in &bodies {
+            let plain = &out[pos + demo::HDR_LEN..pos + demo::HDR_LEN + body.len()];
+            prop_assert_eq!(plain, &body[..]);
+            pos += demo::HDR_LEN + body.len() + 1;
+        }
+    }
+}
