@@ -1,46 +1,42 @@
-//! Criterion wrappers around the figure experiments: one representative
+//! Micro-bench wrappers around the figure experiments: one representative
 //! point per paper figure, so `cargo bench` exercises every experiment
 //! family (the `figures` binary regenerates the full sweeps).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ano_bench::micro::Harness;
 
 use ano_bench::figures;
 
-fn figure_points(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
+fn figure_points(h: &mut Harness) {
+    let mut g = h.group("figures");
     g.sample_size(10);
-    g.bench_function("fig02_overheads", |b| b.iter(figures::fig02));
-    g.bench_function("tab01_accelerators", |b| b.iter(figures::tab01));
-    g.bench_function("fig10_fio_point", |b| {
-        b.iter(|| {
-            ano_bench::runners::run_fio(&ano_bench::runners::FioCfg {
-                size: 256 * 1024,
-                depth: 16,
-                offload: false,
-                window: ano_sim::time::SimDuration::from_millis(10),
-                seed: 1,
-            })
+    g.bench("fig02_overheads", figures::fig02);
+    g.bench("tab01_accelerators", figures::tab01);
+    g.bench("fig10_fio_point", || {
+        ano_bench::runners::run_fio(&ano_bench::runners::FioCfg {
+            size: 256 * 1024,
+            depth: 16,
+            offload: false,
+            window: ano_sim::time::SimDuration::from_millis(10),
+            seed: 1,
         })
     });
-    g.bench_function("fig11_iperf_point", |b| {
-        b.iter(|| {
-            ano_bench::runners::run_iperf(&ano_bench::runners::IperfCfg {
-                window: ano_sim::time::SimDuration::from_millis(10),
-                ..Default::default()
-            })
+    g.bench("fig11_iperf_point", || {
+        ano_bench::runners::run_iperf(&ano_bench::runners::IperfCfg {
+            window: ano_sim::time::SimDuration::from_millis(10),
+            ..Default::default()
         })
     });
-    g.bench_function("fig13_nginx_point", |b| {
-        b.iter(|| {
-            ano_bench::runners::run_rr(&ano_bench::runners::RrCfg {
-                conns: 16,
-                window: ano_sim::time::SimDuration::from_millis(10),
-                ..Default::default()
-            })
+    g.bench("fig13_nginx_point", || {
+        ano_bench::runners::run_rr(&ano_bench::runners::RrCfg {
+            conns: 16,
+            window: ano_sim::time::SimDuration::from_millis(10),
+            ..Default::default()
         })
     });
     g.finish();
 }
 
-criterion_group!(benches, figure_points);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    figure_points(&mut h);
+}

@@ -1,0 +1,187 @@
+//! Minimal micro-benchmark harness — the hermetic criterion stand-in.
+//!
+//! `cargo bench` runs each `[[bench]]` target (declared `harness = false`)
+//! as a plain binary; this module supplies the timing loop those binaries
+//! share. Per benchmark it calibrates an iteration batch from a warm-up
+//! phase, collects wall-clock samples, and prints median/min/max ns per
+//! iteration plus derived throughput when a byte count is attached.
+//!
+//! Design goals, in order: zero dependencies, stable output for eyeballing
+//! regressions between runs, and short wall-clock time so `cargo bench`
+//! stays usable as a smoke test over every figure family.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — re-export so benches need no direct `std::hint`
+/// import (criterion's `black_box` idiom).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness for one bench binary. Applies an optional substring
+/// filter taken from the command line (flags like `--bench` that cargo
+/// forwards are ignored).
+pub struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args`.
+    pub fn from_args() -> Harness {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Harness { filter }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        println!("\n== {name} ==");
+        Group {
+            harness: self,
+            group: name.to_string(),
+            throughput_bytes: None,
+            samples: 20,
+            target_sample: Duration::from_millis(10),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct Group<'h> {
+    harness: &'h Harness,
+    group: String,
+    throughput_bytes: Option<u64>,
+    samples: usize,
+    target_sample: Duration,
+}
+
+impl Group<'_> {
+    /// Attaches a per-iteration byte count; subsequent benches also report
+    /// GiB/s.
+    pub fn throughput_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.throughput_bytes = Some(bytes);
+        self
+    }
+
+    /// Number of timed samples per bench (default 20).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Runs one benchmark. The closure is one iteration; its return value
+    /// is passed through a black box so the work cannot be optimized away.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{id}", self.group);
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+
+        // Warm-up & calibration: find how many iterations fill the target
+        // sample duration.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_sample || batch >= 1 << 24 {
+                break;
+            }
+            // Grow toward the target, at least doubling.
+            batch = (batch * 2).max(if elapsed.is_zero() {
+                batch * 16
+            } else {
+                (batch as u128 * self.target_sample.as_nanos() / elapsed.as_nanos().max(1)) as u64
+            });
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = per_iter[per_iter.len() / 2];
+        let (min, max) = (per_iter[0], per_iter[per_iter.len() - 1]);
+
+        let mut line = format!(
+            "  {full:<40} {:>12}/iter  [{} .. {}]  x{batch}",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+        );
+        if let Some(bytes) = self.throughput_bytes {
+            let gibs = bytes as f64 / median / 1.073_741_824;
+            line.push_str(&format!("  {gibs:>8.3} GiB/s"));
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (symmetry with criterion; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        let mut h = Harness { filter: None };
+        let mut g = h.group("smoke");
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench("counter", || {
+            count += 1;
+            count
+        });
+        g.finish();
+        assert!(count > 0, "closure executed");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let h = Harness {
+            filter: Some("nomatch".into()),
+        };
+        let mut h = h;
+        let mut g = h.group("smoke");
+        let mut ran = false;
+        g.bench("skipped", || ran = true);
+        assert!(!ran, "filtered bench must not run");
+    }
+
+    #[test]
+    fn black_box_passes_value() {
+        assert_eq!(black_box(41) + 1, 42);
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with(" s"));
+    }
+}

@@ -25,6 +25,7 @@
 //! assert_eq!((t, ev), (SimTime::from_micros(1), "wakeup"));
 //! ```
 
+pub mod bytes;
 pub mod cost;
 pub mod cpu;
 pub mod link;
@@ -36,6 +37,7 @@ pub mod time;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::bytes::Bytes;
     pub use crate::cost::CostModel;
     pub use crate::cpu::CpuSet;
     pub use crate::link::{Impairments, Link};

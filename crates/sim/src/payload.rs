@@ -14,7 +14,7 @@
 //!
 //! Cycle accounting is identical for both flavours.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 /// Filler byte for synthetic payloads, matching the paper's `0xCC...CC`
 /// magic-word emulation content (§6.2).

@@ -3,9 +3,23 @@
 //! Every experiment takes a single `u64` seed; all stochastic behaviour
 //! (loss, reordering, request sizes, key material in functional mode) derives
 //! from it, so any run can be replayed exactly.
+//!
+//! The generator is an in-repo xoshiro256++ seeded through splitmix64 — the
+//! same construction `rand::SmallRng` uses — so the workspace stays hermetic
+//! (no registry dependencies) without giving up statistical quality. Neither
+//! algorithm is cryptographic; key material drawn from it is only ever used
+//! by the *functional-fidelity* simulation mode, never by real peers.
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+/// splitmix64: expands a 64-bit seed into the xoshiro state. Weyl-sequence
+/// increment + two xor-shift-multiply finalization rounds (Steele et al.,
+/// "Fast splittable pseudorandom number generators").
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic random source for one simulation.
 ///
@@ -19,20 +33,44 @@ use rand::{RngExt, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    /// xoshiro256++ state; never all-zero (splitmix64 seeding guarantees it).
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child RNG (e.g. per flow) from this one.
     pub fn fork(&mut self) -> SimRng {
-        let s: u64 = self.inner.random();
+        let s = self.next_u64();
         SimRng::seed(s)
     }
 
@@ -43,7 +81,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.random_bool(p)
+            self.unit_f64() < p
         }
     }
 
@@ -54,7 +92,19 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.random_range(lo..hi)
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire): retry while the low product
+        // lands in the biased zone. For spans that are powers of two the
+        // first draw always succeeds.
+        let zone = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let hi128 = ((x as u128 * span as u128) >> 64) as u64;
+            let lo128 = x.wrapping_mul(span);
+            if lo128 >= zone {
+                return lo + hi128;
+            }
+        }
     }
 
     /// Uniform usize in `[0, n)`.
@@ -64,23 +114,27 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty range");
-        self.inner.random_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.random()
+        // 53 high bits → the full double mantissa, uniform over [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Exponentially distributed value with the given mean.
     pub fn exp_f64(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = self.unit_f64().max(f64::MIN_POSITIVE);
         -mean * u.ln()
     }
 
     /// Fills `buf` with random bytes (key material in functional mode).
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill(buf);
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 }
 
@@ -146,5 +200,41 @@ mod tests {
         let mut buf = [0u8; 64];
         r.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn fill_bytes_handles_ragged_tail() {
+        let mut r = SimRng::seed(12);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf[8..].iter().any(|&b| b != 0) || buf[..8].iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn range_is_inclusive_exclusive() {
+        let mut r = SimRng::seed(13);
+        for _ in 0..10_000 {
+            let v = r.range_u64(10, 13);
+            assert!((10..13).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unit_f64_stays_in_unit_interval() {
+        let mut r = SimRng::seed(14);
+        for _ in 0..10_000 {
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_covers_every_value_of_small_span() {
+        let mut r = SimRng::seed(15);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[r.range_u64(0, 7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 7 residues drawn: {seen:?}");
     }
 }

@@ -101,6 +101,11 @@ pub struct TcpSender {
     in_recovery: bool,
     /// Recovery point: leave recovery when `snd_una` passes this.
     recover: u64,
+    /// RTO recovery point: everything below this was in flight when the
+    /// last timeout fired. While `snd_una < rto_recover`, partial ACKs keep
+    /// the go-back-N continuation going (RFC 6582 §4 logic applied to
+    /// timeout recovery) instead of waiting out another backed-off RTO.
+    rto_recover: u64,
     srtt: Option<SimDuration>,
     rttvar: SimDuration,
     rto: SimDuration,
@@ -145,6 +150,7 @@ impl TcpSender {
             dupacks: 0,
             in_recovery: false,
             recover: 0,
+            rto_recover: 0,
             srtt: None,
             rttvar: SimDuration::ZERO,
             rto: cfg.min_rto.mul(4),
@@ -217,11 +223,21 @@ impl TcpSender {
     /// Produces the next segment to emit, or `None` if cwnd/buffer don't
     /// allow one. Call in a loop until `None`.
     pub fn poll_transmit(&mut self, now: SimTime, ack_for_peer: u32) -> Option<Segment> {
-        // SACK-driven loss recovery: while in recovery, probe the holes the
-        // scoreboard exposes, one segment at a time, gated by cwnd and
-        // re-armed once per ACK (RTT-paced, like Linux's SACK recovery).
-        if self.in_recovery && !self.sacked.is_empty() {
+        // SACK-driven loss recovery: while loss is established (fast
+        // recovery, or the go-back-N window after a timeout), probe the
+        // holes the scoreboard exposes, one segment at a time, gated by
+        // cwnd and re-armed once per ACK (RTT-paced, like Linux's SACK
+        // recovery). An RTO must not silence this path — post-timeout is
+        // exactly when the scoreboard knows which segments are missing.
+        if self.loss_established() && !self.sacked.is_empty() {
             if let Some(seg) = self.poll_sack_retransmit(now, ack_for_peer) {
+                // The scoreboard walk covers the cursor's hole; keeping
+                // both would retransmit the same segment twice per round.
+                if let Some(c) = self.resend_from {
+                    if seg.seq64 <= c.max(self.snd_una) {
+                        self.resend_from = None;
+                    }
+                }
                 return Some(seg);
             }
         }
@@ -230,9 +246,25 @@ impl TcpSender {
         // whole flight on every trigger would amplify a single hole into a
         // go-back-N storm of spurious duplicates.
         if let Some(cursor) = self.resend_from {
+            // An ACK processed after the trigger may have advanced
+            // `snd_una` past the cursor: the hole it pointed at is plugged,
+            // so resume from the oldest outstanding byte. (Without the
+            // clamp, `cursor - snd_una` underflows and the wrapped value
+            // never passes the cwnd gate — wedging the sender for good.)
+            let cursor = cursor.max(self.snd_una);
             if cursor < self.snd_nxt {
                 if (cursor - self.snd_una) < self.cwnd as u64 {
-                    let end = (cursor + self.cfg.mss as u64).min(self.snd_nxt);
+                    // Clip at the next SACKed range: the peer already holds
+                    // those bytes, re-sending them is pure waste.
+                    let sacked_cap = self
+                        .sacked
+                        .iter()
+                        .map(|&(s, _)| s)
+                        .find(|&s| s > cursor)
+                        .unwrap_or(u64::MAX);
+                    let end = (cursor + self.cfg.mss as u64)
+                        .min(self.snd_nxt)
+                        .min(sacked_cap);
                     let payload = self.buf.range(cursor, end);
                     self.resend_from = None;
                     self.stats.retransmits += 1;
@@ -309,6 +341,14 @@ impl TcpSender {
             }
         }
         self.sacked = merged;
+    }
+
+    /// True while loss has been established and retransmission should be
+    /// driven from the SACK scoreboard: fast recovery, or the go-back-N
+    /// window after a timeout (everything below `rto_recover` was lost or
+    /// in flight when the timer fired).
+    fn loss_established(&self) -> bool {
+        self.in_recovery || self.snd_una < self.rto_recover
     }
 
     /// The next un-SACKed hole at or after `from`, below the highest SACK.
@@ -419,6 +459,22 @@ impl TcpSender {
                 self.cwnd = (self.cwnd + mss * mss / self.cwnd).min(self.cfg.max_cwnd as f64);
             }
 
+            if !self.in_recovery && ack < self.rto_recover {
+                // Go-back-N continuation after a timeout: this partial ack
+                // plugged one hole and proves the peer is alive, so resend
+                // the next hole now. Waiting silently for another
+                // (exponentially backed-off) RTO per hole is how tail loss
+                // turned 10 KB transfers into multi-second recoveries.
+                self.resend_from = Some(self.snd_una);
+            }
+
+            // A cumulative ack for new data ends the current backoff round:
+            // recompute the timeout from the live RTT estimate (RFC 6298
+            // §5.7 / Linux's `icsk_backoff` reset). Without this, one early
+            // loss burst taxes every later, unrelated loss with a
+            // seconds-long timer.
+            self.refresh_rto_from_estimate();
+
             if self.bytes_in_flight() == 0 {
                 self.rto_deadline = None;
             } else {
@@ -486,6 +542,7 @@ impl TcpSender {
         self.in_recovery = false;
         self.dupacks = 0;
         self.resend_from = Some(self.snd_una);
+        self.rto_recover = self.snd_nxt;
         self.rtt_probe = None;
         self.rto = self
             .rto
@@ -517,7 +574,13 @@ impl TcpSender {
                 ));
             }
         }
-        let srtt = self.srtt.expect("just set");
+        self.refresh_rto_from_estimate();
+    }
+
+    /// Recomputes `rto = srtt + 4·rttvar` (floored at `min_rto`), discarding
+    /// any accumulated exponential backoff. No-op before the first sample.
+    fn refresh_rto_from_estimate(&mut self) {
+        let Some(srtt) = self.srtt else { return };
         let candidate = srtt + SimDuration::from_nanos(4 * self.rttvar.as_nanos());
         self.rto = SimDuration::from_nanos(candidate.as_nanos().max(self.cfg.min_rto.as_nanos()));
     }

@@ -1,0 +1,313 @@
+//! Value generators with shrinking.
+//!
+//! A [`Gen`] produces random values from a seeded [`SimRng`] and, when a
+//! property fails, proposes strictly "smaller" variants of the failing value
+//! for the runner's greedy shrink loop. Generators compose: tuples of
+//! generators are generators, and [`vec_of`] nests arbitrarily.
+
+use ano_sim::rng::SimRng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A random-value generator that knows how to shrink its output.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SimRng) -> Self::Value;
+
+    /// Proposes smaller variants of `value` (may be empty). Candidates are
+    /// tried in order; the runner keeps the first one that still fails.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
+}
+
+/// Uniform `usize` in `[lo, hi)`.
+pub fn usize_in(range: Range<usize>) -> UsizeIn {
+    assert!(range.start < range.end, "empty range");
+    UsizeIn { range }
+}
+
+/// See [`usize_in`].
+#[derive(Clone, Debug)]
+pub struct UsizeIn {
+    range: Range<usize>,
+}
+
+impl Gen for UsizeIn {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut SimRng) -> usize {
+        self.range.start + rng.index(self.range.end - self.range.start)
+    }
+
+    fn shrink(&self, value: &usize) -> Vec<usize> {
+        let lo = self.range.start;
+        let v = *value;
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid != lo {
+                out.push(mid);
+            }
+            out.push(v - 1);
+        }
+        out.dedup();
+        out
+    }
+}
+
+/// Uniform `u64` in `[lo, hi)`.
+pub fn u64_in(range: Range<u64>) -> U64In {
+    assert!(range.start < range.end, "empty range");
+    U64In { range }
+}
+
+/// See [`u64_in`].
+#[derive(Clone, Debug)]
+pub struct U64In {
+    range: Range<u64>,
+}
+
+impl Gen for U64In {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut SimRng) -> u64 {
+        rng.range_u64(self.range.start, self.range.end)
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        let lo = self.range.start;
+        let v = *value;
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid != lo {
+                out.push(mid);
+            }
+            out.push(v - 1);
+        }
+        out.dedup();
+        out
+    }
+}
+
+/// Any `u8`, shrinking toward zero.
+pub fn any_u8() -> AnyU8 {
+    AnyU8
+}
+
+/// See [`any_u8`].
+#[derive(Clone, Debug)]
+pub struct AnyU8;
+
+impl Gen for AnyU8 {
+    type Value = u8;
+
+    fn generate(&self, rng: &mut SimRng) -> u8 {
+        rng.range_u64(0, 256) as u8
+    }
+
+    fn shrink(&self, value: &u8) -> Vec<u8> {
+        match *value {
+            0 => Vec::new(),
+            1 => vec![0],
+            v => vec![0, v / 2, v - 1],
+        }
+    }
+}
+
+/// Any `bool`, shrinking `true → false`.
+pub fn any_bool() -> AnyBool {
+    AnyBool
+}
+
+/// See [`any_bool`].
+#[derive(Clone, Debug)]
+pub struct AnyBool;
+
+impl Gen for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut SimRng) -> bool {
+        rng.chance(0.5)
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A `Vec` of values from `elem`, with a length drawn from `len`.
+pub fn vec_of<G: Gen>(elem: G, len: Range<usize>) -> VecOf<G> {
+    VecOf { elem, len }
+}
+
+/// Random bytes with a length drawn from `len` (the workhorse for payload
+/// properties).
+pub fn vec_u8(len: Range<usize>) -> VecOf<AnyU8> {
+    vec_of(any_u8(), len)
+}
+
+/// Exactly `len` random booleans (e.g. a packet drop schedule).
+pub fn vec_bool(len: usize) -> VecOf<AnyBool> {
+    vec_of(any_bool(), len..len + 1)
+}
+
+/// See [`vec_of`].
+#[derive(Clone, Debug)]
+pub struct VecOf<G> {
+    elem: G,
+    len: Range<usize>,
+}
+
+/// Cap on per-round element-wise shrink candidates, so huge vectors do not
+/// turn every shrink round into tens of thousands of property executions.
+const MAX_ELEM_CANDIDATES: usize = 64;
+
+impl<G: Gen> Gen for VecOf<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut SimRng) -> Vec<G::Value> {
+        let n = self.len.start + rng.index((self.len.end - self.len.start).max(1));
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        let min_len = self.len.start;
+        // Length reduction first (halves, then quarters, ... then one), from
+        // the back and from the front — the biggest wins come from shorter
+        // inputs, so try those before fiddling with element values.
+        let mut chunk = value.len() / 2;
+        while chunk > 0 {
+            if value.len() - chunk >= min_len {
+                out.push(value[..value.len() - chunk].to_vec());
+                out.push(value[chunk..].to_vec());
+            }
+            chunk /= 2;
+        }
+        // Element-wise: substitute each element's shrink candidates in turn.
+        let mut emitted = 0;
+        'elems: for (i, v) in value.iter().enumerate() {
+            for smaller in self.elem.shrink(v) {
+                if emitted >= MAX_ELEM_CANDIDATES {
+                    break 'elems;
+                }
+                let mut copy = value.clone();
+                copy[i] = smaller;
+                out.push(copy);
+                emitted += 1;
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_gen_tuple {
+    ($($g:ident / $v:ident : $idx:tt),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut SimRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut copy = value.clone();
+                        copy.$idx = cand;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_gen_tuple!(A / a: 0);
+impl_gen_tuple!(A / a: 0, B / b: 1);
+impl_gen_tuple!(A / a: 0, B / b: 1, C / c: 2);
+impl_gen_tuple!(A / a: 0, B / b: 1, C / c: 2, D / d: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed(1)
+    }
+
+    #[test]
+    fn usize_in_respects_bounds() {
+        let g = usize_in(5..9);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!((5..9).contains(&g.generate(&mut r)));
+        }
+    }
+
+    #[test]
+    fn usize_shrink_moves_toward_lo() {
+        let g = usize_in(3..100);
+        let c = g.shrink(&50);
+        assert!(c.contains(&3));
+        assert!(c.iter().all(|&v| v < 50 && v >= 3));
+        assert!(g.shrink(&3).is_empty(), "minimum has no candidates");
+    }
+
+    #[test]
+    fn vec_len_respects_range() {
+        let g = vec_u8(2..5);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = g.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_shrink_never_undershoots_min_len() {
+        let g = vec_u8(3..10);
+        let v = vec![9u8; 8];
+        for cand in g.shrink(&v) {
+            assert!(cand.len() >= 3, "candidate len {}", cand.len());
+        }
+    }
+
+    #[test]
+    fn vec_bool_is_fixed_length() {
+        let g = vec_bool(64);
+        let mut r = rng();
+        assert_eq!(g.generate(&mut r).len(), 64);
+        // Shrinking keeps length (range is 64..65) but flips trues to false.
+        let v = vec![true; 64];
+        assert!(g.shrink(&v).iter().all(|c| c.len() == 64));
+    }
+
+    #[test]
+    fn tuple_gen_shrinks_componentwise() {
+        let g = (usize_in(0..10), any_bool());
+        let c = g.shrink(&(5, true));
+        assert!(c.contains(&(0, true)));
+        assert!(c.contains(&(5, false)));
+    }
+
+    #[test]
+    fn nested_vec_generates() {
+        let g = vec_of(vec_u8(1..4), 1..3);
+        let mut r = rng();
+        let v = g.generate(&mut r);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|inner| (1..4).contains(&inner.len())));
+    }
+}

@@ -1,0 +1,209 @@
+//! Property runner: case generation, failure capture, greedy shrinking.
+//!
+//! Properties are plain closures that panic on violation (use the standard
+//! `assert!`/`assert_eq!` macros). The runner executes `cases` seeded cases;
+//! on the first failure it shrinks the input greedily — repeatedly replacing
+//! the failing value with its first still-failing shrink candidate — and
+//! then panics with the minimal counterexample and replay instructions.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use ano_sim::rng::SimRng;
+
+use crate::gen::Gen;
+
+/// Environment variable overriding the base seed (replay a failed run).
+pub const SEED_ENV: &str = "ANO_TESTKIT_SEED";
+/// Environment variable overriding the case count.
+pub const CASES_ENV: &str = "ANO_TESTKIT_CASES";
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases to execute.
+    pub cases: u32,
+    /// Base seed; each case derives its own seed from it.
+    pub seed: u64,
+    /// Upper bound on shrink rounds after a failure.
+    pub max_shrink_rounds: u32,
+}
+
+impl Config {
+    /// `cases` random cases with the default deterministic seed (both
+    /// overridable via [`SEED_ENV`] / [`CASES_ENV`]).
+    pub fn with_cases(cases: u32) -> Config {
+        let seed = std::env::var(SEED_ENV)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x0FF1_0AD5_EED0_0001);
+        let cases = std::env::var(CASES_ENV)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(cases);
+        Config {
+            cases,
+            seed,
+            max_shrink_rounds: 512,
+        }
+    }
+}
+
+/// Executes `prop` once, reporting a panic as `Err(message)`.
+fn run_one<V, F: Fn(&V)>(prop: &F, value: &V) -> Result<(), String> {
+    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    match result {
+        Ok(()) => Ok(()),
+        // `.as_ref()` matters: coercing `&Box<dyn Any>` directly would
+        // downcast against the Box itself, not the panic payload.
+        Err(payload) => Err(payload_message(payload.as_ref())),
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `prop` over `cfg.cases` generated inputs, shrinking on failure.
+///
+/// # Panics
+///
+/// Panics (failing the test) with the minimal counterexample if any case
+/// violates the property.
+pub fn check<G: Gen, F: Fn(&G::Value)>(name: &str, cfg: &Config, gen: &G, prop: F) {
+    for case in 0..cfg.cases {
+        // Per-case RNG: decorrelate cases while keeping each one replayable
+        // from (seed, case index) alone.
+        let mut rng = SimRng::seed(cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)));
+        let value = gen.generate(&mut rng);
+        if let Err(first_msg) = run_one(&prop, &value) {
+            let (min_value, min_msg, rounds) = shrink(cfg, gen, &prop, value, first_msg);
+            panic!(
+                "property `{name}` failed (case {case}/{cases}, seed {seed:#x}, \
+                 {rounds} shrink rounds)\n\
+                 minimal input: {min_value:?}\n\
+                 failure: {min_msg}\n\
+                 replay: {seed_env}={seed} cargo test {name}",
+                cases = cfg.cases,
+                seed = cfg.seed,
+                seed_env = SEED_ENV,
+            );
+        }
+    }
+}
+
+/// Greedy shrink: keep the first candidate that still fails, repeat.
+fn shrink<G: Gen, F: Fn(&G::Value)>(
+    cfg: &Config,
+    gen: &G,
+    prop: &F,
+    mut value: G::Value,
+    mut msg: String,
+) -> (G::Value, String, u32) {
+    let mut rounds = 0;
+    'outer: while rounds < cfg.max_shrink_rounds {
+        for cand in gen.shrink(&value) {
+            if let Err(m) = run_one(prop, &cand) {
+                value = cand;
+                msg = m;
+                rounds += 1;
+                continue 'outer;
+            }
+        }
+        break; // no candidate still fails: local minimum
+    }
+    (value, msg, rounds)
+}
+
+/// Replays one explicit input against a property — the named-regression
+/// entry point (ports of `proptest-regressions` seeds live here).
+pub fn replay<V: std::fmt::Debug, F: Fn(&V)>(name: &str, value: V, prop: F) {
+    if let Err(msg) = run_one(&prop, &value) {
+        panic!("regression `{name}` failed\ninput: {value:?}\nfailure: {msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{usize_in, vec_u8};
+
+    fn quiet_cfg(cases: u32) -> Config {
+        Config {
+            cases,
+            seed: 7,
+            max_shrink_rounds: 512,
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut _count = 0;
+        check("always_true", &quiet_cfg(50), &(usize_in(0..100),), |&(v,)| {
+            assert!(v < 100);
+        });
+        let _ = _count;
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimum() {
+        // Property: v < 17. Minimal counterexample is exactly 17.
+        let caught = std::panic::catch_unwind(|| {
+            check("le_17", &quiet_cfg(200), &(usize_in(0..100),), |&(v,)| {
+                assert!(v < 17, "{v} >= 17");
+            });
+        });
+        let msg = caught.expect_err("must fail");
+        let msg = msg.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("minimal input: (17,)"), "shrunk to 17: {msg}");
+    }
+
+    #[test]
+    fn vec_shrink_finds_short_counterexample() {
+        // Property: no vector contains a byte >= 200.
+        let caught = std::panic::catch_unwind(|| {
+            check("no_big_byte", &quiet_cfg(100), &(vec_u8(0..64),), |(v,)| {
+                assert!(v.iter().all(|&b| b < 200), "big byte in {v:?}");
+            });
+        });
+        let msg = caught.expect_err("must fail");
+        let msg = msg.downcast_ref::<String>().expect("string panic");
+        // Greedy shrinking should get the vector down to a single offending
+        // byte, itself shrunk to the boundary 200.
+        assert!(msg.contains("minimal input: ([200],)"), "minimal: {msg}");
+    }
+
+    #[test]
+    fn replay_passes_through() {
+        replay("ok_case", (3usize, vec![1u8, 2]), |(n, v)| {
+            assert_eq!(*n, 3);
+            assert_eq!(v.len(), 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "regression `bad_case` failed")]
+    fn replay_reports_failure() {
+        replay("bad_case", 5usize, |&n| assert!(n > 9));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = quiet_cfg(10);
+        let gen = (vec_u8(1..32),);
+        let mut first: Vec<Vec<u8>> = Vec::new();
+        for case in 0..cfg.cases {
+            let mut rng = SimRng::seed(cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)));
+            first.push(gen.generate(&mut rng).0);
+        }
+        for case in 0..cfg.cases {
+            let mut rng = SimRng::seed(cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)));
+            assert_eq!(gen.generate(&mut rng).0, first[case as usize]);
+        }
+    }
+}

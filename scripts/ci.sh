@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Tier-1 CI: hermetic build + test, with network access explicitly denied.
+#
+# The workspace has zero registry dependencies by design (see "Hermetic
+# build" in README.md / DESIGN.md): every dependency is a path dependency
+# inside this repository, so `CARGO_NET_OFFLINE=true` must never bite.
+# This script is the enforcement point — it fails if either the offline
+# build breaks or a registry dependency sneaks back into a manifest.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== guard: no registry dependencies in any manifest =="
+# A registry dependency is `name = "1"` or `name = { version = "1", ... }`
+# without a `path = ...`. Allowed forms: `path = ...` deps and
+# `name.workspace = true` / `workspace = true` members whose workspace
+# entry is itself a path dep (checked via the root manifest below).
+bad=$(grep -rn --include=Cargo.toml -E \
+    '^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=[[:space:]]*("[^"]*"|\{[^}]*version[^}]*\})' \
+    Cargo.toml crates/*/Cargo.toml \
+  | grep -vE 'path[[:space:]]*=' \
+  | grep -vE '^[^:]*:[0-9]+:[[:space:]]*(name|version|edition|license|description|rust-version|repository|documentation|readme|harness|resolver|members|default|std)\b' \
+  || true)
+if [ -n "$bad" ]; then
+    echo "registry dependencies found (must be path-only):" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "ok: all dependencies are path-only"
+
+echo "== tier-1: offline release build =="
+CARGO_NET_OFFLINE=true cargo build --release
+
+echo "== tier-1: offline tests =="
+CARGO_NET_OFFLINE=true cargo test -q
+
+echo "tier-1 green (offline)"

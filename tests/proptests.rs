@@ -1,6 +1,14 @@
-//! Property-based tests over the core invariants.
+//! Property-based tests over the core invariants, on the in-repo
+//! `ano-testkit` harness (hermetic `proptest` stand-in).
+//!
+//! Failures print a minimal shrunk counterexample plus an
+//! `ANO_TESTKIT_SEED=<seed>` replay line. Counterexamples worth keeping are
+//! committed as *named replay cases* (explicit inputs, `runner::replay`)
+//! rather than opaque RNG-state hashes — see `tcp_regression_len_10137`
+//! below, the port of the historical `proptest-regressions` entry.
 
-use proptest::prelude::*;
+use ano_testkit::gen::{usize_in, vec_bool, vec_of, vec_u8};
+use ano_testkit::prop_test;
 
 use autonomous_nic_offloads::core::demo::{self, DemoFlow};
 use autonomous_nic_offloads::core::msg::DataRef;
@@ -14,114 +22,142 @@ use autonomous_nic_offloads::tcp::TcpConfig;
 use ano_sim::payload::Payload;
 use ano_sim::time::SimTime;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// §3.2's precondition: incremental AES-GCM over arbitrary byte ranges
+/// equals one-shot (checked as a reusable body so replay cases can call it).
+fn check_gcm_incremental(data: &[u8], splits: &[usize]) {
+    let aes = Aes::new_128(&[0x11; 16]);
+    let iv = [5u8; 12];
+    let mut oneshot = data.to_vec();
+    let tag = seal(&aes, &iv, b"hdr", &mut oneshot);
 
-    /// §3.2's precondition, verified over random data and split points:
-    /// incremental AES-GCM over arbitrary byte ranges equals one-shot.
-    #[test]
-    fn gcm_incremental_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 1..2048),
-        splits in proptest::collection::vec(1usize..2048, 0..6),
-    ) {
-        let aes = Aes::new_128(&[0x11; 16]);
-        let iv = [5u8; 12];
-        let mut oneshot = data.clone();
-        let tag = seal(&aes, &iv, b"hdr", &mut oneshot);
+    let mut cuts: Vec<usize> = splits.iter().map(|s| s % data.len()).collect();
+    cuts.push(0);
+    cuts.push(data.len());
+    cuts.sort_unstable();
+    cuts.dedup();
 
-        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % data.len()).collect();
-        cuts.push(0);
-        cuts.push(data.len());
-        cuts.sort_unstable();
-        cuts.dedup();
-
-        let mut buf = data.clone();
-        let mut s = GcmStream::new(aes, &iv, b"hdr", Direction::Encrypt);
-        for w in cuts.windows(2) {
-            s.process(&mut buf[w[0]..w[1]]);
-        }
-        prop_assert_eq!(buf, oneshot);
-        prop_assert_eq!(s.tag(), tag);
+    let mut buf = data.to_vec();
+    let mut s = GcmStream::new(Aes::new_128(&[0x11; 16]), &iv, b"hdr", Direction::Encrypt);
+    for w in cuts.windows(2) {
+        s.process(&mut buf[w[0]..w[1]]);
     }
+    assert_eq!(buf, oneshot);
+    assert_eq!(s.tag(), tag);
+}
 
-    /// CRC32C combine over any split equals the whole-buffer digest.
-    #[test]
-    fn crc_combine_any_split(
-        data in proptest::collection::vec(any::<u8>(), 0..4096),
-        cut in any::<prop::sample::Index>(),
+/// TCP delivers exactly the sent stream under an arbitrary loss schedule
+/// (drops applied round-robin to the sender's data segments; recovery is
+/// driven by SACK, fast retransmit, and the RTO with backoff).
+fn check_tcp_exactly_once(len: usize, drops: &[bool]) {
+    let data: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+    let mut a = TcpEndpoint::new(FlowId(1), TcpConfig::default());
+    let mut b = TcpEndpoint::new(FlowId(2), TcpConfig::default());
+    a.send(Payload::real(data.clone()));
+    let mut t = 0u64;
+    let mut drop_i = 0usize;
+    let mut got = Vec::new();
+    for iter in 0..40_000 {
+        t += 50;
+        let now = SimTime::from_micros(t);
+        if let Some(d) = a.rto_deadline() {
+            if d <= now {
+                a.on_rto(now);
+            }
+        }
+        let mut quiet = true;
+        while let Some(seg) = a.poll_transmit(now) {
+            quiet = false;
+            // Arbitrary loss schedule, but let the tail drain so every
+            // run terminates (a 100%-loss schedule proves nothing).
+            let dropped = iter < 20_000 && !seg.payload.is_empty() && drops[drop_i % drops.len()];
+            drop_i += 1;
+            if !dropped {
+                b.on_packet_wnd(
+                    seg.seq,
+                    seg.ack,
+                    seg.wnd,
+                    &seg.sack,
+                    seg.payload,
+                    SkbFlags::default(),
+                    now,
+                );
+            }
+        }
+        for c in b.take_ready() {
+            got.extend_from_slice(&c.payload.to_vec());
+            b.consume(c.payload.len() as u64);
+        }
+        while let Some(seg) = b.poll_transmit(now) {
+            quiet = false;
+            a.on_packet_wnd(
+                seg.seq,
+                seg.ack,
+                seg.wnd,
+                &seg.sack,
+                seg.payload,
+                SkbFlags::default(),
+                now,
+            );
+        }
+        if quiet {
+            if a.is_quiescent() && got.len() == data.len() {
+                break;
+            }
+            // Nothing in flight to react to: jump the clock to the next
+            // retransmission deadline (RTO backoff reaches seconds).
+            if let Some(d) = a.rto_deadline() {
+                t = t.max(d.as_nanos() / 1_000);
+            }
+        }
+    }
+    assert_eq!(got, data, "stream delivered exactly once, in order");
+}
+
+prop_test! {
+    cases = 24;
+    fn gcm_incremental_equals_oneshot(
+        data in vec_u8(1..2048),
+        splits in vec_of(usize_in(1..2048), 0..6),
     ) {
-        let k = if data.is_empty() { 0 } else { cut.index(data.len()) };
+        check_gcm_incremental(&data, &splits);
+    }
+}
+
+prop_test! {
+    cases = 32;
+    /// CRC32C combine over any split equals the whole-buffer digest.
+    fn crc_combine_any_split(
+        data in vec_u8(0..4096),
+        cut in usize_in(0..4096),
+    ) {
+        let k = if data.is_empty() { 0 } else { cut % data.len() };
         let (a, b) = data.split_at(k);
-        prop_assert_eq!(combine(crc32c(a), crc32c(b), b.len() as u64), crc32c(&data));
+        assert_eq!(combine(crc32c(a), crc32c(b), b.len() as u64), crc32c(&data));
         let mut inc = Crc32c::new();
         inc.update(a);
         inc.update(b);
-        prop_assert_eq!(inc.finalize(), crc32c(&data));
+        assert_eq!(inc.finalize(), crc32c(&data));
     }
+}
 
-    /// TCP delivers exactly the sent stream under arbitrary loss schedules
-    /// (with retransmission driven by the RTO).
-    #[test]
+prop_test! {
+    cases = 24;
     fn tcp_exactly_once_under_loss(
-        len in 1usize..30_000,
-        drops in proptest::collection::vec(any::<bool>(), 64),
+        len in usize_in(1..30_000),
+        drops in vec_bool(64),
     ) {
-        let data: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
-        let mut a = TcpEndpoint::new(FlowId(1), TcpConfig::default());
-        let mut b = TcpEndpoint::new(FlowId(2), TcpConfig::default());
-        a.send(Payload::real(data.clone()));
-        let mut t = 0u64;
-        let mut drop_i = 0usize;
-        let mut got = Vec::new();
-        for iter in 0..40_000 {
-            t += 50;
-            let now = SimTime::from_micros(t);
-            if let Some(d) = a.rto_deadline() {
-                if d <= now {
-                    a.on_rto(now);
-                }
-            }
-            let mut quiet = true;
-            while let Some(seg) = a.poll_transmit(now) {
-                quiet = false;
-                // Arbitrary loss schedule, but let the tail drain so every
-                // run terminates (a 100%-loss schedule proves nothing).
-                let dropped =
-                    iter < 20_000 && !seg.payload.is_empty() && drops[drop_i % drops.len()];
-                drop_i += 1;
-                if !dropped {
-                    b.on_packet_wnd(seg.seq, seg.ack, seg.wnd, &seg.sack, seg.payload, SkbFlags::default(), now);
-                }
-            }
-            for c in b.take_ready() {
-                got.extend_from_slice(&c.payload.to_vec());
-                b.consume(c.payload.len() as u64);
-            }
-            while let Some(seg) = b.poll_transmit(now) {
-                quiet = false;
-                a.on_packet_wnd(seg.seq, seg.ack, seg.wnd, &seg.sack, seg.payload, SkbFlags::default(), now);
-            }
-            if quiet {
-                if a.is_quiescent() && got.len() == data.len() {
-                    break;
-                }
-                // Nothing in flight to react to: jump the clock to the next
-                // retransmission deadline (RTO backoff reaches seconds).
-                if let Some(d) = a.rto_deadline() {
-                    t = t.max(d.as_nanos() / 1_000);
-                }
-            }
-        }
-        prop_assert_eq!(got, data, "stream delivered exactly once, in order");
+        check_tcp_exactly_once(len, &drops);
     }
+}
 
+prop_test! {
+    cases = 24;
     /// The offload engine's transformation is packetization-invariant: any
     /// way of cutting an in-sequence stream into packets produces the same
     /// decrypted bytes and all-offloaded packets.
-    #[test]
     fn rx_engine_packetization_invariant(
-        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..300), 1..6),
-        mtu in 16usize..600,
+        bodies in vec_of(vec_u8(1..300), 1..6),
+        mtu in usize_in(16..600),
     ) {
         let stream: Vec<u8> = bodies.iter().flat_map(|b| demo::encode_msg(b)).collect();
         let mut engine = RxEngine::new(Box::new(DemoFlow::rx_functional(demo::DEFAULT_KEY)), 0, 0);
@@ -130,7 +166,7 @@ proptest! {
         for chunk in stream.chunks(mtu) {
             let mut buf = chunk.to_vec();
             let flags = engine.on_packet(off, &mut DataRef::Real(&mut buf));
-            prop_assert!(flags.tls_decrypted, "in-sequence packets all offload");
+            assert!(flags.tls_decrypted, "in-sequence packets all offload");
             out.extend_from_slice(&buf);
             off += chunk.len() as u64;
         }
@@ -138,8 +174,22 @@ proptest! {
         let mut pos = 0usize;
         for body in &bodies {
             let plain = &out[pos + demo::HDR_LEN..pos + demo::HDR_LEN + body.len()];
-            prop_assert_eq!(plain, &body[..]);
+            assert_eq!(plain, &body[..]);
             pos += demo::HDR_LEN + body.len() + 1;
         }
     }
+}
+
+/// Named replay of the historical `proptest-regressions` entry
+/// (`cc 8ed59643…`, shrunk to `len = 10137` with an alternating-drop
+/// schedule): a tail-loss pattern that once wedged loss recovery.
+#[test]
+fn tcp_regression_len_10137() {
+    let mut drops = [false; 64];
+    for i in [2usize, 3, 5, 7, 9, 11, 13, 14] {
+        drops[i] = true;
+    }
+    ano_testkit::replay("tcp_regression_len_10137", (10137usize, drops.to_vec()), |(len, drops)| {
+        check_tcp_exactly_once(*len, drops);
+    });
 }
