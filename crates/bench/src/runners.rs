@@ -115,7 +115,7 @@ pub fn run_iperf(cfg: &IperfCfg) -> IperfResult {
         seed: cfg.seed,
         mode: DataMode::Modeled,
         cores: cfg.cores,
-        impair_0to1: cfg.impair,
+        impair_0to1: cfg.impair.clone(),
         resync_delay: cfg.resync_delay,
         tcp: dc_tcp(),
         ..Default::default()

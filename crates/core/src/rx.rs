@@ -640,4 +640,143 @@ mod tests {
         assert_eq!(e.stats().desyncs, 1);
         assert_eq!(e.state_kind(), RxStateKind::Searching);
     }
+
+    /// Builds a stream whose second message *body* contains, on the wire, a
+    /// byte sequence indistinguishable from a demo header (`A5 00 08 5A` —
+    /// a plausible 8-byte-body frame). Layout:
+    ///
+    /// ```text
+    /// msg 0: [0,   125)  body 120
+    /// msg 1: [125, 190)  body 60; fake header on the wire at 139
+    /// msg 2: [190, 275)  body 80
+    /// msg 3: [275, 320)  body 40
+    /// ```
+    fn stream_with_fake_header() -> Vec<u8> {
+        // Wire byte = plain ^ DEFAULT_KEY, so pick plaintext that ciphers to
+        // the magic pattern.
+        let mut body1 = vec![0u8; 60];
+        for (i, w) in [0xA5u8, 0x00, 0x08, 0x5A].into_iter().enumerate() {
+            body1[10 + i] = w ^ demo::DEFAULT_KEY;
+        }
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&demo::encode_msg(&vec![1u8; 120]));
+        stream.extend_from_slice(&demo::encode_msg(&body1));
+        stream.extend_from_slice(&demo::encode_msg(&vec![2u8; 80]));
+        stream.extend_from_slice(&demo::encode_msg(&vec![3u8; 40]));
+        assert_eq!(stream.len(), 320);
+        assert_eq!(&stream[139..143], &[0xA5, 0x00, 0x08, 0x5A], "fake header placed");
+        stream
+    }
+
+    #[test]
+    fn false_positive_pattern_rejected_by_software_then_recovers() {
+        // A search that lands on payload bytes mimicking a header must not
+        // corrupt the stream: software rejects the candidate (d1) and the
+        // engine later locks onto the *true* next boundary.
+        let stream = stream_with_fake_header();
+        let mut e = engine();
+
+        // Everything before the fake pattern is lost; the first packet the
+        // NIC sees starts exactly at the look-alike bytes and ends before
+        // the fake frame's implied next boundary (139 + 13 = 152), so
+        // tracking cannot self-invalidate yet.
+        let mut p = stream[139..152].to_vec();
+        e.on_packet(139, &mut DataRef::Real(&mut p));
+        assert_eq!(e.state_kind(), RxStateKind::Tracking, "took the bait");
+        let ev = e.take_events();
+        assert!(
+            matches!(ev.first(), Some(EngineEvent::ResyncRequest { tcpsn, .. }) if *tcpsn == 139),
+            "asked software about the fake offset"
+        );
+
+        // Software knows 139 is mid-body: reject. d1 back to searching.
+        e.on_resync_response(0, 139, false, 0);
+        assert_eq!(e.state_kind(), RxStateKind::Searching);
+        assert_eq!(e.stats().resync_failed, 1);
+        assert_eq!(e.stats().resync_ok, 0);
+
+        // The rest of msg 1 carries no pattern; msg 2's real header does.
+        let mut p = stream[152..190].to_vec();
+        e.on_packet(152, &mut DataRef::Real(&mut p));
+        assert_eq!(e.state_kind(), RxStateKind::Searching);
+        let mut p = stream[190..275].to_vec();
+        e.on_packet(190, &mut DataRef::Real(&mut p));
+        assert_eq!(e.state_kind(), RxStateKind::Tracking);
+        let ev = e.take_events();
+        assert!(
+            matches!(ev.first(), Some(EngineEvent::ResyncRequest { tcpsn, .. }) if *tcpsn == 190),
+            "found the true boundary"
+        );
+        e.on_resync_response(0, 190, true, 2);
+        assert_eq!(e.stats().resync_ok, 1);
+        assert_eq!(e.state_kind(), RxStateKind::Offloading, "resumed at msg 3");
+
+        let mut p = stream[275..320].to_vec();
+        let flags = e.on_packet(275, &mut DataRef::Real(&mut p));
+        assert!(flags.tls_decrypted, "msg 3 fully offloaded again");
+    }
+
+    #[test]
+    fn false_positive_invalidated_by_tracking_ignores_late_response() {
+        // Here the packet extends past the fake frame's implied boundary
+        // (152): tracking parses the "next header" there, finds garbage, and
+        // self-invalidates before software even answers. The response that
+        // then arrives — even an (erroneous) confirmation — must be ignored
+        // as stale.
+        let stream = stream_with_fake_header();
+        let mut e = engine();
+
+        let mut p = stream[139..175].to_vec();
+        e.on_packet(139, &mut DataRef::Real(&mut p));
+        assert_eq!(e.stats().resync_requests, 1, "request was issued");
+        assert_eq!(e.stats().resync_failed, 1, "tracking self-invalidated (d1)");
+        assert_eq!(e.state_kind(), RxStateKind::Searching);
+
+        e.on_resync_response(0, 139, true, 1);
+        assert_eq!(e.state_kind(), RxStateKind::Searching, "stale confirm ignored");
+        assert_eq!(e.stats().resync_ok, 0);
+    }
+
+    #[test]
+    fn confirmation_races_retransmitted_segment() {
+        // A retransmission arriving while the candidate awaits confirmation
+        // must neither advance nor reset the tracker; the confirmation that
+        // follows still resumes offloading at the correct boundary.
+        // Layout: msg 0 [0, 125), msg 1 [125, 190), msg 2 [190, 275).
+        let stream = stream_with_fake_header();
+        let mut e = engine();
+
+        // Msg 0 is lost; the stream resumes at msg 1's real header, ending
+        // before msg 1's boundary at 190 so the candidate stays speculative.
+        let mut p = stream[125..139].to_vec();
+        e.on_packet(125, &mut DataRef::Real(&mut p));
+        assert_eq!(e.state_kind(), RxStateKind::Tracking);
+        let ev = e.take_events();
+        assert!(
+            matches!(ev.first(), Some(EngineEvent::ResyncRequest { tcpsn, .. }) if *tcpsn == 125)
+        );
+
+        // The same segment is retransmitted (e.g. a spurious RTO) before the
+        // driver's response lands: a pure duplicate of tracked data.
+        let mut p = stream[125..139].to_vec();
+        e.on_packet(125, &mut DataRef::Real(&mut p));
+        assert_eq!(e.state_kind(), RxStateKind::Tracking, "duplicate ignored");
+        assert_eq!(e.stats().resync_requests, 1, "no second request");
+
+        // More of msg 1 streams in while still awaiting confirmation (the
+        // fake pattern at 139 is irrelevant: tracking only parses at the
+        // *expected* boundary, 190).
+        let mut p = stream[139..190].to_vec();
+        e.on_packet(139, &mut DataRef::Real(&mut p));
+        assert_eq!(e.state_kind(), RxStateKind::Tracking);
+
+        // The confirmation finally arrives and wins the race.
+        e.on_resync_response(0, 125, true, 1);
+        assert_eq!(e.stats().resync_ok, 1);
+        assert_eq!(e.state_kind(), RxStateKind::Offloading);
+
+        let mut p = stream[190..275].to_vec();
+        let flags = e.on_packet(190, &mut DataRef::Real(&mut p));
+        assert!(flags.tls_decrypted, "msg 2 offloaded after the race");
+    }
 }

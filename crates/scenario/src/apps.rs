@@ -1,0 +1,118 @@
+//! Instrumented applications the scenario runner installs on the hosts:
+//! they record *what* arrived and *where it claimed to belong*, so the
+//! invariant checkers can compare against the transmitted stream.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ano_sim::payload::Payload;
+use ano_stack::app::{AppEvent, HostApi, HostApp};
+use ano_stack::prelude::ConnId;
+
+/// One delivered plaintext run: `(claimed stream offset, bytes)`.
+pub type DeliveredChunk = (u64, Vec<u8>);
+
+/// Shared recording of everything the receiving application saw.
+#[derive(Clone, Debug, Default)]
+pub struct Delivered {
+    /// TLS plaintext chunks with their `plain_off` claims, in arrival order.
+    pub chunks: Vec<DeliveredChunk>,
+    /// NVMe completions: `(request id, ok, buffer bytes)`.
+    pub completions: Vec<(u64, bool, Vec<u8>)>,
+}
+
+impl Delivered {
+    /// Total payload bytes recorded so far (watchdog progress metric).
+    pub fn bytes(&self) -> u64 {
+        let chunk_bytes: u64 = self.chunks.iter().map(|(_, b)| b.len() as u64).sum();
+        let comp_bytes: u64 = self.completions.iter().map(|(_, _, b)| b.len() as u64).sum();
+        chunk_bytes + comp_bytes
+    }
+}
+
+/// Sends one byte string at start (the TLS sender side).
+pub struct StreamSender {
+    conn: ConnId,
+    data: Vec<u8>,
+}
+
+impl StreamSender {
+    /// Creates the sender.
+    pub fn new(conn: ConnId, data: Vec<u8>) -> StreamSender {
+        StreamSender { conn, data }
+    }
+}
+
+impl HostApp for StreamSender {
+    fn on_event(&mut self, api: &mut HostApi, event: AppEvent<'_>) {
+        if let AppEvent::Start = event {
+            api.send(self.conn, Payload::real(std::mem::take(&mut self.data)));
+        }
+    }
+}
+
+/// Records every delivered plaintext chunk with its claimed offset (the TLS
+/// receiver side).
+pub struct ChunkRecorder {
+    delivered: Rc<RefCell<Delivered>>,
+}
+
+impl ChunkRecorder {
+    /// Creates the recorder around a shared log.
+    pub fn new(delivered: Rc<RefCell<Delivered>>) -> ChunkRecorder {
+        ChunkRecorder { delivered }
+    }
+}
+
+impl HostApp for ChunkRecorder {
+    fn on_event(&mut self, _api: &mut HostApi, event: AppEvent<'_>) {
+        if let AppEvent::Data { chunks, .. } = event {
+            let mut d = self.delivered.borrow_mut();
+            for c in chunks {
+                d.chunks.push((c.plain_off, c.payload.to_vec()));
+            }
+        }
+    }
+}
+
+/// Issues NVMe reads at start and records completions (the initiator side).
+pub struct NvmeReadApp {
+    conn: ConnId,
+    reads: Vec<(u64, u32)>,
+    delivered: Rc<RefCell<Delivered>>,
+}
+
+impl NvmeReadApp {
+    /// Creates the initiator app.
+    pub fn new(conn: ConnId, reads: Vec<(u64, u32)>, delivered: Rc<RefCell<Delivered>>) -> NvmeReadApp {
+        NvmeReadApp {
+            conn,
+            reads,
+            delivered,
+        }
+    }
+}
+
+impl HostApp for NvmeReadApp {
+    fn on_event(&mut self, api: &mut HostApi, event: AppEvent<'_>) {
+        match event {
+            AppEvent::Start => {
+                for (i, &(off, len)) in self.reads.iter().enumerate() {
+                    api.nvme_read(self.conn, i as u64, off, len);
+                }
+            }
+            AppEvent::NvmeDone { completion, .. } => {
+                let buf = completion
+                    .buffer
+                    .as_ref()
+                    .map(|b| b.borrow().clone())
+                    .unwrap_or_default();
+                self.delivered
+                    .borrow_mut()
+                    .completions
+                    .push((completion.id, completion.ok, buf));
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Random scenario-schedule generators for `ano-testkit` property tests.
+//!
+//! [`ScriptGen`] draws drop schedules (a small set of dropped packet
+//! indices) and shrinks a failing schedule toward the minimal set of drops
+//! that still triggers the failure — the scenario-harness analogue of
+//! shrinking a failing input vector.
+
+use ano_sim::link::{Match, Rule, Script, ScriptAction};
+use ano_sim::rng::SimRng;
+use ano_testkit::gen::{sorted_u64_set, SortedU64Set};
+use ano_testkit::Gen;
+
+/// Generates drop-schedule [`Script`]s: up to `max_drops` distinct packet
+/// indices below `max_index`, each dropped once.
+pub fn script_gen(max_index: u64, max_drops: usize) -> ScriptGen {
+    ScriptGen {
+        indices: sorted_u64_set(0..max_index, max_drops),
+    }
+}
+
+/// See [`script_gen`].
+#[derive(Clone, Debug)]
+pub struct ScriptGen {
+    indices: SortedU64Set,
+}
+
+/// Recovers the dropped indices from a schedule built by
+/// [`Script::drop_indices`] (ignores non-drop and non-`Nth` rules).
+pub fn drop_indices_of(script: &Script) -> Vec<u64> {
+    script
+        .rules()
+        .iter()
+        .filter_map(|r| match r {
+            Rule {
+                when: Match::Nth(i),
+                action: ScriptAction::Drop,
+            } => Some(*i),
+            _ => None,
+        })
+        .collect()
+}
+
+impl Gen for ScriptGen {
+    type Value = Script;
+
+    fn generate(&self, rng: &mut SimRng) -> Script {
+        Script::drop_indices(&self.indices.generate(rng))
+    }
+
+    /// Smaller means: fewer drops first, then the same drops earlier in the
+    /// stream (halved indices) — delegated to
+    /// [`ano_testkit::gen::sorted_u64_set`]'s shrink order.
+    fn shrink(&self, value: &Script) -> Vec<Script> {
+        self.indices
+            .shrink(&drop_indices_of(value))
+            .into_iter()
+            .map(|v| Script::drop_indices(&v))
+            .filter(|c| c != value)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_within_bounds_and_round_trips() {
+        let g = script_gen(40, 5);
+        let mut rng = SimRng::seed(7);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            let idxs = drop_indices_of(&s);
+            assert!(idxs.len() <= 5);
+            assert!(idxs.iter().all(|&i| i < 40));
+            let mut sorted = idxs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(idxs, sorted, "indices sorted and distinct");
+            assert_eq!(s, Script::drop_indices(&idxs), "round-trips");
+        }
+    }
+
+    #[test]
+    fn shrink_removes_and_lowers_drops() {
+        let g = script_gen(40, 5);
+        let s = Script::drop_indices(&[8, 20]);
+        let cands = g.shrink(&s);
+        assert!(cands.contains(&Script::drop_indices(&[20])), "removes first");
+        assert!(cands.contains(&Script::drop_indices(&[8])), "removes second");
+        assert!(cands.contains(&Script::drop_indices(&[4, 20])), "halves");
+        assert!(g.shrink(&Script::none()).is_empty(), "empty is minimal");
+    }
+}

@@ -1,0 +1,229 @@
+//! World-level invariant checkers, evaluated at every scenario step.
+
+use ano_core::rx::RxStateKind;
+use ano_sim::time::{SimDuration, SimTime};
+
+use crate::apps::Delivered;
+use crate::scenario::{Scenario, Workload};
+
+/// One invariant violation (collected, not panicked, so a single run can
+/// report everything that went wrong).
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which invariant (`stream-integrity`, `auth-integrity`,
+    /// `forward-progress`, `resync-reconvergence`, `completion`).
+    pub invariant: &'static str,
+    /// Simulated time of detection.
+    pub at: SimTime,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] t={:?}: {}", self.invariant, self.at, self.detail)
+    }
+}
+
+/// Step-by-step invariant state for one run.
+pub(crate) struct Checkers {
+    expected: Vec<u8>,
+    /// Chunks / completions already verified (only new ones are checked
+    /// each step, keeping the step loop linear in delivered bytes).
+    checked_chunks: usize,
+    checked_completions: usize,
+    last_progress_at: SimTime,
+    last_progress_bytes: u64,
+    progress_budget: SimDuration,
+    /// Whether the watchdog applies (disabled for unrecoverable scenarios,
+    /// which stall by design once the damage is done).
+    watchdog: bool,
+    pub(crate) violations: Vec<Violation>,
+}
+
+impl Checkers {
+    pub(crate) fn new(sc: &Scenario) -> Checkers {
+        Checkers {
+            expected: sc.workload.expected(),
+            checked_chunks: 0,
+            checked_completions: 0,
+            last_progress_at: SimTime::ZERO,
+            last_progress_bytes: 0,
+            progress_budget: sc.progress_budget,
+            watchdog: sc.expect_complete,
+            violations: Vec::new(),
+        }
+    }
+
+    pub(crate) fn expected(&self) -> &[u8] {
+        &self.expected
+    }
+
+    /// Runs the per-step checks after the world advanced to `now`.
+    pub(crate) fn step(&mut self, now: SimTime, sc: &Scenario, delivered: &Delivered) {
+        self.check_stream_integrity(now, sc, delivered);
+        self.check_forward_progress(now, delivered);
+    }
+
+    /// Every newly delivered chunk must carry exactly the transmitted bytes
+    /// at the offset it claims — under any impairment, corruption included:
+    /// damaged records may *vanish* (auth reject) but never mutate.
+    fn check_stream_integrity(&mut self, now: SimTime, sc: &Scenario, delivered: &Delivered) {
+        for (off, bytes) in &delivered.chunks[self.checked_chunks..] {
+            let start = *off as usize;
+            let end = start + bytes.len();
+            if end > self.expected.len() {
+                self.violations.push(Violation {
+                    invariant: "stream-integrity",
+                    at: now,
+                    detail: format!(
+                        "chunk [{start}, {end}) extends past the {}-byte transmitted stream",
+                        self.expected.len()
+                    ),
+                });
+            } else if bytes != &self.expected[start..end] {
+                let bad = bytes
+                    .iter()
+                    .zip(&self.expected[start..end])
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                self.violations.push(Violation {
+                    invariant: "stream-integrity",
+                    at: now,
+                    detail: format!(
+                        "delivered bytes diverge from transmitted stream at offset {}",
+                        start + bad
+                    ),
+                });
+            }
+        }
+        self.checked_chunks = delivered.chunks.len();
+
+        if let Workload::Nvme { reads } = &sc.workload {
+            for (id, ok, buf) in &delivered.completions[self.checked_completions..] {
+                let Some(&(dev_off, len)) = reads.get(*id as usize) else {
+                    self.violations.push(Violation {
+                        invariant: "stream-integrity",
+                        at: now,
+                        detail: format!("completion for unknown request id {id}"),
+                    });
+                    continue;
+                };
+                if !ok {
+                    self.violations.push(Violation {
+                        invariant: "stream-integrity",
+                        at: now,
+                        detail: format!("read {id} completed with digest failure"),
+                    });
+                    continue;
+                }
+                if buf.len() != len as usize {
+                    self.violations.push(Violation {
+                        invariant: "stream-integrity",
+                        at: now,
+                        detail: format!("read {id}: {} bytes placed, expected {len}", buf.len()),
+                    });
+                    continue;
+                }
+                if let Some(j) = buf
+                    .iter()
+                    .enumerate()
+                    .find(|&(j, &v)| v != ano_nvme::block::pattern_byte(dev_off + j as u64))
+                    .map(|(j, _)| j)
+                {
+                    self.violations.push(Violation {
+                        invariant: "stream-integrity",
+                        at: now,
+                        detail: format!("read {id}: wrong device byte at buffer offset {j}"),
+                    });
+                }
+            }
+            self.checked_completions = delivered.completions.len();
+        }
+    }
+
+    /// Watchdog: some byte must land within every `progress_budget` window
+    /// until the transfer completes.
+    fn check_forward_progress(&mut self, now: SimTime, delivered: &Delivered) {
+        let bytes = delivered.bytes();
+        if bytes > self.last_progress_bytes {
+            self.last_progress_bytes = bytes;
+            self.last_progress_at = now;
+            return;
+        }
+        if self.watchdog
+            && bytes < self.expected.len() as u64
+            && now > self.last_progress_at + self.progress_budget
+        {
+            self.violations.push(Violation {
+                invariant: "forward-progress",
+                at: now,
+                detail: format!(
+                    "no byte delivered since t={:?} ({} of {} bytes)",
+                    self.last_progress_at,
+                    bytes,
+                    self.expected.len()
+                ),
+            });
+            // Re-arm so a genuinely wedged run reports once per window, not
+            // once per step.
+            self.last_progress_at = now;
+        }
+    }
+
+    /// End-of-run checks: completion, auth accounting, reconvergence.
+    pub(crate) fn finish(
+        &mut self,
+        now: SimTime,
+        sc: &Scenario,
+        offload: bool,
+        complete: bool,
+        alerts: u64,
+        link_corrupted: u64,
+        rx_state: Option<RxStateKind>,
+    ) {
+        if sc.expect_complete && !complete {
+            self.violations.push(Violation {
+                invariant: "completion",
+                at: now,
+                detail: format!(
+                    "transfer incomplete at sim budget ({} of {} bytes)",
+                    self.last_progress_bytes,
+                    self.expected.len()
+                ),
+            });
+        }
+
+        // Auth integrity: alerts appear exactly when the link corrupted
+        // something. A corrupted record that produced no alert was either
+        // dropped silently (masking) or — worse — authenticated.
+        let corrupting = link_corrupted > 0;
+        if !corrupting && alerts > 0 {
+            self.violations.push(Violation {
+                invariant: "auth-integrity",
+                at: now,
+                detail: format!("{alerts} TLS alerts on an uncorrupted link"),
+            });
+        }
+        if corrupting && alerts == 0 && matches!(sc.workload, Workload::Tls { .. }) {
+            self.violations.push(Violation {
+                invariant: "auth-integrity",
+                at: now,
+                detail: format!(
+                    "link corrupted {link_corrupted} frame(s) but TLS raised no alert"
+                ),
+            });
+        }
+
+        if offload && sc.expect_reconverge {
+            match rx_state {
+                Some(RxStateKind::Offloading) | None => {}
+                Some(other) => self.violations.push(Violation {
+                    invariant: "resync-reconvergence",
+                    at: now,
+                    detail: format!("rx engine ended in {other:?}, expected Offloading"),
+                }),
+            }
+        }
+    }
+}

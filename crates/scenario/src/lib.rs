@@ -1,0 +1,39 @@
+//! Adversarial impairment scenarios with differential offload-vs-software
+//! checking.
+//!
+//! The paper's contribution lives in the corner cases — out-of-sequence
+//! fallback, the §4.3 resync state machine, retransmit overlap — yet
+//! probabilistic `loss`/`reorder` knobs only sample that space. This crate
+//! drives [`ano_stack::world::World`] through *deterministic, scripted*
+//! adversity ([`ano_sim::link::Script`]) and checks world-level invariants
+//! at every step:
+//!
+//! * **stream integrity** — every delivered plaintext chunk equals the
+//!   transmitted stream at its offset (TLS), every completed read buffer
+//!   matches the device pattern (NVMe);
+//! * **auth integrity** — corrupted records are never delivered as
+//!   plaintext; they surface as TLS alerts and nothing else;
+//! * **forward progress** — a watchdog fails the run if no byte is
+//!   delivered for a configurable sim-time budget;
+//! * **resync reconvergence** — once impairments end, an offloaded
+//!   receiver returns to the `Offloading` state.
+//!
+//! The differential runner ([`runner::run_differential`]) executes each
+//! scenario twice — offload enabled vs software-only — and asserts the two
+//! runs deliver byte-identical streams with bounded completion-time
+//! divergence: the offload must be *autonomous*, invisible at the
+//! application layer under any adversity.
+//!
+//! Scenarios are named; `runner::builtin(name)` replays one by name, and
+//! [`gen::ScriptGen`] generates random drop schedules that shrink (via
+//! `ano-testkit`) to a minimal failing schedule.
+
+pub mod apps;
+pub mod gen;
+pub mod invariant;
+pub mod runner;
+pub mod scenario;
+
+pub use invariant::Violation;
+pub use runner::{run_differential, run_scenario, DiffOutcome, RunOutcome};
+pub use scenario::{Scenario, Workload};

@@ -1,0 +1,265 @@
+//! Scenario execution: single runs with stepped invariant checking, and the
+//! differential offload-vs-software runner.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ano_core::rx::RxStateKind;
+use ano_sim::payload::DataMode;
+use ano_sim::time::{SimDuration, SimTime};
+use ano_stack::prelude::{ConnSpec, NvmeHostSpec, NvmeTargetSpec, TlsSpec, World, WorldConfig};
+
+use crate::apps::{ChunkRecorder, Delivered, NvmeReadApp, StreamSender};
+use crate::invariant::{Checkers, Violation};
+use crate::scenario::{Scenario, Workload};
+
+/// Invariant-checking granularity: the world runs in slices of this length,
+/// with every checker evaluated between slices.
+const STEP: SimDuration = SimDuration::from_micros(500);
+
+/// Result of one scenario run (one World, offload either on or off).
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Whether offload engines were installed.
+    pub offload: bool,
+    /// Whether every expected byte arrived.
+    pub complete: bool,
+    /// Step time at which the last expected byte arrived.
+    pub finish: Option<SimTime>,
+    /// Step time at which the run stopped (completion, quiescence, or
+    /// sim budget).
+    pub end: SimTime,
+    /// Everything the receiving application recorded.
+    pub delivered: Delivered,
+    /// kTLS alert count on the receiver (0 for non-TLS workloads).
+    pub alerts: u64,
+    /// Frames the links corrupted in flight (both directions).
+    pub link_corrupted: u64,
+    /// Final rx-engine state on the data receiver, if offloaded.
+    pub rx_state: Option<RxStateKind>,
+    /// Invariant violations, in detection order.
+    pub violations: Vec<Violation>,
+}
+
+impl RunOutcome {
+    /// The delivered byte stream in canonical order: TLS chunks in arrival
+    /// order (they are in-order plaintext), NVMe read buffers by request id.
+    /// This is what the differential runner compares between variants.
+    pub fn stream(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (_, bytes) in &self.delivered.chunks {
+            out.extend_from_slice(bytes);
+        }
+        let mut comps: Vec<_> = self.delivered.completions.iter().collect();
+        comps.sort_by_key(|(id, _, _)| *id);
+        for (_, _, buf) in comps {
+            out.extend_from_slice(buf);
+        }
+        out
+    }
+
+    /// Panics with every violation if any invariant failed.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "scenario '{}' ({}): {} invariant violation(s):\n{}",
+            self.name,
+            if self.offload { "offload" } else { "software" },
+            self.violations.len(),
+            render(&self.violations)
+        );
+    }
+}
+
+/// Result of a differential run: the same scenario executed twice.
+#[derive(Debug)]
+pub struct DiffOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// The offload-enabled run.
+    pub offload: RunOutcome,
+    /// The software-only run.
+    pub software: RunOutcome,
+    /// All violations: both runs' own, plus differential ones
+    /// (`differential-stream`, `differential-divergence`).
+    pub violations: Vec<Violation>,
+}
+
+impl DiffOutcome {
+    /// Panics with every violation if the pair diverged or either run
+    /// failed an invariant.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "scenario '{}': {} violation(s):\n{}",
+            self.name,
+            self.violations.len(),
+            render(&self.violations)
+        );
+    }
+}
+
+fn render(violations: &[Violation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("  {v}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Runs one scenario in one World and checks invariants at every step.
+pub fn run_scenario(sc: &Scenario, offload: bool) -> RunOutcome {
+    let data0to1 = sc.workload.data_dir_0to1();
+    let (impair_0to1, impair_1to0) = if data0to1 {
+        (sc.data_impair.clone(), sc.ack_impair.clone())
+    } else {
+        (sc.ack_impair.clone(), sc.data_impair.clone())
+    };
+    let mut w = World::new(WorldConfig {
+        seed: sc.seed,
+        mode: DataMode::Functional,
+        impair_0to1,
+        impair_1to0,
+        ..Default::default()
+    });
+
+    let delivered = Rc::new(RefCell::new(Delivered::default()));
+    let conn = match &sc.workload {
+        Workload::Tls { .. } => {
+            let spec = if offload {
+                TlsSpec::offloaded()
+            } else {
+                TlsSpec::default()
+            };
+            let conn = w.connect(ConnSpec::Tls(spec), ConnSpec::Tls(spec));
+            w.set_app(0, Box::new(StreamSender::new(conn, sc.workload.expected())));
+            w.set_app(1, Box::new(ChunkRecorder::new(Rc::clone(&delivered))));
+            conn
+        }
+        Workload::Nvme { reads } => {
+            let hspec = if offload {
+                NvmeHostSpec::offloaded()
+            } else {
+                NvmeHostSpec::default()
+            };
+            let tspec = NvmeTargetSpec {
+                crc_tx_offload: offload,
+                ..Default::default()
+            };
+            let conn = w.connect(ConnSpec::NvmeHost(hspec), ConnSpec::NvmeTarget(tspec));
+            w.set_app(
+                0,
+                Box::new(NvmeReadApp::new(conn, reads.clone(), Rc::clone(&delivered))),
+            );
+            conn
+        }
+    };
+
+    let mut checkers = Checkers::new(sc);
+    let expected_len = checkers.expected().len() as u64;
+    let deadline = SimTime::ZERO + sc.sim_budget;
+
+    w.start();
+    let mut t = SimTime::ZERO;
+    let mut finish = None;
+    let end = loop {
+        t += STEP;
+        w.run_until(t);
+        checkers.step(t, sc, &delivered.borrow());
+        let done = delivered.borrow().bytes() >= expected_len;
+        if done && finish.is_none() {
+            finish = Some(t);
+        }
+        // Stop once the world quiesces (trailing ACKs and timers drained;
+        // if the transfer is incomplete the finish checks flag it), or at
+        // the sim budget.
+        if w.is_idle() || t >= deadline {
+            break t;
+        }
+    };
+
+    let receiver = sc.workload.data_receiver();
+    let alerts = w.ktls_rx_stats(receiver, conn).map(|s| s.alerts).unwrap_or(0);
+    let link_corrupted = w.link_stats(true).corrupted + w.link_stats(false).corrupted;
+    let rx_state = w.rx_engine_state(receiver, conn);
+    let complete = finish.is_some();
+    checkers.finish(end, sc, offload, complete, alerts, link_corrupted, rx_state);
+
+    let recorded = delivered.borrow().clone();
+    RunOutcome {
+        name: sc.name.clone(),
+        offload,
+        complete,
+        finish,
+        end,
+        delivered: recorded,
+        alerts,
+        link_corrupted,
+        rx_state,
+        violations: checkers.violations,
+    }
+}
+
+/// Runs `sc` twice — offload vs software-only — and checks that the offload
+/// is invisible at the application layer: byte-identical delivered streams,
+/// matching completion, bounded completion-time divergence.
+pub fn run_differential(sc: &Scenario) -> DiffOutcome {
+    let offload = run_scenario(sc, true);
+    let software = run_scenario(sc, false);
+
+    let mut violations = Vec::new();
+    violations.extend(offload.violations.iter().cloned());
+    violations.extend(software.violations.iter().cloned());
+
+    let s_off = offload.stream();
+    let s_sw = software.stream();
+    if s_off != s_sw {
+        let at = s_off
+            .iter()
+            .zip(&s_sw)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| s_off.len().min(s_sw.len()));
+        violations.push(Violation {
+            invariant: "differential-stream",
+            at: offload.end,
+            detail: format!(
+                "offload delivered {} bytes, software {}; first divergence at offset {at}",
+                s_off.len(),
+                s_sw.len()
+            ),
+        });
+    }
+    if offload.complete != software.complete {
+        violations.push(Violation {
+            invariant: "differential-stream",
+            at: offload.end,
+            detail: format!(
+                "completion mismatch: offload {}, software {}",
+                offload.complete, software.complete
+            ),
+        });
+    }
+    if let (Some(f_off), Some(f_sw)) = (offload.finish, software.finish) {
+        let (a, b) = (f_off.as_nanos().max(1), f_sw.as_nanos().max(1));
+        let ratio = a.max(b) as f64 / a.min(b) as f64;
+        if ratio > sc.max_divergence {
+            violations.push(Violation {
+                invariant: "differential-divergence",
+                at: offload.end,
+                detail: format!(
+                    "completion times diverge {ratio:.1}x (offload {:?}, software {:?}), bound {:.1}x",
+                    f_off, f_sw, sc.max_divergence
+                ),
+            });
+        }
+    }
+
+    DiffOutcome {
+        name: sc.name.clone(),
+        offload,
+        software,
+        violations,
+    }
+}

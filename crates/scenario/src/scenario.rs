@@ -1,0 +1,211 @@
+//! Scenario definitions: a workload, a scripted adversity schedule per link
+//! direction, and the invariant budgets the run is held to.
+
+use ano_sim::link::{Impairments, Script};
+use ano_sim::time::{SimDuration, SimTime};
+
+/// What the two hosts do during the scenario.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// Host 0 streams `bytes` of plaintext to host 1 over (k)TLS.
+    Tls {
+        /// Application bytes to send.
+        bytes: usize,
+    },
+    /// Host 0 issues NVMe/TCP reads against host 1's target.
+    Nvme {
+        /// `(device_offset, len)` per read.
+        reads: Vec<(u64, u32)>,
+    },
+}
+
+impl Workload {
+    /// The expected delivered byte stream: TLS plaintext, or the
+    /// concatenated read buffers in request order.
+    pub fn expected(&self) -> Vec<u8> {
+        match self {
+            Workload::Tls { bytes } => (0..*bytes).map(tls_pattern_byte).collect(),
+            Workload::Nvme { reads } => reads
+                .iter()
+                .flat_map(|&(off, len)| {
+                    (0..len as u64).map(move |j| ano_nvme::block::pattern_byte(off + j))
+                })
+                .collect(),
+        }
+    }
+
+    /// True when the payload-bearing direction is host0 → host1 (TLS);
+    /// NVMe read data (C2HData) flows target → initiator, host1 → host0.
+    pub fn data_dir_0to1(&self) -> bool {
+        matches!(self, Workload::Tls { .. })
+    }
+
+    /// The host that receives the payload stream (where the rx offload
+    /// engine, kTLS stats and the watchdog's progress counter live).
+    pub fn data_receiver(&self) -> usize {
+        if self.data_dir_0to1() {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// Deterministic plaintext pattern for TLS workloads. The period (251,
+/// prime, > packet-boundary strides) lets stream-integrity checks recover
+/// the offset a chunk claims from its content.
+pub fn tls_pattern_byte(i: usize) -> u8 {
+    (i % 251) as u8
+}
+
+/// One adversarial scenario: workload + scripted schedules + budgets.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario name (replay key).
+    pub name: String,
+    /// World seed.
+    pub seed: u64,
+    /// The workload.
+    pub workload: Workload,
+    /// Impairments on the payload-bearing direction (script + knobs).
+    pub data_impair: Impairments,
+    /// Impairments on the reverse (ACK) direction.
+    pub ack_impair: Impairments,
+    /// Watchdog: fail if no byte is delivered for this long while the
+    /// transfer is incomplete.
+    pub progress_budget: SimDuration,
+    /// Hard cap on simulated time.
+    pub sim_budget: SimDuration,
+    /// The transfer must complete (false for unrecoverable adversity such
+    /// as payload corruption, where the damaged record is lost for good).
+    pub expect_complete: bool,
+    /// With offload enabled, the rx engine must end in `Offloading` once
+    /// the schedule is exhausted.
+    pub expect_reconverge: bool,
+    /// Differential bound: max allowed completion-time ratio between the
+    /// offload and software runs.
+    pub max_divergence: f64,
+}
+
+impl Scenario {
+    /// A clean-run scenario skeleton for `workload`.
+    pub fn new(name: &str, workload: Workload) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            seed: 0xAD5E_0001,
+            workload,
+            data_impair: Impairments::none(),
+            ack_impair: Impairments::none(),
+            progress_budget: SimDuration::from_millis(200),
+            sim_budget: SimDuration::from_secs(10),
+            expect_complete: true,
+            expect_reconverge: true,
+            max_divergence: 8.0,
+        }
+    }
+
+    /// Sets the payload-direction script (builder-style).
+    pub fn data_script(mut self, script: Script) -> Scenario {
+        self.data_impair.script = script;
+        self
+    }
+
+    /// Sets the ACK-direction script (builder-style).
+    pub fn ack_script(mut self, script: Script) -> Scenario {
+        self.ack_impair.script = script;
+        self
+    }
+
+    /// Overrides the simulated-time cap (builder-style).
+    pub fn sim_budget(mut self, budget: SimDuration) -> Scenario {
+        self.sim_budget = budget;
+        self
+    }
+
+    /// Marks the scenario as not expected to complete (unrecoverable
+    /// adversity); also disables the reconvergence check, since the stream
+    /// may end while the engine is still searching.
+    pub fn unrecoverable(mut self) -> Scenario {
+        self.expect_complete = false;
+        self.expect_reconverge = false;
+        self
+    }
+}
+
+/// The standard TLS workload used by the built-in matrix: a few records'
+/// worth of plaintext, enough for loss, resync and reconvergence to play
+/// out without dominating test wall-clock.
+pub fn tls_workload() -> Workload {
+    Workload::Tls { bytes: 96_000 }
+}
+
+/// The standard NVMe workload: several reads spanning distinct device
+/// extents, so completion order and placement are both exercised.
+pub fn nvme_workload() -> Workload {
+    Workload::Nvme {
+        reads: vec![(4096, 24_576), (1 << 20, 32_768), (3 << 20, 16_384)],
+    }
+}
+
+/// The eight built-in adversity schedules, applied to one workload.
+///
+/// All are *recoverable*: TCP retransmission heals every one of them, so
+/// the differential matrix can demand byte-identical delivered streams and
+/// completion in both variants.
+pub fn adversity_schedules(workload: Workload) -> Vec<Scenario> {
+    let w = |name: &str| Scenario::new(name, workload.clone());
+    vec![
+        w("clean"),
+        w("drop-third").data_script(Script::drop_nth(3)),
+        w("early-burst").data_script(Script::drop_burst(4, 8)),
+        w("alternating").data_script(Script::drop_cycle(vec![true, false], 12)),
+        w("delay-spike").data_script(Script::delay_burst(5, 9, SimDuration::from_micros(400))),
+        w("dup-burst").data_script(Script::duplicate_burst(2, 10)),
+        // The window opens at 20µs — before either variant can complete the
+        // transfer — so offload and software runs both straddle it and both
+        // recover on the same RTO timescale once it lifts.
+        w("partition").data_script(Script::partition(
+            SimTime::from_micros(20),
+            SimTime::from_micros(1400),
+        )),
+        w("ack-burst").ack_script(Script::drop_burst(3, 9)),
+    ]
+}
+
+/// The full built-in differential matrix: every adversity schedule × {TLS,
+/// NVMe}. Names are `tls/<schedule>` and `nvme/<schedule>`.
+pub fn matrix() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for mut s in adversity_schedules(tls_workload()) {
+        s.name = format!("tls/{}", s.name);
+        out.push(s);
+    }
+    for mut s in adversity_schedules(nvme_workload()) {
+        s.name = format!("nvme/{}", s.name);
+        out.push(s);
+    }
+    out
+}
+
+/// Named non-matrix scenarios (unrecoverable adversity, replay targets).
+pub fn extras() -> Vec<Scenario> {
+    vec![
+        // One mid-stream record corrupted in flight: TLS must refuse to
+        // authenticate it; everything else still arrives intact.
+        Scenario::new("tls/corrupt-record", tls_workload())
+            .data_script(Script::corrupt_nth(6))
+            .unrecoverable(),
+        // A partition that never lifts. Deliberately left expecting
+        // completion: this is the known-failing replay target proving the
+        // forward-progress watchdog fires on a wedged transfer.
+        Scenario::new("tls/blackhole", tls_workload())
+            .data_script(Script::partition(SimTime::from_micros(10), SimTime::from_secs(60)))
+            .sim_budget(SimDuration::from_secs(2)),
+    ]
+}
+
+/// Finds a built-in scenario (matrix or extra) by name — the replay entry
+/// point: `run_differential(&builtin("tls/partition").unwrap())`.
+pub fn builtin(name: &str) -> Option<Scenario> {
+    matrix().into_iter().chain(extras()).find(|s| s.name == name)
+}

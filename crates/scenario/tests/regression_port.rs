@@ -1,0 +1,110 @@
+//! Port of the PR-1 alternating-drop TCP regression into the scenario
+//! schedule format.
+//!
+//! The original replay (`ano-tcp/tests/loss_recovery.rs`) drives the drop
+//! decision from a hardcoded `[bool; 64]` array. Here the same pump loop is
+//! parameterized over a drop *oracle* and run twice — once with the
+//! original array, once with [`Script::drop_cycle`] built from it — proving
+//! that a scripted schedule reproduces the checked-in regression exactly:
+//! same delivery, same timeout count, same finish time.
+
+use ano_sim::link::Script;
+use ano_sim::payload::Payload;
+use ano_sim::time::SimTime;
+use ano_tcp::conn::TcpEndpoint;
+use ano_tcp::segment::{FlowId, SkbFlags};
+use ano_tcp::sender::SenderStats;
+use ano_tcp::TcpConfig;
+
+/// The PR-1 pump loop with the drop decision injected: `oracle(index, now)`
+/// says whether the `index`-th payload-bearing A→B segment is lost. The
+/// iteration structure, timing, and cutoff mirror the original exactly.
+fn run_lossy(len: usize, mut oracle: impl FnMut(u64, SimTime) -> bool) -> (bool, SenderStats, u64) {
+    let data: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+    let mut a = TcpEndpoint::new(FlowId(1), TcpConfig::default());
+    let mut b = TcpEndpoint::new(FlowId(2), TcpConfig::default());
+    a.send(Payload::real(data.clone()));
+    let (mut t, mut drop_i) = (0u64, 0u64);
+    let mut got = Vec::new();
+    let mut end_t = 0;
+    for iter in 0..40_000 {
+        t += 50;
+        let now = SimTime::from_micros(t);
+        if let Some(d) = a.rto_deadline() {
+            if d <= now {
+                a.on_rto(now);
+            }
+        }
+        let mut quiet = true;
+        while let Some(seg) = a.poll_transmit(now) {
+            quiet = false;
+            let dropped = iter < 20_000 && !seg.payload.is_empty() && oracle(drop_i, now);
+            drop_i += 1;
+            if !dropped {
+                b.on_packet_wnd(seg.seq, seg.ack, seg.wnd, &seg.sack, seg.payload, SkbFlags::default(), now);
+            }
+        }
+        for c in b.take_ready() {
+            got.extend_from_slice(&c.payload.to_vec());
+            b.consume(c.payload.len() as u64);
+        }
+        while let Some(seg) = b.poll_transmit(now) {
+            quiet = false;
+            a.on_packet_wnd(seg.seq, seg.ack, seg.wnd, &seg.sack, seg.payload, SkbFlags::default(), now);
+        }
+        if quiet {
+            if a.is_quiescent() && got.len() == data.len() {
+                end_t = t;
+                break;
+            }
+            if let Some(d) = a.rto_deadline() {
+                t = t.max(d.as_nanos() / 1_000);
+            }
+        }
+    }
+    (got == data, a.tx_stats(), end_t)
+}
+
+/// The drop schedule from the checked-in regression seed
+/// (`cc 8ed59643…`, shrunk to `len = 10137`).
+fn regression_pattern() -> Vec<bool> {
+    let mut drops = vec![false; 64];
+    for i in [2usize, 3, 5, 7, 9, 11, 13, 14] {
+        drops[i] = true;
+    }
+    drops
+}
+
+/// The scripted schedule reproduces the original bool-array replay
+/// bit-for-bit: identical delivery outcome, timeout count, and finish time
+/// — and both stay inside the regression's recovery bounds.
+#[test]
+fn scripted_schedule_reproduces_pr1_regression() {
+    let pattern = regression_pattern();
+
+    let (ok_a, stats_a, end_a) = run_lossy(10137, |i, _| pattern[i as usize % pattern.len()]);
+
+    let script = Script::drop_cycle(pattern.clone(), u64::MAX);
+    let (ok_b, stats_b, end_b) = run_lossy(10137, |i, now| script.drops(i, now));
+
+    assert!(ok_a && ok_b, "both replays deliver the stream exactly once");
+    assert_eq!(stats_a.timeouts, stats_b.timeouts, "identical timeout count");
+    assert_eq!(end_a, end_b, "identical finish time");
+
+    // The original regression bounds still hold through the script path.
+    assert!(stats_b.timeouts <= 6, "timeouts: {}", stats_b.timeouts);
+    assert!(end_b <= 300_000, "finished at {end_b}µs, expected well under 0.3s");
+}
+
+/// The `until` bound of a cycle schedule matches the original harness's
+/// `iter < 20_000` cutoff semantics: past the bound, nothing drops.
+#[test]
+fn cycle_until_bound_stops_dropping() {
+    let script = Script::drop_cycle(vec![true], 5);
+    for i in 0..5u64 {
+        assert!(script.drops(i, SimTime::ZERO), "index {i} inside bound");
+    }
+    for i in 5..20u64 {
+        assert!(!script.drops(i, SimTime::ZERO), "index {i} past bound");
+    }
+}

@@ -1,0 +1,163 @@
+//! The adversarial scenario suite: the differential offload-vs-software
+//! matrix, the corruption/auth and watchdog extras, and property tests over
+//! randomly generated drop schedules.
+
+use ano_scenario::gen::{drop_indices_of, script_gen};
+use ano_scenario::scenario::{self, tls_workload};
+use ano_scenario::{run_differential, run_scenario, Scenario, Workload};
+use ano_sim::link::Script;
+use ano_testkit::Gen;
+
+/// The core acceptance test: every built-in scenario (8 adversity schedules
+/// × {TLS, NVMe}) runs offloaded and software-only, delivers byte-identical
+/// streams, completes in both variants within bounded divergence, and
+/// violates no world invariant along the way.
+#[test]
+fn differential_matrix_is_invisible() {
+    let matrix = scenario::matrix();
+    assert_eq!(matrix.len(), 16, "8 schedules x 2 workloads");
+    for sc in &matrix {
+        let d = run_differential(sc);
+        d.assert_clean();
+        assert!(d.offload.complete, "{}: offload run completes", sc.name);
+        assert_eq!(
+            d.offload.stream(),
+            sc.workload.expected(),
+            "{}: delivered stream equals transmitted stream",
+            sc.name
+        );
+    }
+}
+
+/// On a clean link the offloaded receiver stays fully offloaded — the
+/// harness itself must not perturb the data path.
+#[test]
+fn clean_scenario_stays_offloaded() {
+    let sc = scenario::builtin("tls/clean").expect("built-in");
+    let run = run_scenario(&sc, true);
+    run.assert_clean();
+    assert!(run.complete);
+    assert_eq!(
+        run.rx_state,
+        Some(ano_core::rx::RxStateKind::Offloading),
+        "no impairment: engine never leaves Offloading"
+    );
+    assert_eq!(run.alerts, 0);
+}
+
+/// A record corrupted in flight must surface as an authentication failure
+/// and nothing else: no corrupted plaintext is ever delivered, and every
+/// chunk that *is* delivered sits at its claimed offset with the original
+/// bytes (checked by the stream-integrity invariant).
+#[test]
+fn corrupted_record_rejected_never_delivered() {
+    let sc = scenario::builtin("tls/corrupt-record").expect("built-in");
+    for offload in [true, false] {
+        let run = run_scenario(&sc, offload);
+        run.assert_clean();
+        assert!(run.link_corrupted >= 1, "the link corrupted a frame");
+        assert!(run.alerts >= 1, "TLS refused to authenticate it");
+        let expected = sc.workload.expected();
+        let delivered: u64 = run.delivered.bytes();
+        assert!(
+            delivered < expected.len() as u64,
+            "the damaged record's plaintext is missing, not replaced"
+        );
+    }
+}
+
+/// The deliberately wedged scenario: a partition that never lifts. The
+/// forward-progress watchdog and the completion check must both fire.
+#[test]
+fn blackhole_trips_forward_progress_watchdog() {
+    let sc = scenario::builtin("tls/blackhole").expect("built-in");
+    let run = run_scenario(&sc, true);
+    assert!(!run.complete);
+    assert!(
+        run.violations.iter().any(|v| v.invariant == "forward-progress"),
+        "watchdog fired: {:?}",
+        run.violations
+    );
+    assert!(
+        run.violations.iter().any(|v| v.invariant == "completion"),
+        "completion check fired"
+    );
+}
+
+/// Replay-by-name is the debugging entry point documented in
+/// EXPERIMENTS.md; names must resolve across the whole built-in set.
+#[test]
+fn builtin_scenarios_resolve_by_name() {
+    assert!(scenario::builtin("nvme/partition").is_some());
+    assert!(scenario::builtin("tls/ack-burst").is_some());
+    assert!(scenario::builtin("tls/corrupt-record").is_some());
+    assert!(scenario::builtin("no/such-scenario").is_none());
+}
+
+/// Any small random drop schedule is recoverable: the offloaded receiver
+/// still delivers the exact transmitted stream and reconverges.
+#[test]
+fn random_drop_schedules_always_deliver() {
+    let cfg = ano_testkit::Config::with_cases(5);
+    ano_testkit::check(
+        "random_drop_schedules_always_deliver",
+        &cfg,
+        &(script_gen(40, 4),),
+        |(script,)| {
+            let sc = Scenario::new("prop/drops", Workload::Tls { bytes: 24_000 })
+                .data_script(script.clone());
+            run_scenario(&sc, true).assert_clean();
+        },
+    );
+}
+
+/// The schedule generator shrinks a failing drop schedule to a minimal one:
+/// greedy shrinking against "fails iff any drop index >= 17" converges to a
+/// single drop.
+#[test]
+fn script_gen_shrinks_to_minimal_schedule() {
+    let fails = |s: &Script| drop_indices_of(s).iter().any(|&i| i >= 17);
+    let g = script_gen(40, 8);
+    let mut cur = Script::drop_indices(&[3, 17, 29]);
+    assert!(fails(&cur));
+    loop {
+        let Some(next) = g.shrink(&cur).into_iter().find(|c| fails(c)) else {
+            break;
+        };
+        cur = next;
+    }
+    let minimal = drop_indices_of(&cur);
+    assert_eq!(minimal.len(), 1, "one drop suffices: {minimal:?}");
+    assert!(minimal[0] >= 17, "and it is a triggering index");
+}
+
+/// The PR-1 regression schedule expressed as a `Script` cycles exactly like
+/// the original bool array (the drop oracle the regression port relies on).
+#[test]
+fn drop_cycle_script_matches_bool_schedule() {
+    let mut pattern = vec![false; 64];
+    for i in [2usize, 3, 5, 7, 9, 11, 13, 14] {
+        pattern[i] = true;
+    }
+    let script = Script::drop_cycle(pattern.clone(), u64::MAX);
+    for idx in 0..200u64 {
+        assert_eq!(
+            script.drops(idx, ano_sim::time::SimTime::ZERO),
+            pattern[idx as usize % pattern.len()],
+            "index {idx}"
+        );
+    }
+}
+
+/// A fully scripted TLS scenario equals the same run with scripts expressed
+/// through `Workload`-agnostic builders — guards the builder surface used
+/// by EXPERIMENTS.md examples.
+#[test]
+fn scenario_builders_compose() {
+    let sc = Scenario::new("compose", tls_workload())
+        .data_script(Script::drop_nth(2))
+        .ack_script(Script::drop_nth(5));
+    assert!(!sc.data_impair.script.is_empty());
+    assert!(!sc.ack_impair.script.is_empty());
+    assert!(sc.expect_complete && sc.expect_reconverge);
+}

@@ -1,15 +1,196 @@
 //! Point-to-point link model with impairments.
 //!
 //! A [`Link`] is a unidirectional pipe with a serialization rate, a
-//! propagation delay, and optional impairments (loss, reordering,
-//! duplication) matching the paper's §6.4 methodology, where loss and
-//! reordering are injected at rates of 0–5%.
+//! propagation delay, and optional impairments matching the paper's §6.4
+//! methodology, where loss and reordering are injected at rates of 0–5%.
+//!
+//! Impairments come in two flavours that compose freely:
+//!
+//! * **probabilistic** knobs (`loss`, `reorder`, `duplicate`, `corrupt`) —
+//!   each packet draws independently from the link RNG;
+//! * a **scripted** [`Script`] — a deterministic per-packet schedule keyed
+//!   on the link-local packet index (offer order) or on simulated time.
+//!   Scripts express the adversarial cases the probabilistic knobs cannot:
+//!   *drop exactly the Nth packet*, burst loss, payload corruption, delay
+//!   spikes, temporary partitions, and (by installing a script on only one
+//!   direction) asymmetric ACK-path impairment.
+//!
+//! The link does not carry payload bytes — the caller schedules the payload
+//! per returned [`Delivery`] — so corruption is signalled back through
+//! [`Delivery::corrupt`] and applied by the caller.
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
-/// Stochastic impairments applied per packet.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+/// What a scripted rule does to a matching packet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScriptAction {
+    /// Drop the packet.
+    Drop,
+    /// Deliver the packet with its payload corrupted (the caller flips
+    /// bytes; see [`Delivery::corrupt`]).
+    Corrupt,
+    /// Deliver the packet after an extra delay (a latency spike; late
+    /// enough and it reorders past its successors).
+    Delay(SimDuration),
+    /// Deliver the packet twice.
+    Duplicate,
+}
+
+/// Which packets a scripted rule applies to.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Match {
+    /// Exactly the `n`-th packet offered to this link (0-based).
+    Nth(u64),
+    /// Every packet with offer index in `[start, end)` — a burst.
+    Range(u64, u64),
+    /// Packet `i` matches if `pattern[i % pattern.len()]` holds and
+    /// `i < until` — cyclic schedules (e.g. "drop every other packet for a
+    /// while"), the format the PR-1 alternating-drop regression replays in.
+    Cycle {
+        /// The repeating mask.
+        pattern: Vec<bool>,
+        /// First index the cycle no longer applies to.
+        until: u64,
+    },
+    /// Every packet *offered* in the sim-time window `[from, to)` — with
+    /// [`ScriptAction::Drop`] this is a temporary partition.
+    Window(SimTime, SimTime),
+}
+
+impl Match {
+    fn hits(&self, index: u64, now: SimTime) -> bool {
+        match self {
+            Match::Nth(n) => index == *n,
+            Match::Range(s, e) => (*s..*e).contains(&index),
+            Match::Cycle { pattern, until } => {
+                !pattern.is_empty() && index < *until && pattern[(index % pattern.len() as u64) as usize]
+            }
+            Match::Window(from, to) => (*from..*to).contains(&now),
+        }
+    }
+}
+
+/// One scripted impairment rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    /// Which packets the rule hits.
+    pub when: Match,
+    /// What happens to them.
+    pub action: ScriptAction,
+}
+
+/// A deterministic per-packet impairment schedule.
+///
+/// Rules accumulate: all rules matching a packet apply ([`ScriptAction::Drop`]
+/// wins over everything else; delays add up).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Script {
+    rules: Vec<Rule>,
+}
+
+impl Script {
+    /// The empty schedule (no scripted impairments).
+    pub fn none() -> Script {
+        Script::default()
+    }
+
+    /// True if the schedule has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rules, in application order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Adds a rule (builder-style).
+    pub fn with(mut self, when: Match, action: ScriptAction) -> Script {
+        self.rules.push(Rule { when, action });
+        self
+    }
+
+    /// Drops exactly the `n`-th packet.
+    pub fn drop_nth(n: u64) -> Script {
+        Script::none().with(Match::Nth(n), ScriptAction::Drop)
+    }
+
+    /// Drops every packet in `[start, end)` — a loss burst.
+    pub fn drop_burst(start: u64, end: u64) -> Script {
+        Script::none().with(Match::Range(start, end), ScriptAction::Drop)
+    }
+
+    /// Drops an explicit set of packet indices.
+    pub fn drop_indices(indices: &[u64]) -> Script {
+        let mut s = Script::none();
+        for &i in indices {
+            s = s.with(Match::Nth(i), ScriptAction::Drop);
+        }
+        s
+    }
+
+    /// Drops packet `i` when `pattern[i % len]` holds, for `i < until`.
+    pub fn drop_cycle(pattern: Vec<bool>, until: u64) -> Script {
+        Script::none().with(Match::Cycle { pattern, until }, ScriptAction::Drop)
+    }
+
+    /// Corrupts exactly the `n`-th packet's payload.
+    pub fn corrupt_nth(n: u64) -> Script {
+        Script::none().with(Match::Nth(n), ScriptAction::Corrupt)
+    }
+
+    /// Delays every packet in `[start, end)` by `extra` — a latency spike.
+    pub fn delay_burst(start: u64, end: u64, extra: SimDuration) -> Script {
+        Script::none().with(Match::Range(start, end), ScriptAction::Delay(extra))
+    }
+
+    /// Duplicates every packet in `[start, end)`.
+    pub fn duplicate_burst(start: u64, end: u64) -> Script {
+        Script::none().with(Match::Range(start, end), ScriptAction::Duplicate)
+    }
+
+    /// Drops everything offered during `[from, to)` — a temporary partition.
+    pub fn partition(from: SimTime, to: SimTime) -> Script {
+        Script::none().with(Match::Window(from, to), ScriptAction::Drop)
+    }
+
+    /// The latest sim-time any [`Match::Window`] rule extends to, if any —
+    /// callers use this to know when a scripted partition is over.
+    pub fn last_window_end(&self) -> Option<SimTime> {
+        self.rules
+            .iter()
+            .filter_map(|r| match r.when {
+                Match::Window(_, to) => Some(to),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Would this schedule drop packet `index` offered at `now`?
+    ///
+    /// This is the schedule's decision procedure, exposed so harnesses can
+    /// use a `Script` as a drop oracle outside a [`Link`] (e.g. replaying a
+    /// historical pump-loop regression through the scenario format).
+    pub fn drops(&self, index: u64, now: SimTime) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.action == ScriptAction::Drop && r.when.hits(index, now))
+    }
+
+    /// Collects every action applying to packet `index` offered at `now`.
+    fn actions(&self, index: u64, now: SimTime) -> Vec<ScriptAction> {
+        self.rules
+            .iter()
+            .filter(|r| r.when.hits(index, now))
+            .map(|r| r.action)
+            .collect()
+    }
+}
+
+/// Per-packet impairments applied by a link: probabilistic knobs plus an
+/// optional deterministic [`Script`].
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Impairments {
     /// Probability a packet is dropped.
     pub loss: f64,
@@ -19,6 +200,11 @@ pub struct Impairments {
     pub reorder_extra_ns: (u64, u64),
     /// Probability a packet is delivered twice.
     pub duplicate: f64,
+    /// Probability a packet's payload is corrupted in flight.
+    pub corrupt: f64,
+    /// Deterministic per-packet schedule, applied before the probabilistic
+    /// knobs.
+    pub script: Script,
 }
 
 impl Impairments {
@@ -44,6 +230,22 @@ impl Impairments {
             ..Default::default()
         }
     }
+
+    /// Corruption-only impairment at probability `p`.
+    pub fn corrupt(p: f64) -> Impairments {
+        Impairments {
+            corrupt: p,
+            ..Default::default()
+        }
+    }
+
+    /// A purely scripted schedule (no probabilistic impairments).
+    pub fn scripted(script: Script) -> Impairments {
+        Impairments {
+            script,
+            ..Default::default()
+        }
+    }
 }
 
 /// Counters describing what a link did so far.
@@ -53,14 +255,27 @@ pub struct LinkStats {
     pub offered: u64,
     /// Packets delivered (duplicates count once per delivery).
     pub delivered: u64,
-    /// Packets dropped by the loss process.
+    /// Packets dropped by the loss process (probabilistic or scripted).
     pub lost: u64,
-    /// Packets given extra reordering delay.
+    /// Packets given extra reordering/spike delay.
     pub reordered: u64,
     /// Extra deliveries due to duplication.
     pub duplicated: u64,
+    /// Packets delivered with a corrupted payload.
+    pub corrupted: u64,
     /// Total payload bytes offered.
     pub bytes: u64,
+}
+
+/// One delivery at the far end of a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Arrival time at the receiver.
+    pub at: SimTime,
+    /// The payload was corrupted in flight: the caller must flip payload
+    /// bytes before handing the packet up (the link itself never sees
+    /// payload contents).
+    pub corrupt: bool,
 }
 
 /// A unidirectional link.
@@ -76,6 +291,7 @@ pub struct LinkStats {
 /// let mut rng = SimRng::seed(1);
 /// let deliveries = link.transmit(SimTime::ZERO, 1500, &mut rng);
 /// assert_eq!(deliveries.len(), 1);
+/// assert!(!deliveries[0].corrupt);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Link {
@@ -109,6 +325,16 @@ impl Link {
         self.impair = impair;
     }
 
+    /// Replaces only the scripted schedule, keeping probabilistic knobs.
+    pub fn set_script(&mut self, script: Script) {
+        self.impair.script = script;
+    }
+
+    /// The current impairment configuration.
+    pub fn impairments(&self) -> &Impairments {
+        &self.impair
+    }
+
     /// The link's serialization rate in bits per second.
     pub fn rate_bps(&self) -> u64 {
         self.rate_bps
@@ -124,12 +350,13 @@ impl Link {
         SimDuration::from_nanos((wire_bytes as u64 * 8).saturating_mul(1_000_000_000) / self.rate_bps)
     }
 
-    /// Offers one frame to the link at time `now`; returns the delivery
-    /// times at the far end (empty if lost, two entries if duplicated).
+    /// Offers one frame to the link at time `now`; returns the deliveries
+    /// at the far end (empty if lost, two entries if duplicated).
     ///
     /// Frames queue behind one another: the wire serializes one frame at a
     /// time, so delivery order (absent reordering) matches offer order.
-    pub fn transmit(&mut self, now: SimTime, wire_bytes: usize, rng: &mut SimRng) -> Vec<SimTime> {
+    pub fn transmit(&mut self, now: SimTime, wire_bytes: usize, rng: &mut SimRng) -> Vec<Delivery> {
+        let index = self.stats.offered;
         self.stats.offered += 1;
         self.stats.bytes += wire_bytes as u64;
 
@@ -137,25 +364,48 @@ impl Link {
         let done = start + self.serialization(wire_bytes);
         self.busy_until = done;
 
+        // Scripted schedule first: deterministic, independent of the RNG.
+        let scripted = self.impair.script.actions(index, now);
+        if scripted.contains(&ScriptAction::Drop) {
+            self.stats.lost += 1;
+            return Vec::new();
+        }
+        let mut corrupt = scripted.contains(&ScriptAction::Corrupt);
+        let mut extra = SimDuration::ZERO;
+        for a in &scripted {
+            if let ScriptAction::Delay(d) = a {
+                extra = extra + *d;
+            }
+        }
+        let mut dup = scripted.contains(&ScriptAction::Duplicate);
+
+        // Probabilistic knobs on top.
         if rng.chance(self.impair.loss) {
             self.stats.lost += 1;
             return Vec::new();
         }
-
-        let mut arrival = done + self.propagation;
         if rng.chance(self.impair.reorder) {
             let (lo, hi) = self.impair.reorder_extra_ns;
-            let extra = if hi > lo { rng.range_u64(lo, hi) } else { lo };
-            arrival += SimDuration::from_nanos(extra);
+            extra = extra + SimDuration::from_nanos(if hi > lo { rng.range_u64(lo, hi) } else { lo });
+        }
+        corrupt |= rng.chance(self.impair.corrupt);
+        dup |= rng.chance(self.impair.duplicate);
+
+        if extra > SimDuration::ZERO {
             self.stats.reordered += 1;
         }
-
-        let mut deliveries = vec![arrival];
-        if rng.chance(self.impair.duplicate) {
-            deliveries.push(arrival + SimDuration::from_micros(5));
+        let arrival = done + self.propagation + extra;
+        let mut deliveries = vec![Delivery { at: arrival, corrupt }];
+        if dup {
+            // Both copies of a duplicated corrupt frame carry the corruption.
+            deliveries.push(Delivery {
+                at: arrival + SimDuration::from_micros(5),
+                corrupt,
+            });
             self.stats.duplicated += 1;
         }
         self.stats.delivered += deliveries.len() as u64;
+        self.stats.corrupted += deliveries.iter().filter(|d| d.corrupt).count() as u64;
         deliveries
     }
 }
@@ -179,8 +429,8 @@ mod tests {
     fn frames_queue_behind_each_other() {
         let mut link = Link::new(gbps(1), SimDuration::from_micros(1), Impairments::none());
         let mut rng = SimRng::seed(1);
-        let a = link.transmit(SimTime::ZERO, 1250, &mut rng)[0]; // 10 us ser
-        let b = link.transmit(SimTime::ZERO, 1250, &mut rng)[0];
+        let a = link.transmit(SimTime::ZERO, 1250, &mut rng)[0].at; // 10 us ser
+        let b = link.transmit(SimTime::ZERO, 1250, &mut rng)[0].at;
         assert_eq!(a, SimTime::from_micros(11));
         assert_eq!(b, SimTime::from_micros(21), "second frame waits for the wire");
     }
@@ -200,7 +450,7 @@ mod tests {
     fn reordered_frames_arrive_late() {
         let mut link = Link::new(gbps(100), SimDuration::ZERO, Impairments::reorder(1.0));
         let mut rng = SimRng::seed(3);
-        let t = link.transmit(SimTime::ZERO, 100, &mut rng)[0];
+        let t = link.transmit(SimTime::ZERO, 100, &mut rng)[0].at;
         assert!(t >= SimTime::from_micros(50));
         assert_eq!(link.stats().reordered, 1);
     }
@@ -215,7 +465,89 @@ mod tests {
         let mut rng = SimRng::seed(4);
         let d = link.transmit(SimTime::ZERO, 100, &mut rng);
         assert_eq!(d.len(), 2);
-        assert!(d[1] > d[0]);
+        assert!(d[1].at > d[0].at);
+    }
+
+    #[test]
+    fn corrupt_flags_delivery_and_counts() {
+        let mut link = Link::new(gbps(100), SimDuration::ZERO, Impairments::corrupt(1.0));
+        let mut rng = SimRng::seed(5);
+        let d = link.transmit(SimTime::ZERO, 100, &mut rng);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].corrupt, "delivered but marked corrupt");
+        let s = link.stats();
+        assert_eq!((s.delivered, s.corrupted, s.lost), (1, 1, 0));
+    }
+
+    #[test]
+    fn script_drops_exactly_the_nth() {
+        let mut link = Link::new(
+            gbps(100),
+            SimDuration::ZERO,
+            Impairments::scripted(Script::drop_nth(2)),
+        );
+        let mut rng = SimRng::seed(6);
+        let counts: Vec<usize> = (0..5)
+            .map(|_| link.transmit(SimTime::ZERO, 100, &mut rng).len())
+            .collect();
+        assert_eq!(counts, vec![1, 1, 0, 1, 1]);
+        assert_eq!(link.stats().lost, 1);
+    }
+
+    #[test]
+    fn script_burst_and_corrupt_compose() {
+        let script = Script::drop_burst(1, 3).with(Match::Nth(4), ScriptAction::Corrupt);
+        let mut link = Link::new(gbps(100), SimDuration::ZERO, Impairments::scripted(script));
+        let mut rng = SimRng::seed(7);
+        let mut outcomes = Vec::new();
+        for _ in 0..5 {
+            let d = link.transmit(SimTime::ZERO, 100, &mut rng);
+            outcomes.push((d.len(), d.first().is_some_and(|d| d.corrupt)));
+        }
+        assert_eq!(
+            outcomes,
+            vec![(1, false), (0, false), (0, false), (1, false), (1, true)]
+        );
+        let s = link.stats();
+        assert_eq!((s.lost, s.corrupted), (2, 1));
+    }
+
+    #[test]
+    fn script_cycle_matches_bool_schedule() {
+        let pattern = vec![false, true, true, false];
+        let script = Script::drop_cycle(pattern.clone(), 6);
+        let mut link = Link::new(gbps(100), SimDuration::ZERO, Impairments::scripted(script.clone()));
+        let mut rng = SimRng::seed(8);
+        for i in 0..10u64 {
+            let expect_drop = i < 6 && pattern[(i % 4) as usize];
+            assert_eq!(script.drops(i, SimTime::ZERO), expect_drop, "oracle at {i}");
+            let d = link.transmit(SimTime::ZERO, 100, &mut rng);
+            assert_eq!(d.is_empty(), expect_drop, "link at {i}");
+        }
+    }
+
+    #[test]
+    fn script_partition_drops_by_time_window() {
+        let from = SimTime::from_micros(100);
+        let to = SimTime::from_micros(200);
+        let script = Script::partition(from, to);
+        assert_eq!(script.last_window_end(), Some(to));
+        let mut link = Link::new(gbps(100), SimDuration::ZERO, Impairments::scripted(script));
+        let mut rng = SimRng::seed(9);
+        assert_eq!(link.transmit(SimTime::from_micros(50), 100, &mut rng).len(), 1);
+        assert!(link.transmit(SimTime::from_micros(150), 100, &mut rng).is_empty());
+        assert_eq!(link.transmit(SimTime::from_micros(250), 100, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn script_delay_spike_arrives_late() {
+        let script = Script::delay_burst(0, 1, SimDuration::from_micros(300));
+        let mut link = Link::new(gbps(100), SimDuration::from_micros(1), Impairments::scripted(script));
+        let mut rng = SimRng::seed(10);
+        let spiked = link.transmit(SimTime::ZERO, 100, &mut rng)[0].at;
+        let normal = link.transmit(SimTime::ZERO, 100, &mut rng)[0].at;
+        assert!(spiked > normal + SimDuration::from_micros(250), "spike displaced the packet");
+        assert_eq!(link.stats().reordered, 1);
     }
 
     #[test]

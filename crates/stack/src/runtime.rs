@@ -427,9 +427,17 @@ impl World {
             }
             let wire_len = payload.len() + WIRE_HEADER_BYTES;
             let link = &mut self.links[h]; // links[0] is 0→1
-            for arrival in link.transmit(send_at, wire_len, &mut self.rng) {
+            for delivery in link.transmit(send_at, wire_len, &mut self.rng) {
+                let deliver = if delivery.corrupt {
+                    corrupt_copy(&payload)
+                } else {
+                    Some(payload.clone())
+                };
+                // A corrupt frame with no bytes to flip (synthetic payload or
+                // pure ACK) is discarded, as if the receiver's FCS caught it.
+                let Some(deliver) = deliver else { continue };
                 self.sched.schedule(
-                    arrival + cost.nic_latency,
+                    delivery.at + cost.nic_latency,
                     Event::Packet {
                         host: peer,
                         conn,
@@ -438,7 +446,7 @@ impl World {
                         ack: seg.ack,
                         wnd: seg.wnd,
                         sack: seg.sack.clone(),
-                        payload: payload.clone(),
+                        payload: deliver,
                     },
                 );
             }
@@ -628,6 +636,23 @@ impl World {
             }
         }
         self.pump_conn(h, conn);
+    }
+}
+
+/// The receiver's copy of a corrupted frame: one payload byte flipped, at a
+/// deterministic position (mid-payload, so it lands in a record body rather
+/// than a header for all but tiny packets). Returns `None` when there are no
+/// bytes to flip — synthetic payloads and pure ACKs — in which case the frame
+/// is dropped as if the FCS caught it; TCP retransmits it cleanly.
+fn corrupt_copy(payload: &Payload) -> Option<Payload> {
+    match payload.as_real() {
+        Some(bytes) if !bytes.is_empty() => {
+            let mut copy = bytes.to_vec();
+            let mid = copy.len() / 2;
+            copy[mid] ^= 0xA5;
+            Some(Payload::real(copy))
+        }
+        _ => None,
     }
 }
 

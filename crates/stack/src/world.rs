@@ -414,8 +414,8 @@ impl World {
             })
             .collect();
         let links = vec![
-            Link::new(cfg.link_rate_bps, cfg.link_delay, cfg.impair_0to1),
-            Link::new(cfg.link_rate_bps, cfg.link_delay, cfg.impair_1to0),
+            Link::new(cfg.link_rate_bps, cfg.link_delay, cfg.impair_0to1.clone()),
+            Link::new(cfg.link_rate_bps, cfg.link_delay, cfg.impair_1to0.clone()),
         ];
         World {
             cfg,
@@ -446,6 +446,14 @@ impl World {
     /// Replaces a link's impairments mid-run (loss/reorder sweeps).
     pub fn set_impairments(&mut self, dir0to1: bool, imp: Impairments) {
         self.links[if dir0to1 { 0 } else { 1 }].set_impairments(imp);
+    }
+
+    /// Installs a scripted per-packet schedule on one link direction,
+    /// keeping that direction's probabilistic knobs (scenario harness hook;
+    /// scripting only `dir0to1 = false` gives asymmetric ACK-path adversity
+    /// for a 0→1 data flow).
+    pub fn set_script(&mut self, dir0to1: bool, script: ano_sim::link::Script) {
+        self.links[if dir0to1 { 0 } else { 1 }].set_script(script);
     }
 
     /// Creates a connection with `spec0` on host 0 and `spec1` on host 1.
@@ -785,6 +793,18 @@ impl World {
     pub fn rx_engine_stats(&self, host: usize, conn: ConnId) -> Option<ano_core::rx::RxStats> {
         let c = self.hosts[host].conns.get(&conn)?;
         self.hosts[host].nic.rx_stats(c.in_flow)
+    }
+
+    /// Current receive-engine state (Fig. 7 node) for a connection's
+    /// incoming flow at `host`, or `None` without an rx engine. Invariant
+    /// checkers use this to assert the engine reconverges to `Offloading`
+    /// once impairments end.
+    pub fn rx_engine_state(&self, host: usize, conn: ConnId) -> Option<ano_core::rx::RxStateKind> {
+        let c = self.hosts[host].conns.get(&conn)?;
+        self.hosts[host]
+            .nic
+            .rx_engine(c.in_flow)
+            .map(|e| e.state_kind())
     }
 
     /// Transmit-engine stats for a connection's outgoing flow at `host`.

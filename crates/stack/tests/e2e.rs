@@ -126,6 +126,7 @@ fn tls_offloaded_survives_loss_and_reordering() {
             reorder: 0.01,
             reorder_extra_ns: (50_000, 300_000),
             duplicate: 0.005,
+            ..Default::default()
         },
         ..functional_cfg(12)
     });

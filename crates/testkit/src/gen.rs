@@ -119,6 +119,59 @@ impl Gen for AnyU8 {
     }
 }
 
+/// A sorted set of distinct `u64`s drawn from `range`, at most `max_len`
+/// of them — the shape of a packet-index schedule (which packets to drop,
+/// where the bursts sit). Shrinks by removing elements, then by lowering
+/// them (earlier indices are "smaller" adversity).
+pub fn sorted_u64_set(range: Range<u64>, max_len: usize) -> SortedU64Set {
+    assert!(range.start < range.end, "empty range");
+    assert!(max_len > 0, "zero-length set");
+    SortedU64Set { range, max_len }
+}
+
+/// See [`sorted_u64_set`].
+#[derive(Clone, Debug)]
+pub struct SortedU64Set {
+    range: Range<u64>,
+    max_len: usize,
+}
+
+impl Gen for SortedU64Set {
+    type Value = Vec<u64>;
+
+    fn generate(&self, rng: &mut SimRng) -> Vec<u64> {
+        let n = rng.index(self.max_len + 1);
+        let mut out: Vec<u64> = (0..n)
+            .map(|_| rng.range_u64(self.range.start, self.range.end))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn shrink(&self, value: &Vec<u64>) -> Vec<Vec<u64>> {
+        let lo = self.range.start;
+        let mut out = Vec::new();
+        for i in 0..value.len() {
+            let mut v = value.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        for i in 0..value.len() {
+            if value[i] > lo {
+                let mut v = value.clone();
+                v[i] = lo + (value[i] - lo) / 2;
+                v.sort_unstable();
+                v.dedup();
+                if &v != value {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Any `bool`, shrinking `true → false`.
 pub fn any_bool() -> AnyBool {
     AnyBool
@@ -245,6 +298,23 @@ mod tests {
 
     fn rng() -> SimRng {
         SimRng::seed(1)
+    }
+
+    #[test]
+    fn sorted_u64_set_is_sorted_distinct_and_bounded() {
+        let g = sorted_u64_set(10..50, 6);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = g.generate(&mut r);
+            assert!(v.len() <= 6);
+            assert!(v.iter().all(|&x| (10..50).contains(&x)));
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "sorted, distinct: {v:?}");
+        }
+        let cands = g.shrink(&vec![12, 40]);
+        assert!(cands.contains(&vec![40]), "element removal");
+        assert!(cands.contains(&vec![12]), "element removal");
+        assert!(cands.contains(&vec![11, 40]), "lowering toward range start");
+        assert!(g.shrink(&Vec::new()).is_empty(), "empty set is minimal");
     }
 
     #[test]

@@ -616,6 +616,62 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_record_rejected_never_delivered_as_plaintext() {
+        // A record damaged in flight must fail authentication and vanish:
+        // one alert, zero plaintext bytes from it — and the records around
+        // it still decrypt at their correct stream offsets.
+        let s = sessions();
+        let mut tx = KtlsTx::new(
+            s.clone(),
+            KtlsTxConfig {
+                offload: false,
+                zerocopy: false,
+                mode: DataMode::Functional,
+            },
+        );
+        let app: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        let (wire, _) = tx.send(&Payload::real(app.clone()), &cost());
+        assert_eq!(wire.len(), 3, "three records");
+
+        let mut stream = Vec::new();
+        for w in &wire {
+            stream.extend_from_slice(&w.to_vec());
+        }
+        // Flip one byte in the middle of record 1's ciphertext body.
+        let r0_len = wire[0].len();
+        let bad = r0_len + wire[1].len() / 2;
+        stream[bad] ^= 0xA5;
+
+        let mut rx = KtlsRx::new(s, DataMode::Functional, None);
+        let mut plains = Vec::new();
+        let mut off = 0u64;
+        for c in stream.chunks(1448) {
+            let (p, _) = rx.on_chunks([chunk(off, c.to_vec(), false)], &cost());
+            plains.extend(p);
+            off += c.len() as u64;
+        }
+        assert_eq!(rx.stats().alerts, 1, "exactly the damaged record alerted");
+
+        // Every surviving chunk carries the original plaintext at its
+        // claimed offset; none carries bytes from the damaged record.
+        let mut delivered = 0u64;
+        for p in &plains {
+            let b = p.payload.to_vec();
+            let start = p.plain_off as usize;
+            assert_eq!(
+                b.as_slice(),
+                &app[start..start + b.len()],
+                "chunk at {start} matches the transmitted plaintext"
+            );
+            delivered += b.len() as u64;
+        }
+        assert!(
+            delivered < app.len() as u64,
+            "the damaged record's plaintext is missing, not substituted"
+        );
+    }
+
+    #[test]
     fn offloaded_records_skip_crypto_cycles() {
         let s = sessions();
         let c = cost();

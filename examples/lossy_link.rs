@@ -48,6 +48,7 @@ fn main() {
             reorder: 0.01,
             reorder_extra_ns: (50_000, 300_000),
             duplicate: 0.005,
+            ..Default::default()
         },
         ..Default::default()
     });

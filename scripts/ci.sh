@@ -34,4 +34,11 @@ CARGO_NET_OFFLINE=true cargo build --release
 echo "== tier-1: offline tests =="
 CARGO_NET_OFFLINE=true cargo test -q
 
+echo "== adversarial scenario matrix: differential offload-vs-software =="
+# 8 scripted adversity schedules x {TLS, NVMe} x {offload, software}, fixed
+# seeds (no wall-clock or RNG input), plus the regression port and the
+# watchdog/corruption extras. Bounded: the whole suite runs in seconds; the
+# timeout is a hard backstop against a wedged scheduler looping forever.
+CARGO_NET_OFFLINE=true timeout 600 cargo test -q -p ano-scenario
+
 echo "tier-1 green (offline)"
