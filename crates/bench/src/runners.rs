@@ -70,6 +70,9 @@ pub struct IperfCfg {
     pub window: SimDuration,
     /// Seed.
     pub seed: u64,
+    /// Enable the world tracer (the `trace_overhead` bench measures the
+    /// cost of flipping this; figures leave it off).
+    pub trace: bool,
 }
 
 impl Default for IperfCfg {
@@ -84,6 +87,7 @@ impl Default for IperfCfg {
             warmup: SimDuration::from_millis(60),
             window: SimDuration::from_millis(100),
             seed: 42,
+            trace: false,
         }
     }
 }
@@ -120,6 +124,7 @@ pub fn run_iperf(cfg: &IperfCfg) -> IperfResult {
         tcp: dc_tcp(),
         ..Default::default()
     });
+    w.tracer().set_enabled(cfg.trace);
     let conns: Vec<ConnId> = (0..cfg.conns)
         .map(|_| w.connect(cfg.variant.spec(), cfg.variant.spec()))
         .collect();
@@ -365,9 +370,10 @@ pub struct FioResult {
     pub completed: u64,
     /// Busy CPU cycles per request.
     pub busy_per_req: f64,
-    /// Modeled copy cycles per request.
+    /// Copy cycles per request, measured from the `cpu.nvme.copy` counter
+    /// in the trace metrics registry over the window.
     pub copy_per_req: f64,
-    /// Modeled CRC cycles per request.
+    /// CRC cycles per request, measured from `cpu.nvme.crc`.
     pub crc_per_req: f64,
     /// Remaining busy cycles per request.
     pub other_per_req: f64,
@@ -411,6 +417,9 @@ pub fn run_fio(cfg: &FioCfg) -> FioResult {
     // Working set drives the Fig. 10 copy-cost cliff.
     let ws = cfg.size as u64 * cfg.depth as u64;
     w.set_nvme_working_set(0, conn, ws);
+    // The per-request breakdown comes from the per-layer cycle counters the
+    // NVMe host reports into the trace registry, so tracing stays on here.
+    w.tracer().set_enabled(true);
     let mut fio = Fio::new(conn, cfg.size, cfg.depth, 64 << 30);
     let warmup = SimDuration::from_millis(20);
     fio.measure_from = SimTime::ZERO + warmup;
@@ -422,6 +431,7 @@ pub fn run_fio(cfg: &FioCfg) -> FioResult {
     let t0 = w.now();
     let snap = w.cpu_snapshot(0);
     let c0 = stats.borrow().completed;
+    let layer0 = layer_cycles(&w);
     w.run_until(t0 + cfg.window);
     let elapsed = w.now().since(t0);
     let s = stats.borrow();
@@ -437,14 +447,9 @@ pub fn run_fio(cfg: &FioCfg) -> FioResult {
         .sum();
     let busy_per_req = busy as f64 / completed as f64;
     let cost = w.cost();
-    let (copy_per_req, crc_per_req) = if cfg.offload {
-        (0.0, 0.0)
-    } else {
-        (
-            cost.copy_cycles(cfg.size as usize, ws) as f64,
-            cost.crc_cycles(cfg.size as usize) as f64,
-        )
-    };
+    let layer1 = layer_cycles(&w);
+    let copy_per_req = (layer1.0 - layer0.0) as f64 / completed as f64;
+    let crc_per_req = (layer1.1 - layer0.1) as f64 / completed as f64;
     let wall_cycles = elapsed.as_secs_f64() * cost.freq_hz as f64;
     let idle_per_req = (wall_cycles - busy as f64).max(0.0) / completed as f64;
     FioResult {
@@ -537,6 +542,14 @@ pub fn run_latency(cfg: &LatencyCfg) -> f64 {
     }
     let s = stats.borrow();
     s.latency_us.mean()
+}
+
+/// The `(copy, crc)` cycle totals attributed to the NVMe layer so far,
+/// summed across flows from the world's trace metrics registry.
+fn layer_cycles(w: &World) -> (u64, u64) {
+    w.tracer().with_metrics(|m| {
+        (m.counter_total("cpu.nvme.copy"), m.counter_total("cpu.nvme.crc"))
+    })
 }
 
 /// Datacenter-tuned TCP (back-to-back links; Linux-like fast loss

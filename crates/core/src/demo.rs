@@ -283,6 +283,74 @@ mod tests {
         assert_eq!(wire, expect, "NIC-transformed bytes match software encode");
     }
 
+    /// Receive-side mirror of `tx_flow_encrypts_like_encode`: walking an
+    /// encoded message through the rx flow decrypts it in place and the
+    /// trailer verifies, so `end_msg` reports success.
+    #[test]
+    fn rx_flow_decrypts_and_verifies() {
+        use crate::walker::Walker;
+        let plain = b"receive side decrypt".to_vec();
+        let mut wire = encode_msg_keyed(&plain, 9);
+        let mut op = DemoFlow::rx_functional(9);
+        let mut w = Walker::new(0, 0);
+        let out = w.walk(&mut op, &mut DataRef::Real(&mut wire));
+        assert!(out.clean && !out.desync);
+        assert_eq!(&wire[HDR_LEN..HDR_LEN + plain.len()], plain.as_slice());
+        assert!(op.ok, "trailer must verify");
+    }
+
+    /// A corrupted body byte must surface as an `end_msg` failure — the
+    /// toy digest is what the CRC/auth-tag check abstracts.
+    #[test]
+    fn rx_flow_flags_bad_trailer() {
+        use crate::walker::Walker;
+        let mut wire = encode_msg_keyed(b"some body bytes", 9);
+        wire[HDR_LEN + 2] ^= 0x10;
+        let mut op = DemoFlow::rx_functional(9);
+        let mut w = Walker::new(0, 0);
+        w.walk(&mut op, &mut DataRef::Real(&mut wire));
+        assert!(!op.ok, "corruption must fail the digest check");
+    }
+
+    /// `resync_to` clears all per-message accumulator state, so a flow that
+    /// abandoned a half-processed message verifies the next one cleanly —
+    /// the §4.3 re-arm path in miniature.
+    #[test]
+    fn resync_clears_partial_message_state() {
+        let mut op = DemoFlow::rx_functional(9);
+        let mut wire = encode_msg_keyed(b"abandoned half-way", 9);
+        let hdr: Vec<u8> = wire[..HDR_LEN].to_vec();
+        op.begin_msg(0, 0, Some(&hdr));
+        let split = HDR_LEN + 5;
+        op.process(HDR_LEN as u32, DataRef::Real(&mut wire[HDR_LEN..split]));
+        assert_ne!(op.sum, 0, "partial state accumulated");
+
+        op.resync_to(1);
+        assert_eq!((op.sum, op.trailer, op.cur_total), (0, None, 0));
+
+        use crate::walker::Walker;
+        let mut next = encode_msg_keyed(b"fresh message", 9);
+        let mut w = Walker::new(1, 0);
+        let out = w.walk(&mut op, &mut DataRef::Real(&mut next));
+        assert!(out.clean && op.ok, "post-resync message verifies");
+    }
+
+    /// The functional search scans raw bytes for the magic pattern, so a
+    /// header mid-window is found at its absolute stream offset — and
+    /// garbage that merely *contains* 0xA5 without the full pattern is not.
+    #[test]
+    fn functional_search_finds_header_mid_window() {
+        let f = DemoFlow::rx_functional(9);
+        let msg = encode_msg(b"found me");
+        let mut window = vec![0xA5, 0x00, 0x11, 0x22, 0x33]; // lone magic byte, no 0x5A
+        let hdr_at = window.len() as u64;
+        window.extend_from_slice(&msg);
+        let hit = f.search(1000, SearchWindow::Real(&window));
+        let (off, h) = hit.expect("header inside window");
+        assert_eq!(off, 1000 + hdr_at);
+        assert_eq!(h.total_len as usize, msg.len());
+    }
+
     #[test]
     fn modeled_search_uses_index() {
         let fi = FrameIndex::new();

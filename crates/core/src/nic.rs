@@ -94,6 +94,7 @@ pub struct Nic {
     tx: HashMap<FlowId, TxEngine>,
     cache: LruSet<(FlowId, Dir)>,
     counters: NicCounters,
+    tracer: ano_trace::Tracer,
 }
 
 impl std::fmt::Debug for Nic {
@@ -115,16 +116,25 @@ impl Nic {
             tx: HashMap::new(),
             cache: LruSet::new(cfg.ctx_cache_capacity),
             counters: NicCounters::default(),
+            tracer: ano_trace::Tracer::default(),
         }
     }
 
+    /// Installs the tracing handle engines registered from now on inherit
+    /// (each scoped to its flow id). The default handle is disabled.
+    pub fn set_tracer(&mut self, tracer: ano_trace::Tracer) {
+        self.tracer = tracer;
+    }
+
     /// Registers a receive offload for `flow` (`l5o_create`, rx half).
-    pub fn install_rx(&mut self, flow: FlowId, engine: RxEngine) {
+    pub fn install_rx(&mut self, flow: FlowId, mut engine: RxEngine) {
+        engine.set_tracer(self.tracer.scoped(flow.0));
         self.rx.insert(flow, engine);
     }
 
     /// Registers a transmit offload for `flow` (`l5o_create`, tx half).
-    pub fn install_tx(&mut self, flow: FlowId, engine: TxEngine) {
+    pub fn install_tx(&mut self, flow: FlowId, mut engine: TxEngine) {
+        engine.set_tracer(self.tracer.scoped(flow.0));
         self.tx.insert(flow, engine);
     }
 

@@ -14,6 +14,7 @@
 //!   (transition d2), a mismatch or rejection returns to searching (d1).
 
 use ano_tcp::segment::SkbFlags;
+use ano_trace::{Event, ResyncPhase, Tracer};
 
 use crate::flow::L5Flow;
 use crate::msg::{DataRef, EngineEvent, SearchWindow};
@@ -96,6 +97,13 @@ pub struct RxEngine {
     state: RxState,
     events: Vec<EngineEvent>,
     stats: RxStats,
+    tracer: Tracer,
+    /// Phase most recently reported to the tracer. `Confirmed` is the
+    /// trace-level split of `Tracking { confirmed: Some(_) }` — the §4.3
+    /// step that licenses resuming offload — so transition events expose
+    /// exactly the Searching→Tracking→Confirmed→Offloading ladder the
+    /// scenario invariants check.
+    last_phase: ResyncPhase,
 }
 
 impl std::fmt::Debug for RxEngine {
@@ -116,6 +124,44 @@ impl RxEngine {
             state: RxState::Offloading(Walker::new(start_off, msg_index)),
             events: Vec::new(),
             stats: RxStats::default(),
+            tracer: Tracer::default(),
+            last_phase: ResyncPhase::Offloading,
+        }
+    }
+
+    /// Installs a (typically flow-scoped) tracing handle. The default
+    /// handle is disabled, so an unwired engine records nothing.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The trace-level phase: [`RxStateKind`] with `Tracking` split into
+    /// its unconfirmed and software-confirmed halves.
+    pub fn phase(&self) -> ResyncPhase {
+        match &self.state {
+            RxState::Offloading(_) => ResyncPhase::Offloading,
+            RxState::Searching { .. } => ResyncPhase::Searching,
+            RxState::Tracking { confirmed: None, .. } => ResyncPhase::Tracking,
+            RxState::Tracking { confirmed: Some(_), .. } => ResyncPhase::Confirmed,
+        }
+    }
+
+    /// Emits a `Resync` transition event if the phase changed since the
+    /// last note. Called at every state-mutation site (not merely per
+    /// packet), so multi-step transitions inside one `on_packet` — e.g.
+    /// Fig. 8c's Offloading→Searching→Tracking — appear edge by edge.
+    fn note_phase(&mut self, at_seq: u64) {
+        self.force_phase(self.phase(), at_seq);
+    }
+
+    /// Like [`RxEngine::note_phase`] but for a phase the engine passed
+    /// through transiently inside one call (e.g. Tracking that a failed
+    /// walk invalidates before `on_packet` returns).
+    fn force_phase(&mut self, to: ResyncPhase, at_seq: u64) {
+        if to != self.last_phase {
+            let from = self.last_phase;
+            self.tracer.record(|| Event::Resync { from, to, seq: at_seq });
+            self.last_phase = to;
         }
     }
 
@@ -198,6 +244,7 @@ impl RxEngine {
                     }
                 } else {
                     // Gap: where is the next message boundary M?
+                    self.tracer.record(|| Event::PktOoS { seq, expected: exp });
                     match w.next_boundary() {
                         Some(nb) if nb >= seq_end => {
                             // Packet entirely before M: ignore it (§4.3).
@@ -241,8 +288,14 @@ impl RxEngine {
                 self.do_track(candidate, walker, confirmed, seq, data);
             }
         }
+        let len = (seq_end - seq) as usize;
         if offloaded {
             self.stats.pkts_offloaded += 1;
+            self.tracer.record(|| Event::PktOffloaded { seq, len });
+            self.tracer.count("rx.pkts_offloaded", 1);
+        } else {
+            self.tracer.record(|| Event::PktFallback { seq, len });
+            self.tracer.count("rx.pkts_fallback", 1);
         }
         self.op.packet_flags(offloaded)
     }
@@ -268,9 +321,11 @@ impl RxEngine {
                 walker,
                 confirmed,
             } if candidate == tcpsn => {
+                self.tracer.record(|| Event::ResyncResponse { tcpsn, ok });
                 if !ok {
                     self.stats.resync_failed += 1;
                     // d1: stay in searching (already the placeholder state).
+                    self.note_phase(tcpsn);
                 } else {
                     self.stats.resync_ok += 1;
                     self.state = RxState::Tracking {
@@ -278,6 +333,7 @@ impl RxEngine {
                         walker,
                         confirmed: Some(msg_index),
                     };
+                    self.note_phase(tcpsn);
                     self.try_resume();
                     let _ = confirmed;
                 }
@@ -294,6 +350,7 @@ impl RxEngine {
             carry: Vec::new(),
             carry_off,
         };
+        self.note_phase(carry_off);
     }
 
     /// d2: if confirmed and the tracker knows the next boundary, resume.
@@ -313,6 +370,7 @@ impl RxEngine {
         if let Some((nb, idx)) = resume {
             self.op.resync_to(idx);
             self.state = RxState::Offloading(Walker::new(nb, idx));
+            self.note_phase(nb);
         }
     }
 
@@ -342,6 +400,11 @@ impl RxEngine {
         if let Some((c, h)) = hit.filter(|(_, h)| h.total_len as usize >= hl) {
             self.stats.resync_requests += 1;
             self.events.push(EngineEvent::ResyncRequest { layer: 0, tcpsn: c });
+            self.tracer.record(|| Event::ResyncRequest { tcpsn: c });
+            self.tracer.count("rx.resync_requests", 1);
+            // The candidate puts the engine in Tracking from here on, even
+            // if walking the packet tail invalidates it again below.
+            self.force_phase(ResyncPhase::Tracking, c);
             let mut walker = TrackWalker::new(c, h, hl);
             // Track the remainder of this packet past the candidate header.
             let track_from = c + hl as u64;
@@ -364,13 +427,16 @@ impl RxEngine {
                     walker,
                     confirmed: None,
                 };
+                self.note_phase(c);
             } else {
                 // Immediately invalidated (d1): back to searching.
                 self.stats.resync_failed += 1;
                 self.update_carry(seq, data, hl);
+                self.note_phase(seq);
             }
         } else {
             self.update_carry(seq, data, hl);
+            self.note_phase(seq);
         }
     }
 
@@ -735,6 +801,95 @@ mod tests {
         e.on_resync_response(0, 139, true, 1);
         assert_eq!(e.state_kind(), RxStateKind::Searching, "stale confirm ignored");
         assert_eq!(e.stats().resync_ok, 0);
+    }
+
+    /// Extracts the resync transitions from a tracer as (from, to) pairs.
+    fn transitions(t: &Tracer) -> Vec<(ResyncPhase, ResyncPhase)> {
+        t.records()
+            .into_iter()
+            .filter_map(|r| match r.event {
+                Event::Resync { from, to, .. } => Some((from, to)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trace_shows_confirmation_ladder() {
+        // The happy resync path must appear in the trace as the full
+        // ordered ladder: Offloading→Searching→Tracking→Confirmed→Offloading.
+        let stream = stream_with_fake_header();
+        let mut e = engine();
+        let tracer = Tracer::default();
+        tracer.set_enabled(true);
+        e.set_tracer(tracer.scoped(1));
+
+        let mut p = stream[125..139].to_vec();
+        e.on_packet(125, &mut DataRef::Real(&mut p)); // msg 1 header found
+        e.on_resync_response(0, 125, true, 1);
+        let mut p = stream[139..190].to_vec();
+        e.on_packet(139, &mut DataRef::Real(&mut p)); // boundary 190 → resume
+
+        use ResyncPhase::*;
+        assert_eq!(
+            transitions(&tracer),
+            vec![
+                (Offloading, Searching),
+                (Searching, Tracking),
+                (Tracking, Confirmed),
+                (Confirmed, Offloading),
+            ]
+        );
+    }
+
+    #[test]
+    fn trace_false_positive_shows_tracking_to_searching_not_confirmed() {
+        // A magic-pattern false positive that software rejects must appear
+        // in the trace as Tracking→Searching (d1) — never as a transition
+        // into Confirmed.
+        let stream = stream_with_fake_header();
+        let mut e = engine();
+        let tracer = Tracer::default();
+        tracer.set_enabled(true);
+        e.set_tracer(tracer.scoped(1));
+
+        let mut p = stream[139..152].to_vec();
+        e.on_packet(139, &mut DataRef::Real(&mut p)); // bait taken
+        e.on_resync_response(0, 139, false, 0); // software rejects
+
+        let trans = transitions(&tracer);
+        assert!(
+            trans.contains(&(ResyncPhase::Tracking, ResyncPhase::Searching)),
+            "rejection must show as Tracking→Searching, got {trans:?}"
+        );
+        assert!(
+            trans.iter().all(|&(_, to)| to != ResyncPhase::Confirmed),
+            "no bogus Confirmed for a rejected candidate: {trans:?}"
+        );
+        // The rejected exchange is visible as request + negative response.
+        let evs = tracer.records();
+        assert!(evs.iter().any(|r| r.event == Event::ResyncRequest { tcpsn: 139 }));
+        assert!(evs.iter().any(|r| r.event == Event::ResyncResponse { tcpsn: 139, ok: false }));
+    }
+
+    #[test]
+    fn trace_self_invalidation_passes_through_tracking() {
+        // Even when the tail of the very packet that produced the candidate
+        // invalidates it, the trace shows the transient Tracking phase
+        // rather than jumping Searching→Searching.
+        let stream = stream_with_fake_header();
+        let mut e = engine();
+        let tracer = Tracer::default();
+        tracer.set_enabled(true);
+        e.set_tracer(tracer.scoped(1));
+
+        let mut p = stream[139..175].to_vec();
+        e.on_packet(139, &mut DataRef::Real(&mut p));
+        use ResyncPhase::*;
+        assert_eq!(
+            transitions(&tracer),
+            vec![(Offloading, Searching), (Searching, Tracking), (Tracking, Searching)]
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! the NIC process the packet.
 
 use ano_tcp::segment::SkbFlags;
+use ano_trace::{Event, Tracer};
 
 use crate::flow::{L5Flow, L5TxSource};
 use crate::msg::DataRef;
@@ -50,6 +51,7 @@ pub struct TxEngine {
     walker: Walker,
     /// Set when the stream desynchronized beyond repair (L5P bug).
     broken: bool,
+    tracer: Tracer,
     stats: TxStats,
 }
 
@@ -71,8 +73,15 @@ impl TxEngine {
             op,
             walker: Walker::new(start_off, msg_index),
             broken: false,
+            tracer: Tracer::default(),
             stats: TxStats::default(),
         }
+    }
+
+    /// Installs a (typically flow-scoped) tracing handle. The default
+    /// handle is disabled, so an unwired engine records nothing.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The next stream offset the shadow context expects.
@@ -102,15 +111,20 @@ impl TxEngine {
         let mut replayed = 0u64;
         if seq != self.walker.expected() {
             // Out of sequence: recover the context (§4.2).
+            let expected = self.walker.expected();
+            self.tracer.record(|| Event::PktOoS { seq, expected });
             match src.msg_at(seq) {
                 Some(m) => {
                     self.stats.recoveries += 1;
+                    self.tracer.count("tx.recoveries", 1);
                     self.op.resync_to(m.msg_index);
                     self.walker = Walker::new(m.msg_start, m.msg_index);
                     if seq > m.msg_start {
                         let replay = src.stream_bytes(m.msg_start, seq);
                         replayed = replay.len() as u64;
                         self.stats.replay_bytes += replayed;
+                        self.tracer.count("tx.replay_bytes", replayed);
+                        self.tracer.observe("tx.replay_len", replayed);
                         let out = match replay.as_real() {
                             Some(bytes) => {
                                 let mut tmp = bytes.to_vec();

@@ -91,6 +91,7 @@ pub struct NvmeTcpHost {
     /// Working-set hint for the copy cost model (Fig. 10's LLC cliff).
     pub working_set: u64,
     stats: NvmeHostStats,
+    tracer: ano_trace::Tracer,
 }
 
 impl std::fmt::Debug for NvmeTcpHost {
@@ -129,7 +130,14 @@ impl NvmeTcpHost {
             completions: Vec::new(),
             working_set: 0,
             stats: NvmeHostStats::default(),
+            tracer: ano_trace::Tracer::default(),
         }
+    }
+
+    /// Installs a (typically flow-scoped) tracing handle. The default
+    /// handle is disabled, so an unwired host records nothing.
+    pub fn set_tracer(&mut self, tracer: ano_trace::Tracer) {
+        self.tracer = tracer;
     }
 
     /// The RR-state map (shared with the NIC).
@@ -335,7 +343,9 @@ impl NvmeTcpHost {
                     req.placed_bytes += dlen as u64;
                     self.stats.bytes_placed += dlen as u64;
                 } else {
-                    cycles += cost.copy_cycles(dlen, self.working_set);
+                    let copy = cost.copy_cycles(dlen, self.working_set);
+                    cycles += copy;
+                    self.tracer.count("cpu.nvme.copy", copy);
                     req.copied_bytes += dlen as u64;
                     self.stats.bytes_copied += dlen as u64;
                     if let (Some(buf), Some(bytes)) =
@@ -353,9 +363,15 @@ impl NvmeTcpHost {
                 // Digest: skipped when the NIC verified every packet.
                 if self.cfg.crc_offload && pdu.all_crc_ok {
                     self.stats.crc_skipped += 1;
+                    self.tracer.record(|| ano_trace::Event::DigestOk { cid });
+                    self.tracer.count("nvme.crc_skipped", 1);
                 } else {
-                    cycles += cost.crc_cycles(dlen);
+                    let crc = cost.crc_cycles(dlen);
+                    cycles += crc;
+                    self.tracer.count("cpu.nvme.crc", crc);
                     self.stats.crc_software += 1;
+                    self.tracer.count("nvme.crc_software", 1);
+                    let mut digest_ok = true;
                     if let (Some(wire_dg), Some(bytes)) = (pdu.ddgst, pdu.data_bytes().as_real()) {
                         // NOTE: placed bytes were delivered decrypted/placed;
                         // the wire digest covers the original data, which for
@@ -363,7 +379,14 @@ impl NvmeTcpHost {
                         if crc32c(bytes) != wire_dg {
                             req.failed = true;
                             self.stats.crc_failures += 1;
+                            digest_ok = false;
                         }
+                    }
+                    if digest_ok {
+                        self.tracer.record(|| ano_trace::Event::DigestOk { cid });
+                    } else {
+                        self.tracer.record(|| ano_trace::Event::DigestFail { cid });
+                        self.tracer.count("nvme.crc_failures", 1);
                     }
                 }
             }

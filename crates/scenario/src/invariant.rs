@@ -2,6 +2,7 @@
 
 use ano_core::rx::RxStateKind;
 use ano_sim::time::{SimDuration, SimTime};
+use ano_trace::ResyncPhase;
 
 use crate::apps::Delivered;
 use crate::scenario::{Scenario, Workload};
@@ -172,6 +173,13 @@ impl Checkers {
     }
 
     /// End-of-run checks: completion, auth accounting, reconvergence.
+    ///
+    /// `resync` is the receiver engine's ordered `(from, to)` transition
+    /// list from the trace. When present it carries strictly more
+    /// information than the final [`RxStateKind`]: the engine must not only
+    /// *end* in `Offloading`, it must have gotten there through legal §4.3
+    /// edges — in particular, every return to hardware offload must pass
+    /// through software confirmation (`Tracking → Confirmed → Offloading`).
     pub(crate) fn finish(
         &mut self,
         now: SimTime,
@@ -181,6 +189,7 @@ impl Checkers {
         alerts: u64,
         link_corrupted: u64,
         rx_state: Option<RxStateKind>,
+        resync: &[(ResyncPhase, ResyncPhase)],
     ) {
         if sc.expect_complete && !complete {
             self.violations.push(Violation {
@@ -215,15 +224,162 @@ impl Checkers {
             });
         }
 
+        for detail in check_resync_transitions(resync) {
+            self.violations.push(Violation {
+                invariant: "resync-transition",
+                at: now,
+                detail,
+            });
+        }
+
         if offload && sc.expect_reconverge {
-            match rx_state {
-                Some(RxStateKind::Offloading) | None => {}
-                Some(other) => self.violations.push(Violation {
-                    invariant: "resync-reconvergence",
-                    at: now,
-                    detail: format!("rx engine ended in {other:?}, expected Offloading"),
-                }),
+            if let Some((_, last)) = resync.last() {
+                if *last != ResyncPhase::Offloading {
+                    self.violations.push(Violation {
+                        invariant: "resync-reconvergence",
+                        at: now,
+                        detail: format!(
+                            "rx engine's last transition ended in {last:?}, expected Offloading \
+                             (ladder: {})",
+                            render_ladder(resync)
+                        ),
+                    });
+                }
+            } else {
+                // No transitions recorded: either the engine never left
+                // Offloading (fine) or the run was untraced — fall back to
+                // the final-state snapshot.
+                match rx_state {
+                    Some(RxStateKind::Offloading) | None => {}
+                    Some(other) => self.violations.push(Violation {
+                        invariant: "resync-reconvergence",
+                        at: now,
+                        detail: format!("rx engine ended in {other:?}, expected Offloading"),
+                    }),
+                }
             }
         }
+    }
+}
+
+/// Renders a transition list as `Offloading->Searching->Tracking->…` for
+/// violation messages.
+fn render_ladder(resync: &[(ResyncPhase, ResyncPhase)]) -> String {
+    let mut s = String::new();
+    for (i, (from, to)) in resync.iter().enumerate() {
+        if i == 0 {
+            s.push_str(&from.to_string());
+        }
+        s.push_str("->");
+        s.push_str(&to.to_string());
+    }
+    s
+}
+
+/// Validates an ordered resync transition list against the §4.3 state
+/// machine. Returns one message per defect:
+///
+/// - the list must start from `Offloading` (the `l5o_create` state) and
+///   each transition's `from` must equal its predecessor's `to`;
+/// - `Confirmed` is only reachable from `Tracking` — software confirmation
+///   cannot be skipped (this is the edge a golden trace pins down);
+/// - `Offloading` is only re-entered from `Confirmed` — hardware never
+///   resumes without a confirmed record boundary.
+pub(crate) fn check_resync_transitions(resync: &[(ResyncPhase, ResyncPhase)]) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut prev = ResyncPhase::Offloading;
+    for (i, &(from, to)) in resync.iter().enumerate() {
+        if from != prev {
+            problems.push(format!(
+                "transition {i}: starts from {from:?} but the engine was in {prev:?}"
+            ));
+        }
+        if from == to {
+            problems.push(format!("transition {i}: self-loop {from:?}->{to:?}"));
+        }
+        if to == ResyncPhase::Confirmed && from != ResyncPhase::Tracking {
+            problems.push(format!(
+                "transition {i}: {from:?}->Confirmed skips software confirmation \
+                 (only Tracking->Confirmed is legal)"
+            ));
+        }
+        if to == ResyncPhase::Offloading && from != ResyncPhase::Confirmed {
+            problems.push(format!(
+                "transition {i}: {from:?}->Offloading resumes hardware without a \
+                 confirmed boundary (only Confirmed->Offloading is legal)"
+            ));
+        }
+        prev = to;
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ResyncPhase::{Confirmed, Offloading, Searching, Tracking};
+
+    #[test]
+    fn full_ladder_is_legal() {
+        let edges = [
+            (Offloading, Searching),
+            (Searching, Tracking),
+            (Tracking, Confirmed),
+            (Confirmed, Offloading),
+        ];
+        assert!(check_resync_transitions(&edges).is_empty());
+    }
+
+    /// The magic-pattern false positive: a candidate that software rejects
+    /// falls back from Tracking to Searching. A legal episode — the engine
+    /// just searches again.
+    #[test]
+    fn false_positive_tracking_to_searching_is_legal() {
+        let edges = [
+            (Offloading, Searching),
+            (Searching, Tracking),
+            (Tracking, Searching),
+            (Searching, Tracking),
+            (Tracking, Confirmed),
+            (Confirmed, Offloading),
+        ];
+        assert!(check_resync_transitions(&edges).is_empty());
+    }
+
+    /// The mutation the golden traces and this checker both exist to catch:
+    /// resuming offload straight from an unconfirmed candidate.
+    #[test]
+    fn skipping_confirmation_is_flagged() {
+        let edges = [
+            (Offloading, Searching),
+            (Searching, Tracking),
+            (Tracking, Offloading),
+        ];
+        let p = check_resync_transitions(&edges);
+        assert_eq!(p.len(), 1, "{p:?}");
+        assert!(p[0].contains("without a confirmed boundary"), "{p:?}");
+    }
+
+    /// Jumping Searching→Confirmed (hardware "confirming" its own guess)
+    /// is the other confirmation bypass.
+    #[test]
+    fn searching_to_confirmed_is_flagged() {
+        let edges = [(Offloading, Searching), (Searching, Confirmed)];
+        let p = check_resync_transitions(&edges);
+        assert_eq!(p.len(), 1, "{p:?}");
+        assert!(p[0].contains("skips software confirmation"), "{p:?}");
+    }
+
+    #[test]
+    fn broken_chain_is_flagged() {
+        let edges = [(Offloading, Searching), (Tracking, Confirmed)];
+        let p = check_resync_transitions(&edges);
+        assert!(p.iter().any(|m| m.contains("was in Searching")), "{p:?}");
+    }
+
+    #[test]
+    fn render_ladder_reads_left_to_right() {
+        let edges = [(Offloading, Searching), (Searching, Tracking)];
+        assert_eq!(render_ladder(&edges), "Offloading->Searching->Tracking");
     }
 }

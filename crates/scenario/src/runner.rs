@@ -8,6 +8,7 @@ use ano_core::rx::RxStateKind;
 use ano_sim::payload::DataMode;
 use ano_sim::time::{SimDuration, SimTime};
 use ano_stack::prelude::{ConnSpec, NvmeHostSpec, NvmeTargetSpec, TlsSpec, World, WorldConfig};
+use ano_trace::{export, Event as TraceEvent, Record, ResyncPhase};
 
 use crate::apps::{ChunkRecorder, Delivered, NvmeReadApp, StreamSender};
 use crate::invariant::{Checkers, Violation};
@@ -41,6 +42,14 @@ pub struct RunOutcome {
     pub rx_state: Option<RxStateKind>,
     /// Invariant violations, in detection order.
     pub violations: Vec<Violation>,
+    /// Full trace of the run, oldest first (every run is traced — the
+    /// event stream is deterministic, so it costs nothing in fidelity).
+    pub trace: Vec<Record>,
+    /// Trace records the ring overwrote (0 for every built-in scenario).
+    pub trace_dropped: u64,
+    /// The data receiver's incoming flow label (filters `trace` down to the
+    /// offloaded direction).
+    pub rx_flow: u64,
 }
 
 impl RunOutcome {
@@ -60,15 +69,29 @@ impl RunOutcome {
         out
     }
 
-    /// Panics with every violation if any invariant failed.
+    /// The run's canonical golden-trace rendering (Tcp + Resync records).
+    pub fn canonical_trace(&self) -> String {
+        export::canonical(&self.trace, export::GOLDEN_CATEGORIES)
+    }
+
+    /// Panics with every violation if any invariant failed, appending the
+    /// trailing trace window so the failure report shows what the stack was
+    /// doing right before things went wrong.
     pub fn assert_clean(&self) {
-        assert!(
-            self.violations.is_empty(),
-            "scenario '{}' ({}): {} invariant violation(s):\n{}",
+        if self.violations.is_empty() {
+            return;
+        }
+        let tail = 40usize;
+        let skip = self.trace.len().saturating_sub(tail);
+        panic!(
+            "scenario '{}' ({}): {} invariant violation(s):\n{}\n\
+             last {} trace records:\n{}",
             self.name,
             if self.offload { "offload" } else { "software" },
             self.violations.len(),
-            render(&self.violations)
+            render(&self.violations),
+            self.trace.len() - skip,
+            export::timeline(&self.trace[skip..]),
         );
     }
 }
@@ -89,14 +112,21 @@ pub struct DiffOutcome {
 
 impl DiffOutcome {
     /// Panics with every violation if the pair diverged or either run
-    /// failed an invariant.
+    /// failed an invariant. The offload run's trailing trace window rides
+    /// along — divergences are almost always an offload-side story.
     pub fn assert_clean(&self) {
-        assert!(
-            self.violations.is_empty(),
-            "scenario '{}': {} violation(s):\n{}",
+        if self.violations.is_empty() {
+            return;
+        }
+        let tail = 40usize;
+        let skip = self.offload.trace.len().saturating_sub(tail);
+        panic!(
+            "scenario '{}': {} violation(s):\n{}\nlast {} offload-run trace records:\n{}",
             self.name,
             self.violations.len(),
-            render(&self.violations)
+            render(&self.violations),
+            self.offload.trace.len() - skip,
+            export::timeline(&self.offload.trace[skip..]),
         );
     }
 }
@@ -124,6 +154,9 @@ pub fn run_scenario(sc: &Scenario, offload: bool) -> RunOutcome {
         impair_1to0,
         ..Default::default()
     });
+    // Every scenario run records: the trace feeds the ordered-transition
+    // invariant, failure diagnostics, and the golden-trace tests.
+    w.tracer().set_enabled(true);
 
     let delivered = Rc::new(RefCell::new(Delivered::default()));
     let conn = match &sc.workload {
@@ -185,7 +218,11 @@ pub fn run_scenario(sc: &Scenario, offload: bool) -> RunOutcome {
     let link_corrupted = w.link_stats(true).corrupted + w.link_stats(false).corrupted;
     let rx_state = w.rx_engine_state(receiver, conn);
     let complete = finish.is_some();
-    checkers.finish(end, sc, offload, complete, alerts, link_corrupted, rx_state);
+
+    let trace = w.tracer().records();
+    let rx_flow = w.flow_ids(receiver, conn).map(|(_, in_flow)| in_flow).unwrap_or(0);
+    let resync = resync_edges(&trace, rx_flow);
+    checkers.finish(end, sc, offload, complete, alerts, link_corrupted, rx_state, &resync);
 
     let recorded = delivered.borrow().clone();
     RunOutcome {
@@ -199,7 +236,23 @@ pub fn run_scenario(sc: &Scenario, offload: bool) -> RunOutcome {
         link_corrupted,
         rx_state,
         violations: checkers.violations,
+        trace_dropped: w.tracer().dropped(),
+        trace,
+        rx_flow,
     }
+}
+
+/// The receiver engine's ordered `(from, to)` resync transitions, pulled
+/// out of the shared trace by flow label.
+fn resync_edges(trace: &[Record], rx_flow: u64) -> Vec<(ResyncPhase, ResyncPhase)> {
+    trace
+        .iter()
+        .filter(|r| r.flow == rx_flow)
+        .filter_map(|r| match r.event {
+            TraceEvent::Resync { from, to, .. } => Some((from, to)),
+            _ => None,
+        })
+        .collect()
 }
 
 /// Runs `sc` twice — offload vs software-only — and checks that the offload

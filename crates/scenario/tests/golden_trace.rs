@@ -1,0 +1,162 @@
+//! Golden-trace regression tests: canonical trace renderings of two
+//! behavior-rich scenarios, committed under `tests/golden/` and diffed
+//! byte-for-byte on every run.
+//!
+//! The canonical form (`ano_trace::export::canonical`, Tcp + Resync
+//! categories) is a pure function of the scenario's seed and schedule, so
+//! any change to loss recovery, retransmit classification, or the §4.3
+//! resync ladder shows up as a trace diff — including the classic mutation
+//! of resuming offload without software confirmation, which rewrites the
+//! `resync.transition` lines these goldens pin down.
+//!
+//! # Regenerating after an intentional behavior change
+//!
+//! ```text
+//! BLESS=1 cargo test -p ano-scenario --test golden_trace
+//! git diff crates/scenario/tests/golden/   # review the new ladders!
+//! ```
+//!
+//! Never bless blindly: the diff *is* the review artifact. A legitimate
+//! change shifts timestamps or adds/removes recovery events; an illegal
+//! ladder (e.g. `Tracking->Offloading`) means the resync machine broke and
+//! the ordered-transition invariant should have caught it first.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ano_scenario::scenario::{self, tls_workload};
+use ano_scenario::{run_scenario, Scenario, Workload};
+use ano_sim::link::Script;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.golden"))
+}
+
+/// Runs `sc` offloaded, renders the canonical trace, and compares it to the
+/// committed golden (or rewrites the golden under `BLESS=1`).
+fn check_golden(file: &str, sc: &Scenario) {
+    let run = run_scenario(sc, true);
+    run.assert_clean();
+    assert_eq!(run.trace_dropped, 0, "trace ring wrapped; golden would be truncated");
+    let got = run.canonical_trace();
+    assert!(!got.is_empty(), "golden scenario produced no Tcp/Resync events");
+
+    let path = golden_path(file);
+    if std::env::var("BLESS").is_ok() {
+        fs::write(&path, &got).expect("write golden");
+        eprintln!("blessed {} ({} lines)", path.display(), got.lines().count());
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run `BLESS=1 cargo test -p ano-scenario \
+             --test golden_trace` to create it",
+            path.display()
+        )
+    });
+    if got != want {
+        let first = want
+            .lines()
+            .zip(got.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| want.lines().count().min(got.lines().count()));
+        panic!(
+            "golden trace mismatch for '{}' at line {}:\n  golden: {}\n  got:    {}\n\
+             ({} golden lines, {} actual). If the behavior change is intentional, \
+             re-bless with BLESS=1 and review the diff.",
+            sc.name,
+            first + 1,
+            want.lines().nth(first).unwrap_or("<eof>"),
+            got.lines().nth(first).unwrap_or("<eof>"),
+            want.lines().count(),
+            got.lines().count(),
+        );
+    }
+}
+
+/// The PR-1 alternating-drop regression (seed `cc 8ed59643…`, shrunk to
+/// `len = 10137`, drops at indices {2,3,5,7,9,11,13,14} of a 64-cycle) as a
+/// full-stack TLS scenario. Its golden pins the TCP recovery choreography —
+/// SACK retransmits, RTO backoff, cwnd collapses — that the original
+/// regression fixed.
+fn pr1_alternating() -> Scenario {
+    let mut pattern = vec![false; 64];
+    for i in [2usize, 3, 5, 7, 9, 11, 13, 14] {
+        pattern[i] = true;
+    }
+    Scenario::new("golden/pr1-alternating", Workload::Tls { bytes: 10_137 })
+        .data_script(Script::drop_cycle(pattern, u64::MAX))
+}
+
+#[test]
+fn golden_pr1_alternating_drop() {
+    check_golden("pr1_alternating", &pr1_alternating());
+}
+
+/// A TLS resync episode: the built-in alternating-drop schedule overtakes
+/// the rx context, and the golden pins the full reconvergence ladder —
+/// Offloading→Searching→Tracking→Confirmed→Offloading. (The milder burst
+/// schedules never dethrone the context: the engine rides out OoS packets
+/// as fallbacks and stays in `Offloading`, which is itself paper behavior.)
+#[test]
+fn golden_tls_alternating_resync() {
+    let sc = scenario::builtin("tls/alternating").expect("built-in");
+    check_golden("tls_alternating", &sc);
+
+    // The golden meaningfully covers the confirmation path: mutating the
+    // resync machine to skip software confirmation must change this file.
+    let text = fs::read_to_string(golden_path("tls_alternating")).expect("golden exists");
+    assert!(
+        text.contains("Tracking->Confirmed"),
+        "golden must pin the software-confirmation edge"
+    );
+    assert!(
+        text.contains("Confirmed->Offloading"),
+        "golden must pin the offload-resume edge"
+    );
+}
+
+/// The determinism contract the goldens stand on: running the same scenario
+/// twice yields byte-identical canonical traces *and* metrics renderings.
+///
+/// With `ANO_TRACE_DUMP=1` the canonical trace is printed between
+/// `--TRACE-BEGIN--`/`--TRACE-END--` markers; `scripts/ci.sh` runs this
+/// test in two separate processes and compares the dumped hashes, catching
+/// cross-process nondeterminism (wall clock, ASLR-dependent hashing) that
+/// an in-process double run cannot.
+#[test]
+fn identical_seeds_produce_identical_traces() {
+    let sc = scenario::builtin("tls/partition").expect("built-in");
+    let (a, b) = (run_scenario(&sc, true), run_scenario(&sc, true));
+    assert_eq!(a.canonical_trace(), b.canonical_trace(), "canonical trace diverged");
+    assert!(!a.canonical_trace().is_empty());
+    assert_eq!(a.trace.len(), b.trace.len(), "full record streams diverged");
+    if std::env::var("ANO_TRACE_DUMP").is_ok() {
+        println!("--TRACE-BEGIN--\n{}--TRACE-END--", a.canonical_trace());
+    }
+}
+
+/// Traces are also workload-sensitive: the same schedule over a different
+/// workload must *not* collide (guards against the canonical form ignoring
+/// inputs).
+#[test]
+fn different_schedules_produce_different_traces() {
+    let clean = run_scenario(&scenario::builtin("tls/clean").expect("built-in"), true);
+    let lossy = run_scenario(&scenario::builtin("tls/alternating").expect("built-in"), true);
+    assert_ne!(clean.canonical_trace(), lossy.canonical_trace());
+}
+
+/// Offload-run traces carry resync transitions; software-only runs cannot
+/// (no engine is installed) — the trace reflects which variant ran.
+#[test]
+fn software_runs_trace_no_resync() {
+    let sc = Scenario::new("golden/sw", tls_workload()).data_script(Script::drop_nth(3));
+    let run = run_scenario(&sc, false);
+    run.assert_clean();
+    assert!(
+        !run.canonical_trace().contains("resync.transition"),
+        "software-only run has no rx engine to resync"
+    );
+}

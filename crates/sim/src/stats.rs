@@ -62,6 +62,11 @@ impl ThroughputMeter {
 #[derive(Clone, Debug, Default)]
 pub struct Samples {
     values: Vec<f64>,
+    /// Lazily sorted copy of `values`; emptied by `add`, rebuilt by the
+    /// first percentile query after a mutation. Keeps repeated percentile
+    /// calls (p50/p99/p999 on the same window) O(1) after one sort instead
+    /// of cloning and re-sorting per call.
+    sorted: std::cell::RefCell<Vec<f64>>,
 }
 
 impl Samples {
@@ -73,6 +78,7 @@ impl Samples {
     /// Adds one sample.
     pub fn add(&mut self, v: f64) {
         self.values.push(v);
+        self.sorted.get_mut().clear();
     }
 
     /// Adds a duration sample in microseconds.
@@ -120,10 +126,13 @@ impl Samples {
         if self.values.is_empty() {
             return 0.0;
         }
-        let mut v = self.values.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
-        let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
-        v[rank]
+        let mut sorted = self.sorted.borrow_mut();
+        if sorted.len() != self.values.len() {
+            sorted.clone_from(&self.values);
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        }
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank]
     }
 }
 
@@ -159,6 +168,19 @@ mod tests {
         assert_eq!(s.percentile(50.0), 3.0);
         assert_eq!(s.percentile(100.0), 5.0);
         assert!((s.stddev() - 1.5811).abs() < 1e-3);
+    }
+
+    #[test]
+    fn percentile_cache_invalidated_by_add() {
+        let mut s = Samples::new();
+        s.add(5.0);
+        s.add(1.0);
+        assert_eq!(s.percentile(100.0), 5.0); // populates the sorted cache
+        s.add(9.0);
+        assert_eq!(s.percentile(100.0), 9.0, "new max visible after add");
+        assert_eq!(s.percentile(0.0), 1.0);
+        let c = s.clone();
+        assert_eq!(c.percentile(50.0), 5.0, "clone carries a consistent cache");
     }
 
     #[test]

@@ -65,6 +65,9 @@ impl World {
                 break;
             }
             let (_, ev) = self.sched.pop().expect("peeked");
+            // One clock store per dispatched event keeps every record between
+            // two dispatches on the same timestamp, ordered by record number.
+            self.tracer.set_now(t.as_nanos());
             self.dispatch(ev);
         }
     }

@@ -398,6 +398,7 @@ pub struct World {
     /// `links[0]`: host0 → host1; `links[1]`: host1 → host0.
     pub(crate) links: Vec<Link>,
     pub(crate) apps: Vec<Option<Box<dyn HostApp>>>,
+    pub(crate) tracer: ano_trace::Tracer,
     next_conn: u32,
 }
 
@@ -405,12 +406,17 @@ impl World {
     /// Builds an idle world.
     pub fn new(cfg: WorldConfig) -> World {
         let rng = SimRng::seed(cfg.seed);
+        let tracer = ano_trace::Tracer::default();
         let hosts = (0..2)
-            .map(|i| HostState {
-                cpu: CpuSet::new(cfg.cores[i], cfg.cost.freq_hz),
-                nic: Nic::new(cfg.nic),
-                conns: HashMap::new(),
-                last_conn: vec![None; cfg.cores[i]],
+            .map(|i| {
+                let mut nic = Nic::new(cfg.nic);
+                nic.set_tracer(tracer.clone());
+                HostState {
+                    cpu: CpuSet::new(cfg.cores[i], cfg.cost.freq_hz),
+                    nic,
+                    conns: HashMap::new(),
+                    last_conn: vec![None; cfg.cores[i]],
+                }
             })
             .collect();
         let links = vec![
@@ -424,8 +430,17 @@ impl World {
             hosts,
             links,
             apps: vec![None, None],
+            tracer,
             next_conn: 0,
         }
+    }
+
+    /// The world's shared [`ano_trace::Tracer`]. Disabled by default; call
+    /// `tracer().set_enabled(true)` before [`World::start`] to record. Every
+    /// layer holds a flow-scoped clone, so enabling here turns the whole
+    /// stack's instrumentation on at once.
+    pub fn tracer(&self) -> &ano_trace::Tracer {
+        &self.tracer
     }
 
     /// Current simulated time.
@@ -478,8 +493,12 @@ impl World {
         let nvme_f01 = FrameIndex::new();
         let nvme_f10 = FrameIndex::new();
 
-        let b0 = self.build_endpoint(&spec0, &sess01, &sess10, &tls_f01, &tls_f10, &nvme_f01, &nvme_f10);
-        let b1 = self.build_endpoint(&spec1, &sess10, &sess01, &tls_f10, &tls_f01, &nvme_f10, &nvme_f01);
+        let mut b0 = self.build_endpoint(&spec0, &sess01, &sess10, &tls_f01, &tls_f10, &nvme_f01, &nvme_f10);
+        let mut b1 = self.build_endpoint(&spec1, &sess10, &sess01, &tls_f10, &tls_f01, &nvme_f10, &nvme_f01);
+        // L5P receive layers are labeled with the flow they consume; the
+        // NIC scopes engine handles itself at install time.
+        attach_proto_tracer(&mut b0.proto, &self.tracer, flow1);
+        attach_proto_tracer(&mut b1.proto, &self.tracer, flow0);
 
         if let Some(tx) = b0.tx_engine {
             self.hosts[0].nic.install_tx(flow0, tx);
@@ -496,10 +515,14 @@ impl World {
 
         let core0 = id.0 as usize % self.cfg.cores[0];
         let core1 = id.0 as usize % self.cfg.cores[1];
+        let mut tcp0 = TcpEndpoint::new(flow0, self.cfg.tcp.clone());
+        tcp0.set_tracer(self.tracer.scoped(flow0.0));
+        let mut tcp1 = TcpEndpoint::new(flow1, self.cfg.tcp.clone());
+        tcp1.set_tracer(self.tracer.scoped(flow1.0));
         self.hosts[0].conns.insert(
             id,
             ConnState {
-                tcp: TcpEndpoint::new(flow0, self.cfg.tcp.clone()),
+                tcp: tcp0,
                 out_flow: flow0,
                 in_flow: flow1,
                 proto: b0.proto,
@@ -513,7 +536,7 @@ impl World {
         self.hosts[1].conns.insert(
             id,
             ConnState {
-                tcp: TcpEndpoint::new(flow1, self.cfg.tcp.clone()),
+                tcp: tcp1,
                 out_flow: flow1,
                 in_flow: flow0,
                 proto: b1.proto,
@@ -807,6 +830,14 @@ impl World {
             .map(|e| e.state_kind())
     }
 
+    /// The `(out_flow, in_flow)` labels of `conn` at `host` — the flow ids
+    /// trace records carry, for filtering a shared trace down to one
+    /// direction of one connection.
+    pub fn flow_ids(&self, host: usize, conn: ConnId) -> Option<(u64, u64)> {
+        let c = self.hosts[host].conns.get(&conn)?;
+        Some((c.out_flow.0, c.in_flow.0))
+    }
+
     /// Transmit-engine stats for a connection's outgoing flow at `host`.
     pub fn tx_engine_stats(&self, host: usize, conn: ConnId) -> Option<ano_core::tx::TxStats> {
         let c = self.hosts[host].conns.get(&conn)?;
@@ -876,6 +907,22 @@ struct BuiltEndpoint {
     tx_engine: Option<TxEngine>,
     /// Engine for this endpoint's *incoming* flow (installed on its own NIC).
     rx_engine: Option<RxEngine>,
+}
+
+/// Hands flow-scoped tracer clones to the endpoint's L5P receive layers
+/// (`in_flow` is the flow whose bytes they consume). Transmit layers trace
+/// through the TCP sender and tx engine, which are scoped elsewhere.
+fn attach_proto_tracer(proto: &mut Proto, tracer: &ano_trace::Tracer, in_flow: FlowId) {
+    match proto {
+        Proto::Raw | Proto::NvmeTarget { .. } => {}
+        Proto::Tls { rx, .. } => rx.set_tracer(tracer.scoped(in_flow.0)),
+        Proto::NvmeHost { host } => host.set_tracer(tracer.scoped(in_flow.0)),
+        Proto::NvmeTlsHost { tls_rx, host, .. } => {
+            tls_rx.set_tracer(tracer.scoped(in_flow.0));
+            host.set_tracer(tracer.scoped(in_flow.0));
+        }
+        Proto::NvmeTlsTarget { tls_rx, .. } => tls_rx.set_tracer(tracer.scoped(in_flow.0)),
+    }
 }
 
 fn check_pairing(a: &ConnSpec, b: &ConnSpec) {

@@ -36,6 +36,12 @@ impl TcpEndpoint {
         self.tx.flow()
     }
 
+    /// Installs a flow-scoped tracing handle on the send side (loss
+    /// recovery is where the interesting TCP events live).
+    pub fn set_tracer(&mut self, tracer: ano_trace::Tracer) {
+        self.tx.set_tracer(tracer);
+    }
+
     /// Queues application bytes for transmission.
     pub fn send(&mut self, payload: Payload) {
         self.tx.push(payload);

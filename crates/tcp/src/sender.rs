@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 
 use ano_sim::payload::Payload;
 use ano_sim::time::{SimDuration, SimTime};
+use ano_trace::{Event, RetransmitKind, Tracer};
 
 use crate::segment::{FlowId, Segment};
 use crate::seq::unwrap_seq;
@@ -119,6 +120,11 @@ pub struct TcpSender {
     /// Highest byte retransmitted in the current recovery round
     /// (RTT-paced hole probing).
     retx_mark: u64,
+    /// What armed `resend_from` (labels cursor retransmits in traces).
+    resend_kind: RetransmitKind,
+    /// Consecutive timeouts without an intervening cumulative ACK.
+    rto_backoff: u32,
+    tracer: Tracer,
     stats: SenderStats,
 }
 
@@ -159,6 +165,9 @@ impl TcpSender {
             snd_limit: cfg.rcv_buf,
             sacked: Vec::new(),
             retx_mark: 0,
+            resend_kind: RetransmitKind::Fast,
+            rto_backoff: 0,
+            tracer: Tracer::default(),
             stats: SenderStats::default(),
             cfg,
         }
@@ -167,6 +176,12 @@ impl TcpSender {
     /// The flow this sender feeds.
     pub fn flow(&self) -> FlowId {
         self.flow
+    }
+
+    /// Installs a (typically flow-scoped) tracing handle. The default
+    /// handle is disabled, so an unwired sender records nothing.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Appends application bytes to the stream.
@@ -268,6 +283,11 @@ impl TcpSender {
                     let payload = self.buf.range(cursor, end);
                     self.resend_from = None;
                     self.stats.retransmits += 1;
+                    self.tracer.record(|| Event::TcpRetransmit {
+                        seq: cursor,
+                        len: payload.len(),
+                        kind: self.resend_kind,
+                    });
                     self.arm_rto(now);
                     return Some(Segment {
                         flow: self.flow,
@@ -379,6 +399,11 @@ impl TcpSender {
         }
         self.retx_mark = end;
         self.stats.retransmits += 1;
+        self.tracer.record(|| Event::TcpRetransmit {
+            seq: h,
+            len: (end - h) as usize,
+            kind: RetransmitKind::Sack,
+        });
         self.arm_rto(now);
         Some(Segment {
             flow: self.flow,
@@ -444,6 +469,11 @@ impl TcpSender {
                     self.in_recovery = false;
                     self.cwnd = self.ssthresh;
                     self.resend_from = None;
+                    self.tracer.record(|| Event::TcpRecoveryExit { ack });
+                    self.tracer.record(|| Event::TcpCwnd {
+                        cwnd: self.cwnd as u64,
+                        ssthresh: self.ssthresh as u64,
+                    });
                 } else {
                     // NewReno partial ack: retransmit the next hole.
                     self.resend_from = Some(self.snd_una);
@@ -474,6 +504,7 @@ impl TcpSender {
             // loss burst taxes every later, unrelated loss with a
             // seconds-long timer.
             self.refresh_rto_from_estimate();
+            self.rto_backoff = 0;
 
             if self.bytes_in_flight() == 0 {
                 self.rto_deadline = None;
@@ -520,8 +551,14 @@ impl TcpSender {
         self.in_recovery = true;
         self.recover = self.snd_nxt;
         self.resend_from = Some(self.snd_una);
+        self.resend_kind = RetransmitKind::Fast;
         self.stats.fast_retransmits += 1;
         self.rtt_probe = None; // Karn's rule
+        self.tracer.record(|| Event::TcpRecoveryEnter { recover: self.recover });
+        self.tracer.record(|| Event::TcpCwnd {
+            cwnd: self.cwnd as u64,
+            ssthresh: self.ssthresh as u64,
+        });
     }
 
     /// When the retransmission timer fires.
@@ -536,14 +573,24 @@ impl TcpSender {
             return;
         }
         self.stats.timeouts += 1;
+        self.rto_backoff += 1;
         let flight = self.bytes_in_flight() as f64;
         self.ssthresh = (flight / 2.0).max((2 * self.cfg.mss) as f64);
         self.cwnd = self.cfg.mss as f64;
         self.in_recovery = false;
         self.dupacks = 0;
         self.resend_from = Some(self.snd_una);
+        self.resend_kind = RetransmitKind::Rto;
         self.rto_recover = self.snd_nxt;
         self.rtt_probe = None;
+        self.tracer.record(|| Event::TcpRto {
+            snd_una: self.snd_una,
+            backoff: self.rto_backoff,
+        });
+        self.tracer.record(|| Event::TcpCwnd {
+            cwnd: self.cwnd as u64,
+            ssthresh: self.ssthresh as u64,
+        });
         self.rto = self
             .rto
             .mul(2)

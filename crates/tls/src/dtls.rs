@@ -87,6 +87,54 @@ mod tests {
         }
     }
 
+    /// Opening is stateless: the same wire datagram opens repeatedly with
+    /// identical results. (A DTLS offload keeps no per-flow cursor, so
+    /// duplicated datagrams — common under UDP — cost nothing to handle;
+    /// replay *protection* is the receiver's window logic, not crypto's.)
+    #[test]
+    fn open_is_stateless_and_repeatable() {
+        let s = session();
+        let wire = seal_datagram(&s, 42, b"dup me");
+        let a = open_datagram(&s, &wire).expect("first");
+        let b = open_datagram(&s, &wire).expect("second");
+        assert_eq!(a, b);
+        assert_eq!(a.0, 42);
+    }
+
+    /// Sessions are isolated: a datagram sealed under one key never opens
+    /// under another, and the same (seq, plaintext) pair produces different
+    /// wire bytes per session.
+    #[test]
+    fn cross_session_rejected() {
+        let s1 = TlsSession::from_seed(31);
+        let s2 = TlsSession::from_seed(32);
+        let w1 = seal_datagram(&s1, 3, b"secret");
+        assert!(open_datagram(&s2, &w1).is_err(), "wrong session must fail auth");
+        let w2 = seal_datagram(&s2, 3, b"secret");
+        assert_ne!(w1, w2, "per-session keys change the ciphertext");
+    }
+
+    /// The nonce derives from the explicit sequence, so identical plaintext
+    /// under different sequences yields different ciphertext — no nonce
+    /// reuse across datagrams.
+    #[test]
+    fn sequence_varies_ciphertext() {
+        let s = session();
+        let a = seal_datagram(&s, 1, b"same body");
+        let b = seal_datagram(&s, 2, b"same body");
+        assert_ne!(a[DTLS_HEADER_LEN..], b[DTLS_HEADER_LEN..]);
+    }
+
+    /// Zero-length payloads are legal datagrams (DTLS heartbeats etc.).
+    #[test]
+    fn empty_payload_roundtrip() {
+        let s = session();
+        let wire = seal_datagram(&s, 0, b"");
+        assert_eq!(wire.len(), DTLS_HEADER_LEN + TAG_LEN);
+        let (seq, plain) = open_datagram(&s, &wire).expect("auth");
+        assert_eq!((seq, plain.len()), (0, 0));
+    }
+
     #[test]
     fn tamper_rejected() {
         let s = session();

@@ -255,6 +255,7 @@ pub struct KtlsRx {
     /// Ready `l5o_resync_rx_resp` answers: (tcpsn, ok, msg_index).
     responses: Vec<(u64, bool, u64)>,
     stats: KtlsRxStats,
+    tracer: ano_trace::Tracer,
 }
 
 impl KtlsRx {
@@ -281,7 +282,14 @@ impl KtlsRx {
             pending: Vec::new(),
             responses: Vec::new(),
             stats: KtlsRxStats::default(),
+            tracer: ano_trace::Tracer::default(),
         }
+    }
+
+    /// Installs a (typically flow-scoped) tracing handle. The default
+    /// handle is disabled, so an unwired receiver records nothing.
+    pub fn set_tracer(&mut self, tracer: ano_trace::Tracer) {
+        self.tracer = tracer;
     }
 
     /// Counters.
@@ -365,6 +373,10 @@ impl KtlsRx {
                                 None => {
                                     // Stream garbage: fatal protocol error.
                                     self.stats.alerts += 1;
+                                    self.tracer.record(|| ano_trace::Event::AuthReject {
+                                        seq: start,
+                                    });
+                                    self.tracer.count("tls.alerts", 1);
                                 }
                             }
                         }
@@ -404,7 +416,7 @@ impl KtlsRx {
     }
 
     fn finish_record(&mut self, cost: &CostModel) -> (Vec<PlainChunk>, u64) {
-        let (total, _start) = self.cur.take().expect("record in progress");
+        let (total, start) = self.cur.take().expect("record in progress");
         let parts = std::mem::take(&mut self.parts);
         self.hdr_buf.clear();
         let plen = total as usize - HEADER_LEN - TAG_LEN;
@@ -439,19 +451,39 @@ impl KtlsRx {
                     + CostModel::bytes_cycles(cost.aes_gcm_enc_cpb, offloaded_bytes)
             }
         }
+        // Crypto cycles the CPU actually spends (everything beyond the flat
+        // per-record bookkeeping cost) — the per-layer attribution figures
+        // read this off the metrics registry.
+        let crypto = cycles - cost.per_record_rx;
+        if crypto > 0 {
+            self.tracer.count("cpu.tls.decrypt", crypto);
+            self.tracer.record(|| ano_trace::Event::Cpu { layer: "tls", cycles: crypto });
+        }
 
         let plains = match self.mode {
-            DataMode::Modeled => self.emit_chunks(&parts, plen, None),
+            DataMode::Modeled => {
+                self.tracer.record(|| ano_trace::Event::AuthAccept { seq: start, len: plen });
+                self.emit_chunks(&parts, plen, None)
+            }
             DataMode::Functional => {
                 match self.recover_plaintext(seq, total, &parts, class) {
-                    Some(plain) => self.emit_chunks(&parts, plen, Some(&plain)),
+                    Some(plain) => {
+                        self.tracer.record(|| ano_trace::Event::AuthAccept {
+                            seq: start,
+                            len: plen,
+                        });
+                        self.emit_chunks(&parts, plen, Some(&plain))
+                    }
                     None => {
                         self.stats.alerts += 1;
+                        self.tracer.record(|| ano_trace::Event::AuthReject { seq: start });
+                        self.tracer.count("tls.alerts", 1);
                         Vec::new()
                     }
                 }
             }
         };
+        self.tracer.count("tls.records", 1);
         let delivered: u64 = plains.iter().map(|c| c.payload.len() as u64).sum();
         self.plain_pos += plen as u64;
         self.stats.plain_bytes += delivered;

@@ -1,0 +1,308 @@
+//! Typed trace events and their stable textual forms.
+//!
+//! Every event carries only plain integers so that a trace is a pure
+//! function of the simulation's inputs: identical seeds produce identical
+//! event streams, which is what lets golden-trace tests diff the canonical
+//! rendering byte-for-byte.
+
+use std::fmt;
+
+/// Coarse event class, used to filter exports (golden traces keep only the
+/// classes whose volume is bounded by the scenario's loss schedule).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Category {
+    /// TCP sender loss-recovery machinery.
+    Tcp,
+    /// Per-packet offload classification (high volume).
+    Offload,
+    /// Rx resync state machine transitions and driver round-trips.
+    Resync,
+    /// Record/PDU authentication and digest outcomes.
+    Crypto,
+    /// Per-layer CPU cycle attribution (high volume).
+    Cpu,
+}
+
+/// Why a TCP segment was retransmitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetransmitKind {
+    /// Retransmission timeout fired.
+    Rto,
+    /// Triple-duplicate-ACK fast retransmit.
+    Fast,
+    /// SACK-directed hole fill.
+    Sack,
+}
+
+impl fmt::Display for RetransmitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RetransmitKind::Rto => "rto",
+            RetransmitKind::Fast => "fast",
+            RetransmitKind::Sack => "sack",
+        })
+    }
+}
+
+/// Rx offload engine phase as seen by the trace layer.
+///
+/// This shadows `ano-core`'s `RxState` but splits `Tracking` into the
+/// unconfirmed and confirmed halves, because the paper's §4.3 state machine
+/// treats "software confirmed the candidate" (decision point d2 armed) as
+/// the step that licenses resuming hardware offload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResyncPhase {
+    /// Hardware owns framing; in-sequence packets decrypt inline.
+    Offloading,
+    /// Framing lost; scanning the byte stream for a candidate header.
+    Searching,
+    /// Candidate found; tracking it while software confirmation is pending.
+    Tracking,
+    /// Software confirmed the candidate; waiting for the next boundary.
+    Confirmed,
+}
+
+impl fmt::Display for ResyncPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResyncPhase::Offloading => "Offloading",
+            ResyncPhase::Searching => "Searching",
+            ResyncPhase::Tracking => "Tracking",
+            ResyncPhase::Confirmed => "Confirmed",
+        })
+    }
+}
+
+/// One trace event. Variants carry TCP sequence numbers (`seq`), byte
+/// counts, or cycle counts — never floats or pointers, so rendering is
+/// exact and platform-independent.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A segment left the sender again.
+    TcpRetransmit {
+        /// First sequence number of the resent segment.
+        seq: u64,
+        /// Payload bytes resent.
+        len: usize,
+        /// Which recovery path triggered it.
+        kind: RetransmitKind,
+    },
+    /// The retransmission timer fired.
+    TcpRto {
+        /// Oldest unacknowledged byte at the time of the timeout.
+        snd_una: u64,
+        /// Consecutive-backoff count (1 for the first timeout in a row).
+        backoff: u32,
+    },
+    /// The sender entered SACK/dupACK-driven fast recovery.
+    TcpRecoveryEnter {
+        /// Highest sequence outstanding; recovery ends when cumulatively ACKed.
+        recover: u64,
+    },
+    /// Recovery finished (cumulative ACK covered `recover`).
+    TcpRecoveryExit {
+        /// The cumulative ACK that ended recovery.
+        ack: u64,
+    },
+    /// Congestion window changed due to a loss event (not per-ACK growth).
+    TcpCwnd {
+        /// New congestion window, bytes.
+        cwnd: u64,
+        /// New slow-start threshold, bytes.
+        ssthresh: u64,
+    },
+    /// An in-sequence packet was handled by the offload context.
+    PktOffloaded {
+        /// TCP sequence of the packet.
+        seq: u64,
+        /// Payload length.
+        len: usize,
+    },
+    /// A packet passed through unprocessed (software path).
+    PktFallback {
+        /// TCP sequence of the packet.
+        seq: u64,
+        /// Payload length.
+        len: usize,
+    },
+    /// A packet arrived out-of-sequence relative to the tracked context.
+    PktOoS {
+        /// TCP sequence that arrived.
+        seq: u64,
+        /// Sequence the context expected next.
+        expected: u64,
+    },
+    /// The rx resync state machine moved between phases.
+    Resync {
+        /// Phase before the transition.
+        from: ResyncPhase,
+        /// Phase after the transition.
+        to: ResyncPhase,
+        /// TCP sequence at which the transition happened (candidate header
+        /// position for `Tracking`/`Confirmed`, packet seq otherwise).
+        seq: u64,
+    },
+    /// The NIC asked software to confirm a candidate record header (§4.3 d1→d2).
+    ResyncRequest {
+        /// TCP sequence of the candidate header.
+        tcpsn: u64,
+    },
+    /// Software answered a resync request.
+    ResyncResponse {
+        /// TCP sequence the response refers to.
+        tcpsn: u64,
+        /// Whether software confirmed the candidate.
+        ok: bool,
+    },
+    /// A TLS record (or NVMe PDU) authenticated successfully.
+    AuthAccept {
+        /// Stream offset of the record start.
+        seq: u64,
+        /// Plaintext bytes released.
+        len: usize,
+    },
+    /// Authentication failed; the record was dropped and an alert raised.
+    AuthReject {
+        /// Stream offset of the record start.
+        seq: u64,
+    },
+    /// An NVMe/TCP data digest verified clean.
+    DigestOk {
+        /// Command identifier of the PDU.
+        cid: u16,
+    },
+    /// An NVMe/TCP data digest mismatched.
+    DigestFail {
+        /// Command identifier of the PDU.
+        cid: u16,
+    },
+    /// CPU cycles charged to a processing layer for one unit of work.
+    Cpu {
+        /// Layer label (static: "tcp", "tls", "nvme", "crc", "driver").
+        layer: &'static str,
+        /// Cycles spent.
+        cycles: u64,
+    },
+}
+
+impl Event {
+    /// The event's class, for export filtering.
+    pub fn category(&self) -> Category {
+        match self {
+            Event::TcpRetransmit { .. }
+            | Event::TcpRto { .. }
+            | Event::TcpRecoveryEnter { .. }
+            | Event::TcpRecoveryExit { .. }
+            | Event::TcpCwnd { .. } => Category::Tcp,
+            Event::PktOffloaded { .. } | Event::PktFallback { .. } | Event::PktOoS { .. } => {
+                Category::Offload
+            }
+            Event::Resync { .. } | Event::ResyncRequest { .. } | Event::ResyncResponse { .. } => {
+                Category::Resync
+            }
+            Event::AuthAccept { .. }
+            | Event::AuthReject { .. }
+            | Event::DigestOk { .. }
+            | Event::DigestFail { .. } => Category::Crypto,
+            Event::Cpu { .. } => Category::Cpu,
+        }
+    }
+
+    /// Short stable name (Chrome trace event name, canonical line key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::TcpRetransmit { .. } => "tcp.retransmit",
+            Event::TcpRto { .. } => "tcp.rto",
+            Event::TcpRecoveryEnter { .. } => "tcp.recovery-enter",
+            Event::TcpRecoveryExit { .. } => "tcp.recovery-exit",
+            Event::TcpCwnd { .. } => "tcp.cwnd",
+            Event::PktOffloaded { .. } => "pkt.offloaded",
+            Event::PktFallback { .. } => "pkt.fallback",
+            Event::PktOoS { .. } => "pkt.oos",
+            Event::Resync { .. } => "resync.transition",
+            Event::ResyncRequest { .. } => "resync.request",
+            Event::ResyncResponse { .. } => "resync.response",
+            Event::AuthAccept { .. } => "auth.accept",
+            Event::AuthReject { .. } => "auth.reject",
+            Event::DigestOk { .. } => "digest.ok",
+            Event::DigestFail { .. } => "digest.fail",
+            Event::Cpu { .. } => "cpu",
+        }
+    }
+
+    /// Canonical argument rendering: `key=value` pairs in fixed order.
+    pub fn args(&self) -> String {
+        match self {
+            Event::TcpRetransmit { seq, len, kind } => format!("seq={seq} len={len} kind={kind}"),
+            Event::TcpRto { snd_una, backoff } => format!("snd_una={snd_una} backoff={backoff}"),
+            Event::TcpRecoveryEnter { recover } => format!("recover={recover}"),
+            Event::TcpRecoveryExit { ack } => format!("ack={ack}"),
+            Event::TcpCwnd { cwnd, ssthresh } => format!("cwnd={cwnd} ssthresh={ssthresh}"),
+            Event::PktOffloaded { seq, len } => format!("seq={seq} len={len}"),
+            Event::PktFallback { seq, len } => format!("seq={seq} len={len}"),
+            Event::PktOoS { seq, expected } => format!("seq={seq} expected={expected}"),
+            Event::Resync { from, to, seq } => format!("{from}->{to} seq={seq}"),
+            Event::ResyncRequest { tcpsn } => format!("tcpsn={tcpsn}"),
+            Event::ResyncResponse { tcpsn, ok } => format!("tcpsn={tcpsn} ok={ok}"),
+            Event::AuthAccept { seq, len } => format!("seq={seq} len={len}"),
+            Event::AuthReject { seq } => format!("seq={seq}"),
+            Event::DigestOk { cid } => format!("cid={cid}"),
+            Event::DigestFail { cid } => format!("cid={cid}"),
+            Event::Cpu { layer, cycles } => format!("layer={layer} cycles={cycles}"),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name(), self.args())
+    }
+}
+
+/// One recorded event: a monotone record number, the simulation timestamp,
+/// the flow it belongs to, and the event itself.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Monotone per-tracer record number (total order, survives equal timestamps).
+    pub n: u64,
+    /// Simulation time, nanoseconds.
+    pub t_ns: u64,
+    /// Flow label (0 for flow-agnostic events).
+    pub flow: u64,
+    /// The event.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_cover_all_variants() {
+        let cases = [
+            (Event::TcpRto { snd_una: 1, backoff: 1 }, Category::Tcp),
+            (Event::PktOoS { seq: 9, expected: 5 }, Category::Offload),
+            (
+                Event::Resync { from: ResyncPhase::Searching, to: ResyncPhase::Tracking, seq: 7 },
+                Category::Resync,
+            ),
+            (Event::AuthReject { seq: 3 }, Category::Crypto),
+            (Event::Cpu { layer: "tls", cycles: 40 }, Category::Cpu),
+        ];
+        for (ev, cat) in cases {
+            assert_eq!(ev.category(), cat, "{ev}");
+        }
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let ev = Event::Resync {
+            from: ResyncPhase::Tracking,
+            to: ResyncPhase::Confirmed,
+            seq: 4242,
+        };
+        assert_eq!(ev.to_string(), "resync.transition Tracking->Confirmed seq=4242");
+        let ev = Event::TcpRetransmit { seq: 100, len: 1448, kind: RetransmitKind::Sack };
+        assert_eq!(ev.to_string(), "tcp.retransmit seq=100 len=1448 kind=sack");
+    }
+}

@@ -1,0 +1,236 @@
+//! Named per-flow counters, gauges, and histograms.
+//!
+//! Generalizes the stack's ad-hoc stat structs (`ThroughputMeter` windows,
+//! `LinkStats` tallies, per-layer cycle sums) into one registry keyed by
+//! `(flow, name)`. Storage is `BTreeMap`, so every iteration order — and
+//! therefore every rendering — is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Power-of-two bucketed histogram: observation `v` lands in bucket
+/// `ceil(log2(v+1))`, i.e. bucket `b` covers `[2^(b-1), 2^b)`. Exact
+/// count/sum/min/max are kept alongside, so means are precise and only
+/// percentiles are bucket-resolution approximations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, min: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket(v)] += 1;
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact arithmetic mean; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest and largest observation (both zero when empty).
+    pub fn min_max(&self) -> (u64, u64) {
+        (self.min, self.max)
+    }
+
+    /// Nearest-rank percentile at bucket resolution: returns the upper
+    /// bound of the bucket holding the `p`-th observation, clamped to the
+    /// observed max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                let upper = if b == 0 { 0 } else { (1u64 << b) - 1 };
+                return upper.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+}
+
+/// The registry: counters, gauges, and histograms keyed by `(flow, name)`.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<(u64, &'static str), u64>,
+    gauges: BTreeMap<(u64, &'static str), i64>,
+    histograms: BTreeMap<(u64, &'static str), Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to counter `name` of `flow`.
+    pub fn count(&mut self, flow: u64, name: &'static str, delta: u64) {
+        *self.counters.entry((flow, name)).or_insert(0) += delta;
+    }
+
+    /// Sets gauge `name` of `flow`.
+    pub fn gauge(&mut self, flow: u64, name: &'static str, value: i64) {
+        self.gauges.insert((flow, name), value);
+    }
+
+    /// Records one histogram observation for `name` of `flow`.
+    pub fn observe(&mut self, flow: u64, name: &'static str, value: u64) {
+        self.histograms.entry((flow, name)).or_default().observe(value);
+    }
+
+    /// Counter value (zero when absent).
+    pub fn counter(&self, flow: u64, name: &str) -> u64 {
+        self.counters.iter().find(|((f, n), _)| *f == flow && *n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Counter summed across all flows.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|((_, n), _)| *n == name).map(|(_, v)| *v).sum()
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge_value(&self, flow: u64, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|((f, n), _)| *f == flow && *n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram for `(flow, name)`, if any observation was recorded.
+    pub fn histogram(&self, flow: u64, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|((f, n), _)| *f == flow && *n == name).map(|(_, v)| v)
+    }
+
+    /// Iterates counters in deterministic `(flow, name)` order.
+    pub fn counters(&self) -> impl Iterator<Item = (u64, &'static str, u64)> + '_ {
+        self.counters.iter().map(|(&(f, n), &v)| (f, n, v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Deterministic multi-line text rendering (sorted by flow, then name).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (&(flow, name), v) in &self.counters {
+            let _ = writeln!(out, "counter flow={flow} {name}={v}");
+        }
+        for (&(flow, name), v) in &self.gauges {
+            let _ = writeln!(out, "gauge flow={flow} {name}={v}");
+        }
+        for (&(flow, name), h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "hist flow={flow} {name} count={} sum={} min={} max={}",
+                h.count(),
+                h.sum(),
+                h.min_max().0,
+                h.min_max().1
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_flow() {
+        let mut m = MetricsRegistry::new();
+        m.count(1, "cpu.tls", 10);
+        m.count(1, "cpu.tls", 5);
+        m.count(2, "cpu.tls", 3);
+        assert_eq!(m.counter(1, "cpu.tls"), 15);
+        assert_eq!(m.counter(2, "cpu.tls"), 3);
+        assert_eq!(m.counter_total("cpu.tls"), 18);
+        assert_eq!(m.counter(3, "cpu.tls"), 0);
+    }
+
+    #[test]
+    fn histogram_stats_are_exact_where_promised() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min_max(), (1, 1000));
+        assert!((h.mean() - 221.2).abs() < 1e-9);
+        // p0 sits in the first occupied bucket; p100 is clamped to max.
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(100.0), 1000);
+    }
+
+    #[test]
+    fn histogram_percentile_bucket_bounds() {
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.observe(10);
+        }
+        h.observe(1_000_000);
+        // The 50th percentile observation is 10 → bucket [8,16) → upper 15.
+        assert_eq!(h.percentile(50.0), 15);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let mut m = MetricsRegistry::new();
+        m.count(2, "b", 1);
+        m.count(1, "z", 2);
+        m.count(1, "a", 3);
+        m.gauge(1, "g", -4);
+        m.observe(1, "h", 7);
+        let r = m.render();
+        assert_eq!(
+            r,
+            "counter flow=1 a=3\ncounter flow=1 z=2\ncounter flow=2 b=1\n\
+             gauge flow=1 g=-4\nhist flow=1 h count=1 sum=7 min=7 max=7\n"
+        );
+    }
+}

@@ -41,4 +41,29 @@ echo "== adversarial scenario matrix: differential offload-vs-software =="
 # timeout is a hard backstop against a wedged scheduler looping forever.
 CARGO_NET_OFFLINE=true timeout 600 cargo test -q -p ano-scenario
 
+echo "== golden traces: canonical event logs vs committed .golden files =="
+# Behavioral regression net on top of the differential matrix: the exact
+# TCP-recovery + resync event sequence of known scenarios must match the
+# committed golden files byte for byte. Regenerate intentionally with
+# BLESS=1 (see crates/scenario/tests/golden_trace.rs) and review the diff.
+CARGO_NET_OFFLINE=true timeout 600 cargo test -q -p ano-scenario --test golden_trace
+
+echo "== trace determinism: same seed, same bytes, across processes =="
+# The golden workflow only works if traces are process-independent. Run the
+# determinism test in two separate processes and compare output hashes —
+# this would catch any wall-clock, ASLR, or hash-ordering leak into traces
+# that the in-process double-run test cannot see.
+trace_hash() {
+    CARGO_NET_OFFLINE=true ANO_TRACE_DUMP=1 cargo test -q -p ano-scenario \
+        --test golden_trace identical_seeds_produce_identical_traces -- --nocapture \
+      | sed -n '/^--TRACE-BEGIN--$/,/^--TRACE-END--$/p' | cksum
+}
+h1=$(trace_hash)
+h2=$(trace_hash)
+if [ "$h1" != "$h2" ]; then
+    echo "trace determinism violated across processes: $h1 vs $h2" >&2
+    exit 1
+fi
+echo "ok: identical trace hash across two processes ($h1)"
+
 echo "tier-1 green (offline)"

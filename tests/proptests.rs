@@ -180,6 +180,46 @@ prop_test! {
     }
 }
 
+prop_test! {
+    cases = 48;
+    /// `Samples::percentile` with its sorted cache (invalidated on `add`)
+    /// matches the naive clone-and-sort implementation across interleaved
+    /// add/query sequences and arbitrary percentile points.
+    fn samples_percentile_matches_naive(
+        raw in vec_of(usize_in(0..1_000_000), 1..200),
+        queries in vec_of(usize_in(0..101), 1..8),
+    ) {
+        let mut s = ano_sim::stats::Samples::new();
+        let mut naive: Vec<f64> = Vec::new();
+        let cut = raw.len() / 2;
+        for &v in &raw[..cut] {
+            s.add(v as f64);
+            naive.push(v as f64);
+        }
+        let naive_pct = |vals: &[f64], p: f64| -> f64 {
+            if vals.is_empty() {
+                return 0.0;
+            }
+            let mut v = vals.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize]
+        };
+        for &q in &queries {
+            let p = q as f64;
+            assert_eq!(s.percentile(p), naive_pct(&naive, p), "p{p} before growth");
+        }
+        // Grow after querying: the cache must be invalidated, not stale.
+        for &v in &raw[cut..] {
+            s.add(v as f64);
+            naive.push(v as f64);
+        }
+        for &q in &queries {
+            let p = q as f64;
+            assert_eq!(s.percentile(p), naive_pct(&naive, p), "p{p} after growth");
+        }
+    }
+}
+
 /// Named replay of the historical `proptest-regressions` entry
 /// (`cc 8ed59643…`, shrunk to `len = 10137` with an alternating-drop
 /// schedule): a tail-loss pattern that once wedged loss recovery.
