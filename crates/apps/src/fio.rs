@@ -31,7 +31,7 @@ pub struct Fio {
     depth: usize,
     span: u64,
     next_id: u64,
-    sent_at: std::collections::HashMap<u64, SimTime>,
+    sent_at: std::collections::BTreeMap<u64, SimTime>,
     /// Only sample latency after this time (warm-up trim).
     pub measure_from: SimTime,
     stats: Rc<RefCell<FioStats>>,
@@ -47,7 +47,7 @@ impl Fio {
             depth,
             span,
             next_id: 0,
-            sent_at: std::collections::HashMap::new(),
+            sent_at: std::collections::BTreeMap::new(),
             measure_from: SimTime::ZERO,
             stats: Rc::new(RefCell::new(FioStats::default())),
         }

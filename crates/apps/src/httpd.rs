@@ -9,7 +9,7 @@
 //! (the drive resides on the workload generator).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use ano_sim::payload::{DataMode, Payload};
@@ -42,8 +42,8 @@ pub struct Server {
     app_cycles: u64,
     backing: Backing,
     mode: DataMode,
-    rx_pending: HashMap<ConnId, usize>,
-    io_map: HashMap<u64, ConnId>,
+    rx_pending: BTreeMap<ConnId, usize>,
+    io_map: BTreeMap<u64, ConnId>,
     next_io: u64,
     stats: Rc<RefCell<ServerStats>>,
 }
@@ -71,8 +71,8 @@ impl Server {
             app_cycles: 2_000,
             backing,
             mode,
-            rx_pending: HashMap::new(),
-            io_map: HashMap::new(),
+            rx_pending: BTreeMap::new(),
+            io_map: BTreeMap::new(),
             next_io: 0,
             stats: Rc::new(RefCell::new(ServerStats::default())),
         }
@@ -171,8 +171,8 @@ pub struct Client {
     request_size: usize,
     response_size: usize,
     mode: DataMode,
-    got: HashMap<ConnId, u64>,
-    sent_at: HashMap<ConnId, SimTime>,
+    got: BTreeMap<ConnId, u64>,
+    sent_at: BTreeMap<ConnId, SimTime>,
     /// Only count latency/responses after this instant (warm-up trim).
     pub measure_from: SimTime,
     stats: Rc<RefCell<ClientStats>>,
@@ -191,8 +191,8 @@ impl Client {
             request_size,
             response_size,
             mode,
-            got: HashMap::new(),
-            sent_at: HashMap::new(),
+            got: BTreeMap::new(),
+            sent_at: BTreeMap::new(),
             measure_from: SimTime::ZERO,
             stats: Rc::new(RefCell::new(ClientStats::default())),
         }

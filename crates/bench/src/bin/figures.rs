@@ -4,6 +4,8 @@
 //! (plus `ablate` for the DESIGN.md §6 ablations); with no ids, every
 //! paper figure runs in order (ablations run only when asked).
 
+#![forbid(unsafe_code)]
+
 use ano_bench::figures as f;
 
 fn main() {

@@ -7,6 +7,8 @@
 //! * [`micro`] — the in-repo micro-benchmark harness (hermetic criterion
 //!   stand-in) driving the `[[bench]]` targets in `benches/`.
 
+#![forbid(unsafe_code)]
+
 pub mod data;
 pub mod figures;
 pub mod micro;

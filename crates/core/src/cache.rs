@@ -7,6 +7,10 @@
 //! least-recently-used eviction, reporting hits and misses so experiments
 //! can charge the miss penalty.
 
+// ano-lint: allow(hash-collection): LruSet models the NIC's O(1) context
+// cache; the map is keyed-access only — recency order lives in the
+// intrusive prev/next list and eviction follows `tail`, so hash iteration
+// order can never reach traces, golden files, or scheduling.
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -30,6 +34,8 @@ const NIL: usize = usize::MAX;
 /// A fixed-capacity LRU set with O(1) touch.
 #[derive(Debug)]
 pub struct LruSet<K: Eq + Hash + Clone> {
+    // ano-lint: allow(hash-collection): keyed access only, never iterated
+    // (see module-top justification).
     map: HashMap<K, usize>,
     keys: Vec<Option<K>>,
     nodes: Vec<Node>,
@@ -50,6 +56,7 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
     pub fn new(capacity: usize) -> LruSet<K> {
         assert!(capacity > 0, "cache capacity must be positive");
         LruSet {
+            // ano-lint: allow(hash-collection): see module-top justification.
             map: HashMap::new(),
             keys: Vec::new(),
             nodes: Vec::new(),

@@ -8,7 +8,7 @@
 //! behaviour; recovery replays and cache fills are accumulated as PCIe
 //! bytes for Fig. 16b.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ano_sim::payload::Payload;
 use ano_tcp::segment::{FlowId, SkbFlags};
@@ -90,8 +90,8 @@ pub struct TxProcess {
 /// One NIC with autonomous-offload engines.
 pub struct Nic {
     cfg: NicConfig,
-    rx: HashMap<FlowId, RxEngine>,
-    tx: HashMap<FlowId, TxEngine>,
+    rx: BTreeMap<FlowId, RxEngine>,
+    tx: BTreeMap<FlowId, TxEngine>,
     cache: LruSet<(FlowId, Dir)>,
     counters: NicCounters,
     tracer: ano_trace::Tracer,
@@ -112,8 +112,8 @@ impl Nic {
     pub fn new(cfg: NicConfig) -> Nic {
         Nic {
             cfg,
-            rx: HashMap::new(),
-            tx: HashMap::new(),
+            rx: BTreeMap::new(),
+            tx: BTreeMap::new(),
             cache: LruSet::new(cfg.ctx_cache_capacity),
             counters: NicCounters::default(),
             tracer: ano_trace::Tracer::default(),

@@ -84,11 +84,37 @@ fn ghost_walk(
 ) -> crate::walker::WalkOutcome {
     match data {
         DataRef::Real(b) => {
-            let mut tmp = b[from..].to_vec();
+            // `from` is in bounds by construction (caller clamps to the
+            // packet), but a hot path must not be able to panic: an
+            // out-of-range tail degrades to an empty walk.
+            let mut tmp = b.get(from..).unwrap_or_default().to_vec();
             w.walk(op, &mut DataRef::Real(&mut tmp))
         }
         DataRef::Modeled(n) => w.walk(op, &mut DataRef::Modeled(*n - from)),
     }
+}
+
+/// The complete set of resync-phase transitions the engine can emit —
+/// the §4.3 machine's edges, with `Tracking` split into its unconfirmed
+/// and software-confirmed halves as the trace layer reports them.
+///
+/// This match table is the *code-side* declaration of the state machine:
+/// `ano-lint` (rule `resync-table`) extracts the pairs below and
+/// cross-checks them against the spec-side legal-edge set in
+/// `crates/scenario/src/invariant.rs` (`LEGAL_EDGES`); drift on either
+/// side fails static analysis. [`RxEngine`] also debug-asserts every
+/// emitted transition against it, so an illegal edge dies in tests before
+/// it can reach a trace.
+pub fn legal_transition(from: ResyncPhase, to: ResyncPhase) -> bool {
+    matches!(
+        (from, to),
+        (ResyncPhase::Offloading, ResyncPhase::Searching)
+            | (ResyncPhase::Searching, ResyncPhase::Tracking)
+            | (ResyncPhase::Tracking, ResyncPhase::Searching)
+            | (ResyncPhase::Tracking, ResyncPhase::Confirmed)
+            | (ResyncPhase::Confirmed, ResyncPhase::Offloading)
+            | (ResyncPhase::Confirmed, ResyncPhase::Searching)
+    )
 }
 
 /// The per-flow receive offload engine (NIC context + resync logic).
@@ -160,6 +186,10 @@ impl RxEngine {
     fn force_phase(&mut self, to: ResyncPhase, at_seq: u64) {
         if to != self.last_phase {
             let from = self.last_phase;
+            debug_assert!(
+                legal_transition(from, to),
+                "illegal resync transition {from:?}->{to:?} at seq {at_seq}"
+            );
             self.tracer.record(|| Event::Resync { from, to, seq: at_seq });
             self.last_phase = to;
         }
@@ -415,8 +445,12 @@ impl RxEngine {
                 walker.walk(&*self.op, &data.slice((track_from - seq) as usize, data.len()))
             } else {
                 // Candidate header ends inside the carry region: feed the
-                // carried tail first, then the packet.
-                let carried_tail = &carry[(track_from - carry_off) as usize..];
+                // carried tail first, then the packet. `track_from` lies in
+                // the carry by construction; degrade to empty if not, never
+                // panic on the per-packet path.
+                let carried_tail = carry
+                    .get((track_from - carry_off) as usize..)
+                    .unwrap_or_default();
                 let mut tmp = carried_tail.to_vec();
                 let a = walker.walk(&*self.op, &DataRef::Real(&mut tmp));
                 a && walker.walk(&*self.op, data)
@@ -444,9 +478,11 @@ impl RxEngine {
     fn update_carry(&mut self, seq: u64, data: &DataRef<'_>, hl: usize) {
         let (carry, carry_off) = match data.as_real() {
             Some(bytes) => {
+                // `keep <= len`, so the suffix range is always valid; the
+                // non-panicking form keeps the hot path abort-free anyway.
                 let keep = (hl - 1).min(bytes.len());
                 (
-                    bytes[bytes.len() - keep..].to_vec(),
+                    bytes.get(bytes.len() - keep..).unwrap_or_default().to_vec(),
                     seq + (bytes.len() - keep) as u64,
                 )
             }

@@ -29,6 +29,8 @@
 //! # Ok::<(), ano_crypto::AuthError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aes;
 pub mod chacha;
 pub mod crc32c;

@@ -1,0 +1,30 @@
+//! Known-bad fixture: every determinism rule must fire on this file.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn wall_clock() -> Instant {
+    Instant::now()
+}
+
+pub fn also_wall_clock() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn spawn_worker() {
+    std::thread::spawn(|| {});
+}
+
+pub fn hashed() -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    let mut s = HashSet::new();
+    s.insert(1u32);
+    m.insert(1, 2);
+    m
+}
+
+pub fn aslr_leak(x: &u32) -> String {
+    format!("{:p}", x)
+}

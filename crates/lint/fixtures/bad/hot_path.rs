@@ -1,0 +1,30 @@
+//! Known-bad fixture: every panic-freedom rule must fire on this file
+//! (linted under hot-path scope).
+
+pub fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expects(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn panics() {
+    panic!("boom");
+}
+
+pub fn todos() {
+    todo!()
+}
+
+pub fn unimplementeds() {
+    unimplemented!()
+}
+
+pub fn indexes(buf: &[u8]) -> u8 {
+    buf[0]
+}
+
+pub fn slices(buf: &[u8], from: usize) -> &[u8] {
+    &buf[from..]
+}

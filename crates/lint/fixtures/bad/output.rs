@@ -1,0 +1,12 @@
+//! Known-bad fixture: every observability rule must fire on this file.
+
+pub fn chatty(x: u32) {
+    println!("x = {x}");
+    eprintln!("warn: {x}");
+    print!("partial");
+    eprint!("partial err");
+}
+
+pub fn debugged(v: &[u32]) -> u32 {
+    dbg!(v.len() as u32)
+}

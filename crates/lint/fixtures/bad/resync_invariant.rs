@@ -1,0 +1,10 @@
+//! Known-bad fixture: a LEGAL_EDGES spec missing an edge the engine can
+//! emit (Tracking -> Searching, the failed-walk retry path).
+
+pub const LEGAL_EDGES: &[(ResyncPhase, ResyncPhase)] = &[
+    (ResyncPhase::Offloading, ResyncPhase::Searching),
+    (ResyncPhase::Searching, ResyncPhase::Tracking),
+    (ResyncPhase::Tracking, ResyncPhase::Confirmed),
+    (ResyncPhase::Confirmed, ResyncPhase::Offloading),
+    (ResyncPhase::Confirmed, ResyncPhase::Searching),
+];

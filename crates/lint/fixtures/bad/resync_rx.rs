@@ -1,0 +1,16 @@
+//! Known-bad fixture: an rx-engine transition table with an edge the
+//! invariant's LEGAL_EDGES set does not allow (Tracking -> Offloading
+//! skips boundary confirmation entirely).
+
+pub fn legal_transition(from: ResyncPhase, to: ResyncPhase) -> bool {
+    matches!(
+        (from, to),
+        (ResyncPhase::Offloading, ResyncPhase::Searching)
+            | (ResyncPhase::Searching, ResyncPhase::Tracking)
+            | (ResyncPhase::Tracking, ResyncPhase::Searching)
+            | (ResyncPhase::Tracking, ResyncPhase::Confirmed)
+            | (ResyncPhase::Tracking, ResyncPhase::Offloading)
+            | (ResyncPhase::Confirmed, ResyncPhase::Offloading)
+            | (ResyncPhase::Confirmed, ResyncPhase::Searching)
+    )
+}

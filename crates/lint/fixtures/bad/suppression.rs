@@ -1,0 +1,13 @@
+//! Known-bad fixture: suppression misuse. A justification-less allow is
+//! itself an error and silences nothing; an unknown rule is an error.
+
+// ano-lint: allow(hash-collection)
+use std::collections::HashMap;
+
+// ano-lint: allow(made-up-rule): this rule does not exist
+pub fn noop() {}
+
+pub fn build() -> HashMap<u32, u32> {
+    // ano-lint: allow(wall-clock): wrong rule for the next line
+    HashMap::new()
+}

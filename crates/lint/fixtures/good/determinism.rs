@@ -1,0 +1,30 @@
+//! Known-good twin: deterministic equivalents of everything the bad
+//! fixture does; no determinism rule may fire.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub struct SimTime(pub u64);
+
+pub fn sim_clock(now: SimTime) -> SimTime {
+    // Time comes from the simulation scheduler, not the wall clock.
+    now
+}
+
+pub fn ordered() -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    let mut s = BTreeSet::new();
+    s.insert(1u32);
+    m.insert(1, 2);
+    m
+}
+
+pub fn stable_id(flow: u64) -> String {
+    // Mentioning HashMap or Instant in strings/comments is fine: "HashMap".
+    format!("flow-{flow}")
+}
+
+pub fn thread_the_needle(thread: u32) -> u32 {
+    // A plain binding named `thread` is not std::thread.
+    thread + 1
+}

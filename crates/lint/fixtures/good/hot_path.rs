@@ -1,0 +1,38 @@
+//! Known-good twin: non-panicking forms of everything the bad fixture
+//! does; no panic-freedom rule may fire under hot-path scope.
+
+pub fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+pub fn expects(x: Option<u32>) -> u32 {
+    match x {
+        Some(v) => v,
+        None => 0,
+    }
+}
+
+pub fn indexes(buf: &[u8]) -> u8 {
+    buf.first().copied().unwrap_or(0)
+}
+
+pub fn slices(buf: &[u8], from: usize) -> &[u8] {
+    buf.get(from..).unwrap_or_default()
+}
+
+pub fn typed(_x: &mut [u8]) -> [u8; 2] {
+    // Slice types, array types, and array literals are not indexing.
+    [0, 0]
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may panic freely even in hot-path files.
+    #[test]
+    fn test_can_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let b = [1u8, 2];
+        assert_eq!(b[0], 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Known-good twin: observability goes through the trace layer (modeled
+//! here by a recording closure); no observability rule may fire.
+
+pub struct Tracer;
+
+impl Tracer {
+    pub fn record(&self, _f: impl FnOnce() -> String) {}
+    pub fn count(&self, _key: &str, _n: u64) {}
+    pub fn print(&self) {}
+}
+
+pub fn quiet(t: &Tracer, x: u32) {
+    t.record(|| format!("x = {x}"));
+    t.count("x.seen", 1);
+    // A method *named* print is not the print! macro.
+    t.print();
+}

@@ -1,0 +1,11 @@
+//! Known-good twin: the exact six-edge §4.3 table the real invariant
+//! declares.
+
+pub const LEGAL_EDGES: &[(ResyncPhase, ResyncPhase)] = &[
+    (ResyncPhase::Offloading, ResyncPhase::Searching),
+    (ResyncPhase::Searching, ResyncPhase::Tracking),
+    (ResyncPhase::Tracking, ResyncPhase::Searching),
+    (ResyncPhase::Tracking, ResyncPhase::Confirmed),
+    (ResyncPhase::Confirmed, ResyncPhase::Offloading),
+    (ResyncPhase::Confirmed, ResyncPhase::Searching),
+];

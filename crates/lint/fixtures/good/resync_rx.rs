@@ -1,0 +1,14 @@
+//! Known-good twin: the exact six-edge §4.3 table the real engine
+//! declares.
+
+pub fn legal_transition(from: ResyncPhase, to: ResyncPhase) -> bool {
+    matches!(
+        (from, to),
+        (ResyncPhase::Offloading, ResyncPhase::Searching)
+            | (ResyncPhase::Searching, ResyncPhase::Tracking)
+            | (ResyncPhase::Tracking, ResyncPhase::Searching)
+            | (ResyncPhase::Tracking, ResyncPhase::Confirmed)
+            | (ResyncPhase::Confirmed, ResyncPhase::Offloading)
+            | (ResyncPhase::Confirmed, ResyncPhase::Searching)
+    )
+}

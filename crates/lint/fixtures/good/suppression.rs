@@ -1,0 +1,11 @@
+//! Known-good twin: a justified suppression silences exactly its rule on
+//! the covered line, and nothing is left over.
+
+// ano-lint: allow(hash-collection): fixture proving justified suppressions
+// silence the rule; this map is keyed-access only, never iterated.
+use std::collections::HashMap;
+
+pub fn build() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new(); // ano-lint: allow(hash-collection): same-line form
+    m.len()
+}

@@ -1,0 +1,5 @@
+//! Known-good twin: the crate root carries the attribute.
+
+#![forbid(unsafe_code)]
+
+pub mod imaginary;

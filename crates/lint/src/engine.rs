@@ -1,0 +1,228 @@
+//! The workspace engine: file discovery, per-crate rule scoping, and the
+//! top-level `lint_workspace` entry point.
+//!
+//! Scoping policy (see DESIGN.md "Static analysis"):
+//!
+//! * **determinism** rules cover every crate whose code can reach traces,
+//!   golden files, or the simulated schedule;
+//! * **observability** rules cover every library crate except `bench`
+//!   (a measurement harness whose stdout *is* its deliverable) and `lint`
+//!   (this tool — its stdout is the diagnostic report);
+//! * **panic-freedom** rules cover only the per-packet hot paths;
+//! * **unsafe-attr** covers every crate root;
+//! * test modules (`#[cfg(test)]`), `tests/`, `benches/`, and `examples/`
+//!   are out of scope entirely — the engine only walks `src/`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{lex, LineIndex};
+use crate::resync;
+use crate::rules::{run_token_rules, test_spans, FileCtx, FileScope};
+use crate::suppress;
+
+/// Crates whose code can affect traces, golden files, or scheduling.
+/// `crypto`, `accel`, and `testkit` are pure functions of their inputs;
+/// `bench` wraps wall-clock measurement by design; `lint` is this tool.
+const DETERMINISM_CRATES: &[&str] = &[
+    "sim", "tcp", "core", "tls", "nvme", "stack", "trace", "scenario", "apps",
+];
+
+/// Library crates allowed to write to stdout/stderr directly.
+const OBSERVABILITY_EXEMPT: &[&str] = &["bench", "lint"];
+
+/// Per-packet hot paths where a panic aborts the whole schedule
+/// (workspace-relative paths).
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/rx.rs",
+    "crates/core/src/tx.rs",
+    "crates/tcp/src/sender.rs",
+    "crates/tcp/src/receiver.rs",
+];
+
+/// Derives the rule scope for one file.
+pub fn scope_for(crate_name: &str, rel_path: &str, is_crate_root: bool) -> FileScope {
+    FileScope {
+        determinism: DETERMINISM_CRATES.contains(&crate_name),
+        observability: !OBSERVABILITY_EXEMPT.contains(&crate_name),
+        hot_path: HOT_PATH_FILES.contains(&rel_path),
+        crate_root: is_crate_root,
+    }
+}
+
+/// Lints one file's source under the given scope: token rules filtered
+/// through inline suppressions, plus suppression-syntax diagnostics.
+pub fn lint_source(rel_path: &str, src: &str, scope: FileScope) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let lines = LineIndex::new(src);
+    let spans = test_spans(&lexed);
+    let ctx = FileCtx {
+        path: rel_path,
+        lexed: &lexed,
+        lines: &lines,
+        test_spans: &spans,
+    };
+    let raw = run_token_rules(&ctx, scope);
+    let mut sup = suppress::parse(rel_path, &lexed, &lines);
+    let mut out = suppress::apply(rel_path, &mut sup, raw);
+    out.extend(sup.diags);
+    out
+}
+
+/// Result of a whole-workspace run.
+pub struct Report {
+    pub diags: Vec<Diagnostic>,
+    pub files: usize,
+}
+
+impl Report {
+    pub fn errors(&self) -> usize {
+        self.diags.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.diags.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> Report {
+    let mut diags = Vec::new();
+    let mut files = 0usize;
+
+    for (crate_name, src_dir) in crate_src_dirs(root, &mut diags) {
+        let mut rs_files = Vec::new();
+        collect_rs_files(&src_dir, &mut rs_files);
+        rs_files.sort();
+        for path in rs_files {
+            files += 1;
+            let rel = rel_path(root, &path);
+            let is_root = {
+                let fname = path.file_name().and_then(|s| s.to_str()).unwrap_or("");
+                let parent = path
+                    .parent()
+                    .and_then(|p| p.file_name())
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("");
+                // Crate roots: src/lib.rs, src/main.rs, src/bin/*.rs.
+                (parent == "src" && (fname == "lib.rs" || fname == "main.rs"))
+                    || parent == "bin"
+            };
+            let scope = scope_for(&crate_name, &rel, is_root);
+            match fs::read_to_string(&path) {
+                Ok(src) => diags.extend(lint_source(&rel, &src, scope)),
+                Err(e) => diags.push(io_diag(&rel, format!("cannot read file: {e}"))),
+            }
+        }
+    }
+
+    // Spec-vs-code: the resync transition table.
+    let rx_path = root.join("crates/core/src/rx.rs");
+    let inv_path = root.join("crates/scenario/src/invariant.rs");
+    match (fs::read_to_string(&rx_path), fs::read_to_string(&inv_path)) {
+        (Ok(rx), Ok(inv)) => diags.extend(resync::cross_check(&rx, &inv)),
+        (Err(e), _) => diags.push(io_diag("crates/core/src/rx.rs", format!("cannot read: {e}"))),
+        (_, Err(e)) => diags.push(io_diag(
+            "crates/scenario/src/invariant.rs",
+            format!("cannot read: {e}"),
+        )),
+    }
+
+    // Deterministic report order (the lint must satisfy its own standard).
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+    });
+    Report { diags, files }
+}
+
+fn io_diag(file: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: "io",
+        severity: Severity::Error,
+        file: file.to_string(),
+        line: 1,
+        col: 1,
+        message,
+    }
+}
+
+/// `(crate_name, src_dir)` for every workspace member plus the root
+/// package, in sorted order.
+fn crate_src_dirs(root: &Path, diags: &mut Vec<Diagnostic>) -> Vec<(String, PathBuf)> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    match fs::read_dir(&crates) {
+        Ok(rd) => {
+            let mut dirs: Vec<PathBuf> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
+            dirs.sort();
+            for d in dirs {
+                let src = d.join("src");
+                if src.is_dir() {
+                    let name = d
+                        .file_name()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or_default()
+                        .to_string();
+                    out.push((name, src));
+                }
+            }
+        }
+        Err(e) => diags.push(io_diag("crates", format!("cannot list workspace crates: {e}"))),
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        out.push(("root".to_string(), root_src));
+    }
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in rd.filter_map(Result::ok) {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs_files(&p, out);
+        } else if p.extension().and_then(|s| s.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_table() {
+        let s = scope_for("core", "crates/core/src/rx.rs", false);
+        assert!(s.determinism && s.observability && s.hot_path && !s.crate_root);
+        let s = scope_for("crypto", "crates/crypto/src/aes.rs", false);
+        assert!(!s.determinism && s.observability);
+        let s = scope_for("bench", "crates/bench/src/micro.rs", false);
+        assert!(!s.determinism && !s.observability);
+        let s = scope_for("tcp", "crates/tcp/src/lib.rs", true);
+        assert!(s.determinism && s.crate_root && !s.hot_path);
+    }
+
+    #[test]
+    fn lint_source_end_to_end() {
+        let src = "#![forbid(unsafe_code)]\nuse std::collections::BTreeMap;\n";
+        let scope = FileScope {
+            determinism: true,
+            observability: true,
+            hot_path: false,
+            crate_root: true,
+        };
+        assert!(lint_source("x.rs", src, scope).is_empty());
+    }
+}

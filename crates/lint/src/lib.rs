@@ -1,0 +1,34 @@
+//! `ano-lint`: a zero-dependency static-analysis pass for this workspace.
+//!
+//! The reproduction's core guarantees — bit-identical traces across
+//! processes, a panic-free per-packet data path, all observability routed
+//! through `ano-trace`, and a resync state machine that matches its spec —
+//! are otherwise enforced only dynamically (golden traces, the scenario
+//! matrix, CI's two-process hash check). This crate enforces them
+//! *structurally*, at analysis time, before anything runs:
+//!
+//! * a minimal Rust lexer ([`lexer`]) turns each source file into a token
+//!   stream with byte offsets (no `syn`, preserving the hermetic build);
+//! * a rule engine ([`rules`], [`engine`]) applies scoped rule families —
+//!   determinism, panic-freedom, observability, unsafe-code hygiene;
+//! * inline suppressions ([`suppress`]) allow audited exceptions but
+//!   *require* a written justification;
+//! * a spec-vs-code pass ([`resync`]) extracts the §4.3 resync transition
+//!   table from `crates/core/src/rx.rs` and cross-checks it against the
+//!   legal-edge set in `crates/scenario/src/invariant.rs`.
+//!
+//! Run with `cargo run -p ano-lint` (workspace root is inferred); CI runs
+//! it as the `static analysis` tier before building anything.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod resync;
+pub mod rules;
+pub mod suppress;
+
+pub use diag::{Diagnostic, Severity};
+pub use engine::{lint_source, lint_workspace, scope_for, Report};
+pub use rules::FileScope;

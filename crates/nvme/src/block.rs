@@ -7,7 +7,7 @@
 //! whose untouched regions read as a deterministic pattern, so end-to-end
 //! tests can verify content placement.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ano_sim::payload::{DataMode, Payload, MAGIC_BYTE};
 use ano_sim::time::{SimDuration, SimTime};
@@ -52,7 +52,7 @@ pub struct BlockDeviceStats {
 pub struct BlockDevice {
     cfg: BlockDeviceConfig,
     /// 4 KiB-granular sparse store (functional mode only).
-    store: HashMap<u64, Vec<u8>>,
+    store: BTreeMap<u64, Vec<u8>>,
     /// When the device's internal channel is next free (bandwidth model).
     busy_until: SimTime,
     stats: BlockDeviceStats,
@@ -72,7 +72,7 @@ impl BlockDevice {
     pub fn new(cfg: BlockDeviceConfig) -> BlockDevice {
         BlockDevice {
             cfg,
-            store: HashMap::new(),
+            store: BTreeMap::new(),
             busy_until: SimTime::ZERO,
             stats: BlockDeviceStats::default(),
         }

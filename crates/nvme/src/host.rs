@@ -3,7 +3,7 @@
 //! offload-aware fallbacks (§5.1).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -83,7 +83,7 @@ pub struct NvmeTcpHost {
     rr: RrMap,
     parser: PduParser,
     next_cid: u16,
-    inflight: HashMap<u16, Inflight>,
+    inflight: BTreeMap<u16, Inflight>,
     tx_off: u64,
     tx_frames: FrameIndex,
     tx_msgs: VecDeque<TxMsgRef>,
@@ -123,7 +123,7 @@ impl NvmeTcpHost {
             rr,
             parser,
             next_cid: 0,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             tx_off: 0,
             tx_frames,
             tx_msgs: VecDeque::new(),

@@ -18,6 +18,8 @@
 //! assert_eq!(ch.plen as usize, wire.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod host;
 pub mod offload;

@@ -10,7 +10,7 @@
 //! Listing 1's `l5o_add_rr_state` / `l5o_del_rr_state`.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use ano_core::flow::{scan_window, L5Flow};
@@ -38,7 +38,7 @@ pub struct RrEntry {
 /// The CID → destination-buffer map shared between the host L5P software
 /// and the NIC (`l5o_add_rr_state` / `l5o_del_rr_state`, §4.1).
 #[derive(Clone, Debug, Default)]
-pub struct RrMap(Rc<RefCell<HashMap<u16, RrEntry>>>);
+pub struct RrMap(Rc<RefCell<BTreeMap<u16, RrEntry>>>);
 
 impl RrMap {
     /// Creates an empty map.

@@ -276,15 +276,44 @@ fn render_ladder(resync: &[(ResyncPhase, ResyncPhase)]) -> String {
     s
 }
 
-/// Validates an ordered resync transition list against the §4.3 state
-/// machine. Returns one message per defect:
+/// The legal edges of the §4.3 resync state machine, with `Tracking` split
+/// into its unconfirmed and software-confirmed halves as the trace layer
+/// reports them:
+///
+/// - `Offloading -> Searching`: unrecoverable out-of-sequence data;
+/// - `Searching -> Tracking`: a magic-pattern candidate was found;
+/// - `Tracking -> Searching` (d1): the candidate was invalidated — by the
+///   tracker itself or by a software rejection;
+/// - `Tracking -> Confirmed`: software confirmed the candidate
+///   (`l5o_resync_rx_resp(ok)`) — confirmation can never be skipped;
+/// - `Confirmed -> Offloading` (d2): hardware resumes at the next boundary;
+/// - `Confirmed -> Searching`: the stream desynchronized again before the
+///   resume boundary was reached.
+///
+/// This is the *spec-side* declaration of the machine. `ano-lint` (rule
+/// `resync-table`) extracts this array and cross-checks it against the
+/// code-side table in `crates/core/src/rx.rs` (`legal_transition`); drift
+/// on either side fails static analysis.
+pub const LEGAL_EDGES: &[(ResyncPhase, ResyncPhase)] = &[
+    (ResyncPhase::Offloading, ResyncPhase::Searching),
+    (ResyncPhase::Searching, ResyncPhase::Tracking),
+    (ResyncPhase::Tracking, ResyncPhase::Searching),
+    (ResyncPhase::Tracking, ResyncPhase::Confirmed),
+    (ResyncPhase::Confirmed, ResyncPhase::Offloading),
+    (ResyncPhase::Confirmed, ResyncPhase::Searching),
+];
+
+/// Validates an ordered resync transition list against [`LEGAL_EDGES`].
+/// Returns one message per defect:
 ///
 /// - the list must start from `Offloading` (the `l5o_create` state) and
 ///   each transition's `from` must equal its predecessor's `to`;
-/// - `Confirmed` is only reachable from `Tracking` — software confirmation
-///   cannot be skipped (this is the edge a golden trace pins down);
-/// - `Offloading` is only re-entered from `Confirmed` — hardware never
-///   resumes without a confirmed record boundary.
+/// - every `(from, to)` pair must be a legal edge. The two confirmation
+///   bypasses keep their specific messages (they are what the golden
+///   traces exist to catch): `Confirmed` is only reachable from `Tracking`
+///   — software confirmation cannot be skipped — and `Offloading` is only
+///   re-entered from `Confirmed` — hardware never resumes without a
+///   confirmed record boundary.
 pub(crate) fn check_resync_transitions(resync: &[(ResyncPhase, ResyncPhase)]) -> Vec<String> {
     let mut problems = Vec::new();
     let mut prev = ResyncPhase::Offloading;
@@ -296,17 +325,19 @@ pub(crate) fn check_resync_transitions(resync: &[(ResyncPhase, ResyncPhase)]) ->
         }
         if from == to {
             problems.push(format!("transition {i}: self-loop {from:?}->{to:?}"));
-        }
-        if to == ResyncPhase::Confirmed && from != ResyncPhase::Tracking {
+        } else if to == ResyncPhase::Confirmed && from != ResyncPhase::Tracking {
             problems.push(format!(
                 "transition {i}: {from:?}->Confirmed skips software confirmation \
                  (only Tracking->Confirmed is legal)"
             ));
-        }
-        if to == ResyncPhase::Offloading && from != ResyncPhase::Confirmed {
+        } else if to == ResyncPhase::Offloading && from != ResyncPhase::Confirmed {
             problems.push(format!(
                 "transition {i}: {from:?}->Offloading resumes hardware without a \
                  confirmed boundary (only Confirmed->Offloading is legal)"
+            ));
+        } else if !LEGAL_EDGES.contains(&(from, to)) {
+            problems.push(format!(
+                "transition {i}: {from:?}->{to:?} is not a legal §4.3 edge"
             ));
         }
         prev = to;
@@ -368,6 +399,37 @@ mod tests {
         let p = check_resync_transitions(&edges);
         assert_eq!(p.len(), 1, "{p:?}");
         assert!(p[0].contains("skips software confirmation"), "{p:?}");
+    }
+
+    /// The generic table check catches edges the two targeted messages
+    /// don't: Offloading->Tracking skips the search phase entirely.
+    #[test]
+    fn edge_outside_the_table_is_flagged() {
+        let edges = [
+            (Offloading, Tracking),
+            (Tracking, Confirmed),
+            (Confirmed, Offloading),
+        ];
+        let p = check_resync_transitions(&edges);
+        assert_eq!(p.len(), 1, "{p:?}");
+        assert!(p[0].contains("not a legal"), "{p:?}");
+    }
+
+    /// The spec-side table must agree with the code-side declaration in
+    /// the rx engine over the whole phase space (ano-lint re-checks this
+    /// statically from the source text; this pins it at runtime).
+    #[test]
+    fn table_matches_rx_engine_declaration() {
+        let phases = [Offloading, Searching, Tracking, Confirmed];
+        for &f in &phases {
+            for &t in &phases {
+                assert_eq!(
+                    ano_core::rx::legal_transition(f, t),
+                    LEGAL_EDGES.contains(&(f, t)),
+                    "{f:?}->{t:?} disagrees between rx.rs and LEGAL_EDGES"
+                );
+            }
+        }
     }
 
     #[test]

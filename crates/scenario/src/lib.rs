@@ -28,6 +28,8 @@
 //! [`gen::ScriptGen`] generates random drop schedules that shrink (via
 //! `ano-testkit`) to a minimal failing schedule.
 
+#![forbid(unsafe_code)]
+
 pub mod apps;
 pub mod gen;
 pub mod invariant;

@@ -25,6 +25,8 @@
 //! assert_eq!((t, ev), (SimTime::from_micros(1), "wakeup"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bytes;
 pub mod cost;
 pub mod cpu;

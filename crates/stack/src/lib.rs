@@ -18,6 +18,8 @@
 //! assert!(w.is_idle(), "nothing scheduled without an app");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod app;
 pub mod runtime;
 pub mod world;

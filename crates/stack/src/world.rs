@@ -15,7 +15,7 @@
 //! Event processing lives in [`crate::runtime`].
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use ano_core::flow::{L5TxSource, TxMsgRef};
@@ -298,7 +298,7 @@ pub(crate) enum Proto {
     },
     NvmeTarget {
         target: NvmeTcpTarget,
-        pending: HashMap<u64, Reply>,
+        pending: BTreeMap<u64, Reply>,
         next_token: u64,
     },
     NvmeTlsHost {
@@ -311,7 +311,7 @@ pub(crate) enum Proto {
         tls_tx: KtlsTx,
         tls_rx: KtlsRx,
         target: NvmeTcpTarget,
-        pending: HashMap<u64, Reply>,
+        pending: BTreeMap<u64, Reply>,
         next_token: u64,
         inner: Rc<RefCell<InnerTxShared>>,
     },
@@ -335,7 +335,7 @@ pub(crate) struct ConnState {
 pub(crate) struct HostState {
     pub(crate) cpu: CpuSet,
     pub(crate) nic: Nic,
-    pub(crate) conns: HashMap<ConnId, ConnState>,
+    pub(crate) conns: BTreeMap<ConnId, ConnState>,
     /// Last connection whose packets each core processed (batching model).
     pub(crate) last_conn: Vec<Option<ConnId>>,
 }
@@ -414,7 +414,7 @@ impl World {
                 HostState {
                     cpu: CpuSet::new(cfg.cores[i], cfg.cost.freq_hz),
                     nic,
-                    conns: HashMap::new(),
+                    conns: BTreeMap::new(),
                     last_conn: vec![None; cfg.cores[i]],
                 }
             })
@@ -663,7 +663,7 @@ impl World {
                 BuiltEndpoint {
                     proto: Proto::NvmeTarget {
                         target,
-                        pending: HashMap::new(),
+                        pending: BTreeMap::new(),
                         next_token: 0,
                     },
                     tx_engine,
@@ -778,7 +778,7 @@ impl World {
                         tls_tx,
                         tls_rx,
                         target,
-                        pending: HashMap::new(),
+                        pending: BTreeMap::new(),
                         next_token: 0,
                         inner,
                     },

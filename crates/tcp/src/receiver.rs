@@ -148,11 +148,11 @@ impl TcpReceiver {
                     self.stats.duplicates += 1;
                 }
                 _ => {
+                    let len = payload.len() as u64;
                     if let Some((old, _)) = self.ooo.insert(off, (payload, flags)) {
                         self.ooo_bytes -= old.len() as u64;
                     }
-                    let len = self.ooo[&off].0.len();
-                    self.ooo_bytes += len as u64;
+                    self.ooo_bytes += len;
                 }
             }
         }
@@ -173,11 +173,12 @@ impl TcpReceiver {
     }
 
     fn drain_contiguous(&mut self) {
-        while let Some((&off, _)) = self.ooo.first_key_value() {
+        while let Some((off, (payload, flags))) = self.ooo.pop_first() {
             if off > self.rcv_nxt {
+                // Still a hole before this segment: put it back and stop.
+                self.ooo.insert(off, (payload, flags));
                 break;
             }
-            let (payload, flags) = self.ooo.remove(&off).expect("checked first key");
             self.ooo_bytes -= payload.len() as u64;
             let end = off + payload.len() as u64;
             if end <= self.rcv_nxt {

@@ -17,6 +17,8 @@
 //! assert_eq!(s.open_record(0, &wire).unwrap(), b"browser bytes");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dtls;
 pub mod ktls;
 pub mod offload;

@@ -10,6 +10,10 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Tier-1 builds treat every warning as an error, for every stage below
+# (one setting so cargo never recompiles with mismatched flags mid-run).
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
 echo "== guard: no registry dependencies in any manifest =="
 # A registry dependency is `name = "1"` or `name = { version = "1", ... }`
 # without a `path = ...`. Allowed forms: `path = ...` deps and
@@ -28,11 +32,21 @@ if [ -n "$bad" ]; then
 fi
 echo "ok: all dependencies are path-only"
 
-echo "== tier-1: offline release build =="
+echo "== static analysis: ano-lint (determinism / panic-freedom / output / resync spec) =="
+# Structural enforcement of the trace-determinism and hot-path guarantees,
+# run before anything else is built: forbids wall-clock reads, OS threads,
+# hash-ordered collections, and {:p} in sim/trace-affecting crates; panics
+# and slice indexing in the per-packet hot paths; println!/dbg! in library
+# crates; and cross-checks the §4.3 resync transition table in rx.rs
+# against LEGAL_EDGES in invariant.rs. Exceptions need an inline
+# `// ano-lint: allow(<rule>): <justification>`. See DESIGN.md.
+CARGO_NET_OFFLINE=true cargo run -q -p ano-lint
+
+echo "== tier-1: offline release build (warnings are errors) =="
 CARGO_NET_OFFLINE=true cargo build --release
 
-echo "== tier-1: offline tests =="
-CARGO_NET_OFFLINE=true cargo test -q
+echo "== tier-1: offline tests (warnings are errors) =="
+CARGO_NET_OFFLINE=true cargo test -q --workspace
 
 echo "== adversarial scenario matrix: differential offload-vs-software =="
 # 8 scripted adversity schedules x {TLS, NVMe} x {offload, software}, fixed
