@@ -1,0 +1,91 @@
+//! Device-fault layer overhead on the hot path.
+//!
+//! The degradation machinery (install retry, circuit breaker, reset
+//! recovery) exists for the unhappy path; the happy path must not pay for
+//! it. Every install and resync-mailbox operation consults the host's
+//! `DeviceFaults` plan via `on_op`, so the shipping configuration — an
+//! empty plan — must cost a counter bump and an `is_empty` branch, nothing
+//! more.
+//!
+//! Two views:
+//!
+//! * `fault/*` — the primitive `on_op` cost per call: empty plan (what
+//!   every op pays in fault-free runs), a plan whose rules never match
+//!   (the rule-scan miss), and a matching rule (the injection path —
+//!   allowed to be slower, it only runs when chaos is on).
+//! * `iperf/*` — the same short modeled streaming run with no fault plan
+//!   vs an inert plan installed, plus a printed overhead percentage. Both
+//!   are fault-free runs; the delta is the whole cost of carrying the
+//!   fault layer.
+
+use ano_bench::micro::{black_box, Harness};
+use ano_bench::runners::{run_iperf, IperfCfg, Variant};
+use ano_core::fault::{DeviceFaults, DeviceOp, FaultAction};
+use ano_sim::link::Match;
+use ano_sim::time::{SimDuration, SimTime};
+use std::time::Instant;
+
+/// A plan with rules that exist but can never fire (nth = far beyond any
+/// realistic attempt count): measures the rule-scan miss, and doubles as
+/// the whole-run "inert plan" below.
+fn inert_plan() -> DeviceFaults {
+    DeviceFaults::none()
+        .with(DeviceOp::InstallRx, Match::Nth(1 << 40), FaultAction::Fail)
+        .with(DeviceOp::ResyncResp, Match::Nth(1 << 40), FaultAction::Drop)
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+
+    let mut g = h.group("fault");
+    let mut empty = DeviceFaults::none();
+    g.bench("on_op/empty-plan", || {
+        black_box(empty.on_op(DeviceOp::InstallRx, SimTime::ZERO));
+    });
+    let mut inert = inert_plan();
+    g.bench("on_op/rules-no-match", || {
+        black_box(inert.on_op(DeviceOp::InstallRx, SimTime::ZERO));
+    });
+    let mut firing = DeviceFaults::none().with(
+        DeviceOp::InstallRx,
+        Match::Cycle { pattern: vec![true], until: u64::MAX },
+        FaultAction::Fail,
+    );
+    g.bench("on_op/rule-match", || {
+        black_box(firing.on_op(DeviceOp::InstallRx, SimTime::ZERO));
+    });
+    g.finish();
+
+    // Whole-run comparison: a short iperf window with no fault plan vs an
+    // inert plan installed on the receiver. The sim is deterministic, so
+    // run-to-run wall-clock noise is the only variance; three repeats and
+    // the median tame it.
+    let cfg = IperfCfg {
+        variant: Variant::TlsOffloadZc,
+        warmup: SimDuration::from_millis(10),
+        window: SimDuration::from_millis(30),
+        ..Default::default()
+    };
+    let timed = |faults: DeviceFaults| -> f64 {
+        let cfg = IperfCfg { faults, ..cfg.clone() };
+        let mut runs: Vec<f64> = (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(run_iperf(&cfg));
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        runs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        runs[1]
+    };
+    let base = timed(DeviceFaults::none());
+    let carried = timed(inert_plan());
+    println!("\n== iperf hot path ==");
+    println!("  iperf/no-fault-plan                       {:>9.1} ms/run", base * 1e3);
+    println!("  iperf/inert-fault-plan                    {:>9.1} ms/run", carried * 1e3);
+    println!(
+        "  fault-layer overhead: {:+.1}%  (empty-plan cost is the on_op/empty-plan \
+         number above, per install/mailbox op)",
+        100.0 * (carried - base) / base
+    );
+}

@@ -6,6 +6,7 @@ use std::rc::Rc;
 use ano_apps::fio::Fio;
 use ano_apps::httpd::{Backing, Client, Server};
 use ano_apps::iperf::{IperfSender, IperfSink};
+use ano_core::fault::DeviceFaults;
 use ano_core::nic::NicConfig;
 use ano_sim::link::Impairments;
 use ano_sim::payload::DataMode;
@@ -73,6 +74,9 @@ pub struct IperfCfg {
     /// Enable the world tracer (the `trace_overhead` bench measures the
     /// cost of flipping this; figures leave it off).
     pub trace: bool,
+    /// Device-fault plan installed on the receiver before connecting (the
+    /// `fault_overhead` bench measures its cost; figures leave it empty).
+    pub faults: DeviceFaults,
 }
 
 impl Default for IperfCfg {
@@ -88,6 +92,7 @@ impl Default for IperfCfg {
             window: SimDuration::from_millis(100),
             seed: 42,
             trace: false,
+            faults: DeviceFaults::none(),
         }
     }
 }
@@ -125,6 +130,7 @@ pub fn run_iperf(cfg: &IperfCfg) -> IperfResult {
         ..Default::default()
     });
     w.tracer().set_enabled(cfg.trace);
+    w.set_device_faults(1, cfg.faults.clone());
     let conns: Vec<ConnId> = (0..cfg.conns)
         .map(|_| w.connect(cfg.variant.spec(), cfg.variant.spec()))
         .collect();

@@ -48,13 +48,14 @@ pub struct LruSet<K: Eq + Hash + Clone> {
 }
 
 impl<K: Eq + Hash + Clone> LruSet<K> {
-    /// Creates a cache holding at most `capacity` entries.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity == 0`.
+    /// Creates a cache holding at most `capacity` entries. A zero capacity
+    /// is clamped to one: a cacheless NIC still has the context register it
+    /// is currently working on, and a hostile configuration must degrade
+    /// to that floor rather than panic (callers that want to surface the
+    /// clamp check [`NicConfig::validate`](crate::nic::NicConfig::validate)
+    /// first).
     pub fn new(capacity: usize) -> LruSet<K> {
-        assert!(capacity > 0, "cache capacity must be positive");
+        let capacity = capacity.max(1);
         LruSet {
             // ano-lint: allow(hash-collection): see module-top justification.
             map: HashMap::new(),
@@ -118,17 +119,27 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
     }
 
     /// Touches `key`: marks it most-recently-used, inserting (and evicting
-    /// the LRU entry if full) when absent. Returns hit or miss.
+    /// the LRU entry if full) when absent. Returns hit or miss; see
+    /// [`LruSet::touch_evict`] when the caller must account for the victim.
     pub fn touch(&mut self, key: &K) -> CacheOutcome {
+        self.touch_evict(key).0
+    }
+
+    /// Like [`LruSet::touch`], but also returns the key evicted to make
+    /// room, if any — a miss that displaces a resident context costs a
+    /// write-back in addition to the fill, and the NIC's PCIe accounting
+    /// needs to know which.
+    pub fn touch_evict(&mut self, key: &K) -> (CacheOutcome, Option<K>) {
         if let Some(&idx) = self.map.get(key) {
             self.hits += 1;
             if self.head != idx {
                 self.unlink(idx);
                 self.push_front(idx);
             }
-            return CacheOutcome::Hit;
+            return (CacheOutcome::Hit, None);
         }
         self.misses += 1;
+        let mut evicted = None;
         if self.map.len() == self.capacity {
             // Evict the least recently used.
             let victim = self.tail;
@@ -136,6 +147,7 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
             let k = self.keys[victim].take().expect("occupied node");
             self.map.remove(&k);
             self.free.push(victim);
+            evicted = Some(k);
         }
         let idx = match self.free.pop() {
             Some(i) => i,
@@ -151,16 +163,33 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
         self.keys[idx] = Some(key.clone());
         self.map.insert(key.clone(), idx);
         self.push_front(idx);
-        CacheOutcome::Miss
+        (CacheOutcome::Miss, evicted)
     }
 
-    /// Removes `key` if present (flow teardown).
-    pub fn remove(&mut self, key: &K) {
+    /// Removes `key` if present (flow teardown). Returns whether the key
+    /// was resident, so orderly teardown can charge its write-back.
+    pub fn remove(&mut self, key: &K) -> bool {
         if let Some(idx) = self.map.remove(key) {
             self.unlink(idx);
             self.keys[idx] = None;
             self.free.push(idx);
+            return true;
         }
+        false
+    }
+
+    /// Drops every resident entry without touching the hit/miss counters,
+    /// returning how many were wiped. Models a device reset: contexts are
+    /// lost, not written back.
+    pub fn wipe(&mut self) -> usize {
+        let wiped = self.map.len();
+        self.map.clear();
+        self.keys.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        wiped
     }
 }
 
@@ -228,8 +257,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_capacity_rejected() {
-        let _: LruSet<u32> = LruSet::new(0);
+    fn zero_capacity_clamps_to_one() {
+        // A hostile NicConfig must degrade to a single-entry cache, not
+        // abort the simulation.
+        let mut c: LruSet<u32> = LruSet::new(0);
+        assert_eq!(c.touch(&1), CacheOutcome::Miss);
+        assert_eq!(c.touch(&1), CacheOutcome::Hit);
+        assert_eq!(c.touch_evict(&2), (CacheOutcome::Miss, Some(1)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn touch_evict_reports_the_victim() {
+        let mut c = LruSet::new(2);
+        assert_eq!(c.touch_evict(&1), (CacheOutcome::Miss, None));
+        assert_eq!(c.touch_evict(&2), (CacheOutcome::Miss, None));
+        c.touch(&1); // 2 becomes LRU
+        assert_eq!(c.touch_evict(&3), (CacheOutcome::Miss, Some(2)));
+        assert_eq!(c.touch_evict(&1), (CacheOutcome::Hit, None));
+    }
+
+    #[test]
+    fn remove_reports_residency() {
+        let mut c = LruSet::new(2);
+        c.touch(&7);
+        assert!(c.remove(&7), "resident entry removed");
+        assert!(!c.remove(&7), "already gone");
+        assert!(!c.remove(&8), "never present");
+    }
+
+    #[test]
+    fn wipe_clears_entries_but_keeps_counters() {
+        let mut c = LruSet::new(4);
+        c.touch(&1);
+        c.touch(&2);
+        c.touch(&1);
+        assert_eq!(c.wipe(), 2);
+        assert!(c.is_empty());
+        assert_eq!((c.hits(), c.misses()), (1, 2), "accounting survives reset");
+        // The cache is fully usable after a wipe.
+        assert_eq!(c.touch(&1), CacheOutcome::Miss);
+        assert_eq!(c.touch(&1), CacheOutcome::Hit);
     }
 }

@@ -14,6 +14,8 @@
 //! * [`nic`] — the NIC model: per-flow engines, the bounded context cache
 //!   of §6.5, and PCIe accounting for Fig. 16b;
 //! * [`cache`] — the LRU context cache itself;
+//! * [`fault`] — scripted device-fault injection (install failures,
+//!   context loss/corruption, full resets) driving the degradation policy;
 //! * [`msg`] / [`flow`] — framing and operation interfaces (Table 3's
 //!   preconditions as a trait).
 //!
@@ -38,6 +40,7 @@
 pub mod cache;
 pub mod demo;
 pub mod dpi;
+pub mod fault;
 pub mod flow;
 pub mod msg;
 pub mod nic;

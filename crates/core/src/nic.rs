@@ -38,6 +38,36 @@ impl Default for NicConfig {
     }
 }
 
+/// A rejected [`NicConfig`] field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NicConfigError {
+    /// `ctx_cache_capacity == 0`: a NIC with no room for even the context
+    /// it is working on cannot offload anything.
+    ZeroCacheCapacity,
+}
+
+impl std::fmt::Display for NicConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NicConfigError::ZeroCacheCapacity => {
+                f.write_str("ctx_cache_capacity must be at least 1")
+            }
+        }
+    }
+}
+
+impl NicConfig {
+    /// Checks the configuration. [`Nic::new`] does not panic on a bad
+    /// config — it clamps and records a traced warning — but callers that
+    /// would rather surface an error can validate first.
+    pub fn validate(&self) -> Result<(), NicConfigError> {
+        if self.ctx_cache_capacity == 0 {
+            return Err(NicConfigError::ZeroCacheCapacity);
+        }
+        Ok(())
+    }
+}
+
 /// Direction tag for cache keys.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 enum Dir {
@@ -54,8 +84,14 @@ pub struct NicCounters {
     pub cache_misses: u64,
     /// PCIe bytes for tx context recovery replays (Fig. 6 / Fig. 16b).
     pub pcie_replay_bytes: u64,
-    /// PCIe bytes for context-cache fills and write-backs.
+    /// PCIe bytes for context-cache fills and write-backs. A miss pays one
+    /// context fill; displacing a resident context (eviction) or orderly
+    /// teardown pays one write-back; contexts lost to invalidation or a
+    /// device reset are *not* written back.
     pub pcie_ctx_bytes: u64,
+    /// Resync responses discarded because they carried a pre-reset device
+    /// epoch (a late answer must not resurrect a dead context).
+    pub stale_resyncs: u64,
 }
 
 impl NicCounters {
@@ -95,6 +131,14 @@ pub struct Nic {
     cache: LruSet<(FlowId, Dir)>,
     counters: NicCounters,
     tracer: ano_trace::Tracer,
+    /// Device epoch: bumped whenever contexts are destroyed outside the
+    /// driver's control (reset, invalidation). Driver↔device exchanges
+    /// carry the epoch they were issued under; answers from an older
+    /// epoch are discarded.
+    epoch: u64,
+    /// The configuration was out of range and clamped (traced as a
+    /// warning once the tracer is installed).
+    cfg_clamped: bool,
 }
 
 impl std::fmt::Debug for Nic {
@@ -108,8 +152,16 @@ impl std::fmt::Debug for Nic {
 }
 
 impl Nic {
-    /// Creates a NIC with the given configuration.
-    pub fn new(cfg: NicConfig) -> Nic {
+    /// Creates a NIC with the given configuration. An out-of-range config
+    /// ([`NicConfig::validate`]) is clamped to its floor instead of
+    /// panicking — a hostile configuration degrades the cache, it must not
+    /// abort the simulation — and the clamp is traced as a warning count
+    /// once a tracer is installed.
+    pub fn new(mut cfg: NicConfig) -> Nic {
+        let cfg_clamped = cfg.validate().is_err();
+        if cfg_clamped {
+            cfg.ctx_cache_capacity = 1;
+        }
         Nic {
             cfg,
             rx: BTreeMap::new(),
@@ -117,6 +169,8 @@ impl Nic {
             cache: LruSet::new(cfg.ctx_cache_capacity),
             counters: NicCounters::default(),
             tracer: ano_trace::Tracer::default(),
+            epoch: 0,
+            cfg_clamped,
         }
     }
 
@@ -124,6 +178,15 @@ impl Nic {
     /// (each scoped to its flow id). The default handle is disabled.
     pub fn set_tracer(&mut self, tracer: ano_trace::Tracer) {
         self.tracer = tracer;
+        if self.cfg_clamped {
+            self.tracer.count("nic.config_clamped", 1);
+        }
+    }
+
+    /// The device epoch (see the field docs). Snapshot it when issuing a
+    /// driver↔device exchange; pass it back with the answer.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Registers a receive offload for `flow` (`l5o_create`, rx half).
@@ -138,12 +201,100 @@ impl Nic {
         self.tx.insert(flow, engine);
     }
 
-    /// Tears down a flow's offloads (`l5o_destroy`).
+    /// Tears down a flow's offloads (`l5o_destroy`). Orderly teardown
+    /// writes resident contexts back over PCIe.
     pub fn destroy(&mut self, flow: FlowId) {
         self.rx.remove(&flow);
         self.tx.remove(&flow);
+        self.writeback_remove(flow, Dir::Rx);
+        self.writeback_remove(flow, Dir::Tx);
+    }
+
+    /// Removes a cache entry, charging the write-back if it was resident.
+    fn writeback_remove(&mut self, flow: FlowId, dir: Dir) {
+        if self.cache.remove(&(flow, dir)) {
+            self.counters.pcie_ctx_bytes += self.cfg.ctx_bytes;
+        }
+    }
+
+    /// Uninstalls a flow's receive offload without tearing the flow down
+    /// (the degradation policy's breaker opening: the connection lives on
+    /// in software). The engine's transition ladder is closed first so the
+    /// flow's trace shows it leaving offload. Returns whether an engine
+    /// was present.
+    pub fn uninstall_rx(&mut self, flow: FlowId) -> bool {
+        let present = match self.rx.get_mut(&flow) {
+            Some(e) => {
+                e.quiesce();
+                true
+            }
+            None => false,
+        };
+        self.rx.remove(&flow);
+        self.writeback_remove(flow, Dir::Rx);
+        present
+    }
+
+    /// Uninstalls a flow's transmit offload (breaker opening, tx half).
+    pub fn uninstall_tx(&mut self, flow: FlowId) -> bool {
+        let present = self.tx.remove(&flow).is_some();
+        self.writeback_remove(flow, Dir::Tx);
+        present
+    }
+
+    /// Scripted fault: the device loses one flow's receive context (e.g. a
+    /// firmware table corruption detected and discarded). The context is
+    /// *not* written back; the device epoch advances so in-flight resync
+    /// answers for the dead context are discarded. Returns whether a
+    /// context existed.
+    pub fn invalidate_rx(&mut self, flow: FlowId) -> bool {
+        let Some(e) = self.rx.get_mut(&flow) else {
+            return false;
+        };
+        e.quiesce();
+        self.rx.remove(&flow);
         self.cache.remove(&(flow, Dir::Rx));
-        self.cache.remove(&(flow, Dir::Tx));
+        self.epoch += 1;
+        self.tracer
+            .scoped(flow.0)
+            .record(|| ano_trace::Event::DeviceFault { kind: "invalidate_rx" });
+        true
+    }
+
+    /// Scripted fault: one flow's receive context is damaged in place. The
+    /// damage is latent — the engine's integrity check trips on the next
+    /// packet and it re-derives state via the resync ladder (it never
+    /// processes payload with a bad cursor). Returns whether a context
+    /// existed.
+    pub fn corrupt_rx(&mut self, flow: FlowId) -> bool {
+        let Some(e) = self.rx.get_mut(&flow) else {
+            return false;
+        };
+        e.corrupt_context();
+        self.tracer
+            .scoped(flow.0)
+            .record(|| ano_trace::Event::DeviceFault { kind: "corrupt_rx" });
+        true
+    }
+
+    /// Scripted fault: full device reset. Every engine context and cache
+    /// entry is wiped (lost, not written back), and the epoch advances so
+    /// any in-flight resync answer is discarded on arrival. Each rx
+    /// engine's transition ladder is closed first, keeping per-flow traces
+    /// chain-legal across the reinstall that follows. Returns how many
+    /// engine contexts were wiped.
+    pub fn reset(&mut self) -> u64 {
+        for e in self.rx.values_mut() {
+            e.quiesce();
+        }
+        let wiped = (self.rx.len() + self.tx.len()) as u64;
+        self.rx.clear();
+        self.tx.clear();
+        self.cache.wipe();
+        self.epoch += 1;
+        self.tracer.record(|| ano_trace::Event::DeviceReset { wiped });
+        self.tracer.count("nic.resets", 1);
+        wiped
     }
 
     /// True if `flow` has a receive offload installed.
@@ -177,11 +328,16 @@ impl Nic {
     }
 
     fn touch_cache(&mut self, flow: FlowId, dir: Dir) -> bool {
-        let miss = self.cache.touch(&(flow, dir)) == CacheOutcome::Miss;
+        let (outcome, evicted) = self.cache.touch_evict(&(flow, dir));
+        let miss = outcome == CacheOutcome::Miss;
         if miss {
             self.counters.cache_misses += 1;
-            // Fill + eventual write-back of the evicted context.
-            self.counters.pcie_ctx_bytes += 2 * self.cfg.ctx_bytes;
+            // Fill of the missing context...
+            self.counters.pcie_ctx_bytes += self.cfg.ctx_bytes;
+            if evicted.is_some() {
+                // ...plus the write-back of the context it displaced.
+                self.counters.pcie_ctx_bytes += self.cfg.ctx_bytes;
+            }
         } else {
             self.counters.cache_hits += 1;
         }
@@ -218,7 +374,26 @@ impl Nic {
     }
 
     /// Forwards the L5P's resync confirmation (`l5o_resync_rx_resp`).
-    pub fn resync_response(&mut self, flow: FlowId, layer: u8, tcpsn: u64, ok: bool, msg_index: u64) {
+    /// `epoch` is the device epoch the corresponding request was issued
+    /// under ([`Nic::epoch`]): a response that raced a reset or an
+    /// invalidation carries a stale epoch and is discarded — it must not
+    /// resurrect (or confirm into) a context that no longer exists.
+    pub fn resync_response(
+        &mut self,
+        flow: FlowId,
+        layer: u8,
+        tcpsn: u64,
+        ok: bool,
+        msg_index: u64,
+        epoch: u64,
+    ) {
+        if epoch != self.epoch {
+            self.counters.stale_resyncs += 1;
+            self.tracer
+                .scoped(flow.0)
+                .record(|| ano_trace::Event::StaleResyncResp { tcpsn });
+            return;
+        }
         if let Some(e) = self.rx.get_mut(&flow) {
             e.on_resync_response(layer, tcpsn, ok, msg_index);
         }
@@ -335,7 +510,147 @@ mod tests {
         let c = nic.counters();
         assert_eq!(c.cache_hits, 0);
         assert_eq!(c.cache_misses, 12);
-        assert_eq!(c.pcie_ctx_bytes, 12 * 2 * 208);
+        // 12 fills; the first 2 touches populate an empty cache, the other
+        // 10 displace a resident context and pay its write-back too.
+        assert_eq!(c.pcie_ctx_bytes, (12 + 10) * 208);
+    }
+
+    fn msg() -> Vec<u8> {
+        demo::encode_msg_keyed(b"x", 0)
+    }
+
+    fn feed(nic: &mut Nic, flow: FlowId, seq: u64) {
+        let mut p = Payload::real(msg());
+        nic.rx_process(flow, seq, &mut p);
+    }
+
+    #[test]
+    fn pcie_accounting_splits_fill_and_writeback() {
+        // Capacity 1: the second flow's fill displaces the first.
+        let cfg = NicConfig { ctx_cache_capacity: 1, ctx_bytes: 100 };
+        let mut nic = Nic::new(cfg);
+        for i in 0..2u64 {
+            nic.install_rx(FlowId(i), RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
+        }
+        feed(&mut nic, FlowId(0), 0);
+        assert_eq!(nic.counters().pcie_ctx_bytes, 100, "first fill, no victim");
+        feed(&mut nic, FlowId(1), 0);
+        assert_eq!(
+            nic.counters().pcie_ctx_bytes,
+            100 + 200,
+            "second fill displaces flow 0: fill + write-back"
+        );
+        // Orderly teardown writes the resident context back.
+        nic.destroy(FlowId(1));
+        assert_eq!(nic.counters().pcie_ctx_bytes, 100 + 200 + 100);
+        // Destroying the non-resident flow moves nothing over PCIe.
+        nic.destroy(FlowId(0));
+        assert_eq!(nic.counters().pcie_ctx_bytes, 100 + 200 + 100);
+    }
+
+    #[test]
+    fn reset_wipes_without_writeback_and_bumps_epoch() {
+        let cfg = NicConfig { ctx_cache_capacity: 4, ctx_bytes: 100 };
+        let mut nic = Nic::new(cfg);
+        for i in 0..2u64 {
+            nic.install_rx(FlowId(i), RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
+            feed(&mut nic, FlowId(i), 0);
+        }
+        assert_eq!(nic.counters().pcie_ctx_bytes, 200, "two fills");
+        assert_eq!(nic.epoch(), 0);
+        let wiped = nic.reset();
+        assert_eq!(wiped, 2);
+        assert_eq!(nic.epoch(), 1);
+        assert!(!nic.has_rx(FlowId(0)) && !nic.has_rx(FlowId(1)));
+        // Lost contexts are not written back — Fig. 16b numbers must not
+        // count bytes that never crossed PCIe.
+        assert_eq!(nic.counters().pcie_ctx_bytes, 200);
+        // A reinstall after the reset refills from scratch.
+        nic.install_rx(FlowId(0), RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
+        feed(&mut nic, FlowId(0), 0);
+        assert_eq!(nic.counters().pcie_ctx_bytes, 300, "post-reset fill");
+    }
+
+    #[test]
+    fn stale_epoch_response_is_discarded() {
+        let mut nic = Nic::new(NicConfig::default());
+        let flow = FlowId(3);
+        nic.install_rx(flow, RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
+        let issued_under = nic.epoch();
+        nic.reset();
+        // The flow is reinstalled (new context) before the old answer lands.
+        nic.install_rx(flow, RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
+        nic.resync_response(flow, 0, 1234, true, 7, issued_under);
+        assert_eq!(nic.counters().stale_resyncs, 1);
+        assert_eq!(
+            nic.rx_stats(flow).unwrap().resync_ok,
+            0,
+            "stale confirm must not touch the new context"
+        );
+        // The same answer under the current epoch reaches the engine (and
+        // is then ignored as unsolicited by the state machine itself).
+        nic.resync_response(flow, 0, 1234, true, 7, nic.epoch());
+        assert_eq!(nic.counters().stale_resyncs, 1);
+    }
+
+    #[test]
+    fn invalidate_rx_drops_context_and_bumps_epoch() {
+        let mut nic = Nic::new(NicConfig::default());
+        let flow = FlowId(2);
+        nic.install_rx(flow, RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
+        assert!(nic.invalidate_rx(flow));
+        assert!(!nic.has_rx(flow));
+        assert_eq!(nic.epoch(), 1);
+        assert!(!nic.invalidate_rx(flow), "already gone");
+        assert_eq!(nic.epoch(), 1, "no-op does not advance the epoch");
+    }
+
+    #[test]
+    fn corrupt_rx_is_detected_on_next_packet() {
+        let mut nic = Nic::new(NicConfig::default());
+        let flow = FlowId(6);
+        nic.install_rx(
+            flow,
+            RxEngine::new(Box::new(DemoFlow::rx_functional(demo::DEFAULT_KEY)), 0, 0),
+        );
+        assert!(nic.corrupt_rx(flow));
+        assert_eq!(nic.epoch(), 0, "corruption is in-place, not an epoch change");
+        let body = b"damaged".to_vec();
+        let wire = demo::encode_msg(&body);
+        let mut p = Payload::real(wire.clone());
+        let r = nic.rx_process(flow, 0, &mut p);
+        assert!(!r.flags.tls_decrypted, "no offload with a damaged context");
+        assert_eq!(p.to_vec(), wire, "payload untouched");
+        assert_eq!(nic.rx_stats(flow).unwrap().corrupt_detected, 1);
+    }
+
+    #[test]
+    fn uninstall_halves_independently() {
+        let mut nic = Nic::new(NicConfig::default());
+        let flow = FlowId(8);
+        nic.install_rx(flow, RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
+        assert!(nic.uninstall_rx(flow));
+        assert!(!nic.has_rx(flow));
+        assert!(!nic.uninstall_rx(flow));
+        assert!(!nic.uninstall_tx(flow), "no tx half was installed");
+        assert_eq!(nic.epoch(), 0, "orderly uninstall keeps the epoch");
+    }
+
+    #[test]
+    fn zero_capacity_config_clamps_not_panics() {
+        assert_eq!(
+            NicConfig { ctx_cache_capacity: 0, ctx_bytes: 208 }.validate(),
+            Err(NicConfigError::ZeroCacheCapacity)
+        );
+        let mut nic = Nic::new(NicConfig { ctx_cache_capacity: 0, ctx_bytes: 208 });
+        nic.install_rx(FlowId(0), RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
+        feed(&mut nic, FlowId(0), 0);
+        assert_eq!(nic.counters().cache_misses, 1, "single-entry cache works");
+        // The clamp surfaces as a traced warning counter.
+        let tracer = ano_trace::Tracer::default();
+        tracer.set_enabled(true);
+        nic.set_tracer(tracer.clone());
+        assert_eq!(tracer.with_metrics(|m| m.counter(0, "nic.config_clamped")), 1);
     }
 
     #[test]

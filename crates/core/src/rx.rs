@@ -39,6 +39,11 @@ pub struct RxStats {
     pub resync_failed: u64,
     /// Header parse failures while offloading (stream desync).
     pub desyncs: u64,
+    /// Re-emitted resync requests for a still-unconfirmed candidate (the
+    /// original request is assumed lost in the driver mailbox).
+    pub rerequests: u64,
+    /// Context corruptions detected by the integrity check on next use.
+    pub corrupt_detected: u64,
 }
 
 /// Which state the engine is in (diagnostics; names follow Fig. 7).
@@ -130,6 +135,17 @@ pub struct RxEngine {
     /// exactly the Searching→Tracking→Confirmed→Offloading ladder the
     /// scenario invariants check.
     last_phase: ResyncPhase,
+    /// Re-emit the pending resync request after this many tracked packets
+    /// without a confirmation (`None` disables re-requests — the default,
+    /// so a lossless driver mailbox never sees duplicates). Set by the
+    /// degradation policy when the mailbox can drop messages.
+    rerequest_pkts: Option<u32>,
+    /// Packets walked while `Tracking { confirmed: None }` since the last
+    /// (re-)request.
+    track_pkts: u32,
+    /// The context was damaged in place; the integrity check trips on next
+    /// use and the engine re-derives its state via the resync ladder.
+    ctx_corrupt: bool,
 }
 
 impl std::fmt::Debug for RxEngine {
@@ -152,7 +168,61 @@ impl RxEngine {
             stats: RxStats::default(),
             tracer: Tracer::default(),
             last_phase: ResyncPhase::Offloading,
+            rerequest_pkts: None,
+            track_pkts: 0,
+            ctx_corrupt: false,
         }
+    }
+
+    /// Creates an engine installed *mid-stream* (reinstall after a device
+    /// reset or context invalidation): the context knows nothing about the
+    /// current framing, so it starts in `Searching` at stream offset
+    /// `at_off`. No transition event is emitted — the predecessor engine's
+    /// quiesce already closed its ladder at `Searching`, so the per-flow
+    /// transition chain stays legal across the engine swap.
+    pub fn new_searching(op: Box<dyn L5Flow>, at_off: u64) -> RxEngine {
+        RxEngine {
+            op,
+            state: RxState::Searching {
+                carry: Vec::new(),
+                carry_off: at_off,
+            },
+            events: Vec::new(),
+            stats: RxStats::default(),
+            tracer: Tracer::default(),
+            last_phase: ResyncPhase::Searching,
+            rerequest_pkts: None,
+            track_pkts: 0,
+            ctx_corrupt: false,
+        }
+    }
+
+    /// Enables re-emitting an unanswered resync request every `pkts`
+    /// tracked packets (degradation policy for a lossy driver mailbox).
+    pub fn set_rerequest_pkts(&mut self, pkts: Option<u32>) {
+        self.rerequest_pkts = pkts;
+    }
+
+    /// Damages the context in place (scripted `CorruptRx` fault). The
+    /// damage is latent: the integrity check trips on the next packet and
+    /// the engine falls back to `Searching` instead of processing with a
+    /// bad cursor.
+    pub fn corrupt_context(&mut self) {
+        self.ctx_corrupt = true;
+    }
+
+    /// Closes this engine's transition ladder before it is torn down
+    /// (device reset, invalidation, or a breaker opening): the flow's
+    /// trace must show it leaving offload, and a successor engine — if one
+    /// is ever installed — starts at `Searching`, keeping the per-flow
+    /// chain of transition events continuous.
+    pub fn quiesce(&mut self) {
+        let at = self.expected().unwrap_or(0);
+        self.state = RxState::Searching {
+            carry: Vec::new(),
+            carry_off: at,
+        };
+        self.force_phase(ResyncPhase::Searching, at);
     }
 
     /// Installs a (typically flow-scoped) tracing handle. The default
@@ -234,6 +304,14 @@ impl RxEngine {
     /// `seq`. Returns the SKB flags the driver attaches.
     pub fn on_packet(&mut self, seq: u64, data: &mut DataRef<'_>) -> SkbFlags {
         self.stats.pkts += 1;
+        if self.ctx_corrupt {
+            // The context integrity check trips on load: discard the
+            // damaged state and re-derive it via the §4.3 ladder, starting
+            // the search with this very packet.
+            self.ctx_corrupt = false;
+            self.stats.corrupt_detected += 1;
+            self.enter_searching(seq);
+        }
         let seq_end = seq + data.len() as u64;
         let state = std::mem::replace(
             &mut self.state,
@@ -435,6 +513,7 @@ impl RxEngine {
             // The candidate puts the engine in Tracking from here on, even
             // if walking the packet tail invalidates it again below.
             self.force_phase(ResyncPhase::Tracking, c);
+            self.track_pkts = 0;
             let mut walker = TrackWalker::new(c, h, hl);
             // Track the remainder of this packet past the candidate header.
             let track_from = c + hl as u64;
@@ -520,6 +599,25 @@ impl RxEngine {
         let start = (exp - seq) as usize;
         let ok = walker.walk(&*self.op, &data.slice(start, data.len()));
         if ok {
+            if confirmed.is_none() {
+                // Still waiting on software. If the mailbox can lose
+                // messages, the original request may be gone — re-emit it
+                // every `rerequest_pkts` tracked packets so a dropped
+                // request heals instead of wedging the flow in Tracking.
+                self.track_pkts += 1;
+                if let Some(n) = self.rerequest_pkts {
+                    if self.track_pkts >= n {
+                        self.track_pkts = 0;
+                        self.stats.rerequests += 1;
+                        self.events.push(EngineEvent::ResyncRequest {
+                            layer: 0,
+                            tcpsn: candidate,
+                        });
+                        self.tracer.record(|| Event::ResyncRequest { tcpsn: candidate });
+                        self.tracer.count("rx.resync_rerequests", 1);
+                    }
+                }
+            }
             self.state = RxState::Tracking {
                 candidate,
                 walker,
@@ -926,6 +1024,129 @@ mod tests {
             transitions(&tracer),
             vec![(Offloading, Searching), (Searching, Tracking), (Tracking, Searching)]
         );
+    }
+
+    #[test]
+    fn midstream_install_searches_then_reoffloads() {
+        // Reinstall after reset/invalidation: the fresh engine knows no
+        // framing, starts in Searching, and reconverges via the ladder.
+        // Boundaries 0, 505, 910, 1215; total 1520 (16 packets of 100).
+        let (pkts, _) = packets(&[500, 400, 300, 300], 100);
+        let mut e = RxEngine::new_searching(
+            Box::new(DemoFlow::rx_functional(demo::DEFAULT_KEY)),
+            600,
+        );
+        assert_eq!(e.state_kind(), RxStateKind::Searching);
+        let mut tcpsn = None;
+        for (s, p) in pkts.iter().skip(6) {
+            e.on_packet(*s, &mut DataRef::Real(&mut p.clone()));
+            if let Some(EngineEvent::ResyncRequest { tcpsn: t, .. }) = e.take_events().first() {
+                tcpsn = Some(*t);
+                break;
+            }
+        }
+        assert_eq!(tcpsn, Some(910), "found the msg-2 boundary");
+        e.on_resync_response(0, 910, true, 2);
+        assert_eq!(e.stats().resync_ok, 1);
+        // The rest of the stream offloads again.
+        let mut tail_offloaded = false;
+        for (s, p) in pkts.iter().skip(10) {
+            tail_offloaded |= e
+                .on_packet(*s, &mut DataRef::Real(&mut p.clone()))
+                .tls_decrypted;
+        }
+        assert!(tail_offloaded, "offload resumed after mid-stream install");
+    }
+
+    #[test]
+    fn quiesce_closes_the_transition_ladder() {
+        // Tearing down an offloading engine must leave the per-flow trace
+        // chain at Searching, so a successor created with `new_searching`
+        // (which emits nothing) continues a legal chain.
+        let mut e = engine();
+        let tracer = Tracer::default();
+        tracer.set_enabled(true);
+        e.set_tracer(tracer.scoped(1));
+        let (pkts, _) = packets(&[100], 60);
+        let (s0, p0) = pkts[0].clone();
+        e.on_packet(s0, &mut DataRef::Real(&mut p0.clone()));
+        e.quiesce();
+        assert_eq!(e.state_kind(), RxStateKind::Searching);
+        use ResyncPhase::*;
+        assert_eq!(transitions(&tracer), vec![(Offloading, Searching)]);
+        // Quiescing twice (or from Searching) emits nothing further.
+        e.quiesce();
+        assert_eq!(transitions(&tracer).len(), 1);
+        // A successor starts silent, at Searching.
+        let e2 = RxEngine::new_searching(Box::new(DemoFlow::rx_functional(0)), 0);
+        assert_eq!(e2.state_kind(), RxStateKind::Searching);
+    }
+
+    #[test]
+    fn corrupt_context_detected_on_next_packet_then_recovers() {
+        // Layout: msg 0 [0,125), msg 1 [125,190), msg 2 [190,275), msg 3 [275,320).
+        let stream = stream_with_fake_header();
+        let mut e = engine();
+        let mut p = stream[0..125].to_vec();
+        assert!(e.on_packet(0, &mut DataRef::Real(&mut p)).tls_decrypted);
+        e.corrupt_context();
+        // The damage is latent until the context is next loaded.
+        assert_eq!(e.state_kind(), RxStateKind::Offloading);
+        // Next in-sequence packet: integrity check trips, no offload, the
+        // bytes are NOT touched (software will process them).
+        let orig = stream[125..139].to_vec();
+        let mut p = orig.clone();
+        let flags = e.on_packet(125, &mut DataRef::Real(&mut p));
+        assert!(!flags.tls_decrypted);
+        assert_eq!(p, orig, "damaged context must not rewrite payload");
+        assert_eq!(e.stats().corrupt_detected, 1);
+        // The search already latched onto msg 1's real header at 125.
+        assert_eq!(e.state_kind(), RxStateKind::Tracking);
+        e.on_resync_response(0, 125, true, 1);
+        let mut p = stream[190..275].to_vec();
+        assert!(e.on_packet(190, &mut DataRef::Real(&mut p)).tls_decrypted, "recovered");
+    }
+
+    #[test]
+    fn unanswered_request_is_reemitted_when_enabled() {
+        let stream = stream_with_fake_header();
+        let mut e = engine();
+        e.set_rerequest_pkts(Some(2));
+        // Msg 0 lost; msg 1's header at 125 becomes the candidate.
+        let mut p = stream[125..139].to_vec();
+        e.on_packet(125, &mut DataRef::Real(&mut p));
+        assert_eq!(e.stats().resync_requests, 1);
+        let _ = e.take_events();
+        // Two more tracked packets, still below the 190 boundary: the
+        // pending request is re-emitted for the same candidate.
+        let mut p = stream[139..150].to_vec();
+        e.on_packet(139, &mut DataRef::Real(&mut p));
+        let mut p = stream[150..160].to_vec();
+        e.on_packet(150, &mut DataRef::Real(&mut p));
+        assert_eq!(e.stats().rerequests, 1);
+        let ev = e.take_events();
+        assert!(
+            matches!(ev.first(), Some(EngineEvent::ResyncRequest { tcpsn, .. }) if *tcpsn == 125),
+            "re-request names the same candidate: {ev:?}"
+        );
+        // Confirmation still lands normally.
+        e.on_resync_response(0, 125, true, 1);
+        assert_eq!(e.stats().resync_ok, 1);
+    }
+
+    #[test]
+    fn rerequest_disabled_by_default() {
+        let stream = stream_with_fake_header();
+        let mut e = engine();
+        let mut p = stream[125..139].to_vec();
+        e.on_packet(125, &mut DataRef::Real(&mut p));
+        let _ = e.take_events();
+        for (a, b) in [(139u64, 150usize), (150, 160), (160, 175)] {
+            let mut p = stream[a as usize..b].to_vec();
+            e.on_packet(a, &mut DataRef::Real(&mut p));
+        }
+        assert_eq!(e.stats().rerequests, 0);
+        assert!(e.take_events().is_empty(), "no duplicate requests by default");
     }
 
     #[test]

@@ -33,10 +33,13 @@ const DETERMINISM_CRATES: &[&str] = &[
 const OBSERVABILITY_EXEMPT: &[&str] = &["bench", "lint"];
 
 /// Per-packet hot paths where a panic aborts the whole schedule
-/// (workspace-relative paths).
+/// (workspace-relative paths). `fault.rs` qualifies because `on_op` sits
+/// on the install and resync-mailbox paths and its empty-plan
+/// short-circuit is consulted for every op even in fault-free runs.
 const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/rx.rs",
     "crates/core/src/tx.rs",
+    "crates/core/src/fault.rs",
     "crates/tcp/src/sender.rs",
     "crates/tcp/src/receiver.rs",
 ];
@@ -212,6 +215,12 @@ mod tests {
         assert!(!s.determinism && !s.observability);
         let s = scope_for("tcp", "crates/tcp/src/lib.rs", true);
         assert!(s.determinism && s.crate_root && !s.hot_path);
+        // PR 5: the device-fault layer is hot-path (empty-plan check runs
+        // per op) and the chaos matrix is determinism-scoped via its crate.
+        let s = scope_for("core", "crates/core/src/fault.rs", false);
+        assert!(s.determinism && s.hot_path);
+        let s = scope_for("scenario", "crates/scenario/src/chaos.rs", false);
+        assert!(s.determinism && !s.hot_path);
     }
 
     #[test]

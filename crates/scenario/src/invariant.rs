@@ -100,7 +100,7 @@ impl Checkers {
         }
         self.checked_chunks = delivered.chunks.len();
 
-        if let Workload::Nvme { reads } = &sc.workload {
+        if let Workload::Nvme { reads } | Workload::NvmeTls { reads } = &sc.workload {
             for (id, ok, buf) in &delivered.completions[self.checked_completions..] {
                 let Some(&(dev_off, len)) = reads.get(*id as usize) else {
                     self.violations.push(Violation {

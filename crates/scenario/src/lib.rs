@@ -31,11 +31,13 @@
 #![forbid(unsafe_code)]
 
 pub mod apps;
+pub mod chaos;
 pub mod gen;
 pub mod invariant;
 pub mod runner;
 pub mod scenario;
 
+pub use chaos::{chaos_builtin, chaos_matrix, run_chaos, ChaosExpect, ChaosScenario, DeviceChaos};
 pub use invariant::Violation;
-pub use runner::{run_differential, run_scenario, DiffOutcome, RunOutcome};
+pub use runner::{run_differential, run_scenario, run_scenario_faulted, DiffOutcome, RunOutcome};
 pub use scenario::{Scenario, Workload};

@@ -8,6 +8,7 @@ use ano_core::rx::RxStateKind;
 use ano_sim::payload::DataMode;
 use ano_sim::time::{SimDuration, SimTime};
 use ano_stack::prelude::{ConnSpec, NvmeHostSpec, NvmeTargetSpec, TlsSpec, World, WorldConfig};
+use ano_tcp::segment::FlowId;
 use ano_trace::{export, Event as TraceEvent, Record, ResyncPhase};
 
 use crate::apps::{ChunkRecorder, Delivered, NvmeReadApp, StreamSender};
@@ -50,6 +51,14 @@ pub struct RunOutcome {
     /// The data receiver's incoming flow label (filters `trace` down to the
     /// offloaded direction).
     pub rx_flow: u64,
+    /// Why the receiver's circuit breaker opened, if it did.
+    pub breaker: Option<&'static str>,
+    /// Packets the receiver's rx engine fully offloaded (0 when the engine
+    /// is gone — breaker open or never installed).
+    pub rx_offloaded_pkts: u64,
+    /// Device faults the receiver-side plan actually delivered (rule hits
+    /// plus scheduled one-shots) — the chaos runner's injection oracle.
+    pub faults_injected: u64,
 }
 
 impl RunOutcome {
@@ -141,22 +150,46 @@ fn render(violations: &[Violation]) -> String {
 
 /// Runs one scenario in one World and checks invariants at every step.
 pub fn run_scenario(sc: &Scenario, offload: bool) -> RunOutcome {
+    run_scenario_faulted(sc, offload, None)
+}
+
+/// [`run_scenario`] with an optional device-fault chaos plan installed on
+/// the data receiver's NIC (see [`crate::chaos`]).
+pub fn run_scenario_faulted(
+    sc: &Scenario,
+    offload: bool,
+    chaos: Option<&crate::chaos::DeviceChaos>,
+) -> RunOutcome {
     let data0to1 = sc.workload.data_dir_0to1();
     let (impair_0to1, impair_1to0) = if data0to1 {
         (sc.data_impair.clone(), sc.ack_impair.clone())
     } else {
         (sc.ack_impair.clone(), sc.data_impair.clone())
     };
-    let mut w = World::new(WorldConfig {
+    let mut cfg = WorldConfig {
         seed: sc.seed,
         mode: DataMode::Functional,
         impair_0to1,
         impair_1to0,
         ..Default::default()
-    });
+    };
+    if let Some(ch) = chaos {
+        cfg.degrade = ch.degrade();
+    }
+    let mut w = World::new(cfg);
     // Every scenario run records: the trace feeds the ordered-transition
     // invariant, failure diagnostics, and the golden-trace tests.
     w.tracer().set_enabled(true);
+
+    let receiver = sc.workload.data_receiver();
+    // Install-time rules must see the very first `InstallRx` attempt, so a
+    // plan that needs no flow label goes in before connect; flow-targeted
+    // one-shots are installed right after, once the label exists.
+    if let Some(ch) = chaos {
+        if !ch.needs_flow() {
+            w.set_device_faults(receiver, ch.plan(FlowId(0)));
+        }
+    }
 
     let delivered = Rc::new(RefCell::new(Delivered::default()));
     let conn = match &sc.workload {
@@ -188,7 +221,35 @@ pub fn run_scenario(sc: &Scenario, offload: bool) -> RunOutcome {
             );
             conn
         }
+        Workload::NvmeTls { reads } => {
+            let (hspec, tls) = if offload {
+                (NvmeHostSpec::offloaded(), TlsSpec::offloaded())
+            } else {
+                (NvmeHostSpec::default(), TlsSpec::default())
+            };
+            let tspec = NvmeTargetSpec {
+                crc_tx_offload: offload,
+                crc_rx_offload: offload,
+                ..Default::default()
+            };
+            let conn = w.connect(
+                ConnSpec::NvmeTlsHost(hspec, tls),
+                ConnSpec::NvmeTlsTarget(tspec, tls),
+            );
+            w.set_app(
+                0,
+                Box::new(NvmeReadApp::new(conn, reads.clone(), Rc::clone(&delivered))),
+            );
+            conn
+        }
     };
+
+    if let Some(ch) = chaos {
+        if ch.needs_flow() {
+            let in_flow = w.flow_ids(receiver, conn).map(|(_, f)| f).unwrap_or(0);
+            w.set_device_faults(receiver, ch.plan(FlowId(in_flow)));
+        }
+    }
 
     let mut checkers = Checkers::new(sc);
     let expected_len = checkers.expected().len() as u64;
@@ -213,7 +274,6 @@ pub fn run_scenario(sc: &Scenario, offload: bool) -> RunOutcome {
         }
     };
 
-    let receiver = sc.workload.data_receiver();
     let alerts = w.ktls_rx_stats(receiver, conn).map(|s| s.alerts).unwrap_or(0);
     let link_corrupted = w.link_stats(true).corrupted + w.link_stats(false).corrupted;
     let rx_state = w.rx_engine_state(receiver, conn);
@@ -239,6 +299,12 @@ pub fn run_scenario(sc: &Scenario, offload: bool) -> RunOutcome {
         trace_dropped: w.tracer().dropped(),
         trace,
         rx_flow,
+        breaker: w.breaker_reason(receiver, conn),
+        rx_offloaded_pkts: w
+            .rx_engine_stats(receiver, conn)
+            .map(|s| s.pkts_offloaded)
+            .unwrap_or(0),
+        faults_injected: w.device_faults_injected(receiver),
     }
 }
 

@@ -17,6 +17,13 @@ pub enum Workload {
         /// `(device_offset, len)` per read.
         reads: Vec<(u64, u32)>,
     },
+    /// NVMe/TCP reads inside TLS (combined NVMe-TLS, §5.3): the nested
+    /// offload stack — TLS record processing wrapping NVMe placement and
+    /// CRC — on both endpoints.
+    NvmeTls {
+        /// `(device_offset, len)` per read.
+        reads: Vec<(u64, u32)>,
+    },
 }
 
 impl Workload {
@@ -25,7 +32,7 @@ impl Workload {
     pub fn expected(&self) -> Vec<u8> {
         match self {
             Workload::Tls { bytes } => (0..*bytes).map(tls_pattern_byte).collect(),
-            Workload::Nvme { reads } => reads
+            Workload::Nvme { reads } | Workload::NvmeTls { reads } => reads
                 .iter()
                 .flat_map(|&(off, len)| {
                     (0..len as u64).map(move |j| ano_nvme::block::pattern_byte(off + j))

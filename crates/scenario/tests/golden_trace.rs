@@ -25,8 +25,10 @@ use std::fs;
 use std::path::PathBuf;
 
 use ano_scenario::scenario::{self, tls_workload};
-use ano_scenario::{run_scenario, Scenario, Workload};
+use ano_scenario::{chaos_builtin, run_scenario, run_scenario_faulted, Scenario, Workload};
 use ano_sim::link::Script;
+use ano_trace::event::Category;
+use ano_trace::export;
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -74,6 +76,71 @@ fn check_golden(file: &str, sc: &Scenario) {
             got.lines().count(),
         );
     }
+}
+
+/// Chaos variant of [`check_golden`]: runs a device-fault scenario from the
+/// chaos matrix and renders the canonical trace with the `Device` category
+/// included, so the golden pins the degradation choreography (faults,
+/// install retries, breaker trips, resets) alongside the resync ladder.
+fn check_chaos_golden(file: &str, name: &str) {
+    let cs = chaos_builtin(name).expect("built-in chaos scenario");
+    let run = run_scenario_faulted(&cs.scenario, true, Some(&cs.chaos));
+    run.assert_clean();
+    assert_eq!(run.trace_dropped, 0, "trace ring wrapped; golden would be truncated");
+    let got = export::canonical(&run.trace, &[Category::Tcp, Category::Resync, Category::Device]);
+    assert!(!got.is_empty(), "chaos golden produced no Tcp/Resync/Device events");
+
+    let path = golden_path(file);
+    if std::env::var("BLESS").is_ok() {
+        fs::write(&path, &got).expect("write golden");
+        eprintln!("blessed {} ({} lines)", path.display(), got.lines().count());
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run `BLESS=1 cargo test -p ano-scenario \
+             --test golden_trace` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "chaos golden trace mismatch for '{name}'. If the behavior change is \
+         intentional, re-bless with BLESS=1 and review the diff."
+    );
+}
+
+/// The reset→quiesce→resync→re-offload ladder: a mid-transfer device reset
+/// wipes the rx context; the flow must quiesce to `Searching`, walk the §4.3
+/// confirmation ladder, and resume offload at a record boundary. The golden
+/// pins both the `device.reset` line and the full reconvergence chain.
+#[test]
+fn golden_chaos_reset_ladder() {
+    check_chaos_golden("chaos_tls_reset", "chaos/tls/reset");
+
+    let text = fs::read_to_string(golden_path("chaos_tls_reset")).expect("golden exists");
+    assert!(text.contains("device.reset"), "golden must pin the reset event");
+    assert!(
+        text.contains("Confirmed->Offloading"),
+        "golden must pin the post-reset offload-resume edge"
+    );
+}
+
+/// The breaker-open ladder: every install attempt fails, the retry/backoff
+/// ladder exhausts, and the per-flow circuit breaker opens into permanent
+/// software fallback. The golden pins the fail→retry→…→breaker sequence and
+/// its backoff timestamps.
+#[test]
+fn golden_chaos_breaker_ladder() {
+    check_chaos_golden("chaos_tls_breaker", "chaos/tls/fail-all-installs");
+
+    let text = fs::read_to_string(golden_path("chaos_tls_breaker")).expect("golden exists");
+    assert!(text.contains("device.install-fail"), "golden must pin the install failures");
+    assert!(text.contains("device.install-retry"), "golden must pin the backoff ladder");
+    assert!(
+        text.contains("device.breaker-open reason=install_failures"),
+        "golden must pin the breaker trip"
+    );
 }
 
 /// The PR-1 alternating-drop regression (seed `cc 8ed59643…`, shrunk to

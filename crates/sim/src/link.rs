@@ -59,7 +59,10 @@ pub enum Match {
 }
 
 impl Match {
-    fn hits(&self, index: u64, now: SimTime) -> bool {
+    /// Whether a rule with this matcher applies to operation number `index`
+    /// happening at `now`. Public so other scripted fault models (the NIC's
+    /// `DeviceFaults` in `ano-core`) reuse the exact same matching rules.
+    pub fn hits(&self, index: u64, now: SimTime) -> bool {
         match self {
             Match::Nth(n) => index == *n,
             Match::Range(s, e) => (*s..*e).contains(&index),

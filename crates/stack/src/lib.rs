@@ -28,6 +28,7 @@ pub mod world;
 pub mod prelude {
     pub use crate::app::{Action, AppEvent, HostApi, HostApp, NullApp};
     pub use crate::world::{
-        ConnId, ConnSpec, NvmeHostSpec, NvmeTargetSpec, TlsSpec, World, WorldConfig,
+        ConnId, ConnSpec, DegradeConfig, NvmeHostSpec, NvmeTargetSpec, TlsSpec, World,
+        WorldConfig,
     };
 }

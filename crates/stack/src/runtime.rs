@@ -1,5 +1,6 @@
 //! Event dispatch: the world's packet, timer, resync and application paths.
 
+use ano_core::fault::{DeviceOp, FaultAction, ScheduledFault};
 use ano_core::flow::{L5TxSource, TxMsgRef};
 use ano_core::msg::EngineEvent;
 use ano_nvme::parser::StreamChunk;
@@ -115,12 +116,20 @@ impl World {
                 tcpsn,
                 ok,
                 idx,
+                epoch,
             } => {
                 let h = &mut self.hosts[host as usize];
                 if let Some(c) = h.conns.get(&conn) {
-                    h.nic.resync_response(c.in_flow, layer, tcpsn, ok, idx);
+                    h.nic.resync_response(c.in_flow, layer, tcpsn, ok, idx, epoch);
                 }
             }
+            Event::InstallRetry {
+                host,
+                conn,
+                rx,
+                attempt,
+            } => self.try_install(host as usize, conn, rx, attempt),
+            Event::DeviceFault { host, idx } => self.handle_device_fault(host as usize, idx),
             Event::TargetReply { host, conn, token } => {
                 self.handle_target_reply(host as usize, conn, token)
             }
@@ -150,22 +159,39 @@ impl World {
         let now = self.sched.now();
         let cost = self.cfg.cost.clone();
         let resync_delay = self.cfg.resync_delay;
+        let degrade = self.cfg.degrade.clone();
         let mut app_calls: Vec<AppCall> = Vec::new();
         let mut resync_reqs: Vec<(u8, u64)> = Vec::new();
         let mut resync_resps: Vec<(u8, u64, bool, u64)> = Vec::new();
         let mut target_replies: Vec<(u64, SimTime)> = Vec::new();
+        let mut open_reason: Option<&'static str> = None;
 
-        {
+        let in_flow = {
             let host = &mut self.hosts[h];
             let Some(c) = host.conns.get_mut(&conn) else {
                 return;
             };
+
+            // Degraded-mode metering: payload packets on a breaker-open
+            // connection run entirely in software.
+            if c.health.breaker_open.is_some() && !payload.is_empty() {
+                c.health.degraded_pkts += 1;
+                self.tracer.count("stack.degraded_pkts", 1);
+            }
 
             // 1. NIC receive processing (offload engines).
             let rxp = host.nic.rx_process(c.in_flow, seq64, &mut payload);
             for ev in rxp.events {
                 let EngineEvent::ResyncRequest { layer, tcpsn } = ev;
                 resync_reqs.push((layer, tcpsn));
+                // A flow that storms resync requests gains nothing from
+                // offload: its context never stabilizes.
+                if c.health.note_resync(now, &degrade) {
+                    open_reason = Some("resync_storm");
+                }
+            }
+            if rxp.cache_miss && c.health.note_miss(now, &degrade) {
+                open_reason = open_reason.or(Some("cache_thrash"));
             }
 
             // 2. TCP + per-packet stack cost, plus the per-batch wakeup
@@ -227,11 +253,30 @@ impl World {
                 c.blocked = false;
                 app_calls.push(AppCall::Writable { conn });
             }
-        }
+            c.in_flow.0
+        };
 
+        if let Some(reason) = open_reason {
+            // The breaker uninstalls the engines; their in-flight resync
+            // requests die with them.
+            self.open_breaker(h, conn, reason);
+            resync_reqs.clear();
+        }
         for (layer, tcpsn) in resync_reqs {
+            // The NIC→driver request crosses the device mailbox, which the
+            // fault script can lose or slow down.
+            let extra = match self.hosts[h].faults.on_op(DeviceOp::ResyncReq, now) {
+                Some(FaultAction::Fail | FaultAction::Drop) => {
+                    self.tracer
+                        .scoped(in_flow)
+                        .record(|| ano_trace::Event::DeviceFault { kind: "resync_req" });
+                    continue;
+                }
+                Some(FaultAction::Delay(d)) => d,
+                None => ano_sim::time::SimDuration::from_nanos(0),
+            };
             self.sched.schedule(
-                now + resync_delay,
+                now + resync_delay + extra,
                 Event::ResyncReq {
                     host: h as u8,
                     conn,
@@ -240,9 +285,22 @@ impl World {
                 },
             );
         }
+        // Responses carry the epoch they were issued under so answers that
+        // race a reset are discarded rather than resurrecting dead contexts.
+        let epoch = self.hosts[h].nic.epoch();
         for (layer, tcpsn, ok, idx) in resync_resps {
+            let extra = match self.hosts[h].faults.on_op(DeviceOp::ResyncResp, now) {
+                Some(FaultAction::Fail | FaultAction::Drop) => {
+                    self.tracer
+                        .scoped(in_flow)
+                        .record(|| ano_trace::Event::DeviceFault { kind: "resync_resp" });
+                    continue;
+                }
+                Some(FaultAction::Delay(d)) => d,
+                None => ano_sim::time::SimDuration::from_nanos(0),
+            };
             self.sched.schedule(
-                now + resync_delay,
+                now + resync_delay + extra,
                 Event::ResyncResp {
                     host: h as u8,
                     conn,
@@ -250,6 +308,7 @@ impl World {
                     tcpsn,
                     ok,
                     idx,
+                    epoch,
                 },
             );
         }
@@ -287,7 +346,7 @@ impl World {
         let now = self.sched.now();
         let cost = self.cfg.cost.clone();
         let mut resps = Vec::new();
-        {
+        let in_flow = {
             let host = &mut self.hosts[h];
             let Some(c) = host.conns.get_mut(&conn) else {
                 return;
@@ -310,10 +369,22 @@ impl World {
                 _ => {}
             }
             poll_resyncs(&mut c.proto, &mut resps);
-        }
+            c.in_flow.0
+        };
+        let epoch = self.hosts[h].nic.epoch();
         for (layer, tcpsn, ok, idx) in resps {
+            let extra = match self.hosts[h].faults.on_op(DeviceOp::ResyncResp, now) {
+                Some(FaultAction::Fail | FaultAction::Drop) => {
+                    self.tracer
+                        .scoped(in_flow)
+                        .record(|| ano_trace::Event::DeviceFault { kind: "resync_resp" });
+                    continue;
+                }
+                Some(FaultAction::Delay(d)) => d,
+                None => ano_sim::time::SimDuration::from_nanos(0),
+            };
             self.sched.schedule(
-                now + self.cfg.resync_delay,
+                now + self.cfg.resync_delay + extra,
                 Event::ResyncResp {
                     host: h as u8,
                     conn,
@@ -321,8 +392,51 @@ impl World {
                     tcpsn,
                     ok,
                     idx,
+                    epoch,
                 },
             );
+        }
+    }
+
+    /// Materializes one scheduled device fault ([`ScheduledFault`]).
+    fn handle_device_fault(&mut self, h: usize, idx: usize) {
+        let Some(&(_, fault)) = self.hosts[h].faults.scheduled().get(idx) else {
+            return;
+        };
+        self.hosts[h].faults.note_scheduled_fired();
+        match fault {
+            ScheduledFault::Reset => {
+                // Quiesce-to-software is implicit: with every context wiped,
+                // packets fall through `rx_process`/`tx_process` untouched
+                // and the L5P layers do the work. The driver then walks its
+                // connections and re-offloads each through the normal
+                // install ladder — engines restart mid-stream in Searching
+                // and reconverge via the §4.3 resync path. Breaker-open
+                // connections stay in software.
+                self.hosts[h].nic.reset();
+                let conns: Vec<ConnId> = self.hosts[h].conns.keys().copied().collect();
+                for conn in conns {
+                    self.try_install(h, conn, true, 0);
+                    self.try_install(h, conn, false, 0);
+                }
+            }
+            ScheduledFault::InvalidateRx(flow) => {
+                if self.hosts[h].nic.invalidate_rx(flow) {
+                    let owner = self.hosts[h]
+                        .conns
+                        .iter()
+                        .find(|(_, c)| c.in_flow == flow)
+                        .map(|(id, _)| *id);
+                    if let Some(conn) = owner {
+                        self.try_install(h, conn, true, 0);
+                    }
+                }
+            }
+            ScheduledFault::CorruptRx(flow) => {
+                // Latent: the engine's integrity check trips on the next
+                // packet and it re-derives state via the resync ladder.
+                self.hosts[h].nic.corrupt_rx(flow);
+            }
         }
     }
 

@@ -18,7 +18,8 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
-use ano_core::flow::{L5TxSource, TxMsgRef};
+use ano_core::fault::DeviceFaults;
+use ano_core::flow::{L5Flow, L5TxSource, TxMsgRef};
 use ano_core::msg::FrameIndex;
 use ano_core::nic::{Nic, NicConfig};
 use ano_core::rx::RxEngine;
@@ -142,6 +143,51 @@ pub enum ConnSpec {
     NvmeTlsTarget(NvmeTargetSpec, TlsSpec),
 }
 
+/// Offload degradation policy: how the driver reacts when the device
+/// misbehaves (see [`DeviceFaults`]). Installs that fail are retried with
+/// exponential backoff and seeded jitter; a flow whose offload keeps
+/// failing — exhausted install ladders, resync storms, context-cache
+/// thrash — has its **circuit breaker** opened and runs in software for
+/// the rest of the connection's life. Offload is an optimization: the
+/// breaker trades throughput for never wedging on a sick device.
+#[derive(Clone, Debug)]
+pub struct DegradeConfig {
+    /// First install-retry backoff; doubles per failed attempt.
+    pub install_retry_base: SimDuration,
+    /// Ceiling on the exponential backoff.
+    pub install_retry_cap: SimDuration,
+    /// Install attempts per ladder before the breaker opens.
+    pub install_max_attempts: u32,
+    /// Resync requests within [`DegradeConfig::storm_window`] that open
+    /// the breaker (a flow constantly re-deriving its context gains
+    /// nothing from offload).
+    pub breaker_resync_storm: u32,
+    /// Rx context-cache misses within the window that open the breaker
+    /// (`None` disables the thrash breaker; most experiments *measure*
+    /// thrash rather than react to it).
+    pub breaker_cache_thrash: Option<u32>,
+    /// Width of the storm/thrash observation window.
+    pub storm_window: SimDuration,
+    /// Re-emit an unanswered resync request every N tracked packets
+    /// ([`RxEngine::set_rerequest_pkts`]); `None` assumes a lossless
+    /// driver mailbox.
+    pub rerequest_pkts: Option<u32>,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            install_retry_base: SimDuration::from_micros(20),
+            install_retry_cap: SimDuration::from_micros(2_000),
+            install_max_attempts: 5,
+            breaker_resync_storm: 64,
+            breaker_cache_thrash: None,
+            storm_window: SimDuration::from_micros(10_000),
+            rerequest_pkts: None,
+        }
+    }
+}
+
 /// World construction parameters.
 #[derive(Clone, Debug)]
 pub struct WorldConfig {
@@ -167,6 +213,8 @@ pub struct WorldConfig {
     pub tcp: TcpConfig,
     /// Delay for driver↔L5P resync notifications.
     pub resync_delay: SimDuration,
+    /// Offload degradation policy (fault retry/backoff, circuit breaker).
+    pub degrade: DegradeConfig,
 }
 
 impl Default for WorldConfig {
@@ -183,7 +231,87 @@ impl Default for WorldConfig {
             nic: NicConfig::default(),
             tcp: TcpConfig::default(),
             resync_delay: SimDuration::from_micros(5),
+            degrade: DegradeConfig::default(),
         }
+    }
+}
+
+/// Per-connection offload health: the windowed counters feeding the
+/// circuit breaker, the breaker itself, and degraded-mode metering.
+#[derive(Debug, Default)]
+pub(crate) struct OffloadHealth {
+    /// Why the breaker opened, when it did (`None` = closed; offloads may
+    /// be installed). Once open it never closes: re-offloading a flow that
+    /// proved the device sick would flap.
+    pub(crate) breaker_open: Option<&'static str>,
+    /// Start of the current observation window.
+    window_start: SimTime,
+    /// Resync requests seen in the window.
+    resyncs_in_window: u32,
+    /// Rx context-cache misses seen in the window.
+    misses_in_window: u32,
+    /// Payload packets processed while the breaker was open.
+    pub(crate) degraded_pkts: u64,
+}
+
+impl OffloadHealth {
+    fn roll(&mut self, now: SimTime, window: SimDuration) {
+        if now >= self.window_start + window {
+            self.window_start = now;
+            self.resyncs_in_window = 0;
+            self.misses_in_window = 0;
+        }
+    }
+
+    /// Counts one resync request; true when the storm threshold is hit.
+    pub(crate) fn note_resync(&mut self, now: SimTime, cfg: &DegradeConfig) -> bool {
+        self.roll(now, cfg.storm_window);
+        self.resyncs_in_window += 1;
+        self.resyncs_in_window >= cfg.breaker_resync_storm
+    }
+
+    /// Counts one rx cache miss; true when the thrash threshold is hit.
+    pub(crate) fn note_miss(&mut self, now: SimTime, cfg: &DegradeConfig) -> bool {
+        let Some(limit) = cfg.breaker_cache_thrash else {
+            return false;
+        };
+        self.roll(now, cfg.storm_window);
+        self.misses_in_window += 1;
+        self.misses_in_window >= limit
+    }
+}
+
+/// Rebuilds a connection's receive engine: `None` installs a fresh context
+/// at stream offset 0 (the `l5o_create` moment), `Some(off)` reinstalls
+/// mid-stream in `Searching` (after a device reset or invalidation — the
+/// new context knows nothing about the current framing).
+pub(crate) type RxFactory = Rc<dyn Fn(Option<u64>) -> RxEngine>;
+
+/// Rebuilds a connection's transmit engine. Mid-stream reinstalls need no
+/// offset: the tx engine recovers its cursor autonomously via the §4.2
+/// `l5o_get_tx_msgstate` + byte-replay path on the first packet it sees.
+pub(crate) type TxFactory = Rc<dyn Fn() -> TxEngine>;
+
+fn mk_rx(flow: Box<dyn L5Flow>, at: Option<u64>) -> RxEngine {
+    match at {
+        None => RxEngine::new(flow, 0, 0),
+        Some(off) => RxEngine::new_searching(flow, off),
+    }
+}
+
+fn fmode(modeled: bool, f: &FrameIndex) -> FlowMode {
+    if modeled {
+        FlowMode::Modeled(f.clone())
+    } else {
+        FlowMode::Functional
+    }
+}
+
+fn nmode(modeled: bool, f: &FrameIndex) -> NvmeMode {
+    if modeled {
+        NvmeMode::Modeled(f.clone())
+    } else {
+        NvmeMode::Functional
     }
 }
 
@@ -330,6 +458,12 @@ pub(crate) struct ConnState {
     pub(crate) delivered: u64,
     /// App asked to be told when the send queue drains.
     pub(crate) blocked: bool,
+    /// Rebuilds the rx engine (install retries, post-reset re-offload).
+    pub(crate) rx_factory: Option<RxFactory>,
+    /// Rebuilds the tx engine.
+    pub(crate) tx_factory: Option<TxFactory>,
+    /// Circuit-breaker state and the counters feeding it.
+    pub(crate) health: OffloadHealth,
 }
 
 pub(crate) struct HostState {
@@ -338,6 +472,9 @@ pub(crate) struct HostState {
     pub(crate) conns: BTreeMap<ConnId, ConnState>,
     /// Last connection whose packets each core processed (batching model).
     pub(crate) last_conn: Vec<Option<ConnId>>,
+    /// The host NIC's scripted fault schedule (empty by default: every
+    /// query is a counter bump, nothing else).
+    pub(crate) faults: DeviceFaults,
 }
 
 /// Queued events.
@@ -377,6 +514,21 @@ pub(crate) enum Event {
         tcpsn: u64,
         ok: bool,
         idx: u64,
+        /// Device epoch the request was issued under; the NIC discards the
+        /// response if a reset or invalidation intervened.
+        epoch: u64,
+    },
+    /// Retry one half of a connection's offload install after a backoff.
+    InstallRetry {
+        host: u8,
+        conn: ConnId,
+        rx: bool,
+        attempt: u32,
+    },
+    /// Fire entry `idx` of the host's scheduled device-fault list.
+    DeviceFault {
+        host: u8,
+        idx: usize,
     },
     TargetReply {
         host: u8,
@@ -416,6 +568,7 @@ impl World {
                     nic,
                     conns: BTreeMap::new(),
                     last_conn: vec![None; cfg.cores[i]],
+                    faults: DeviceFaults::none(),
                 }
             })
             .collect();
@@ -500,19 +653,6 @@ impl World {
         attach_proto_tracer(&mut b0.proto, &self.tracer, flow1);
         attach_proto_tracer(&mut b1.proto, &self.tracer, flow0);
 
-        if let Some(tx) = b0.tx_engine {
-            self.hosts[0].nic.install_tx(flow0, tx);
-        }
-        if let Some(rx) = b0.rx_engine {
-            self.hosts[0].nic.install_rx(flow1, rx);
-        }
-        if let Some(tx) = b1.tx_engine {
-            self.hosts[1].nic.install_tx(flow1, tx);
-        }
-        if let Some(rx) = b1.rx_engine {
-            self.hosts[1].nic.install_rx(flow0, rx);
-        }
-
         let core0 = id.0 as usize % self.cfg.cores[0];
         let core1 = id.0 as usize % self.cfg.cores[1];
         let mut tcp0 = TcpEndpoint::new(flow0, self.cfg.tcp.clone());
@@ -531,6 +671,9 @@ impl World {
                 rto_gen: 0,
                 delivered: 0,
                 blocked: false,
+                rx_factory: b0.rx_factory,
+                tx_factory: b0.tx_factory,
+                health: OffloadHealth::default(),
             },
         );
         self.hosts[1].conns.insert(
@@ -545,9 +688,169 @@ impl World {
                 rto_gen: 0,
                 delivered: 0,
                 blocked: false,
+                rx_factory: b1.rx_factory,
+                tx_factory: b1.tx_factory,
+                health: OffloadHealth::default(),
             },
         );
+        // Offloads go through the degradation policy: the host's fault
+        // script may fail or delay the install, starting a retry ladder.
+        for h in 0..2 {
+            self.try_install(h, id, true, 0);
+            self.try_install(h, id, false, 0);
+        }
         id
+    }
+
+    /// One rung of an install ladder: offers the install to the host's
+    /// fault script, then installs, retries with exponential backoff, or —
+    /// once the ladder is exhausted — opens the connection's breaker.
+    pub(crate) fn try_install(&mut self, h: usize, conn: ConnId, rx: bool, attempt: u32) {
+        use ano_core::fault::{DeviceOp, FaultAction};
+        let now = self.sched.now();
+        let (flow, at) = {
+            let host = &mut self.hosts[h];
+            let Some(c) = host.conns.get_mut(&conn) else {
+                return;
+            };
+            if c.health.breaker_open.is_some() {
+                return;
+            }
+            let flow = if rx { c.in_flow } else { c.out_flow };
+            let have_factory = if rx {
+                c.rx_factory.is_some()
+            } else {
+                c.tx_factory.is_some()
+            };
+            let installed = if rx {
+                host.nic.has_rx(flow)
+            } else {
+                host.nic.has_tx(flow)
+            };
+            if !have_factory || installed {
+                return; // nothing to offload, or a live engine already won
+            }
+            // Install at stream offset 0 only while no bytes have been
+            // delivered; after that the context's cursor is unknown and the
+            // engine must re-derive it (Searching) like any mid-stream
+            // install.
+            let rcv = c.tcp.rcv_nxt();
+            (flow, if rcv == 0 { None } else { Some(rcv) })
+        };
+        let op = if rx { DeviceOp::InstallRx } else { DeviceOp::InstallTx };
+        let dir = if rx { "rx" } else { "tx" };
+        match self.hosts[h].faults.on_op(op, now) {
+            // Fail: the device rejected the install. Drop: the request was
+            // lost in the mailbox — the driver's completion timeout makes
+            // that indistinguishable from a rejection, so both retry.
+            Some(FaultAction::Fail | FaultAction::Drop) => {
+                self.tracer
+                    .scoped(flow.0)
+                    .record(|| ano_trace::Event::InstallFail { dir, attempt });
+                self.tracer.count("stack.install_fail", 1);
+                let next = attempt + 1;
+                if next >= self.cfg.degrade.install_max_attempts {
+                    self.open_breaker(h, conn, "install_failures");
+                } else {
+                    let delay = self.install_backoff(next);
+                    self.tracer.scoped(flow.0).record(|| ano_trace::Event::InstallRetry {
+                        dir,
+                        attempt: next,
+                        delay_ns: delay.as_nanos(),
+                    });
+                    self.sched.schedule(
+                        now + delay,
+                        Event::InstallRetry {
+                            host: h as u8,
+                            conn,
+                            rx,
+                            attempt: next,
+                        },
+                    );
+                }
+            }
+            Some(FaultAction::Delay(d)) => {
+                // The install completes late; when the deferred rung fires
+                // it is offered to the script again as a fresh attempt.
+                self.sched.schedule(
+                    now + d,
+                    Event::InstallRetry {
+                        host: h as u8,
+                        conn,
+                        rx,
+                        attempt,
+                    },
+                );
+            }
+            None => {
+                let host = &mut self.hosts[h];
+                let Some(c) = host.conns.get_mut(&conn) else {
+                    return;
+                };
+                if rx {
+                    let Some(f) = &c.rx_factory else { return };
+                    let mut engine = f(at);
+                    engine.set_rerequest_pkts(self.cfg.degrade.rerequest_pkts);
+                    host.nic.install_rx(flow, engine);
+                } else {
+                    let Some(f) = &c.tx_factory else { return };
+                    host.nic.install_tx(flow, f());
+                }
+                if attempt > 0 {
+                    self.tracer
+                        .scoped(flow.0)
+                        .record(|| ano_trace::Event::InstallOk { dir, attempt });
+                }
+            }
+        }
+    }
+
+    /// Exponential install backoff with seeded jitter: `base * 2^(n-1)`
+    /// capped, plus a uniform draw in `[0, base/2)` so synchronized retry
+    /// ladders (e.g. every flow after a reset) de-correlate.
+    fn install_backoff(&mut self, attempt: u32) -> SimDuration {
+        let d = &self.cfg.degrade;
+        let base = d.install_retry_base.as_nanos().max(1);
+        let exp = base.saturating_mul(1u64 << (attempt - 1).min(20));
+        let capped = exp.min(d.install_retry_cap.as_nanos().max(base));
+        let jitter = self.rng.range_u64(0, (base / 2).max(1));
+        SimDuration::from_nanos(capped + jitter)
+    }
+
+    /// Opens a connection's circuit breaker: its offload engines are
+    /// uninstalled (orderly, with context write-back) and the flow runs in
+    /// software permanently. Idempotent.
+    pub(crate) fn open_breaker(&mut self, h: usize, conn: ConnId, reason: &'static str) {
+        let host = &mut self.hosts[h];
+        let Some(c) = host.conns.get_mut(&conn) else {
+            return;
+        };
+        if c.health.breaker_open.is_some() {
+            return;
+        }
+        c.health.breaker_open = Some(reason);
+        host.nic.uninstall_rx(c.in_flow);
+        host.nic.uninstall_tx(c.out_flow);
+        self.tracer
+            .scoped(c.in_flow.0)
+            .record(|| ano_trace::Event::BreakerOpen { reason });
+        self.tracer.count("stack.breaker_open", 1);
+    }
+
+    /// Installs a device-fault schedule on a host's NIC. Scheduled one-shot
+    /// faults become simulation events now; operation rules apply from the
+    /// next install/resync attempt on.
+    pub fn set_device_faults(&mut self, host: usize, plan: DeviceFaults) {
+        for (idx, (when, _)) in plan.scheduled().iter().enumerate() {
+            self.sched.schedule(
+                *when,
+                Event::DeviceFault {
+                    host: host as u8,
+                    idx,
+                },
+            );
+        }
+        self.hosts[host].faults = plan;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -563,25 +866,12 @@ impl World {
     ) -> BuiltEndpoint {
         let mode = self.cfg.mode;
         let modeled = mode == DataMode::Modeled;
-        let fm = |f: &FrameIndex| {
-            if modeled {
-                FlowMode::Modeled(f.clone())
-            } else {
-                FlowMode::Functional
-            }
-        };
-        let nm = |f: &FrameIndex| {
-            if modeled {
-                NvmeMode::Modeled(f.clone())
-            } else {
-                NvmeMode::Functional
-            }
-        };
+        let nm = |f: &FrameIndex| nmode(modeled, f);
         match spec {
             ConnSpec::Raw => BuiltEndpoint {
                 proto: Proto::Raw,
-                tx_engine: None,
-                rx_engine: None,
+                tx_factory: None,
+                rx_factory: None,
             },
             ConnSpec::Tls(t) => {
                 let tx = KtlsTx::with_frames(
@@ -594,16 +884,22 @@ impl World {
                     tls_f_out.clone(),
                 );
                 let rx = KtlsRx::new(sess_in.clone(), mode, modeled.then(|| tls_f_in.clone()));
-                let tx_engine = t.tx_offload.then(|| {
-                    TxEngine::new(Box::new(TlsTxFlow::new(sess_out.clone(), fm(tls_f_out))), 0, 0)
+                let tx_factory = t.tx_offload.then(|| {
+                    let (sess, fi) = (sess_out.clone(), tls_f_out.clone());
+                    Rc::new(move || {
+                        TxEngine::new(Box::new(TlsTxFlow::new(sess.clone(), fmode(modeled, &fi))), 0, 0)
+                    }) as TxFactory
                 });
-                let rx_engine = t.rx_offload.then(|| {
-                    RxEngine::new(Box::new(TlsRxFlow::new(sess_in.clone(), fm(tls_f_in))), 0, 0)
+                let rx_factory = t.rx_offload.then(|| {
+                    let (sess, fi) = (sess_in.clone(), tls_f_in.clone());
+                    Rc::new(move |at: Option<u64>| {
+                        mk_rx(Box::new(TlsRxFlow::new(sess.clone(), fmode(modeled, &fi))), at)
+                    }) as RxFactory
                 });
                 BuiltEndpoint {
                     proto: Proto::Tls { tx, rx },
-                    tx_engine,
-                    rx_engine,
+                    tx_factory,
+                    rx_factory,
                 }
             }
             ConnSpec::NvmeHost(n) => {
@@ -618,20 +914,25 @@ impl World {
                     PduParser::new(nm(nvme_f_in)),
                     nvme_f_out.clone(),
                 );
-                let tx_engine = n
-                    .crc_tx_offload
-                    .then(|| TxEngine::new(Box::new(NvmeTxFlow::new(nm(nvme_f_out))), 0, 0));
-                let rx_engine = (n.copy_offload || n.crc_offload).then(|| {
-                    RxEngine::new(
-                        Box::new(NvmeRxFlow::new(nm(nvme_f_in), rr.clone(), n.copy_offload)),
-                        0,
-                        0,
-                    )
+                let tx_factory = n.crc_tx_offload.then(|| {
+                    let fi = nvme_f_out.clone();
+                    Rc::new(move || {
+                        TxEngine::new(Box::new(NvmeTxFlow::new(nmode(modeled, &fi))), 0, 0)
+                    }) as TxFactory
+                });
+                let rx_factory = (n.copy_offload || n.crc_offload).then(|| {
+                    let (fi, rr, copy) = (nvme_f_in.clone(), rr.clone(), n.copy_offload);
+                    Rc::new(move |at: Option<u64>| {
+                        mk_rx(
+                            Box::new(NvmeRxFlow::new(nmode(modeled, &fi), rr.clone(), copy)),
+                            at,
+                        )
+                    }) as RxFactory
                 });
                 BuiltEndpoint {
                     proto: Proto::NvmeHost { host },
-                    tx_engine,
-                    rx_engine,
+                    tx_factory,
+                    rx_factory,
                 }
             }
             ConnSpec::NvmeTarget(t) => {
@@ -650,15 +951,20 @@ impl World {
                     PduParser::new(nm(nvme_f_in)),
                     nvme_f_out.clone(),
                 );
-                let tx_engine = t
-                    .crc_tx_offload
-                    .then(|| TxEngine::new(Box::new(NvmeTxFlow::new(nm(nvme_f_out))), 0, 0));
-                let rx_engine = t.crc_rx_offload.then(|| {
-                    RxEngine::new(
-                        Box::new(NvmeRxFlow::new(nm(nvme_f_in), RrMap::new(), false)),
-                        0,
-                        0,
-                    )
+                let tx_factory = t.crc_tx_offload.then(|| {
+                    let fi = nvme_f_out.clone();
+                    Rc::new(move || {
+                        TxEngine::new(Box::new(NvmeTxFlow::new(nmode(modeled, &fi))), 0, 0)
+                    }) as TxFactory
+                });
+                let rx_factory = t.crc_rx_offload.then(|| {
+                    let fi = nvme_f_in.clone();
+                    Rc::new(move |at: Option<u64>| {
+                        mk_rx(
+                            Box::new(NvmeRxFlow::new(nmode(modeled, &fi), RrMap::new(), false)),
+                            at,
+                        )
+                    }) as RxFactory
                 });
                 BuiltEndpoint {
                     proto: Proto::NvmeTarget {
@@ -666,8 +972,8 @@ impl World {
                         pending: BTreeMap::new(),
                         next_token: 0,
                     },
-                    tx_engine,
-                    rx_engine,
+                    tx_factory,
+                    rx_factory,
                 }
             }
             ConnSpec::NvmeTlsHost(n, t) => {
@@ -693,26 +999,34 @@ impl World {
                     nvme_f_out.clone(),
                 );
                 let inner: Rc<RefCell<InnerTxShared>> = Rc::new(RefCell::new(InnerTxShared::default()));
-                let tx_engine = t.tx_offload.then(|| {
-                    let mut flow = TlsTxFlow::new(sess_out.clone(), fm(tls_f_out));
-                    if n.crc_tx_offload {
-                        flow = flow.with_inner(
-                            TxEngine::new(Box::new(NvmeTxFlow::new(nm(nvme_f_out))), 0, 0),
-                            Rc::clone(&inner) as Rc<RefCell<dyn L5TxSource>>,
-                        );
-                    }
-                    TxEngine::new(Box::new(flow), 0, 0)
+                let tx_factory = t.tx_offload.then(|| {
+                    let (sess, tfi, nfi) = (sess_out.clone(), tls_f_out.clone(), nvme_f_out.clone());
+                    let (inner, crc_tx) = (Rc::clone(&inner), n.crc_tx_offload);
+                    Rc::new(move || {
+                        let mut flow = TlsTxFlow::new(sess.clone(), fmode(modeled, &tfi));
+                        if crc_tx {
+                            flow = flow.with_inner(
+                                TxEngine::new(Box::new(NvmeTxFlow::new(nmode(modeled, &nfi))), 0, 0),
+                                Rc::clone(&inner) as Rc<RefCell<dyn L5TxSource>>,
+                            );
+                        }
+                        TxEngine::new(Box::new(flow), 0, 0)
+                    }) as TxFactory
                 });
-                let rx_engine = t.rx_offload.then(|| {
-                    let mut flow = TlsRxFlow::new(sess_in.clone(), fm(tls_f_in));
-                    if n.copy_offload || n.crc_offload {
-                        flow = flow.with_inner(RxEngine::new(
-                            Box::new(NvmeRxFlow::new(nm(nvme_f_in), rr.clone(), n.copy_offload)),
-                            0,
-                            0,
-                        ));
-                    }
-                    RxEngine::new(Box::new(flow), 0, 0)
+                let rx_factory = t.rx_offload.then(|| {
+                    let (sess, tfi, nfi) = (sess_in.clone(), tls_f_in.clone(), nvme_f_in.clone());
+                    let (rr, copy, crc) = (rr.clone(), n.copy_offload, n.crc_offload);
+                    Rc::new(move |at: Option<u64>| {
+                        let mut flow = TlsRxFlow::new(sess.clone(), fmode(modeled, &tfi));
+                        if copy || crc {
+                            flow = flow.with_inner(RxEngine::new(
+                                Box::new(NvmeRxFlow::new(nmode(modeled, &nfi), rr.clone(), copy)),
+                                0,
+                                0,
+                            ));
+                        }
+                        mk_rx(Box::new(flow), at)
+                    }) as RxFactory
                 });
                 BuiltEndpoint {
                     proto: Proto::NvmeTlsHost {
@@ -721,8 +1035,8 @@ impl World {
                         host,
                         inner,
                     },
-                    tx_engine,
-                    rx_engine,
+                    tx_factory,
+                    rx_factory,
                 }
             }
             ConnSpec::NvmeTlsTarget(tg, t) => {
@@ -752,26 +1066,34 @@ impl World {
                     nvme_f_out.clone(),
                 );
                 let inner: Rc<RefCell<InnerTxShared>> = Rc::new(RefCell::new(InnerTxShared::default()));
-                let tx_engine = t.tx_offload.then(|| {
-                    let mut flow = TlsTxFlow::new(sess_out.clone(), fm(tls_f_out));
-                    if tg.crc_tx_offload {
-                        flow = flow.with_inner(
-                            TxEngine::new(Box::new(NvmeTxFlow::new(nm(nvme_f_out))), 0, 0),
-                            Rc::clone(&inner) as Rc<RefCell<dyn L5TxSource>>,
-                        );
-                    }
-                    TxEngine::new(Box::new(flow), 0, 0)
+                let tx_factory = t.tx_offload.then(|| {
+                    let (sess, tfi, nfi) = (sess_out.clone(), tls_f_out.clone(), nvme_f_out.clone());
+                    let (inner, crc_tx) = (Rc::clone(&inner), tg.crc_tx_offload);
+                    Rc::new(move || {
+                        let mut flow = TlsTxFlow::new(sess.clone(), fmode(modeled, &tfi));
+                        if crc_tx {
+                            flow = flow.with_inner(
+                                TxEngine::new(Box::new(NvmeTxFlow::new(nmode(modeled, &nfi))), 0, 0),
+                                Rc::clone(&inner) as Rc<RefCell<dyn L5TxSource>>,
+                            );
+                        }
+                        TxEngine::new(Box::new(flow), 0, 0)
+                    }) as TxFactory
                 });
-                let rx_engine = t.rx_offload.then(|| {
-                    let mut flow = TlsRxFlow::new(sess_in.clone(), fm(tls_f_in));
-                    if tg.crc_rx_offload {
-                        flow = flow.with_inner(RxEngine::new(
-                            Box::new(NvmeRxFlow::new(nm(nvme_f_in), RrMap::new(), false)),
-                            0,
-                            0,
-                        ));
-                    }
-                    RxEngine::new(Box::new(flow), 0, 0)
+                let rx_factory = t.rx_offload.then(|| {
+                    let (sess, tfi, nfi) = (sess_in.clone(), tls_f_in.clone(), nvme_f_in.clone());
+                    let crc_rx = tg.crc_rx_offload;
+                    Rc::new(move |at: Option<u64>| {
+                        let mut flow = TlsRxFlow::new(sess.clone(), fmode(modeled, &tfi));
+                        if crc_rx {
+                            flow = flow.with_inner(RxEngine::new(
+                                Box::new(NvmeRxFlow::new(nmode(modeled, &nfi), RrMap::new(), false)),
+                                0,
+                                0,
+                            ));
+                        }
+                        mk_rx(Box::new(flow), at)
+                    }) as RxFactory
                 });
                 BuiltEndpoint {
                     proto: Proto::NvmeTlsTarget {
@@ -782,8 +1104,8 @@ impl World {
                         next_token: 0,
                         inner,
                     },
-                    tx_engine,
-                    rx_engine,
+                    tx_factory,
+                    rx_factory,
                 }
             }
         }
@@ -888,6 +1210,28 @@ impl World {
         self.links[if dir0to1 { 0 } else { 1 }].stats()
     }
 
+    /// Why `conn`'s circuit breaker opened at `host`, or `None` while it
+    /// is closed (offloads may be installed).
+    pub fn breaker_reason(&self, host: usize, conn: ConnId) -> Option<&'static str> {
+        self.hosts[host].conns.get(&conn)?.health.breaker_open
+    }
+
+    /// Payload packets `conn` processed at `host` with its breaker open
+    /// (degraded-mode metering).
+    pub fn degraded_pkts(&self, host: usize, conn: ConnId) -> u64 {
+        self.hosts[host]
+            .conns
+            .get(&conn)
+            .map(|c| c.health.degraded_pkts)
+            .unwrap_or(0)
+    }
+
+    /// How many operations a host's device-fault script acted on (the
+    /// injection oracle: chaos tests assert their schedule actually fired).
+    pub fn device_faults_injected(&self, host: usize) -> u64 {
+        self.hosts[host].faults.injected()
+    }
+
     /// Sets the NVMe copy-cost working-set hint for a host connection
     /// (drives Fig. 10's LLC cliff).
     pub fn set_nvme_working_set(&mut self, host: usize, conn: ConnId, ws: u64) {
@@ -903,10 +1247,11 @@ impl World {
 
 struct BuiltEndpoint {
     proto: Proto,
-    /// Engine for this endpoint's outgoing flow (installed on its own NIC).
-    tx_engine: Option<TxEngine>,
-    /// Engine for this endpoint's *incoming* flow (installed on its own NIC).
-    rx_engine: Option<RxEngine>,
+    /// Factory for this endpoint's outgoing flow's engine (installed on
+    /// its own NIC; re-invoked after device resets).
+    tx_factory: Option<TxFactory>,
+    /// Factory for this endpoint's *incoming* flow's engine.
+    rx_factory: Option<RxFactory>,
 }
 
 /// Hands flow-scoped tracer clones to the endpoint's L5P receive layers

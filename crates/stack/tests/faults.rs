@@ -1,0 +1,291 @@
+//! Device-fault injection end-to-end: install retry ladders, the per-flow
+//! circuit breaker, NIC resets mid-transfer, and the stale-resync epoch
+//! guard — all checked against the invariant that application bytes are
+//! identical to a fault-free software run no matter what the device does.
+//!
+//! Timing note: with the default link and cost model the first payload
+//! packets reach the receiver NIC around t≈160 µs and a 2 MB stream
+//! drains by t≈1.8 ms. Fault times below (≥300 µs) are chosen so the
+//! fault lands mid-stream, after the receive window has advanced — a
+//! fault before the first byte would just re-install at offset 0 and
+//! exercise nothing interesting.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ano_core::fault::{DeviceFaults, DeviceOp, FaultAction, ScheduledFault};
+use ano_sim::link::Match;
+use ano_sim::payload::{DataMode, Payload};
+use ano_sim::time::{SimDuration, SimTime};
+use ano_stack::app::{AppEvent, HostApi, HostApp};
+use ano_stack::prelude::*;
+use ano_tcp::segment::FlowId;
+
+#[derive(Default)]
+struct Recorder {
+    got: Rc<RefCell<Vec<u8>>>,
+}
+
+impl HostApp for Recorder {
+    fn on_event(&mut self, _api: &mut HostApi, event: AppEvent<'_>) {
+        if let AppEvent::Data { chunks, .. } = event {
+            let mut g = self.got.borrow_mut();
+            for c in chunks {
+                g.extend_from_slice(&c.payload.to_vec());
+            }
+        }
+    }
+}
+
+struct SendOnce {
+    conn: ConnId,
+    data: Vec<u8>,
+}
+
+impl HostApp for SendOnce {
+    fn on_event(&mut self, api: &mut HostApi, event: AppEvent<'_>) {
+        if let AppEvent::Start = event {
+            api.send(self.conn, Payload::real(self.data.clone()));
+        }
+    }
+}
+
+fn functional_cfg(seed: u64) -> WorldConfig {
+    WorldConfig {
+        seed,
+        mode: DataMode::Functional,
+        ..Default::default()
+    }
+}
+
+fn pattern(n: u32) -> Vec<u8> {
+    (0..n).map(|i| (i % 239) as u8).collect()
+}
+
+/// Runs an offloaded TLS transfer with `faults` installed on the receiver
+/// *before* connect (so install-time rules see the very first attempt),
+/// asserting the received bytes match. Returns the world for inspection.
+fn tls_run_with_faults(cfg: WorldConfig, faults: DeviceFaults, bytes: u32) -> (World, ConnId) {
+    let mut w = World::new(cfg);
+    w.set_device_faults(1, faults);
+    let conn = w.connect(
+        ConnSpec::Tls(TlsSpec::offloaded()),
+        ConnSpec::Tls(TlsSpec::offloaded()),
+    );
+    let data = pattern(bytes);
+    let got = Rc::new(RefCell::new(Vec::new()));
+    w.set_app(0, Box::new(SendOnce { conn, data: data.clone() }));
+    w.set_app(1, Box::new(Recorder { got: Rc::clone(&got) }));
+    w.start();
+    w.run_until(SimTime::from_secs(5));
+    assert!(w.is_idle(), "transfer completes despite faults");
+    assert_eq!(*got.borrow(), data, "bytes identical to the software path");
+    (w, conn)
+}
+
+/// Same shape, but the fault plan needs the connection's rx flow id, so
+/// it is built by `mk` after connect (scheduled one-shots only).
+fn tls_run_with_flow_faults(
+    cfg: WorldConfig,
+    mk: impl FnOnce(FlowId) -> DeviceFaults,
+    bytes: u32,
+) -> (World, ConnId) {
+    let mut w = World::new(cfg);
+    let conn = w.connect(
+        ConnSpec::Tls(TlsSpec::offloaded()),
+        ConnSpec::Tls(TlsSpec::offloaded()),
+    );
+    let (_, in_flow) = w.flow_ids(1, conn).expect("flow ids");
+    w.set_device_faults(1, mk(FlowId(in_flow)));
+    let data = pattern(bytes);
+    let got = Rc::new(RefCell::new(Vec::new()));
+    w.set_app(0, Box::new(SendOnce { conn, data: data.clone() }));
+    w.set_app(1, Box::new(Recorder { got: Rc::clone(&got) }));
+    w.start();
+    w.run_until(SimTime::from_secs(5));
+    assert!(w.is_idle(), "transfer completes despite faults");
+    assert_eq!(*got.borrow(), data, "bytes identical to the software path");
+    (w, conn)
+}
+
+/// A transient install failure is retried with backoff and the flow ends
+/// up offloaded — the breaker never opens.
+#[test]
+fn install_retry_ladder_recovers() {
+    let faults = DeviceFaults::fail_first(DeviceOp::InstallRx, 2);
+    let (w, conn) = tls_run_with_faults(functional_cfg(40), faults, 2_000_000);
+    assert_eq!(w.breaker_reason(1, conn), None, "transient fault: no breaker");
+    let rx = w.rx_engine_stats(1, conn).expect("rx engine reinstalled");
+    assert!(
+        rx.pkts_offloaded > 0,
+        "flow re-offloaded after retries (got {rx:?})"
+    );
+    assert_eq!(w.degraded_pkts(1, conn), 0, "breaker never opened");
+    assert!(w.device_faults_injected(1) >= 2, "both failures were injected");
+}
+
+/// Installs that keep failing exhaust the ladder; the breaker opens into
+/// permanent software fallback and the transfer still completes.
+#[test]
+fn persistent_install_failure_opens_breaker() {
+    let mut cfg = functional_cfg(41);
+    // Tighten the ladder so the breaker opens early in the stream.
+    cfg.degrade.install_retry_base = SimDuration::from_micros(2);
+    cfg.degrade.install_retry_cap = SimDuration::from_micros(8);
+    cfg.degrade.install_max_attempts = 3;
+    let faults = DeviceFaults::fail_all(DeviceOp::InstallRx);
+    let (w, conn) = tls_run_with_faults(cfg, faults, 1_000_000);
+    assert_eq!(w.breaker_reason(1, conn), Some("install_failures"));
+    assert!(
+        w.rx_engine_stats(1, conn).is_none(),
+        "no rx engine while the breaker is open"
+    );
+    assert!(w.degraded_pkts(1, conn) > 0, "software path metered");
+    let k = w.ktls_rx_stats(1, conn).expect("tls stats");
+    assert_eq!(k.alerts, 0, "software kTLS decrypts cleanly");
+    assert!(k.class.none > 0, "records handled in software");
+}
+
+/// A full device reset mid-transfer: contexts are wiped, packets fall
+/// through to software, the driver reinstalls mid-stream (Searching) and
+/// the engine reconverges via the §4.3 resync ladder.
+#[test]
+fn device_reset_reoffloads_via_resync() {
+    let faults = DeviceFaults::reset_at(SimTime::from_micros(300));
+    let (w, conn) = tls_run_with_faults(functional_cfg(42), faults, 2_000_000);
+    assert_eq!(w.breaker_reason(1, conn), None);
+    let rx = w.rx_engine_stats(1, conn).expect("engine reinstalled after reset");
+    assert!(
+        rx.pkts_offloaded > 0,
+        "flow re-offloaded after the reset (got {rx:?})"
+    );
+    assert!(rx.resync_requests > 0, "mid-stream reinstall used resync");
+    assert!(w.device_faults_injected(1) >= 1, "the reset was injected");
+}
+
+/// Regression: a `ResyncResp` delayed across a device reset carries the
+/// pre-reset epoch and must be discarded — it must not resurrect a dead
+/// context generation. The post-reset reinstall then resyncs cleanly.
+#[test]
+fn stale_resync_resp_after_reset_is_discarded() {
+    // First reset (300 µs) forces a mid-stream reinstall that has to
+    // resync; every resync response is delayed 100 µs, so the answer is
+    // still in flight when the second reset (350 µs) advances the epoch.
+    let faults = DeviceFaults::none()
+        .with(
+            DeviceOp::ResyncResp,
+            Match::Range(0, u64::MAX),
+            FaultAction::Delay(SimDuration::from_micros(100)),
+        )
+        .at(SimTime::from_micros(300), ScheduledFault::Reset)
+        .at(SimTime::from_micros(350), ScheduledFault::Reset);
+    let (w, conn) = tls_run_with_faults(functional_cfg(43), faults, 2_000_000);
+    let nc = w.nic_counters(1);
+    assert!(
+        nc.stale_resyncs >= 1,
+        "delayed response crossed a reset and was discarded (got {nc:?})"
+    );
+    let rx = w.rx_engine_stats(1, conn).expect("engine alive after resets");
+    assert!(rx.pkts_offloaded > 0, "later resync with the live epoch lands");
+}
+
+/// A corrupted rx context is detected by the integrity check and the
+/// engine falls back to the resync ladder instead of emitting garbage.
+#[test]
+fn corrupt_context_self_heals() {
+    let (w, conn) = tls_run_with_flow_faults(
+        functional_cfg(44),
+        |flow| {
+            DeviceFaults::none().at(SimTime::from_micros(300), ScheduledFault::CorruptRx(flow))
+        },
+        2_000_000,
+    );
+    let rx = w.rx_engine_stats(1, conn).expect("rx engine");
+    assert!(rx.corrupt_detected >= 1, "integrity check fired (got {rx:?})");
+    assert!(rx.resync_requests > 0, "recovered via resync");
+    assert!(w.device_faults_injected(1) >= 1);
+}
+
+/// Dropped resync-request mailbox messages are re-emitted after
+/// `rerequest_pkts` tracked packets, so a lossy mailbox cannot strand a
+/// flow in Tracking forever.
+#[test]
+fn dropped_resync_req_is_rerequested() {
+    let mut cfg = functional_cfg(45);
+    cfg.degrade.rerequest_pkts = Some(8);
+    let (w, conn) = tls_run_with_flow_faults(
+        cfg,
+        |flow| {
+            // Invalidate mid-stream to force a resync, then eat the
+            // first request; the engine re-requests and the second
+            // one lands.
+            DeviceFaults::drop_range(DeviceOp::ResyncReq, 0, 1)
+                .at(SimTime::from_micros(300), ScheduledFault::InvalidateRx(flow))
+        },
+        2_000_000,
+    );
+    let rx = w.rx_engine_stats(1, conn).expect("rx engine");
+    assert!(rx.rerequests >= 1, "request re-emitted (got {rx:?})");
+    assert!(rx.pkts_offloaded > 0, "flow re-offloaded after the retry");
+}
+
+/// A resync storm (repeated context invalidations) trips the windowed
+/// breaker: the flow is demoted to software permanently.
+#[test]
+fn resync_storm_opens_breaker() {
+    let mut cfg = functional_cfg(46);
+    cfg.degrade.breaker_resync_storm = 3;
+    cfg.degrade.storm_window = SimDuration::from_micros(100_000);
+    let (w, conn) = tls_run_with_flow_faults(
+        cfg,
+        |flow| {
+            // Invalidations spread across the transfer: each reinstall
+            // triggers a resync; the third crosses the storm threshold.
+            let mut f = DeviceFaults::none();
+            for us in [300u64, 450, 600, 750] {
+                f = f.at(SimTime::from_micros(us), ScheduledFault::InvalidateRx(flow));
+            }
+            f
+        },
+        2_000_000,
+    );
+    assert_eq!(w.breaker_reason(1, conn), Some("resync_storm"));
+    assert!(w.degraded_pkts(1, conn) > 0, "post-breaker packets metered");
+    assert!(
+        w.rx_engine_stats(1, conn).is_none(),
+        "context handed back on breaker open"
+    );
+}
+
+/// With an empty fault plan installed, behavior and counters match a
+/// world that never called `set_device_faults` at all — the fault layer
+/// is inert when unused.
+#[test]
+fn empty_fault_plan_is_inert() {
+    let run = |install: bool| -> (Vec<u8>, u64, u64) {
+        let mut w = World::new(functional_cfg(47));
+        let conn = w.connect(
+            ConnSpec::Tls(TlsSpec::offloaded()),
+            ConnSpec::Tls(TlsSpec::offloaded()),
+        );
+        if install {
+            w.set_device_faults(1, DeviceFaults::none());
+        }
+        let data = pattern(80_000);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        w.set_app(0, Box::new(SendOnce { conn, data: data.clone() }));
+        w.set_app(1, Box::new(Recorder { got: Rc::clone(&got) }));
+        w.start();
+        w.run_until(SimTime::from_secs(5));
+        assert!(w.is_idle());
+        let rx = w.rx_engine_stats(1, conn).expect("rx engine");
+        let bytes = got.borrow().clone();
+        (bytes, rx.pkts_offloaded, w.device_faults_injected(1))
+    };
+    let (a_bytes, a_off, a_inj) = run(false);
+    let (b_bytes, b_off, b_inj) = run(true);
+    assert_eq!(a_bytes, b_bytes);
+    assert_eq!(a_off, b_off, "offload behavior identical");
+    assert_eq!(a_inj, 0);
+    assert_eq!(b_inj, 0, "empty plan injects nothing");
+}

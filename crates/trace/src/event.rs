@@ -21,6 +21,11 @@ pub enum Category {
     Crypto,
     /// Per-layer CPU cycle attribution (high volume).
     Cpu,
+    /// Device faults and the degradation policy (install retries, breaker
+    /// transitions, resets). Silent on a healthy device: the clean
+    /// first-attempt install path records nothing, so enabling the
+    /// category cannot perturb fault-free golden traces.
+    Device,
 }
 
 /// Why a TCP segment was retransmitted.
@@ -183,6 +188,53 @@ pub enum Event {
         /// Cycles spent.
         cycles: u64,
     },
+    /// A scripted device fault fired (scheduled one-shot or operation rule).
+    DeviceFault {
+        /// Stable fault label ("reset", "invalidate_rx", "corrupt_rx",
+        /// "install_rx", "resync_resp", ...).
+        kind: &'static str,
+    },
+    /// An offload-context install attempt failed on the device.
+    InstallFail {
+        /// Which half ("rx" or "tx").
+        dir: &'static str,
+        /// 0-based attempt number for this context.
+        attempt: u32,
+    },
+    /// A failed install was rescheduled with exponential backoff.
+    InstallRetry {
+        /// Which half ("rx" or "tx").
+        dir: &'static str,
+        /// 0-based attempt number being scheduled.
+        attempt: u32,
+        /// Backoff delay until the retry, nanoseconds.
+        delay_ns: u64,
+    },
+    /// A context was installed after at least one failure or a reset
+    /// (clean first-attempt installs are not recorded).
+    InstallOk {
+        /// Which half ("rx" or "tx").
+        dir: &'static str,
+        /// 0-based attempt number that succeeded.
+        attempt: u32,
+    },
+    /// The per-flow circuit breaker opened: the flow runs in permanent
+    /// software fallback from here on.
+    BreakerOpen {
+        /// What tripped it ("install_failures", "resync_storm", "cache_thrash").
+        reason: &'static str,
+    },
+    /// Full device reset: every offload context was wiped.
+    DeviceReset {
+        /// Number of per-flow engine contexts lost (rx + tx).
+        wiped: u64,
+    },
+    /// A resync response from a pre-reset epoch was discarded instead of
+    /// resurrecting a dead context.
+    StaleResyncResp {
+        /// TCP sequence the late response referred to.
+        tcpsn: u64,
+    },
 }
 
 impl Event {
@@ -205,6 +257,13 @@ impl Event {
             | Event::DigestOk { .. }
             | Event::DigestFail { .. } => Category::Crypto,
             Event::Cpu { .. } => Category::Cpu,
+            Event::DeviceFault { .. }
+            | Event::InstallFail { .. }
+            | Event::InstallRetry { .. }
+            | Event::InstallOk { .. }
+            | Event::BreakerOpen { .. }
+            | Event::DeviceReset { .. }
+            | Event::StaleResyncResp { .. } => Category::Device,
         }
     }
 
@@ -227,6 +286,13 @@ impl Event {
             Event::DigestOk { .. } => "digest.ok",
             Event::DigestFail { .. } => "digest.fail",
             Event::Cpu { .. } => "cpu",
+            Event::DeviceFault { .. } => "device.fault",
+            Event::InstallFail { .. } => "device.install-fail",
+            Event::InstallRetry { .. } => "device.install-retry",
+            Event::InstallOk { .. } => "device.install-ok",
+            Event::BreakerOpen { .. } => "device.breaker-open",
+            Event::DeviceReset { .. } => "device.reset",
+            Event::StaleResyncResp { .. } => "device.stale-resync",
         }
     }
 
@@ -249,6 +315,15 @@ impl Event {
             Event::DigestOk { cid } => format!("cid={cid}"),
             Event::DigestFail { cid } => format!("cid={cid}"),
             Event::Cpu { layer, cycles } => format!("layer={layer} cycles={cycles}"),
+            Event::DeviceFault { kind } => format!("kind={kind}"),
+            Event::InstallFail { dir, attempt } => format!("dir={dir} attempt={attempt}"),
+            Event::InstallRetry { dir, attempt, delay_ns } => {
+                format!("dir={dir} attempt={attempt} delay_ns={delay_ns}")
+            }
+            Event::InstallOk { dir, attempt } => format!("dir={dir} attempt={attempt}"),
+            Event::BreakerOpen { reason } => format!("reason={reason}"),
+            Event::DeviceReset { wiped } => format!("wiped={wiped}"),
+            Event::StaleResyncResp { tcpsn } => format!("tcpsn={tcpsn}"),
         }
     }
 }
@@ -288,6 +363,13 @@ mod tests {
             ),
             (Event::AuthReject { seq: 3 }, Category::Crypto),
             (Event::Cpu { layer: "tls", cycles: 40 }, Category::Cpu),
+            (Event::DeviceFault { kind: "reset" }, Category::Device),
+            (Event::InstallFail { dir: "rx", attempt: 0 }, Category::Device),
+            (Event::InstallRetry { dir: "rx", attempt: 1, delay_ns: 500 }, Category::Device),
+            (Event::InstallOk { dir: "tx", attempt: 2 }, Category::Device),
+            (Event::BreakerOpen { reason: "install_failures" }, Category::Device),
+            (Event::DeviceReset { wiped: 4 }, Category::Device),
+            (Event::StaleResyncResp { tcpsn: 99 }, Category::Device),
         ];
         for (ev, cat) in cases {
             assert_eq!(ev.category(), cat, "{ev}");
@@ -304,5 +386,11 @@ mod tests {
         assert_eq!(ev.to_string(), "resync.transition Tracking->Confirmed seq=4242");
         let ev = Event::TcpRetransmit { seq: 100, len: 1448, kind: RetransmitKind::Sack };
         assert_eq!(ev.to_string(), "tcp.retransmit seq=100 len=1448 kind=sack");
+        let ev = Event::InstallRetry { dir: "rx", attempt: 2, delay_ns: 40_000 };
+        assert_eq!(ev.to_string(), "device.install-retry dir=rx attempt=2 delay_ns=40000");
+        let ev = Event::DeviceReset { wiped: 3 };
+        assert_eq!(ev.to_string(), "device.reset wiped=3");
+        let ev = Event::BreakerOpen { reason: "resync_storm" };
+        assert_eq!(ev.to_string(), "device.breaker-open reason=resync_storm");
     }
 }

@@ -55,6 +55,16 @@ echo "== adversarial scenario matrix: differential offload-vs-software =="
 # timeout is a hard backstop against a wedged scheduler looping forever.
 CARGO_NET_OFFLINE=true timeout 600 cargo test -q -p ano-scenario
 
+echo "== device-fault chaos matrix: degradation under install/mailbox/reset faults =="
+# 8 device-fault patterns x {TLS, NVMe, NVMe-TLS}, each offloaded-with-faults
+# vs software-without, asserting byte-identical streams plus the expected
+# degradation (re-offload after transient faults, breaker-open with the right
+# reason after persistent ones). The full matrix is #[ignore]d in the default
+# test run (it takes ~90s); this tier is its home. The timeout is a hard
+# backstop: a fault that wedges the install ladder or the resync machine must
+# fail CI, not hang it.
+CARGO_NET_OFFLINE=true timeout 900 cargo test -q -p ano-scenario --test chaos -- --include-ignored
+
 echo "== golden traces: canonical event logs vs committed .golden files =="
 # Behavioral regression net on top of the differential matrix: the exact
 # TCP-recovery + resync event sequence of known scenarios must match the
