@@ -12,7 +12,58 @@
 // intrusive prev/next list and eviction follows `tail`, so hash iteration
 // order can never reach traces, golden files, or scheduling.
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// Multiply-xor hasher (Firefox's FxHash recipe) for the cache's keyed
+/// lookups. The LRU set sits on the per-packet path — two lookups per
+/// processed frame — where SipHash's keyed rounds are measurable overhead
+/// with zero benefit: keys are tiny flow ids, not attacker-controlled
+/// input, and the map is never iterated, so hash quality only has to
+/// spread the buckets.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
 
 /// Outcome of touching the cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,7 +87,7 @@ const NIL: usize = usize::MAX;
 pub struct LruSet<K: Eq + Hash + Clone> {
     // ano-lint: allow(hash-collection): keyed access only, never iterated
     // (see module-top justification).
-    map: HashMap<K, usize>,
+    map: HashMap<K, usize, BuildHasherDefault<FxHasher>>,
     keys: Vec<Option<K>>,
     nodes: Vec<Node>,
     free: Vec<usize>,
@@ -58,7 +109,7 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
         let capacity = capacity.max(1);
         LruSet {
             // ano-lint: allow(hash-collection): see module-top justification.
-            map: HashMap::new(),
+            map: HashMap::default(),
             keys: Vec::new(),
             nodes: Vec::new(),
             free: Vec::new(),

@@ -116,8 +116,10 @@ struct Frame {
 
 #[derive(Debug, Default)]
 struct FrameIndexInner {
-    /// Every message, in stream order.
-    frames: Vec<Frame>,
+    /// Every message, in stream order. A deque so that pruning acked
+    /// entries off the front (once per ACK on the transmit path) advances
+    /// the head instead of memmoving every in-flight frame.
+    frames: std::collections::VecDeque<Frame>,
 }
 
 /// Ground-truth message framing for one flow, in *modeled* mode.
@@ -166,13 +168,13 @@ impl FrameIndex {
         let mut inner = self.0.borrow_mut();
         let idx = inner
             .frames
-            .last()
+            .back()
             .map(|f| {
                 assert!(offset >= f.off + f.len as u64, "frames must be appended in stream order");
                 f.idx + 1
             })
             .unwrap_or(0);
-        inner.frames.push(Frame {
+        inner.frames.push_back(Frame {
             off: offset,
             len: total_len,
             idx,

@@ -1,0 +1,37 @@
+//! Known-bad fixture: the config-clone rule must fire on every per-event
+//! clone of a config-named receiver (linted under hot-config scope).
+
+pub struct Cost {
+    pub per_byte: u64,
+}
+
+pub struct Cfg {
+    pub cost: Cost,
+}
+
+pub struct Runtime {
+    pub cfg: Cfg,
+}
+
+impl Runtime {
+    pub fn dispatch(&mut self, events: &[u64]) -> u64 {
+        let mut total = 0;
+        for _ev in events {
+            let cost = self.cfg.cost.clone();
+            total += cost.per_byte;
+        }
+        total
+    }
+
+    pub fn whole_config(&self) -> Cfg {
+        self.cfg.clone()
+    }
+
+    pub fn degraded(&self, degrade: &Cost) -> Cost {
+        degrade.clone()
+    }
+
+    pub fn renamed(&self, config: &Cfg) -> Cfg {
+        config.clone()
+    }
+}

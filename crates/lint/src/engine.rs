@@ -9,6 +9,8 @@
 //!   (a measurement harness whose stdout *is* its deliverable) and `lint`
 //!   (this tool — its stdout is the diagnostic report);
 //! * **panic-freedom** rules cover only the per-packet hot paths;
+//! * **hot-config-clone** covers per-event dispatch loops: the panic-freedom
+//!   hot paths plus the stack runtime (`crates/stack/src/runtime.rs`);
 //! * **unsafe-attr** covers every crate root;
 //! * test modules (`#[cfg(test)]`), `tests/`, `benches/`, and `examples/`
 //!   are out of scope entirely — the engine only walks `src/`.
@@ -44,12 +46,22 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/tcp/src/receiver.rs",
 ];
 
+/// Files with a per-event dispatch loop where cloning a config struct is a
+/// hidden per-event heap allocation (the PR 6 hot-path allocation bug class).
+/// Every panic-freedom hot path qualifies, plus `runtime.rs`: it is *not* in
+/// [`HOT_PATH_FILES`] (its world-construction asserts are deliberate), but
+/// its `dispatch`/`pump_conn` loops run per event and must split-borrow
+/// `WorldConfig` rather than clone it.
+const HOT_CONFIG_FILES: &[&str] = &["crates/stack/src/runtime.rs"];
+
 /// Derives the rule scope for one file.
 pub fn scope_for(crate_name: &str, rel_path: &str, is_crate_root: bool) -> FileScope {
+    let hot_path = HOT_PATH_FILES.contains(&rel_path);
     FileScope {
         determinism: DETERMINISM_CRATES.contains(&crate_name),
         observability: !OBSERVABILITY_EXEMPT.contains(&crate_name),
-        hot_path: HOT_PATH_FILES.contains(&rel_path),
+        hot_path,
+        hot_config: hot_path || HOT_CONFIG_FILES.contains(&rel_path),
         crate_root: is_crate_root,
     }
 }
@@ -221,6 +233,15 @@ mod tests {
         assert!(s.determinism && s.hot_path);
         let s = scope_for("scenario", "crates/scenario/src/chaos.rs", false);
         assert!(s.determinism && !s.hot_path);
+        // PR 6: runtime.rs is config-clone scoped but not panic-freedom
+        // scoped (its construction asserts are deliberate); panic-freedom
+        // hot paths are config-clone scoped too.
+        let s = scope_for("stack", "crates/stack/src/runtime.rs", false);
+        assert!(s.hot_config && !s.hot_path);
+        let s = scope_for("core", "crates/core/src/tx.rs", false);
+        assert!(s.hot_config && s.hot_path);
+        let s = scope_for("stack", "crates/stack/src/world.rs", false);
+        assert!(!s.hot_config);
     }
 
     #[test]
@@ -230,6 +251,7 @@ mod tests {
             determinism: true,
             observability: true,
             hot_path: false,
+            hot_config: false,
             crate_root: true,
         };
         assert!(lint_source("x.rs", src, scope).is_empty());

@@ -35,24 +35,35 @@ const DETERMINISM: FileScope = FileScope {
     determinism: true,
     observability: false,
     hot_path: false,
+    hot_config: false,
     crate_root: false,
 };
 const HOT_PATH: FileScope = FileScope {
     determinism: false,
     observability: false,
     hot_path: true,
+    hot_config: false,
+    crate_root: false,
+};
+const HOT_CONFIG: FileScope = FileScope {
+    determinism: false,
+    observability: false,
+    hot_path: false,
+    hot_config: true,
     crate_root: false,
 };
 const OBSERVABILITY: FileScope = FileScope {
     determinism: false,
     observability: true,
     hot_path: false,
+    hot_config: false,
     crate_root: false,
 };
 const CRATE_ROOT: FileScope = FileScope {
     determinism: false,
     observability: false,
     hot_path: false,
+    hot_config: false,
     crate_root: true,
 };
 
@@ -92,6 +103,23 @@ fn hot_path_bad_fires_panic_and_index_rules() {
 #[test]
 fn hot_path_good_is_silent_including_its_test_module() {
     let d = lint_fixture("good/hot_path.rs", HOT_PATH);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+// ---- config-clone family (PR 6) ----------------------------------------
+
+#[test]
+fn hot_config_bad_fires_on_every_config_clone() {
+    let d = lint_fixture("bad/hot_config.rs", HOT_CONFIG);
+    // self.cfg.cost.clone(), self.cfg.clone(), degrade.clone(),
+    // config.clone() — one each.
+    assert_eq!(d.len(), 4, "{d:?}");
+    assert!(d.iter().all(|d| d.rule == "hot-config-clone"));
+}
+
+#[test]
+fn hot_config_good_is_silent() {
+    let d = lint_fixture("good/hot_config.rs", HOT_CONFIG);
     assert!(d.is_empty(), "{d:?}");
 }
 

@@ -18,10 +18,13 @@ pub struct Bytes {
 }
 
 impl Bytes {
-    /// An empty buffer (no allocation).
+    /// An empty buffer. All empties share one static backing allocation —
+    /// pure ACKs construct an empty payload per packet, so this must not
+    /// hit the allocator.
     pub fn new() -> Bytes {
+        static EMPTY: std::sync::OnceLock<Arc<[u8]>> = std::sync::OnceLock::new();
         Bytes {
-            data: Arc::from(&[][..]),
+            data: Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..]))),
             start: 0,
             end: 0,
         }

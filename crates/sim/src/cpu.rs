@@ -29,6 +29,11 @@ struct Core {
 #[derive(Clone, Debug)]
 pub struct CpuSet {
     freq_hz: u64,
+    /// `freq_hz / 1 GHz` when the frequency is a whole number of GHz —
+    /// lets the cycles→time conversion divide by a small constant the
+    /// compiler strength-reduces, instead of a 64-bit `div` on every
+    /// [`CpuSet::run`] call (several per simulated packet).
+    ghz: Option<u64>,
     cores: Vec<Core>,
 }
 
@@ -41,8 +46,10 @@ impl CpuSet {
     pub fn new(n: usize, freq_hz: u64) -> CpuSet {
         assert!(n > 0, "need at least one core");
         assert!(freq_hz > 0, "frequency must be positive");
+        let ghz = (freq_hz % 1_000_000_000 == 0).then(|| freq_hz / 1_000_000_000);
         CpuSet {
             freq_hz,
+            ghz,
             cores: vec![Core::default(); n],
         }
     }
@@ -58,8 +65,20 @@ impl CpuSet {
     }
 
     /// Converts a cycle count to wall (simulated) time on this CPU.
+    ///
+    /// For whole-GHz frequencies this divides by a small constant (which
+    /// the compiler turns into a multiply); the general path is the exact
+    /// same `cycles * 1e9 / freq` arithmetic, so the result is identical.
+    #[inline]
     pub fn cycles_to_time(&self, cycles: u64) -> SimDuration {
-        SimDuration::from_nanos(cycles.saturating_mul(1_000_000_000) / self.freq_hz)
+        let ns = match self.ghz {
+            Some(1) => cycles,
+            Some(2) => cycles / 2,
+            Some(3) => cycles / 3,
+            Some(4) => cycles / 4,
+            _ => cycles.saturating_mul(1_000_000_000) / self.freq_hz,
+        };
+        SimDuration::from_nanos(ns)
     }
 
     /// Converts a simulated duration to cycles on this CPU.
@@ -74,9 +93,10 @@ impl CpuSet {
     ///
     /// Panics if `core` is out of range.
     pub fn run(&mut self, core: usize, now: SimTime, cycles: u64) -> SimTime {
+        let d = self.cycles_to_time(cycles);
         let c = &mut self.cores[core];
         let start = now.max(c.busy_until);
-        let done = start + SimDuration::from_nanos(cycles.saturating_mul(1_000_000_000) / self.freq_hz);
+        let done = start + d;
         c.busy_until = done;
         c.busy_cycles += cycles;
         done

@@ -299,6 +299,10 @@ pub struct Delivery {
 #[derive(Debug, Clone)]
 pub struct Link {
     rate_bps: u64,
+    /// `rate_bps / 1 Gbps` when the rate is a whole number of Gbit/s — the
+    /// serialization delay then divides by a small constant the compiler
+    /// strength-reduces instead of a 64-bit `div` per transmitted frame.
+    gbps: Option<u64>,
     propagation: SimDuration,
     impair: Impairments,
     busy_until: SimTime,
@@ -314,8 +318,10 @@ impl Link {
     /// Panics if `rate_bps` is zero.
     pub fn new(rate_bps: u64, propagation: SimDuration, impair: Impairments) -> Link {
         assert!(rate_bps > 0, "link rate must be positive");
+        let gbps = (rate_bps % 1_000_000_000 == 0).then(|| rate_bps / 1_000_000_000);
         Link {
             rate_bps,
+            gbps,
             propagation,
             impair,
             busy_until: SimTime::ZERO,
@@ -350,7 +356,19 @@ impl Link {
 
     /// Serialization time of a `wire_bytes`-sized frame.
     pub fn serialization(&self, wire_bytes: usize) -> SimDuration {
-        SimDuration::from_nanos((wire_bytes as u64 * 8).saturating_mul(1_000_000_000) / self.rate_bps)
+        let bits = wire_bytes as u64 * 8;
+        // Whole-Gbit/s rates divide by a small constant (strength-reduced
+        // to a multiply); the fallback is the exact same arithmetic.
+        let ns = match self.gbps {
+            Some(1) => bits,
+            Some(10) => bits / 10,
+            Some(25) => bits / 25,
+            Some(40) => bits / 40,
+            Some(100) => bits / 100,
+            Some(400) => bits / 400,
+            _ => bits.saturating_mul(1_000_000_000) / self.rate_bps,
+        };
+        SimDuration::from_nanos(ns)
     }
 
     /// Offers one frame to the link at time `now`; returns the deliveries
@@ -359,6 +377,23 @@ impl Link {
     /// Frames queue behind one another: the wire serializes one frame at a
     /// time, so delivery order (absent reordering) matches offer order.
     pub fn transmit(&mut self, now: SimTime, wire_bytes: usize, rng: &mut SimRng) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        self.transmit_into(now, wire_bytes, rng, &mut out);
+        out
+    }
+
+    /// Like [`Link::transmit`], but appends deliveries to a caller-owned
+    /// buffer instead of allocating a fresh `Vec` per packet. The hot path
+    /// keeps one burst buffer alive across the whole run; `transmit` stays
+    /// as a convenience wrapper for tests and cold callers. Appends nothing
+    /// when the packet is dropped.
+    pub fn transmit_into(
+        &mut self,
+        now: SimTime,
+        wire_bytes: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<Delivery>,
+    ) {
         let index = self.stats.offered;
         self.stats.offered += 1;
         self.stats.bytes += wire_bytes as u64;
@@ -371,7 +406,7 @@ impl Link {
         let scripted = self.impair.script.actions(index, now);
         if scripted.contains(&ScriptAction::Drop) {
             self.stats.lost += 1;
-            return Vec::new();
+            return;
         }
         let mut corrupt = scripted.contains(&ScriptAction::Corrupt);
         let mut extra = SimDuration::ZERO;
@@ -385,7 +420,7 @@ impl Link {
         // Probabilistic knobs on top.
         if rng.chance(self.impair.loss) {
             self.stats.lost += 1;
-            return Vec::new();
+            return;
         }
         if rng.chance(self.impair.reorder) {
             let (lo, hi) = self.impair.reorder_extra_ns;
@@ -398,18 +433,19 @@ impl Link {
             self.stats.reordered += 1;
         }
         let arrival = done + self.propagation + extra;
-        let mut deliveries = vec![Delivery { at: arrival, corrupt }];
+        let mut count = 1u64;
+        out.push(Delivery { at: arrival, corrupt });
         if dup {
             // Both copies of a duplicated corrupt frame carry the corruption.
-            deliveries.push(Delivery {
+            out.push(Delivery {
                 at: arrival + SimDuration::from_micros(5),
                 corrupt,
             });
             self.stats.duplicated += 1;
+            count = 2;
         }
-        self.stats.delivered += deliveries.len() as u64;
-        self.stats.corrupted += deliveries.iter().filter(|d| d.corrupt).count() as u64;
-        deliveries
+        self.stats.delivered += count;
+        self.stats.corrupted += if corrupt { count } else { 0 };
     }
 }
 

@@ -1,0 +1,91 @@
+//! Property tests for burst draining (ISSUE PR 6, determinism harness):
+//! `pop_batch`/`pop_batch_until` must dispatch in exactly the order the
+//! single-pop loop does, for any schedule, any burst bound, and any
+//! pattern of events scheduled *while* a burst is being processed.
+
+use ano_sim::sched::Scheduler;
+use ano_sim::time::{SimDuration, SimTime};
+use ano_testkit::gen::{u64_in, usize_in, vec_of};
+use ano_testkit::prop_test;
+
+/// Deterministic "dispatch side effect": every third event schedules a
+/// follow-up a fixed (possibly zero) delay after its own timestamp, the
+/// way `pump_conn` schedules completions mid-burst.
+fn followup(s: &mut Scheduler<u64>, t: SimTime, ev: u64, budget: &mut u32) {
+    if ev % 3 == 0 && ev < 1_000 && *budget > 0 {
+        *budget -= 1;
+        s.schedule(t + SimDuration::from_nanos(ev % 2), 1_000 + ev);
+    }
+}
+
+/// Oracle: pop one event at a time.
+fn drain_single(times: &[u64]) -> Vec<(u64, u64)> {
+    let mut s = Scheduler::new();
+    for (i, &t) in times.iter().enumerate() {
+        s.schedule(SimTime::from_nanos(t), i as u64);
+    }
+    let mut budget = 64u32;
+    let mut out = Vec::new();
+    while let Some((t, ev)) = s.pop() {
+        out.push((t.as_nanos(), ev));
+        followup(&mut s, t, ev, &mut budget);
+    }
+    out
+}
+
+/// Burst loop mirroring `World::run_until`: drain same-instant groups up
+/// to `max` at a time, running side effects only after the drain.
+fn drain_batched(times: &[u64], max: usize) -> Vec<(u64, u64)> {
+    let mut s = Scheduler::new();
+    for (i, &t) in times.iter().enumerate() {
+        s.schedule(SimTime::from_nanos(t), i as u64);
+    }
+    let mut budget = 64u32;
+    let mut out = Vec::new();
+    let mut batch = Vec::new();
+    while let Some(t) = s.pop_batch(max, &mut batch) {
+        for ev in batch.drain(..) {
+            out.push((t.as_nanos(), ev));
+            followup(&mut s, t, ev, &mut budget);
+        }
+    }
+    out
+}
+
+prop_test! {
+    cases = 200;
+    fn batch_drain_matches_single_pop(
+        times in vec_of(u64_in(0..16), 0..48),
+        max in usize_in(1..9),
+    ) {
+        let single = drain_single(&times);
+        let batched = drain_batched(&times, max);
+        assert_eq!(single, batched, "times={times:?} max={max}");
+    }
+}
+
+#[test]
+fn pop_batch_until_respects_the_bound() {
+    let mut s = Scheduler::new();
+    s.schedule(SimTime::from_nanos(10), "a");
+    s.schedule(SimTime::from_nanos(10), "b");
+    s.schedule(SimTime::from_nanos(20), "c");
+
+    let mut out = Vec::new();
+    // Head (10) is within the bound: the whole same-instant group drains.
+    let t = s.pop_batch_until(SimTime::from_nanos(15), 8, &mut out);
+    assert_eq!(t, Some(SimTime::from_nanos(10)));
+    assert_eq!(out, ["a", "b"]);
+
+    // Head (20) is past the bound: nothing pops, clock does not move.
+    out.clear();
+    assert_eq!(s.pop_batch_until(SimTime::from_nanos(15), 8, &mut out), None);
+    assert!(out.is_empty());
+    assert_eq!(s.peek_time(), Some(SimTime::from_nanos(20)));
+
+    // An inclusive bound drains the head.
+    let t = s.pop_batch_until(SimTime::from_nanos(20), 8, &mut out);
+    assert_eq!(t, Some(SimTime::from_nanos(20)));
+    assert_eq!(out, ["c"]);
+    assert!(s.is_empty());
+}

@@ -11,14 +11,19 @@ use ano_tls::ktls::PlainChunk;
 use ano_tls::record::OVERHEAD as TLS_OVERHEAD;
 
 use crate::app::{Action, AppEvent, HostApi};
-use crate::world::{ConnId, Event, Proto, World};
+use crate::world::{ConnId, Event, HostState, Proto, World};
 
 /// Send-queue low watermark: a `Writable` notification fires when a
 /// connection that sent data drains below this.
 const LOW_WATER: u64 = 512 << 10;
 
+/// Upper bound on events drained per scheduler burst. Purely a memory bound
+/// on the reusable batch buffer: a same-instant group larger than this is
+/// delivered across successive bursts in unchanged FIFO order.
+const MAX_BURST: usize = 64;
+
 /// Deferred application notifications collected while host state is borrowed.
-enum AppCall {
+pub(crate) enum AppCall {
     Data { conn: ConnId, plains: Vec<PlainChunk> },
     NvmeDone {
         conn: ConnId,
@@ -51,6 +56,7 @@ impl L5TxSource for TxAdapter<'_> {
     }
 }
 
+
 impl World {
     /// Kicks off both applications.
     pub fn start(&mut self) {
@@ -60,16 +66,59 @@ impl World {
     }
 
     /// Runs until the queue drains or `until` is reached.
+    ///
+    /// The loop is burst-processed: every pending event sharing the earliest
+    /// timestamp (up to [`MAX_BURST`]) is drained from the scheduler in one
+    /// call and dispatched as a vector. Dispatch order is identical to
+    /// popping one event at a time — the batch only ever contains events
+    /// that were already queued, and anything scheduled *while the batch is
+    /// processed* sorts after it (higher insertion sequence, time clamped to
+    /// ≥ now) — so batching changes wall-clock speed, never simulated
+    /// behavior. [`World::run_until_single`] keeps the unbatched loop as the
+    /// equivalence oracle.
     pub fn run_until(&mut self, until: SimTime) {
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(t) = self.sched.pop_batch_until(until, MAX_BURST, &mut batch) {
+            // One clock store per burst: the whole batch shares the
+            // timestamp, so every record between two dispatches stays on the
+            // same timestamp, ordered by record number — exactly as with
+            // per-event stores.
+            self.tracer.set_now(t.as_nanos());
+            for ev in batch.drain(..) {
+                self.dispatch(ev);
+            }
+        }
+        self.batch = batch;
+        self.note_clamps();
+    }
+
+    /// The unbatched reference loop: pops and dispatches one event at a
+    /// time. Kept as the test oracle that burst processing preserves
+    /// behavior — any divergence between this and [`World::run_until`] on
+    /// the same seed is a determinism bug.
+    pub fn run_until_single(&mut self, until: SimTime) {
         while let Some(t) = self.sched.peek_time() {
             if t > until {
                 break;
             }
             let (_, ev) = self.sched.pop().expect("peeked");
-            // One clock store per dispatched event keeps every record between
-            // two dispatches on the same timestamp, ordered by record number.
             self.tracer.set_now(t.as_nanos());
             self.dispatch(ev);
+        }
+        self.note_clamps();
+    }
+
+    /// Surfaces scheduler clamps accumulated since the last call into the
+    /// trace/metrics stream: a past-time event silently pulled to "now"
+    /// should be visible, not invisible. Emitted once per `run_until` so
+    /// batched and single-pop loops produce identical records.
+    fn note_clamps(&mut self) {
+        let clamped = self.sched.clamped();
+        if clamped > self.clamps_traced {
+            let count = clamped - self.clamps_traced;
+            self.clamps_traced = clamped;
+            self.tracer.count("sched.clamped", count);
+            self.tracer.record(|| ano_trace::Event::SchedClamped { count });
         }
     }
 
@@ -94,7 +143,9 @@ impl World {
                 wnd,
                 sack,
                 payload,
-            } => self.handle_packet(host as usize, conn, seq, seq64, ack, wnd, sack, payload),
+            } => {
+                self.handle_packet(host as usize, conn, seq, seq64, ack, wnd, sack, payload)
+            }
             Event::Consume { host, conn, bytes } => {
                 let h = host as usize;
                 if let Some(c) = self.hosts[h].conns.get_mut(&conn) {
@@ -156,18 +207,31 @@ impl World {
         sack: Vec<(u32, u32)>,
         mut payload: Payload,
     ) {
-        let now = self.sched.now();
-        let cost = self.cfg.cost.clone();
-        let resync_delay = self.cfg.resync_delay;
-        let degrade = self.cfg.degrade.clone();
-        let mut app_calls: Vec<AppCall> = Vec::new();
+        // Reusable buffers live on the World so the steady state allocates
+        // nothing per packet.
+        let mut app_calls = std::mem::take(&mut self.app_calls);
+        let mut plains_pool = std::mem::take(&mut self.plains_pool);
+        // Split-borrow: the hot config (`cost`, `degrade`) is a read-only
+        // borrow alongside the mutable host/scheduler/tracer state — no
+        // per-event clone (enforced by the hot-config-clone lint rule).
+        let World {
+            cfg,
+            hosts,
+            sched,
+            tracer,
+            ..
+        } = &mut *self;
+        let now = sched.now();
+        let cost = &cfg.cost;
+        let resync_delay = cfg.resync_delay;
+        let degrade = &cfg.degrade;
         let mut resync_reqs: Vec<(u8, u64)> = Vec::new();
         let mut resync_resps: Vec<(u8, u64, bool, u64)> = Vec::new();
         let mut target_replies: Vec<(u64, SimTime)> = Vec::new();
         let mut open_reason: Option<&'static str> = None;
 
         let in_flow = {
-            let host = &mut self.hosts[h];
+            let host = &mut hosts[h];
             let Some(c) = host.conns.get_mut(&conn) else {
                 return;
             };
@@ -176,21 +240,23 @@ impl World {
             // connection run entirely in software.
             if c.health.breaker_open.is_some() && !payload.is_empty() {
                 c.health.degraded_pkts += 1;
-                self.tracer.count("stack.degraded_pkts", 1);
+                tracer.count("stack.degraded_pkts", 1);
             }
 
             // 1. NIC receive processing (offload engines).
-            let rxp = host.nic.rx_process(c.in_flow, seq64, &mut payload);
+            let rxp = {
+                host.nic.rx_process(c.in_flow, seq64, &mut payload)
+            };
             for ev in rxp.events {
                 let EngineEvent::ResyncRequest { layer, tcpsn } = ev;
                 resync_reqs.push((layer, tcpsn));
                 // A flow that storms resync requests gains nothing from
                 // offload: its context never stabilizes.
-                if c.health.note_resync(now, &degrade) {
+                if c.health.note_resync(now, degrade) {
                     open_reason = Some("resync_storm");
                 }
             }
-            if rxp.cache_miss && c.health.note_miss(now, &degrade) {
+            if rxp.cache_miss && c.health.note_miss(now, degrade) {
                 open_reason = open_reason.or(Some("cache_thrash"));
             }
 
@@ -200,7 +266,7 @@ impl World {
             let cycles = if payload.is_empty() {
                 cost.per_ack
             } else {
-                let mut cyc = per_pkt_rx_cost(&c.proto, &cost);
+                let mut cyc = per_pkt_rx_cost(&c.proto, cost);
                 if rxp.flags != Default::default() {
                     cyc += cost.per_pkt_rx_offload_extra;
                 }
@@ -211,30 +277,36 @@ impl World {
                 cyc
             };
             let mut done = host.cpu.run(c.core, now, cycles);
-            c.tcp.on_packet_wnd(seq, ack, wnd, &sack, payload, rxp.flags, now);
+            {
+                c.tcp.on_packet_wnd(seq, ack, wnd, &sack, payload, rxp.flags, now);
+            }
 
             // 3. Release transmit-side L5P state below the cumulative ack.
             let acked = c.tcp.sender().snd_una();
             release_proto(&mut c.proto, acked);
 
-            // 4. Deliver in-order chunks to the L5P layers.
-            let chunks = c.tcp.take_ready();
-            if !chunks.is_empty() {
+            // 4. Deliver in-order chunks to the L5P layers. The drained
+            // buffer goes back to the receiver afterwards so the steady
+            // state reuses one allocation per connection.
+            if c.tcp.has_ready() {
+                let mut chunks = c.tcp.take_ready();
                 let consumed: u64 = chunks.iter().map(|ch| ch.payload.len() as u64).sum();
-                let (proto_cycles, calls) = proto_rx(
+                let proto_cycles = proto_rx(
                     c,
-                    chunks,
-                    &cost,
+                    &mut chunks,
+                    cost,
                     now,
                     conn,
                     &mut resync_resps,
                     &mut target_replies,
+                    &mut app_calls,
+                    &mut plains_pool,
                 );
+                c.tcp.recycle_ready(chunks);
                 done = host.cpu.run(c.core, now, proto_cycles);
-                app_calls.extend(calls);
                 // The window reopens when the CPU actually finishes the
                 // protocol work for these bytes.
-                self.sched.schedule(
+                sched.schedule(
                     done,
                     Event::Consume {
                         host: h as u8,
@@ -322,36 +394,69 @@ impl World {
                 },
             );
         }
-        self.run_app_calls(h, app_calls);
-        self.pump_conn(h, conn);
+        // Restore the pool before draining calls: `run_app_calls` recycles
+        // each delivered plaintext buffer back into it.
+        self.plains_pool = plains_pool;
+        {
+            self.run_app_calls(h, &mut app_calls);
+        }
+        self.app_calls = app_calls;
+        {
+            self.pump_conn(h, conn);
+        }
     }
 
     fn handle_rto(&mut self, h: usize, conn: ConnId, gen: u64) {
         let now = self.sched.now();
-        {
+        let resched = {
             let host = &mut self.hosts[h];
             let Some(c) = host.conns.get_mut(&conn) else {
                 return;
             };
-            if c.rto_gen != gen || c.armed_rto != Some(now) {
-                return; // stale timer
+            match c.rto_event {
+                Some((t, g)) if g == gen && t == now => {}
+                _ => return, // superseded timer chain
             }
-            c.armed_rto = None;
-            c.tcp.on_rto(now);
+            c.rto_event = None;
+            match c.armed_rto {
+                Some(d) if d <= now => {
+                    // The deadline really passed: fire the timeout.
+                    c.armed_rto = None;
+                    c.tcp.on_rto(now);
+                    None
+                }
+                // Deadline extended since this event was queued (ACKs kept
+                // arriving): hop the single live event to the new deadline.
+                Some(d) => {
+                    c.rto_event = Some((d, gen));
+                    Some(d)
+                }
+                None => return, // disarmed (everything acked)
+            }
+        };
+        match resched {
+            Some(d) => self.sched.schedule(
+                d,
+                Event::Rto {
+                    host: h as u8,
+                    conn,
+                    gen,
+                },
+            ),
+            None => self.pump_conn(h, conn),
         }
-        self.pump_conn(h, conn);
     }
 
     fn handle_resync_req(&mut self, h: usize, conn: ConnId, layer: u8, tcpsn: u64) {
         let now = self.sched.now();
-        let cost = self.cfg.cost.clone();
+        let resync_cpu = self.cfg.cost.resync_confirm_cpu;
         let mut resps = Vec::new();
         let in_flow = {
             let host = &mut self.hosts[h];
             let Some(c) = host.conns.get_mut(&conn) else {
                 return;
             };
-            host.cpu.run(c.core, now, cost.resync_confirm_cpu);
+            host.cpu.run(c.core, now, resync_cpu);
             match (&mut c.proto, layer) {
                 (Proto::Tls { rx, .. }, 0) => rx.on_resync_request(tcpsn),
                 (Proto::NvmeHost { host: nh }, 0) => nh.parser_mut().on_resync_request(tcpsn),
@@ -442,9 +547,10 @@ impl World {
 
     fn handle_target_reply(&mut self, h: usize, conn: ConnId, token: u64) {
         let now = self.sched.now();
-        let cost = self.cfg.cost.clone();
+        let World { cfg, hosts, .. } = &mut *self;
+        let cost = &cfg.cost;
         {
-            let host = &mut self.hosts[h];
+            let host = &mut hosts[h];
             let Some(c) = host.conns.get_mut(&conn) else {
                 return;
             };
@@ -455,7 +561,7 @@ impl World {
                     let Some(reply) = pending.remove(&token) else {
                         return;
                     };
-                    target.emit(reply, &cost)
+                    target.emit(reply, cost)
                 }
                 Proto::NvmeTlsTarget {
                     target,
@@ -467,12 +573,12 @@ impl World {
                     let Some(reply) = pending.remove(&token) else {
                         return;
                     };
-                    let (capsules, mut cyc) = target.emit(reply, &cost);
+                    let (capsules, mut cyc) = target.emit(reply, cost);
                     // Wrap the capsule stream in TLS records.
                     let mut records = Vec::new();
                     for cap in capsules {
                         inner.borrow_mut().push_capsule(&cap);
-                        let (recs, c2) = tls_tx.send(&cap, &cost);
+                        let (recs, c2) = tls_tx.send(&cap, cost);
                         cyc += c2;
                         records.extend(recs);
                     }
@@ -493,21 +599,36 @@ impl World {
 
     /// Drains TCP's transmit queue through the NIC onto the link.
     pub(crate) fn pump_conn(&mut self, h: usize, conn: ConnId) {
-        let now = self.sched.now();
-        let cost = self.cfg.cost.clone();
+        // Split-borrow the world once: hot config stays a shared borrow,
+        // link deliveries land in the world-owned reusable burst buffer —
+        // the steady-state transmit path allocates nothing per packet.
+        let World {
+            cfg,
+            hosts,
+            links,
+            rng,
+            sched,
+            burst,
+            ..
+        } = &mut *self;
+        let now = sched.now();
+        let cost = &cfg.cost;
         let peer = (1 - h) as u8;
+        // One connection lookup for the whole pump: nothing inside the loop
+        // can remove the connection, and the host split-borrow keeps `cpu`
+        // and `nic` usable alongside the `ConnState` borrow.
+        let HostState { cpu, nic, conns, .. } = &mut hosts[h];
+        let Some(c) = conns.get_mut(&conn) else {
+            return;
+        };
         loop {
-            let host = &mut self.hosts[h];
-            let Some(c) = host.conns.get_mut(&conn) else {
-                return;
-            };
             // Transmission is paced by the core: a packet effectively
             // leaves when the core's queued work drains. Using that time
             // for TCP keeps RTT samples and RTO arming consistent with the
             // actual send time (otherwise a backlogged core causes spurious
             // RTOs for packets that have not reached the wire yet).
-            let eff_now = host.cpu.free_at(c.core).max(now);
-            let Some(seg) = c.tcp.poll_transmit(eff_now) else {
+            let eff_now = cpu.free_at(c.core).max(now);
+            let Some(mut seg) = c.tcp.poll_transmit(eff_now) else {
                 break;
             };
             // Pure ACKs leave from softirq context promptly: they pay their
@@ -517,34 +638,35 @@ impl World {
             } else {
                 cost.per_pkt_tx
             };
-            let tx_done = host.cpu.run(c.core, now, tx_cost);
+            let tx_done = cpu.run(c.core, now, tx_cost);
             let mut payload = seg.payload;
             let mut send_at = if payload.is_empty() {
                 now + ano_sim::time::SimDuration::from_nanos(500)
             } else {
                 tx_done
             };
-            if host.nic.has_tx(c.out_flow) && !payload.is_empty() {
+            if nic.has_tx(c.out_flow) && !payload.is_empty() {
                 let adapter = TxAdapter {
                     proto: &c.proto,
                     tcp: c.tcp.sender(),
                 };
-                let res = host
-                    .nic
-                    .tx_process(c.out_flow, seg.seq64, &mut payload, &adapter);
+                let res = nic.tx_process(c.out_flow, seg.seq64, &mut payload, &adapter);
                 if res.replay_bytes > 0 {
                     // Context recovery: replayed bytes cross PCIe; the
                     // driver also burns a few cycles setting it up.
                     send_at = send_at + cost.pcie_transfer(res.replay_bytes);
-                    host.cpu.run(c.core, now, cost.ctx_recovery_cpu);
+                    cpu.run(c.core, now, cost.ctx_recovery_cpu);
                 }
                 if res.cache_miss {
                     send_at = send_at + cost.nic_cache_miss_latency;
                 }
             }
             let wire_len = payload.len() + WIRE_HEADER_BYTES;
-            let link = &mut self.links[h]; // links[0] is 0→1
-            for delivery in link.transmit(send_at, wire_len, &mut self.rng) {
+            let link = &mut links[h]; // links[0] is 0→1
+            burst.clear();
+            link.transmit_into(send_at, wire_len, rng, burst);
+            let fanout = burst.len();
+            for (i, delivery) in burst.drain(..).enumerate() {
                 let deliver = if delivery.corrupt {
                     corrupt_copy(&payload)
                 } else {
@@ -553,7 +675,14 @@ impl World {
                 // A corrupt frame with no bytes to flip (synthetic payload or
                 // pure ACK) is discarded, as if the receiver's FCS caught it.
                 let Some(deliver) = deliver else { continue };
-                self.sched.schedule(
+                // The event takes the segment's SACK vector; only the rare
+                // duplicate fan-out (fanout > 1) pays for a clone.
+                let sack = if i + 1 == fanout {
+                    std::mem::take(&mut seg.sack)
+                } else {
+                    seg.sack.clone()
+                };
+                sched.schedule(
                     delivery.at + cost.nic_latency,
                     Event::Packet {
                         host: peer,
@@ -562,32 +691,39 @@ impl World {
                         seq64: seg.seq64,
                         ack: seg.ack,
                         wnd: seg.wnd,
-                        sack: seg.sack.clone(),
+                        sack,
                         payload: deliver,
                     },
                 );
             }
         }
-        // Arm/refresh the retransmission timer.
-        let host = &mut self.hosts[h];
-        if let Some(c) = host.conns.get_mut(&conn) {
-            match c.tcp.rto_deadline() {
-                Some(d) => {
-                    if c.armed_rto != Some(d) {
-                        c.armed_rto = Some(d);
-                        c.rto_gen += 1;
-                        self.sched.schedule(
-                            d,
-                            Event::Rto {
-                                host: h as u8,
-                                conn,
-                                gen: c.rto_gen,
-                            },
-                        );
-                    }
+        // Arm/refresh the retransmission timer. One live `Event::Rto` per
+        // connection: when the deadline merely extends (the common per-ACK
+        // case) the already-queued event re-schedules itself on dispatch,
+        // so the heap never accumulates stale timers.
+        match c.tcp.rto_deadline() {
+            Some(d) => {
+                c.armed_rto = Some(d);
+                let need_new = match c.rto_event {
+                    // The live event fires after the new deadline: it
+                    // would be late, so supersede it.
+                    Some((t, _)) => t > d,
+                    None => true,
+                };
+                if need_new {
+                    c.rto_gen += 1;
+                    c.rto_event = Some((d, c.rto_gen));
+                    sched.schedule(
+                        d,
+                        Event::Rto {
+                            host: h as u8,
+                            conn,
+                            gen: c.rto_gen,
+                        },
+                    );
                 }
-                None => c.armed_rto = None,
             }
+            None => c.armed_rto = None,
         }
     }
 
@@ -605,18 +741,21 @@ impl World {
         self.run_actions(h, actions);
     }
 
-    fn run_app_calls(&mut self, h: usize, calls: Vec<AppCall>) {
-        for call in calls {
+    fn run_app_calls(&mut self, h: usize, calls: &mut Vec<AppCall>) {
+        for call in calls.drain(..) {
             match call {
-                AppCall::Data { conn, plains } => self.fire_app(h, |app, api| {
-                    app.on_event(
-                        api,
-                        AppEvent::Data {
-                            conn,
-                            chunks: &plains,
-                        },
-                    )
-                }),
+                AppCall::Data { conn, plains } => {
+                    self.fire_app(h, |app, api| {
+                        app.on_event(
+                            api,
+                            AppEvent::Data {
+                                conn,
+                                chunks: &plains,
+                            },
+                        )
+                    });
+                    self.recycle_plains(plains);
+                }
                 AppCall::NvmeDone { conn, completions } => {
                     for completion in &completions {
                         self.fire_app(h, |app, api| {
@@ -634,6 +773,15 @@ impl World {
                     app.on_event(api, AppEvent::Writable { conn })
                 }),
             }
+        }
+    }
+
+    /// Returns an emptied plaintext buffer to the pool (bounded so a burst
+    /// of large records cannot pin memory forever).
+    fn recycle_plains(&mut self, mut plains: Vec<PlainChunk>) {
+        if self.plains_pool.len() < 8 {
+            plains.clear();
+            self.plains_pool.push(plains);
         }
     }
 
@@ -675,9 +823,10 @@ impl World {
     /// Application bytes into a Raw or TLS connection.
     fn proto_send(&mut self, h: usize, conn: ConnId, data: Payload) {
         let now = self.sched.now();
-        let cost = self.cfg.cost.clone();
+        let World { cfg, hosts, .. } = &mut *self;
+        let cost = &cfg.cost;
         {
-            let host = &mut self.hosts[h];
+            let host = &mut hosts[h];
             let Some(c) = host.conns.get_mut(&conn) else {
                 return;
             };
@@ -688,7 +837,7 @@ impl World {
                     c.tcp.send(data);
                 }
                 Proto::Tls { tx, .. } => {
-                    let (wire, cyc) = tx.send(&data, &cost);
+                    let (wire, cyc) = tx.send(&data, cost);
                     cycles += cyc;
                     for w in wire {
                         c.tcp.send(w);
@@ -713,20 +862,21 @@ impl World {
         write_data: Option<Payload>,
     ) {
         let now = self.sched.now();
-        let cost = self.cfg.cost.clone();
+        let World { cfg, hosts, .. } = &mut *self;
+        let cost = &cfg.cost;
         {
-            let host = &mut self.hosts[h];
+            let host = &mut hosts[h];
             let Some(c) = host.conns.get_mut(&conn) else {
                 return;
             };
             let (wire, cycles): (Vec<Payload>, u64) = match &mut c.proto {
                 Proto::NvmeHost { host: nh } => match &write_data {
                     None => {
-                        let (w, cyc) = nh.submit_read(id, offset, len, &cost);
+                        let (w, cyc) = nh.submit_read(id, offset, len, cost);
                         (vec![w], cyc)
                     }
                     Some(d) => {
-                        let (w, cyc) = nh.submit_write(id, offset, d, &cost);
+                        let (w, cyc) = nh.submit_write(id, offset, d, cost);
                         (vec![w], cyc)
                     }
                 },
@@ -737,11 +887,11 @@ impl World {
                     ..
                 } => {
                     let (capsule, mut cyc) = match &write_data {
-                        None => nh.submit_read(id, offset, len, &cost),
-                        Some(d) => nh.submit_write(id, offset, d, &cost),
+                        None => nh.submit_read(id, offset, len, cost),
+                        Some(d) => nh.submit_write(id, offset, d, cost),
                     };
                     inner.borrow_mut().push_capsule(&capsule);
-                    let (recs, c2) = tls_tx.send(&capsule, &cost);
+                    let (recs, c2) = tls_tx.send(&capsule, cost);
                     cyc += c2;
                     (recs, cyc)
                 }
@@ -873,44 +1023,47 @@ fn poll_resyncs(proto: &mut Proto, out: &mut Vec<(u8, u64, bool, u64)>) {
 }
 
 /// Delivers in-order chunks into the connection's protocol layers.
-/// Returns `(cycles, app calls)`.
+/// Drains `chunks`, appends deferred notifications to `calls` (plaintext
+/// buffers come from — and return to — `pool`), and returns the CPU cycles
+/// spent.
 fn proto_rx(
     c: &mut crate::world::ConnState,
-    chunks: Vec<RxChunk>,
+    chunks: &mut Vec<RxChunk>,
     cost: &ano_sim::cost::CostModel,
     now: SimTime,
     conn: ConnId,
     resync_resps: &mut Vec<(u8, u64, bool, u64)>,
     target_replies: &mut Vec<(u64, SimTime)>,
-) -> (u64, Vec<AppCall>) {
+    calls: &mut Vec<AppCall>,
+    pool: &mut Vec<Vec<PlainChunk>>,
+) -> u64 {
     let mut cycles = 0u64;
-    let mut calls = Vec::new();
     match &mut c.proto {
         Proto::Raw => {
-            let plains: Vec<PlainChunk> = chunks
-                .into_iter()
-                .map(|ch| PlainChunk {
-                    plain_off: ch.offset,
-                    payload: ch.payload,
-                    flags: ch.flags,
-                })
-                .collect();
+            let mut plains = pool.pop().unwrap_or_default();
+            plains.extend(chunks.drain(..).map(|ch| PlainChunk {
+                plain_off: ch.offset,
+                payload: ch.payload,
+                flags: ch.flags,
+            }));
             let bytes: u64 = plains.iter().map(|p| p.payload.len() as u64).sum();
             cycles += ano_sim::cost::CostModel::bytes_cycles(cost.stack_cpb, bytes as usize);
             c.delivered += bytes;
             calls.push(AppCall::Data { conn, plains });
         }
         Proto::Tls { rx, .. } => {
-            let (plains, cyc) = rx.on_chunks(chunks, cost);
-            cycles += cyc;
+            let mut plains = pool.pop().unwrap_or_default();
+            cycles += rx.on_chunks_into(chunks.drain(..), cost, &mut plains);
             let bytes: u64 = plains.iter().map(|p| p.payload.len() as u64).sum();
             c.delivered += bytes;
             if !plains.is_empty() {
                 calls.push(AppCall::Data { conn, plains });
+            } else {
+                pool.push(plains);
             }
         }
         Proto::NvmeHost { host } => {
-            let stream = chunks.into_iter().map(|ch| StreamChunk {
+            let stream = chunks.drain(..).map(|ch| StreamChunk {
                 offset: ch.offset,
                 payload: ch.payload,
                 flags: ch.flags,
@@ -931,7 +1084,7 @@ fn proto_rx(
             pending,
             next_token,
         } => {
-            let stream = chunks.into_iter().map(|ch| StreamChunk {
+            let stream = chunks.drain(..).map(|ch| StreamChunk {
                 offset: ch.offset,
                 payload: ch.payload,
                 flags: ch.flags,
@@ -948,14 +1101,15 @@ fn proto_rx(
         Proto::NvmeTlsHost {
             tls_rx, host, ..
         } => {
-            let (plains, cyc) = tls_rx.on_chunks(chunks, cost);
-            cycles += cyc;
-            let stream = plains.into_iter().map(|p| StreamChunk {
+            let mut plains = pool.pop().unwrap_or_default();
+            cycles += tls_rx.on_chunks_into(chunks.drain(..), cost, &mut plains);
+            let stream = plains.drain(..).map(|p| StreamChunk {
                 offset: p.plain_off,
                 payload: p.payload,
                 flags: p.flags,
             });
             cycles += host.on_chunks(stream, cost);
+            pool.push(plains);
             let completions = host.take_completions();
             let bytes: u64 = completions
                 .iter()
@@ -973,15 +1127,16 @@ fn proto_rx(
             next_token,
             ..
         } => {
-            let (plains, cyc) = tls_rx.on_chunks(chunks, cost);
-            cycles += cyc;
-            let stream = plains.into_iter().map(|p| StreamChunk {
+            let mut plains = pool.pop().unwrap_or_default();
+            cycles += tls_rx.on_chunks_into(chunks.drain(..), cost, &mut plains);
+            let stream = plains.drain(..).map(|p| StreamChunk {
                 offset: p.plain_off,
                 payload: p.payload,
                 flags: p.flags,
             });
-            let (replies, cyc2) = target.on_chunks(stream, now, cost);
-            cycles += cyc2;
+            let (replies, cyc) = target.on_chunks(stream, now, cost);
+            cycles += cyc;
+            pool.push(plains);
             for r in replies {
                 let token = *next_token;
                 *next_token += 1;
@@ -991,5 +1146,5 @@ fn proto_rx(
         }
     }
     poll_resyncs(&mut c.proto, resync_resps);
-    (cycles, calls)
+    cycles
 }

@@ -452,7 +452,14 @@ pub(crate) struct ConnState {
     pub(crate) in_flow: FlowId,
     pub(crate) proto: Proto,
     pub(crate) core: usize,
+    /// The connection's true retransmission deadline (mirrors
+    /// `tcp.rto_deadline()` as of the last pump).
     pub(crate) armed_rto: Option<SimTime>,
+    /// The single live `Event::Rto` for this connection: `(fire time, gen)`.
+    /// When the deadline extends past the fire time the event re-schedules
+    /// itself on dispatch instead of a new event being queued per ACK —
+    /// keeping timer churn out of the scheduler heap.
+    pub(crate) rto_event: Option<(SimTime, u64)>,
     pub(crate) rto_gen: u64,
     /// Application bytes delivered in order (throughput metering).
     pub(crate) delivered: u64,
@@ -552,6 +559,18 @@ pub struct World {
     pub(crate) apps: Vec<Option<Box<dyn HostApp>>>,
     pub(crate) tracer: ano_trace::Tracer,
     next_conn: u32,
+    /// Reusable event-burst buffer for the batched `run_until` loop; lives
+    /// here so steady state dispatches with zero allocation per batch.
+    pub(crate) batch: Vec<Event>,
+    /// Reusable link-delivery buffer for `pump_conn`'s transmit fan-out.
+    pub(crate) burst: Vec<ano_sim::link::Delivery>,
+    /// Reusable deferred-app-call buffer for `handle_packet`.
+    pub(crate) app_calls: Vec<crate::runtime::AppCall>,
+    /// Small pool of plaintext-chunk buffers recycled between the kTLS
+    /// receive path and the application-notification path.
+    pub(crate) plains_pool: Vec<Vec<ano_tls::ktls::PlainChunk>>,
+    /// Scheduler clamp count already surfaced to the tracer.
+    pub(crate) clamps_traced: u64,
 }
 
 impl World {
@@ -585,6 +604,11 @@ impl World {
             apps: vec![None, None],
             tracer,
             next_conn: 0,
+            batch: Vec::new(),
+            burst: Vec::new(),
+            app_calls: Vec::new(),
+            plains_pool: Vec::new(),
+            clamps_traced: 0,
         }
     }
 
@@ -604,6 +628,18 @@ impl World {
     /// The cost model in use.
     pub fn cost(&self) -> CostModel {
         self.cfg.cost.clone()
+    }
+
+    /// Number of schedules whose requested time was in the past and got
+    /// clamped to "now" (see [`ano_sim::sched::Scheduler::clamped`]).
+    pub fn events_clamped(&self) -> u64 {
+        self.sched.clamped()
+    }
+
+    /// Sets the tolerated past-time scheduling lag before debug builds
+    /// assert (forwarded to [`ano_sim::sched::Scheduler::set_clamp_epsilon`]).
+    pub fn set_clamp_epsilon(&mut self, epsilon: ano_sim::time::SimDuration) {
+        self.sched.set_clamp_epsilon(epsilon);
     }
 
     /// Installs the application for a host.
@@ -668,6 +704,7 @@ impl World {
                 proto: b0.proto,
                 core: core0,
                 armed_rto: None,
+                rto_event: None,
                 rto_gen: 0,
                 delivered: 0,
                 blocked: false,
@@ -685,6 +722,7 @@ impl World {
                 proto: b1.proto,
                 core: core1,
                 armed_rto: None,
+                rto_event: None,
                 rto_gen: 0,
                 delivered: 0,
                 blocked: false,

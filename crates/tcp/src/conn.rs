@@ -118,6 +118,13 @@ impl TcpEndpoint {
         self.rx.take_ready()
     }
 
+    /// Returns a drained [`take_ready`] buffer so its capacity is reused.
+    ///
+    /// [`take_ready`]: TcpEndpoint::take_ready
+    pub fn recycle_ready(&mut self, buf: Vec<RxChunk>) {
+        self.rx.recycle_ready(buf);
+    }
+
     /// True if in-order data is waiting.
     pub fn has_ready(&self) -> bool {
         self.rx.has_ready()

@@ -195,6 +195,19 @@ impl TcpReceiver {
     pub fn take_ready(&mut self) -> Vec<RxChunk> {
         std::mem::take(&mut self.ready)
     }
+
+    /// Hands back a buffer previously obtained from [`take_ready`] so the
+    /// next delivery reuses its capacity instead of re-growing from zero.
+    /// Any chunks that arrived in the meantime are preserved.
+    ///
+    /// [`take_ready`]: TcpReceiver::take_ready
+    pub fn recycle_ready(&mut self, mut buf: Vec<RxChunk>) {
+        if buf.capacity() > self.ready.capacity() {
+            buf.clear();
+            buf.append(&mut self.ready);
+            self.ready = buf;
+        }
+    }
 }
 
 #[cfg(test)]

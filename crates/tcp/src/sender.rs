@@ -37,24 +37,48 @@ impl SendBuffer {
         self.chunks.push_back(p);
     }
 
-    /// Copies out the byte range `[from, to)`.
+    /// Copies out the byte range `[from, to)`. The overwhelmingly common
+    /// case — the range falls inside one buffered chunk — is a zero-copy,
+    /// zero-allocation slice; only ranges straddling a chunk boundary pay
+    /// for stitching.
     fn range(&self, from: u64, to: u64) -> Payload {
         assert!(from >= self.start && to <= self.end && from <= to, "range outside buffer");
-        let mut parts = Vec::new();
+        if from == to {
+            return Payload::empty();
+        }
+        let mut first: Option<Payload> = None;
+        let mut rest: Vec<Payload> = Vec::new();
         let mut off = self.start;
         for c in &self.chunks {
             let c_end = off + c.len() as u64;
             if c_end > from && off < to {
                 let s = from.saturating_sub(off) as usize;
                 let e = (to.min(c_end) - off) as usize;
-                parts.push(c.slice(s, e));
+                let piece = c.slice(s, e);
+                match &mut first {
+                    None => first = Some(piece),
+                    Some(_) => rest.push(piece),
+                }
             }
             off = c_end;
             if off >= to {
                 break;
             }
         }
-        Payload::concat(parts.iter())
+        match first {
+            // A validated non-empty range always lands in at least one
+            // chunk; an empty result here would mean the offset accounting
+            // is broken, and an empty payload degrades that to a no-op
+            // segment instead of a mid-schedule panic.
+            None => Payload::empty(),
+            Some(first) if rest.is_empty() => first,
+            Some(first) => {
+                let mut parts = Vec::with_capacity(1 + rest.len());
+                parts.push(first);
+                parts.append(&mut rest);
+                Payload::concat(parts.iter())
+            }
+        }
     }
 
     /// Releases all bytes below `upto` (they were cumulatively acked).

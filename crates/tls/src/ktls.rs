@@ -331,6 +331,23 @@ impl KtlsRx {
         I: IntoIterator<Item = RxChunk>,
     {
         let mut out = Vec::new();
+        let cycles = self.on_chunks_into(chunks, cost, &mut out);
+        (out, cycles)
+    }
+
+    /// [`on_chunks`], but appending plaintext into a caller-provided buffer
+    /// so the steady-state receive path allocates nothing.
+    ///
+    /// [`on_chunks`]: KtlsRx::on_chunks
+    pub fn on_chunks_into<I>(
+        &mut self,
+        chunks: I,
+        cost: &CostModel,
+        out: &mut Vec<PlainChunk>,
+    ) -> u64
+    where
+        I: IntoIterator<Item = RxChunk>,
+    {
         let mut cycles = 0u64;
         for chunk in chunks {
             debug_assert_eq!(chunk.offset, self.pos, "chunks must be in order");
@@ -390,16 +407,14 @@ impl KtlsRx {
                         consumed += take;
                         self.pos += take as u64;
                         if have + take == body_and_tag {
-                            let (plains, c) = self.finish_record(cost);
-                            cycles += c;
-                            out.extend(plains);
+                            cycles += self.finish_record(cost, out);
                         }
                     }
                 }
             }
             self.flush_resyncs();
         }
-        (out, cycles)
+        cycles
     }
 
     fn starts_mark(&mut self, off: u64) {
@@ -415,7 +430,10 @@ impl KtlsRx {
         self.parts.clear();
     }
 
-    fn finish_record(&mut self, cost: &CostModel) -> (Vec<PlainChunk>, u64) {
+    /// Completes the in-progress record, appending its plaintext chunks to
+    /// `out` and returning the CPU cycles spent. Appends (rather than
+    /// returns) so the per-record output needs no fresh allocation.
+    fn finish_record(&mut self, cost: &CostModel, out: &mut Vec<PlainChunk>) -> u64 {
         let (total, start) = self.cur.take().expect("record in progress");
         let parts = std::mem::take(&mut self.parts);
         self.hdr_buf.clear();
@@ -460,10 +478,11 @@ impl KtlsRx {
             self.tracer.record(|| ano_trace::Event::Cpu { layer: "tls", cycles: crypto });
         }
 
-        let plains = match self.mode {
+        let mark = out.len();
+        match self.mode {
             DataMode::Modeled => {
                 self.tracer.record(|| ano_trace::Event::AuthAccept { seq: start, len: plen });
-                self.emit_chunks(&parts, plen, None)
+                self.emit_chunks(&parts, plen, None, out);
             }
             DataMode::Functional => {
                 match self.recover_plaintext(seq, total, &parts, class) {
@@ -472,33 +491,37 @@ impl KtlsRx {
                             seq: start,
                             len: plen,
                         });
-                        self.emit_chunks(&parts, plen, Some(&plain))
+                        self.emit_chunks(&parts, plen, Some(&plain), out);
                     }
                     None => {
                         self.stats.alerts += 1;
                         self.tracer.record(|| ano_trace::Event::AuthReject { seq: start });
                         self.tracer.count("tls.alerts", 1);
-                        Vec::new()
                     }
                 }
             }
-        };
+        }
         self.tracer.count("tls.records", 1);
-        let delivered: u64 = plains.iter().map(|c| c.payload.len() as u64).sum();
+        let delivered: u64 = out[mark..].iter().map(|c| c.payload.len() as u64).sum();
         self.plain_pos += plen as u64;
         self.stats.plain_bytes += delivered;
-        (plains, cycles)
+        // Hand the (emptied) parts buffer back so the next record reuses its
+        // capacity instead of re-growing from zero.
+        let mut parts = parts;
+        parts.clear();
+        self.parts = parts;
+        cycles
     }
 
-    /// Splits the record's plaintext back into per-packet chunks so flags
-    /// stay packet-accurate for layered consumers.
+    /// Splits the record's plaintext back into per-packet chunks (appended
+    /// to `out`) so flags stay packet-accurate for layered consumers.
     fn emit_chunks(
         &self,
         parts: &[(Payload, SkbFlags)],
         plen: usize,
         plain: Option<&[u8]>,
-    ) -> Vec<PlainChunk> {
-        let mut out = Vec::new();
+        out: &mut Vec<PlainChunk>,
+    ) {
         let mut off = 0usize;
         for (p, flags) in parts {
             if off >= plen {
@@ -516,7 +539,6 @@ impl KtlsRx {
             });
             off += take;
         }
-        out
     }
 
     /// Functional-mode plaintext recovery for all three record classes.

@@ -235,6 +235,15 @@ pub enum Event {
         /// TCP sequence the late response referred to.
         tcpsn: u64,
     },
+    /// The scheduler clamped past-time events to "now" since the last
+    /// dispatch batch. Small counts are benign (completion times computed
+    /// before the clock advanced); steady growth signals a
+    /// latency-accounting bug. Category [`Category::Cpu`]: a simulator
+    /// bookkeeping signal, deliberately outside the golden-trace exports.
+    SchedClamped {
+        /// Clamps observed since the previous `sched.clamped` record.
+        count: u64,
+    },
 }
 
 impl Event {
@@ -256,7 +265,7 @@ impl Event {
             | Event::AuthReject { .. }
             | Event::DigestOk { .. }
             | Event::DigestFail { .. } => Category::Crypto,
-            Event::Cpu { .. } => Category::Cpu,
+            Event::Cpu { .. } | Event::SchedClamped { .. } => Category::Cpu,
             Event::DeviceFault { .. }
             | Event::InstallFail { .. }
             | Event::InstallRetry { .. }
@@ -286,6 +295,7 @@ impl Event {
             Event::DigestOk { .. } => "digest.ok",
             Event::DigestFail { .. } => "digest.fail",
             Event::Cpu { .. } => "cpu",
+            Event::SchedClamped { .. } => "sched.clamped",
             Event::DeviceFault { .. } => "device.fault",
             Event::InstallFail { .. } => "device.install-fail",
             Event::InstallRetry { .. } => "device.install-retry",
@@ -315,6 +325,7 @@ impl Event {
             Event::DigestOk { cid } => format!("cid={cid}"),
             Event::DigestFail { cid } => format!("cid={cid}"),
             Event::Cpu { layer, cycles } => format!("layer={layer} cycles={cycles}"),
+            Event::SchedClamped { count } => format!("count={count}"),
             Event::DeviceFault { kind } => format!("kind={kind}"),
             Event::InstallFail { dir, attempt } => format!("dir={dir} attempt={attempt}"),
             Event::InstallRetry { dir, attempt, delay_ns } => {
@@ -363,6 +374,7 @@ mod tests {
             ),
             (Event::AuthReject { seq: 3 }, Category::Crypto),
             (Event::Cpu { layer: "tls", cycles: 40 }, Category::Cpu),
+            (Event::SchedClamped { count: 2 }, Category::Cpu),
             (Event::DeviceFault { kind: "reset" }, Category::Device),
             (Event::InstallFail { dir: "rx", attempt: 0 }, Category::Device),
             (Event::InstallRetry { dir: "rx", attempt: 1, delay_ns: 500 }, Category::Device),

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Simulator-speed benchmark: wraps the `bench` binary around the committed
+# baseline at BENCH_baseline.json (see EXPERIMENTS.md "Benchmark baselines").
+#
+# Modes:
+#
+#   scripts/bench.sh              check against the committed baseline;
+#                                 exits 1 on a >15% ns/packet regression
+#   BLESS=1 scripts/bench.sh      re-measure and rewrite the baseline
+#                                 (the pre-PR anchor is carried forward
+#                                 from the committed file; review the diff)
+#
+# Offline and bounded by construction: the workspace has no registry
+# dependencies, the measured simulation windows are fixed (3 x 200 ms of
+# simulated time) and the kernel timings self-calibrate to ~20 ms batches,
+# so a full run takes well under a minute of wall clock. The hard timeout
+# is a backstop against a wedged scheduler, not a budget.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+CARGO_NET_OFFLINE=true cargo build -q --release -p ano-bench
+
+if [ "${BLESS:-0}" = "1" ]; then
+    timeout 300 ./target/release/bench --write BENCH_baseline.json
+    echo "blessed BENCH_baseline.json — review the diff before committing"
+else
+    timeout 300 ./target/release/bench --check BENCH_baseline.json
+fi

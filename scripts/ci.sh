@@ -23,7 +23,7 @@ bad=$(grep -rn --include=Cargo.toml -E \
     '^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=[[:space:]]*("[^"]*"|\{[^}]*version[^}]*\})' \
     Cargo.toml crates/*/Cargo.toml \
   | grep -vE 'path[[:space:]]*=' \
-  | grep -vE '^[^:]*:[0-9]+:[[:space:]]*(name|version|edition|license|description|rust-version|repository|documentation|readme|harness|resolver|members|default|std)\b' \
+  | grep -vE '^[^:]*:[0-9]+:[[:space:]]*(name|version|edition|license|description|rust-version|repository|documentation|readme|harness|resolver|members|default|std|lto)\b' \
   || true)
 if [ -n "$bad" ]; then
     echo "registry dependencies found (must be path-only):" >&2
@@ -89,5 +89,13 @@ if [ "$h1" != "$h2" ]; then
     exit 1
 fi
 echo "ok: identical trace hash across two processes ($h1)"
+
+echo "== bench: simulator speed vs committed baseline =="
+# The perf trajectory every PR defends: wall ns per simulated packet on the
+# default iperf TLS-offload-zc path, checked against BENCH_baseline.json.
+# Offline and bounded (fixed simulated windows, self-calibrating kernel
+# batches, hard timeout inside the wrapper); fails on a >15% ns/packet
+# regression. Intentional changes: BLESS=1 scripts/bench.sh, commit the diff.
+sh scripts/bench.sh
 
 echo "tier-1 green (offline)"
