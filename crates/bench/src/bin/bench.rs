@@ -33,6 +33,7 @@
 use std::time::Instant;
 
 use ano_bench::runners::{dc_tcp, Variant};
+use ano_core::nic::NicConfig;
 use ano_crypto::aes::Aes;
 use ano_crypto::crc32c::crc32c;
 use ano_crypto::gcm;
@@ -106,6 +107,123 @@ fn iperf_once() -> IperfSpeed {
     }
 }
 
+struct FleetSpeed {
+    /// Simulated application bytes delivered per wall second, summed over
+    /// every flow in the fleet.
+    sim_bytes_per_wall_sec: f64,
+    /// Wall nanoseconds per packet offered to any link in the mesh.
+    ns_per_packet: f64,
+}
+
+/// Fleet shape for the timed run: enough hosts and flows that the per-host
+/// scheduler, the link mesh, and the server context caches all carry real
+/// load, while the 32-entry caches stay oversubscribed (64 rx flows over
+/// 2 x 32 entries) so the eviction path is on the clock too.
+const FLEET_CLIENTS: usize = 4;
+const FLEET_SERVERS: usize = 2;
+const FLEET_FLOWS: usize = 64;
+
+/// One timed fleet run: N×M hosts, 64 concurrent TLS flows rx-offloaded at
+/// the servers, modeled payloads, fixed seed, tracing off. This is the
+/// many-host counterpart of [`iperf_once`]: it prices the topology
+/// scheduler and the context-cache path rather than a single stream.
+fn fleet_once() -> FleetSpeed {
+    let mut fleet = Fleet::build(FleetSpec {
+        clients: FLEET_CLIENTS,
+        servers: FLEET_SERVERS,
+        client: HostSpec {
+            cores: 4,
+            ..HostSpec::default()
+        },
+        server: HostSpec {
+            cores: 8,
+            nic: NicConfig {
+                ctx_cache_capacity: 32,
+                ..NicConfig::default()
+            },
+        },
+        cfg: WorldConfig {
+            seed: 42,
+            mode: DataMode::Modeled,
+            tcp: dc_tcp(),
+            ..Default::default()
+        },
+    });
+
+    let mut per_client: Vec<Vec<ConnId>> = vec![Vec::new(); FLEET_CLIENTS];
+    let mut conns = Vec::with_capacity(FLEET_FLOWS);
+    for k in 0..FLEET_FLOWS {
+        let (ci, sj) = (k % FLEET_CLIENTS, k % FLEET_SERVERS);
+        let conn = fleet.connect(
+            ci,
+            sj,
+            ConnSpec::Tls(TlsSpec::default()),
+            ConnSpec::Tls(TlsSpec {
+                rx_offload: true,
+                ..TlsSpec::default()
+            }),
+        );
+        per_client[ci].push(conn);
+        conns.push((conn, fleet.server(sj)));
+    }
+    for (ci, list) in per_client.into_iter().enumerate() {
+        let sender = ano_apps::iperf::IperfSender::new(list, 256 * 1024, DataMode::Modeled);
+        fleet.set_app(ci, Box::new(sender));
+    }
+    for sj in 0..FLEET_SERVERS {
+        let server = fleet.server(sj);
+        fleet.set_app(server, Box::new(ano_apps::iperf::IperfSink::new()));
+    }
+    fleet.start();
+    fleet.run_until(SimTime::ZERO + WARMUP);
+
+    let mesh_pkts = |f: &Fleet| -> u64 {
+        let mut total = 0;
+        for ci in 0..FLEET_CLIENTS as u16 {
+            for sj in 0..FLEET_SERVERS {
+                let s = (FLEET_CLIENTS + sj) as u16;
+                total += f.link_stats_between(ci, s).offered;
+                total += f.link_stats_between(s, ci).offered;
+            }
+        }
+        total
+    };
+    let delivered = |f: &Fleet| -> u64 {
+        conns
+            .iter()
+            .map(|&(conn, server)| f.delivered_bytes(server, conn))
+            .sum()
+    };
+
+    let t0 = fleet.now();
+    let bytes0 = delivered(&fleet);
+    let pkts0 = mesh_pkts(&fleet);
+    let wall = Instant::now();
+    fleet.run_until(t0 + WINDOW);
+    let wall_ns = wall.elapsed().as_nanos() as f64;
+    let bytes = (delivered(&fleet) - bytes0) as f64;
+    let pkts = (mesh_pkts(&fleet) - pkts0) as f64;
+
+    FleetSpeed {
+        sim_bytes_per_wall_sec: bytes / (wall_ns / 1e9),
+        ns_per_packet: wall_ns / pkts.max(1.0),
+    }
+}
+
+fn fleet_speed() -> FleetSpeed {
+    let mut best: Option<FleetSpeed> = None;
+    for _ in 0..REPS {
+        let r = fleet_once();
+        let better = best
+            .as_ref()
+            .is_none_or(|b| r.sim_bytes_per_wall_sec > b.sim_bytes_per_wall_sec);
+        if better {
+            best = Some(r);
+        }
+    }
+    best.expect("REPS > 0")
+}
+
 fn iperf_speed() -> IperfSpeed {
     let mut best: Option<IperfSpeed> = None;
     for _ in 0..REPS {
@@ -168,7 +286,7 @@ fn kernels() -> Kernels {
 
 /// Renders the benchmark document. Hand-rolled JSON (hermetic workspace:
 /// no serde); fixed key order so diffs stay readable.
-fn render(iperf: &IperfSpeed, k: &Kernels, pre_pr: f64) -> String {
+fn render(iperf: &IperfSpeed, fleet: &FleetSpeed, k: &Kernels, pre_pr: f64) -> String {
     let speedup = if pre_pr > 0.0 {
         iperf.sim_bytes_per_wall_sec / pre_pr
     } else {
@@ -178,6 +296,8 @@ fn render(iperf: &IperfSpeed, k: &Kernels, pre_pr: f64) -> String {
         "{{\n  \"schema\": 1,\n  \"nominal_hz\": {NOMINAL_HZ:.0},\n  \"iperf\": {{\n    \
          \"sim_bytes_per_wall_sec\": {:.0},\n    \"ns_per_packet\": {:.1},\n    \
          \"events_per_wall_sec\": {:.0},\n    \"sim_gbps\": {:.2}\n  }},\n  \
+         \"fleet\": {{\n    \"sim_bytes_per_wall_sec\": {:.0},\n    \
+         \"ns_per_packet\": {:.1}\n  }},\n  \
          \"pre_pr\": {{\n    \"sim_bytes_per_wall_sec\": {pre_pr:.0},\n    \
          \"speedup\": {speedup:.2}\n  }},\n  \"kernels\": {{\n    \
          \"crc32c_cpb\": {:.3},\n    \"aes_gcm_seal_cpb\": {:.3},\n    \
@@ -186,6 +306,8 @@ fn render(iperf: &IperfSpeed, k: &Kernels, pre_pr: f64) -> String {
         iperf.ns_per_packet,
         iperf.events_per_wall_sec,
         iperf.sim_gbps,
+        fleet.sim_bytes_per_wall_sec,
+        fleet.ns_per_packet,
         k.crc32c_cpb,
         k.aes_gcm_seal_cpb,
         k.sha256_cpb,
@@ -249,6 +371,17 @@ fn main() {
         iperf.sim_gbps,
         iperf.events_per_wall_sec,
     );
+    eprintln!(
+        "measuring fleet sim speed ({FLEET_CLIENTS}x{FLEET_SERVERS} hosts, {FLEET_FLOWS} flows, \
+         {REPS} x {}ms sim window)...",
+        WINDOW.as_nanos() / 1_000_000
+    );
+    let fleet = fleet_speed();
+    eprintln!(
+        "  sim {:.1} MB/wall-s | {:.0} ns/pkt",
+        fleet.sim_bytes_per_wall_sec / 1e6,
+        fleet.ns_per_packet,
+    );
     eprintln!("measuring kernels...");
     let k = kernels();
     eprintln!(
@@ -259,7 +392,7 @@ fn main() {
         NOMINAL_HZ / 1e9
     );
 
-    let doc = render(&iperf, &k, pre_pr);
+    let doc = render(&iperf, &fleet, &k, pre_pr);
     if let Some(path) = &check_path {
         let committed = match std::fs::read_to_string(path) {
             Ok(c) => c,
@@ -284,6 +417,31 @@ fn main() {
                  If intentional, regenerate with BLESS=1 scripts/bench.sh and commit the diff."
             );
             std::process::exit(1);
+        }
+        // Fleet gate: same ratio test, scoped to the baseline's "fleet"
+        // object. Baselines written before the fleet entry existed simply
+        // skip this gate; a BLESS adds the entry and arms it.
+        let fleet_base = committed
+            .split("\"fleet\"")
+            .nth(1)
+            .and_then(|tail| json_number(tail, "ns_per_packet"))
+            .unwrap_or(0.0);
+        if fleet_base > 0.0 {
+            let fleet_pct = 100.0 * (fleet.ns_per_packet - fleet_base) / fleet_base;
+            eprintln!(
+                "check: fleet ns/packet {:.1} vs baseline {fleet_base:.1} ({fleet_pct:+.1}%)",
+                fleet.ns_per_packet
+            );
+            if fleet_pct > MAX_REGRESS_PCT {
+                eprintln!(
+                    "bench: REGRESSION: fleet ns/packet worsened {fleet_pct:.1}% \
+                     (> {MAX_REGRESS_PCT}% gate). If intentional, regenerate with \
+                     BLESS=1 scripts/bench.sh and commit the diff."
+                );
+                std::process::exit(1);
+            }
+        } else {
+            eprintln!("check: baseline {path} has no fleet entry (pre-fleet baseline); skipping fleet gate");
         }
         println!("{doc}");
     } else if let Some(path) = &write_path {

@@ -334,9 +334,17 @@ impl Nic {
             self.counters.cache_misses += 1;
             // Fill of the missing context...
             self.counters.pcie_ctx_bytes += self.cfg.ctx_bytes;
-            if evicted.is_some() {
-                // ...plus the write-back of the context it displaced.
+            if let Some((victim, vdir)) = evicted {
+                // ...plus the write-back of the context it displaced. The
+                // trace record is scoped to the victim: cache pressure is
+                // the *victim's* story (its next packet pays the refill).
                 self.counters.pcie_ctx_bytes += self.cfg.ctx_bytes;
+                self.tracer.scoped(victim.0).record(|| ano_trace::Event::CtxEvict {
+                    dir: match vdir {
+                        Dir::Rx => "rx",
+                        Dir::Tx => "tx",
+                    },
+                });
             }
         } else {
             self.counters.cache_hits += 1;

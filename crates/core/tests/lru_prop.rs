@@ -1,0 +1,167 @@
+//! Property tests for the NIC context cache ([`ano_core::cache::LruSet`]).
+//!
+//! The LRU set is the arbiter of which flows stay autonomous under fleet
+//! load, and it is built on an intrusive freelist plus a keyed hash map —
+//! exactly the kind of structure where a stale index silently corrupts
+//! recency order long before anything panics. These properties drive
+//! arbitrary install/touch/evict/invalidate sequences against two oracles:
+//!
+//! * a *recency list* (`Vec`, most-recent-first) that predicts every
+//!   hit/miss outcome and every eviction victim;
+//! * a *membership twin* (`BTreeSet`) that must agree with the keyed-hash
+//!   map after every operation, so FxHash bucketing bugs can't hide.
+
+use std::collections::BTreeSet;
+
+use ano_core::cache::{CacheOutcome, LruSet};
+use ano_testkit::gen::{usize_in, vec_u8};
+
+/// Naive reference model: O(n) everything, obviously correct.
+struct RefLru {
+    cap: usize,
+    /// Resident keys, most recently used first.
+    order: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RefLru {
+    fn new(cap: usize) -> RefLru {
+        RefLru {
+            cap: cap.max(1),
+            order: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn touch_evict(&mut self, k: u64) -> (CacheOutcome, Option<u64>) {
+        if let Some(pos) = self.order.iter().position(|&x| x == k) {
+            self.hits += 1;
+            let k = self.order.remove(pos);
+            self.order.insert(0, k);
+            return (CacheOutcome::Hit, None);
+        }
+        self.misses += 1;
+        let evicted = if self.order.len() == self.cap {
+            self.order.pop()
+        } else {
+            None
+        };
+        self.order.insert(0, k);
+        (CacheOutcome::Miss, evicted)
+    }
+
+    fn remove(&mut self, k: u64) -> bool {
+        if let Some(pos) = self.order.iter().position(|&x| x == k) {
+            self.order.remove(pos);
+            return true;
+        }
+        false
+    }
+
+    fn wipe(&mut self) -> usize {
+        let n = self.order.len();
+        self.order.clear();
+        n
+    }
+}
+
+/// Decodes a byte stream into cache operations and replays them against
+/// both the real cache and the oracles, checking agreement after each op.
+fn run_ops(cap: usize, ops: &[u8]) {
+    let mut cache: LruSet<u64> = LruSet::new(cap);
+    let mut oracle = RefLru::new(cap);
+    let mut twin: BTreeSet<u64> = BTreeSet::new();
+
+    for (step, chunk) in ops.chunks(2).enumerate() {
+        let [op, key] = match *chunk {
+            [a, b] => [a, b],
+            _ => break, // odd trailing byte
+        };
+        // Small key domain so sequences revisit keys (hits, evictions,
+        // remove-then-reinsert) instead of streaming cold misses.
+        let k = (key % 13) as u64;
+        match op % 8 {
+            // Touch dominates: it is the only op the packet path issues.
+            0..=5 => {
+                let got = cache.touch_evict(&k);
+                let want = oracle.touch_evict(k);
+                assert_eq!(got, want, "step {step}: touch({k}) outcome/victim");
+                twin.insert(k);
+                if let Some(victim) = want.1 {
+                    assert!(twin.remove(&victim), "step {step}: victim {victim} was resident");
+                }
+            }
+            // Teardown (flow destroy / invalidate write-back).
+            6 => {
+                let got = cache.remove(&k);
+                let want = oracle.remove(k);
+                assert_eq!(got, want, "step {step}: remove({k}) residency");
+                assert_eq!(twin.remove(&k), want);
+            }
+            // Device reset: rare, wipes everything.
+            _ => {
+                let got = cache.wipe();
+                let want = oracle.wipe();
+                assert_eq!(got, want, "step {step}: wipe count");
+                twin.clear();
+            }
+        }
+
+        // Invariants after every operation.
+        assert!(cache.len() <= cap.max(1), "step {step}: capacity exceeded");
+        assert_eq!(cache.len(), oracle.order.len(), "step {step}: len agrees");
+        assert_eq!(cache.len(), twin.len(), "step {step}: twin len agrees");
+        assert_eq!(
+            (cache.hits(), cache.misses()),
+            (oracle.hits, oracle.misses),
+            "step {step}: hit/miss accounting"
+        );
+        // The keyed-hash map and the BTreeSet twin must agree on
+        // membership for the whole key domain, present or not.
+        for probe in 0..13u64 {
+            assert_eq!(
+                oracle.order.contains(&probe),
+                twin.contains(&probe),
+                "step {step}: oracle/twin membership of {probe}"
+            );
+        }
+    }
+
+    // Final sweep: every twin-resident key must hit, in any order; absent
+    // keys must miss. Drain most-recent-first so earlier probes cannot
+    // evict keys we still intend to verify.
+    for &k in oracle.order.clone().iter() {
+        assert_eq!(cache.touch(&k), CacheOutcome::Hit, "final: {k} resident");
+        assert_eq!(oracle.touch_evict(k).0, CacheOutcome::Hit);
+    }
+}
+
+ano_testkit::prop_test! {
+    cases = 300;
+    fn lru_matches_reference_model(
+        cap in usize_in(1..7),
+        ops in vec_u8(0..240),
+    ) {
+        run_ops(cap, &ops);
+    }
+}
+
+ano_testkit::prop_test! {
+    cases = 60;
+    fn lru_matches_reference_model_at_flow_scale(
+        cap in usize_in(7..40),
+        ops in vec_u8(0..400),
+    ) {
+        run_ops(cap, &ops);
+    }
+}
+
+// The zero-capacity clamp must behave exactly like capacity one.
+ano_testkit::prop_test! {
+    cases = 40;
+    fn zero_capacity_behaves_as_one(ops in vec_u8(0..120)) {
+        run_ops(0, &ops);
+    }
+}

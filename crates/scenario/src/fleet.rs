@@ -1,0 +1,582 @@
+//! Fleet-scale scenarios: N clients × M servers, many concurrent flows
+//! through one server NIC's bounded context cache.
+//!
+//! The two-host scenarios exercise the resync machine's *depth*; this tier
+//! exercises its *width* — the paper's §6.5 result that autonomous offloads
+//! survive at data-center flow counts only as long as the per-flow context
+//! fits NIC memory (4 MiB / 208 B ≈ 20 K flows), beyond which every packet
+//! pays a PCIe context fetch. The fleet runner drives a [`Fleet`] topology
+//! with hundreds of flows against a deliberately small server cache and
+//! measures the sensitivity curve: offload hit-rate collapsing and the
+//! software-fallback share (the PR-5 cache-thrash breaker) rising as the
+//! flow count crosses cache capacity.
+//!
+//! Every fleet scenario runs differentially — offload-on vs software-only
+//! twin — with byte-identical per-flow streams required, the same
+//! application-invisibility contract the two-host matrix enforces.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use ano_core::fault::DeviceFaults;
+use ano_core::nic::NicConfig;
+use ano_sim::payload::{DataMode, Payload};
+use ano_sim::time::{SimDuration, SimTime};
+use ano_stack::app::{AppEvent, HostApi, HostApp};
+use ano_stack::prelude::{
+    ConnId, ConnSpec, DegradeConfig, Fleet, FleetSpec, HostSpec, TlsSpec, WorldConfig,
+};
+use ano_trace::Record;
+
+/// Stepping granularity for the fleet run loop (same as the two-host
+/// runner's invariant step).
+const STEP: SimDuration = SimDuration::from_micros(500);
+
+/// One fleet experiment: topology shape, flow population, server cache
+/// size, and the degradation policy under test.
+#[derive(Clone, Debug)]
+pub struct FleetScenario {
+    /// Scenario name (diagnostics).
+    pub name: String,
+    /// World seed.
+    pub seed: u64,
+    /// Client hosts.
+    pub clients: usize,
+    /// Server hosts.
+    pub servers: usize,
+    /// Concurrent connections, placed round-robin over clients × servers.
+    pub flows: usize,
+    /// Plaintext bytes each client streams to its server.
+    pub bytes_per_flow: usize,
+    /// Server NIC context-cache capacity (the experiment's bottleneck;
+    /// clients keep the default large cache and never contend).
+    pub server_cache: usize,
+    /// Cores per server host (few cores make software fallback hurt).
+    pub server_cores: usize,
+    /// Cores per client host.
+    pub client_cores: usize,
+    /// Rx cache-thrash breaker threshold (PR-5 policy); `None` measures
+    /// thrash without reacting.
+    pub thrash_breaker: Option<u32>,
+    /// Link rate for every fleet link.
+    pub link_rate_bps: u64,
+    /// Give-up horizon in sim time.
+    pub sim_budget: SimDuration,
+}
+
+impl Default for FleetScenario {
+    fn default() -> Self {
+        FleetScenario {
+            name: "fleet".into(),
+            seed: 7,
+            clients: 2,
+            servers: 1,
+            flows: 8,
+            bytes_per_flow: 32 * 1024,
+            server_cache: 1024,
+            server_cores: 4,
+            client_cores: 4,
+            thrash_breaker: None,
+            link_rate_bps: 100_000_000_000,
+            sim_budget: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl FleetScenario {
+    /// Deterministic per-flow payload: flow `k` streams a pattern no other
+    /// flow shares, so cross-flow delivery mixups are byte-visible.
+    pub fn flow_pattern(&self, k: usize) -> Vec<u8> {
+        let base = (k as u64).wrapping_mul(7).wrapping_add(self.seed);
+        (0..self.bytes_per_flow)
+            .map(|j| ((base + j as u64) % 251) as u8)
+            .collect()
+    }
+
+    /// Round-robin placement of flow `k`: `(client index, server index)`.
+    pub fn place(&self, k: usize) -> (usize, usize) {
+        (k % self.clients, k % self.servers)
+    }
+}
+
+/// Sends one byte stream per owned connection at start (one instance per
+/// client host; a host may own many flows).
+pub struct FleetSender {
+    streams: Vec<(ConnId, Vec<u8>)>,
+}
+
+impl FleetSender {
+    /// Creates the sender over this host's connections.
+    pub fn new(streams: Vec<(ConnId, Vec<u8>)>) -> FleetSender {
+        FleetSender { streams }
+    }
+}
+
+impl HostApp for FleetSender {
+    fn on_event(&mut self, api: &mut HostApi, event: AppEvent<'_>) {
+        if let AppEvent::Start = event {
+            for (conn, data) in std::mem::take(&mut self.streams) {
+                api.send(conn, Payload::real(data));
+            }
+        }
+    }
+}
+
+/// Records delivered plaintext per connection into a shared map (one
+/// instance per server host, all sharing the same map).
+pub struct FleetRecorder {
+    streams: Rc<RefCell<BTreeMap<ConnId, Vec<u8>>>>,
+}
+
+impl FleetRecorder {
+    /// Creates a recorder around the shared per-flow stream map.
+    pub fn new(streams: Rc<RefCell<BTreeMap<ConnId, Vec<u8>>>>) -> FleetRecorder {
+        FleetRecorder { streams }
+    }
+}
+
+impl HostApp for FleetRecorder {
+    fn on_event(&mut self, _api: &mut HostApi, event: AppEvent<'_>) {
+        if let AppEvent::Data { conn, chunks } = event {
+            let mut map = self.streams.borrow_mut();
+            let buf = map.entry(conn).or_default();
+            for c in chunks {
+                buf.extend_from_slice(&c.payload.to_vec());
+            }
+        }
+    }
+}
+
+/// Result of one fleet run (offload on or off).
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Whether server rx offload was requested.
+    pub offload: bool,
+    /// Every flow delivered every byte.
+    pub complete: bool,
+    /// Step time at which the last expected byte arrived.
+    pub finish: Option<SimTime>,
+    /// Step time at which the run stopped.
+    pub end: SimTime,
+    /// Delivered plaintext per connection, in arrival order.
+    pub streams: BTreeMap<ConnId, Vec<u8>>,
+    /// What each flow was supposed to deliver.
+    pub expected: BTreeMap<ConnId, Vec<u8>>,
+    /// Connections with their `(client host, server host)` placement.
+    pub conns: Vec<(ConnId, usize, usize)>,
+    /// Context-cache hits summed over all server NICs.
+    pub cache_hits: u64,
+    /// Context-cache misses summed over all server NICs.
+    pub cache_misses: u64,
+    /// Server-side connections whose circuit breaker opened.
+    pub breakers: usize,
+    /// Breaker reasons in connection order (server side, open only).
+    pub breaker_reasons: Vec<&'static str>,
+    /// Payload packets served in degraded (software-fallback) mode on the
+    /// server side.
+    pub degraded_pkts: u64,
+    /// Packets fully offloaded by surviving server rx engines.
+    pub rx_offloaded_pkts: u64,
+    /// Full trace when tracing was enabled (empty otherwise).
+    pub trace: Vec<Record>,
+    /// Trace records the ring overwrote.
+    pub trace_dropped: u64,
+}
+
+impl FleetOutcome {
+    /// Server cache hit-rate over the whole run.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+
+    /// Panics unless every flow delivered exactly its expected stream.
+    pub fn assert_streams(&self) {
+        assert_eq!(
+            self.streams.keys().collect::<Vec<_>>(),
+            self.expected.keys().collect::<Vec<_>>(),
+            "fleet '{}': flow population mismatch",
+            self.name
+        );
+        for (conn, want) in &self.expected {
+            let got = &self.streams[conn];
+            assert_eq!(
+                got.len(),
+                want.len(),
+                "fleet '{}': conn {conn:?} delivered {} of {} bytes",
+                self.name,
+                got.len(),
+                want.len()
+            );
+            assert!(
+                got == want,
+                "fleet '{}': conn {conn:?} delivered corrupted bytes",
+                self.name
+            );
+        }
+    }
+}
+
+/// Runs one fleet scenario. `offload` installs rx engines on the server
+/// NICs (clients always run software TLS — the cache under test is the
+/// server's). `faults`, when given, is installed on every *server* host
+/// before any connection exists, so install-time rules see the first
+/// `InstallRx`. `trace` enables the shared tracer (golden-trace runs).
+pub fn run_fleet(
+    sc: &FleetScenario,
+    offload: bool,
+    faults: Option<&DeviceFaults>,
+    trace: bool,
+) -> FleetOutcome {
+    let mut fleet = build_fleet(sc);
+    if trace {
+        fleet.tracer().set_enabled(true);
+    }
+    if let Some(plan) = faults {
+        for j in 0..sc.servers {
+            let host = fleet.server(j);
+            fleet.world_mut().set_device_faults(host, plan.clone());
+        }
+    }
+
+    let streams = Rc::new(RefCell::new(BTreeMap::new()));
+    let (conns, expected) = connect_flows(&mut fleet, sc, offload, &streams);
+
+    fleet.start();
+    drive(&mut fleet, sc, offload, conns, expected, &streams)
+}
+
+/// Builds the fleet world for `sc` (no connections yet).
+pub fn build_fleet(sc: &FleetScenario) -> Fleet {
+    Fleet::build(FleetSpec {
+        clients: sc.clients,
+        servers: sc.servers,
+        client: HostSpec {
+            cores: sc.client_cores,
+            nic: NicConfig::default(),
+        },
+        server: HostSpec {
+            cores: sc.server_cores,
+            nic: NicConfig {
+                ctx_cache_capacity: sc.server_cache,
+                ..NicConfig::default()
+            },
+        },
+        cfg: WorldConfig {
+            seed: sc.seed,
+            mode: DataMode::Functional,
+            link_rate_bps: sc.link_rate_bps,
+            degrade: DegradeConfig {
+                breaker_cache_thrash: sc.thrash_breaker,
+                ..DegradeConfig::default()
+            },
+            ..WorldConfig::default()
+        },
+    })
+}
+
+/// Connects `sc.flows` round-robin connections, installs sender apps on the
+/// clients and recorders on the servers, and returns the placement plus
+/// the expected per-flow streams.
+pub fn connect_flows(
+    fleet: &mut Fleet,
+    sc: &FleetScenario,
+    offload: bool,
+    streams: &Rc<RefCell<BTreeMap<ConnId, Vec<u8>>>>,
+) -> (Vec<(ConnId, usize, usize)>, BTreeMap<ConnId, Vec<u8>>) {
+    let server_spec = TlsSpec {
+        rx_offload: offload,
+        ..TlsSpec::default()
+    };
+    let mut conns = Vec::with_capacity(sc.flows);
+    let mut expected = BTreeMap::new();
+    let mut per_client: Vec<Vec<(ConnId, Vec<u8>)>> = vec![Vec::new(); sc.clients];
+    for k in 0..sc.flows {
+        let (ci, sj) = sc.place(k);
+        let conn = fleet.connect(
+            ci,
+            sj,
+            ConnSpec::Tls(TlsSpec::default()),
+            ConnSpec::Tls(server_spec),
+        );
+        let data = sc.flow_pattern(k);
+        expected.insert(conn, data.clone());
+        per_client[ci].push((conn, data));
+        conns.push((conn, ci, sc.clients + sj));
+    }
+    for (ci, streams_for_client) in per_client.into_iter().enumerate() {
+        let host = fleet.client(ci);
+        fleet
+            .world_mut()
+            .set_app(host, Box::new(FleetSender::new(streams_for_client)));
+    }
+    for sj in 0..sc.servers {
+        let host = fleet.server(sj);
+        fleet
+            .world_mut()
+            .set_app(host, Box::new(FleetRecorder::new(Rc::clone(streams))));
+    }
+    (conns, expected)
+}
+
+/// Steps the world until every expected byte arrived and the world went
+/// idle (or the sim budget ran out), then collects the outcome.
+pub fn drive(
+    fleet: &mut Fleet,
+    sc: &FleetScenario,
+    offload: bool,
+    conns: Vec<(ConnId, usize, usize)>,
+    expected: BTreeMap<ConnId, Vec<u8>>,
+    streams: &Rc<RefCell<BTreeMap<ConnId, Vec<u8>>>>,
+) -> FleetOutcome {
+    let expected_total: u64 = expected.values().map(|v| v.len() as u64).sum();
+    let deadline = fleet.now() + sc.sim_budget;
+    let mut t = fleet.now();
+    let mut finish = None;
+    let end = loop {
+        t += STEP;
+        fleet.world_mut().run_until(t);
+        let delivered: u64 = streams.borrow().values().map(|v| v.len() as u64).sum();
+        if delivered >= expected_total && finish.is_none() {
+            finish = Some(t);
+        }
+        if fleet.is_idle() || t >= deadline {
+            break t;
+        }
+    };
+
+    let mut cache_hits = 0;
+    let mut cache_misses = 0;
+    for sj in 0..sc.servers {
+        let c = fleet.nic_counters(fleet.server(sj));
+        cache_hits += c.cache_hits;
+        cache_misses += c.cache_misses;
+    }
+    let mut breaker_reasons = Vec::new();
+    let mut degraded_pkts = 0;
+    let mut rx_offloaded_pkts = 0;
+    for &(conn, _, server) in &conns {
+        if let Some(reason) = fleet.breaker_reason(server, conn) {
+            breaker_reasons.push(reason);
+        }
+        degraded_pkts += fleet.degraded_pkts(server, conn);
+        rx_offloaded_pkts += fleet
+            .rx_engine_stats(server, conn)
+            .map(|s| s.pkts_offloaded)
+            .unwrap_or(0);
+    }
+
+    FleetOutcome {
+        name: sc.name.clone(),
+        offload,
+        complete: finish.is_some(),
+        finish,
+        end,
+        streams: streams.borrow().clone(),
+        expected,
+        breakers: breaker_reasons.len(),
+        breaker_reasons,
+        conns,
+        cache_hits,
+        cache_misses,
+        degraded_pkts,
+        rx_offloaded_pkts,
+        trace: fleet.tracer().records(),
+        trace_dropped: fleet.tracer().dropped(),
+    }
+}
+
+/// Runs `sc` offload-on and software-only and asserts the offload is
+/// invisible: both complete, byte-identical per-flow streams, completion
+/// times within `max_divergence`×.
+pub fn run_fleet_differential(sc: &FleetScenario, max_divergence: f64) -> (FleetOutcome, FleetOutcome) {
+    let on = run_fleet(sc, true, None, false);
+    let off = run_fleet(sc, false, None, false);
+    assert_fleet_twins(&on, &off, max_divergence);
+    (on, off)
+}
+
+/// The differential contract, shared by the curve and churn tests.
+pub fn assert_fleet_twins(on: &FleetOutcome, off: &FleetOutcome, max_divergence: f64) {
+    assert!(on.complete, "fleet '{}': offload run incomplete", on.name);
+    assert!(off.complete, "fleet '{}': software run incomplete", off.name);
+    on.assert_streams();
+    off.assert_streams();
+    assert!(
+        on.streams == off.streams,
+        "fleet '{}': offload and software twins delivered different bytes",
+        on.name
+    );
+    assert_eq!(
+        off.rx_offloaded_pkts, 0,
+        "software twin must not touch rx engines"
+    );
+    if let (Some(a), Some(b)) = (on.finish, off.finish) {
+        let (a, b) = (a.as_nanos().max(1), b.as_nanos().max(1));
+        let ratio = a.max(b) as f64 / a.min(b) as f64;
+        assert!(
+            ratio <= max_divergence,
+            "fleet '{}': completion times diverge {ratio:.2}x (bound {max_divergence:.1}x)",
+            on.name
+        );
+    }
+}
+
+/// One point of the context-cache sensitivity curve. All fields are exact
+/// integers so the committed expected file is byte-stable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SensitivityPoint {
+    /// Concurrent flows at this point.
+    pub flows: usize,
+    /// Server cache hits / misses over the whole run.
+    pub cache_hits: u64,
+    /// See [`SensitivityPoint::cache_hits`].
+    pub cache_misses: u64,
+    /// Connections the cache-thrash breaker pushed to software.
+    pub breakers: usize,
+    /// Packets served in degraded mode after a breaker opened.
+    pub degraded_pkts: u64,
+    /// Packets fully offloaded by surviving rx engines.
+    pub rx_offloaded_pkts: u64,
+    /// Offload-run completion time.
+    pub finish_ns: u64,
+}
+
+impl SensitivityPoint {
+    /// Hit-rate at this point.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+
+    /// Stable one-line rendering (the committed-curve format).
+    pub fn render(&self) -> String {
+        format!(
+            "flows={} hits={} misses={} breakers={} degraded_pkts={} offloaded_pkts={} finish_ns={}",
+            self.flows,
+            self.cache_hits,
+            self.cache_misses,
+            self.breakers,
+            self.degraded_pkts,
+            self.rx_offloaded_pkts,
+            self.finish_ns
+        )
+    }
+}
+
+/// Sweeps the flow count across `flow_counts`, running the offload variant
+/// *and* its software twin at every point (the twin check is part of the
+/// sweep: thrash must never become application-visible corruption).
+pub fn sensitivity_curve(base: &FleetScenario, flow_counts: &[usize]) -> Vec<SensitivityPoint> {
+    flow_counts
+        .iter()
+        .map(|&flows| {
+            let mut sc = base.clone();
+            sc.flows = flows;
+            sc.name = format!("{}/flows={flows}", base.name);
+            let (on, _off) = run_fleet_differential(&sc, 50.0);
+            SensitivityPoint {
+                flows,
+                cache_hits: on.cache_hits,
+                cache_misses: on.cache_misses,
+                breakers: on.breakers,
+                degraded_pkts: on.degraded_pkts,
+                rx_offloaded_pkts: on.rx_offloaded_pkts,
+                finish_ns: on.finish.map(|t| t.as_nanos()).unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+/// Renders a curve in the committed expected-data format.
+pub fn render_curve(points: &[SensitivityPoint]) -> String {
+    let mut out = String::new();
+    for p in points {
+        out.push_str(&p.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Result of a short-lived-connection churn storm.
+#[derive(Debug)]
+pub struct ChurnOutcome {
+    /// Waves that ran to full delivery.
+    pub rounds: usize,
+    /// Total connections cycled through the fleet.
+    pub total_conns: usize,
+    /// Device faults the server-side plans actually delivered (the §4.4
+    /// install-ladder oracle: a storm with install rules must inject).
+    pub faults_injected: u64,
+    /// Breakers opened anywhere in the fleet across all waves.
+    pub breakers: usize,
+    /// Sim time when the storm finished.
+    pub end: SimTime,
+}
+
+/// Drives `rounds` waves of short-lived connections through the fleet:
+/// each wave connects `sc.flows` flows, streams `sc.bytes_per_flow` each,
+/// is verified byte-exact, then disconnects — stressing the §4.4 install
+/// ladder (every wave re-installs contexts, optionally against an
+/// install-fault plan) and context teardown/write-back.
+pub fn run_churn(
+    sc: &FleetScenario,
+    rounds: usize,
+    offload: bool,
+    faults: Option<&DeviceFaults>,
+) -> ChurnOutcome {
+    let mut fleet = build_fleet(sc);
+    if let Some(plan) = faults {
+        for j in 0..sc.servers {
+            let host = fleet.server(j);
+            fleet.world_mut().set_device_faults(host, plan.clone());
+        }
+    }
+
+    let mut total_conns = 0;
+    let mut breakers = 0;
+    let mut completed = 0;
+    for round in 0..rounds {
+        let mut wave = sc.clone();
+        wave.seed = sc.seed.wrapping_add(round as u64);
+        let streams = Rc::new(RefCell::new(BTreeMap::new()));
+        let (conns, expected) = connect_flows(&mut fleet, &wave, offload, &streams);
+        fleet.start();
+        let outcome = drive(&mut fleet, &wave, offload, conns, expected, &streams);
+        assert!(
+            outcome.complete,
+            "churn '{}': wave {round} incomplete at {:?}",
+            sc.name, outcome.end
+        );
+        outcome.assert_streams();
+        breakers += outcome.breakers;
+        total_conns += outcome.conns.len();
+        completed += 1;
+        // Teardown only after full delivery: the offload/software twins
+        // must cycle identical byte streams through every wave.
+        for (conn, _, _) in outcome.conns {
+            fleet.world_mut().disconnect(conn);
+        }
+    }
+
+    let mut faults_injected = 0;
+    for j in 0..sc.servers {
+        faults_injected += fleet.device_faults_injected(fleet.server(j));
+    }
+    ChurnOutcome {
+        rounds: completed,
+        total_conns,
+        faults_injected,
+        breakers,
+        end: fleet.now(),
+    }
+}

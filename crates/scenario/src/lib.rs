@@ -32,12 +32,17 @@
 
 pub mod apps;
 pub mod chaos;
+pub mod fleet;
 pub mod gen;
 pub mod invariant;
 pub mod runner;
 pub mod scenario;
 
 pub use chaos::{chaos_builtin, chaos_matrix, run_chaos, ChaosExpect, ChaosScenario, DeviceChaos};
+pub use fleet::{
+    run_churn, run_fleet, run_fleet_differential, sensitivity_curve, ChurnOutcome, FleetOutcome,
+    FleetScenario, SensitivityPoint,
+};
 pub use invariant::Violation;
 pub use runner::{run_differential, run_scenario, run_scenario_faulted, DiffOutcome, RunOutcome};
 pub use scenario::{Scenario, Workload};

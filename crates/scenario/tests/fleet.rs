@@ -1,0 +1,391 @@
+//! Fleet-tier tests: the §6.5 context-cache sensitivity curve, the PR-5
+//! cache-thrash breaker, a short-lived-connection churn storm over the
+//! §4.4 install ladder, and a golden trace pinning a small fleet's
+//! eviction→resync→re-offload choreography.
+//!
+//! # Regenerating committed data after an intentional behavior change
+//!
+//! ```text
+//! BLESS=1 cargo test -q -p ano-scenario --test fleet
+//! git diff crates/scenario/tests/expected/ crates/scenario/tests/golden/
+//! ```
+//!
+//! The curve file (`tests/expected/fleet_sensitivity.txt`) is exact
+//! integers — any drift in cache accounting, breaker policy, or scheduling
+//! shows up as a diff, which *is* the review artifact.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use ano_core::fault::{DeviceFaults, DeviceOp, FaultAction, ScheduledFault};
+use ano_core::rx::RxStateKind;
+use ano_scenario::fleet::{self, FleetScenario};
+use ano_sim::link::Match;
+use ano_sim::time::{SimDuration, SimTime};
+use ano_stack::prelude::{ConnSpec, TlsSpec};
+use ano_tcp::segment::FlowId;
+use ano_trace::event::Category;
+use ano_trace::export;
+
+fn expected_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/expected")
+        .join(name)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// The sensitivity experiment: 4 clients against one server whose NIC
+/// holds 8 rx contexts, swept across the capacity cliff. The thrash
+/// breaker is armed the way a production driver would run it, so flow
+/// counts past capacity degrade to software instead of thrashing forever.
+/// (Scaled from the paper's 20 K-flow cache so the sweep runs in seconds;
+/// the `--include-ignored` fleet-scale test covers thousands of flows.)
+fn curve_base() -> FleetScenario {
+    FleetScenario {
+        name: "fleet/sensitivity".into(),
+        seed: 11,
+        clients: 4,
+        servers: 1,
+        flows: 0, // per-point
+        bytes_per_flow: 96 * 1024,
+        server_cache: 8,
+        server_cores: 4,
+        client_cores: 4,
+        thrash_breaker: Some(3),
+        link_rate_bps: 100_000_000_000,
+        sim_budget: SimDuration::from_millis(100),
+    }
+}
+
+const CURVE_FLOWS: &[usize] = &[2, 4, 8, 16, 32];
+
+/// The paper's context-cache sensitivity result, reproduced and pinned:
+/// offload hit-rate degrades and the software-fallback share (breaker
+/// trips, degraded packets) rises as the flow count crosses the server
+/// cache capacity. Every point also runs its software twin with
+/// byte-identical streams (inside `sensitivity_curve`), and the whole
+/// sweep is run twice to pin in-process determinism.
+#[test]
+fn sensitivity_curve_crosses_cache_capacity() {
+    let base = curve_base();
+    let points = fleet::sensitivity_curve(&base, CURVE_FLOWS);
+    let again = fleet::sensitivity_curve(&base, CURVE_FLOWS);
+    assert_eq!(points, again, "sensitivity sweep is not deterministic");
+
+    let got = fleet::render_curve(&points);
+    let path = expected_path("fleet_sensitivity.txt");
+    if std::env::var("BLESS").is_ok() {
+        fs::create_dir_all(path.parent().unwrap()).expect("mkdir expected/");
+        fs::write(&path, &got).expect("write expected curve");
+        eprintln!("blessed {} ({} points)", path.display(), points.len());
+    } else {
+        let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing committed curve {} ({e}); run `BLESS=1 cargo test -p \
+                 ano-scenario --test fleet` to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            got, want,
+            "sensitivity curve drifted from the committed data; if the change \
+             is intentional, re-bless with BLESS=1 and review the diff"
+        );
+    }
+
+    // Shape assertions — the committed file pins the exact numbers, these
+    // pin the *physics* so a bad bless cannot hide a broken curve.
+    let within: Vec<_> = points.iter().filter(|p| p.flows <= base.server_cache).collect();
+    let beyond: Vec<_> = points.iter().filter(|p| p.flows > base.server_cache).collect();
+    assert!(!within.is_empty() && !beyond.is_empty(), "sweep must straddle capacity");
+    for p in &within {
+        assert_eq!(p.breakers, 0, "flows={} fit the cache; no breaker", p.flows);
+        assert_eq!(p.degraded_pkts, 0, "flows={} fit the cache", p.flows);
+        assert!(
+            p.hit_rate() > 0.8,
+            "flows={} should run warm (hit rate {:.3})",
+            p.flows,
+            p.hit_rate()
+        );
+    }
+    for p in &beyond {
+        assert!(
+            p.breakers > 0,
+            "flows={} thrash the cache; breaker must trip",
+            p.flows
+        );
+        assert!(p.degraded_pkts > 0, "flows={} must serve degraded packets", p.flows);
+    }
+    let warm = within.last().unwrap();
+    let thrashed = beyond.last().unwrap();
+    assert!(
+        thrashed.hit_rate() < warm.hit_rate(),
+        "hit rate must degrade across capacity ({:.3} -> {:.3})",
+        warm.hit_rate(),
+        thrashed.hit_rate()
+    );
+    assert!(
+        beyond.last().unwrap().breakers >= beyond.first().unwrap().breakers,
+        "fallback share rises with flow count"
+    );
+}
+
+/// PR-5 thrash breaker, trip side: a cache far smaller than the flow
+/// population with a low threshold must open breakers with the
+/// `cache_thrash` reason — and the storm must stay application-invisible
+/// (streams byte-exact, software twin identical).
+#[test]
+fn thrash_breaker_trips_with_cache_thrash_reason() {
+    let sc = FleetScenario {
+        name: "fleet/thrash-trip".into(),
+        seed: 5,
+        clients: 2,
+        servers: 1,
+        flows: 8,
+        bytes_per_flow: 256 * 1024,
+        server_cache: 2,
+        thrash_breaker: Some(4),
+        ..FleetScenario::default()
+    };
+    let (on, _off) = fleet::run_fleet_differential(&sc, 50.0);
+    assert!(on.breakers > 0, "8 flows over a 2-entry cache must trip the breaker");
+    assert!(
+        on.breaker_reasons.iter().all(|r| *r == "cache_thrash"),
+        "wrong breaker reason(s): {:?}",
+        on.breaker_reasons
+    );
+    assert!(on.degraded_pkts > 0, "open breakers must meter degraded packets");
+}
+
+/// PR-5 thrash breaker, under-threshold side: ample cache and a high
+/// threshold, plus a mid-run rx-context invalidation. The flow must walk
+/// the §4.3 ladder back to `Offloading` — re-offload, not breaker.
+#[test]
+fn under_threshold_invalidation_reoffloads() {
+    let sc = FleetScenario {
+        name: "fleet/under-threshold".into(),
+        seed: 5,
+        clients: 2,
+        servers: 1,
+        flows: 4,
+        bytes_per_flow: 128 * 1024,
+        server_cache: 1024,
+        thrash_breaker: Some(100_000),
+        link_rate_bps: 10_000_000_000,
+        ..FleetScenario::default()
+    };
+    // Flow ids are 2*conn for the client→server direction; conn ids count
+    // from 0, so the first connection's server-side rx flow is FlowId(0).
+    let plan = DeviceFaults::none().at(
+        SimTime::ZERO + SimDuration::from_micros(100),
+        ScheduledFault::InvalidateRx(FlowId(0)),
+    );
+
+    let mut fleet = fleet::build_fleet(&sc);
+    let server = fleet.server(0);
+    fleet.world_mut().set_device_faults(server, plan);
+    let streams = Rc::new(RefCell::new(BTreeMap::new()));
+    let (conns, expected) = fleet::connect_flows(&mut fleet, &sc, true, &streams);
+    fleet.start();
+    let outcome = fleet::drive(&mut fleet, &sc, true, conns, expected, &streams);
+
+    assert!(outcome.complete, "invalidation must not stall the transfer");
+    outcome.assert_streams();
+    assert_eq!(outcome.breakers, 0, "under-threshold fault must not open a breaker");
+    assert!(
+        fleet.device_faults_injected(server) > 0,
+        "the scheduled invalidation must actually fire"
+    );
+    let (victim, _, _) = outcome.conns[0];
+    assert_eq!(
+        fleet.rx_engine_state(server, victim),
+        Some(RxStateKind::Offloading),
+        "the invalidated flow must re-offload, not degrade"
+    );
+}
+
+/// Short-lived-connection churn storm: waves of connect→stream→verify→
+/// disconnect against a server whose device fails every third rx-context
+/// install, stressing the §4.4 install ladder (retry/backoff) on every
+/// wave. No breaker may open — 1-in-3 install failures are recoverable —
+/// and every wave must deliver byte-exact streams. The software twin runs
+/// the identical waves (same expected patterns) with no device to fault.
+#[test]
+fn churn_storm_exercises_install_ladder() {
+    let sc = FleetScenario {
+        name: "fleet/churn".into(),
+        seed: 23,
+        clients: 3,
+        servers: 1,
+        flows: 6,
+        bytes_per_flow: 16 * 1024,
+        server_cache: 1024,
+        ..FleetScenario::default()
+    };
+    let plan = DeviceFaults::none().with(
+        DeviceOp::InstallRx,
+        Match::Cycle {
+            pattern: vec![true, false, false],
+            until: u64::MAX,
+        },
+        FaultAction::Fail,
+    );
+
+    let on = fleet::run_churn(&sc, 4, true, Some(&plan));
+    assert_eq!(on.rounds, 4, "every wave must complete");
+    assert_eq!(on.total_conns, 24);
+    assert!(
+        on.faults_injected > 0,
+        "the install-fault plan must exercise the ladder"
+    );
+    assert_eq!(on.breakers, 0, "recoverable install faults must not open breakers");
+
+    let off = fleet::run_churn(&sc, 4, false, None);
+    assert_eq!(off.rounds, 4, "software twin must cycle the same waves");
+    assert_eq!(off.total_conns, on.total_conns);
+}
+
+/// Golden trace for a small fleet: 3 clients × 2 servers, a 4-entry cache
+/// on each server NIC, 8 flows placed unevenly (6 on server 0, 2 on
+/// server 1) so server 0 evicts while server 1 runs warm, plus one mid-run
+/// rx invalidation on server 0. The canonical Resync+Device rendering pins
+/// the full eviction→resync→re-offload ladder.
+#[test]
+fn golden_fleet_eviction_resync_ladder() {
+    let sc = FleetScenario {
+        name: "fleet/golden-ladder".into(),
+        seed: 3,
+        clients: 3,
+        servers: 2,
+        flows: 8,
+        bytes_per_flow: 64 * 1024,
+        server_cache: 4,
+        link_rate_bps: 10_000_000_000,
+        ..FleetScenario::default()
+    };
+    let mut fleet = fleet::build_fleet(&sc);
+    fleet.tracer().set_enabled(true);
+    let server0 = fleet.server(0);
+    // Invalidate mid-stream (conn 0 has delivered ~2 records by 100 µs and
+    // has ~2 more in flight), so the reinstall lands in `Searching` and the
+    // golden pins the full re-derivation ladder, not a fresh install.
+    fleet.world_mut().set_device_faults(
+        server0,
+        DeviceFaults::none().at(
+            SimTime::ZERO + SimDuration::from_micros(100),
+            ScheduledFault::InvalidateRx(FlowId(0)),
+        ),
+    );
+
+    // Uneven placement: flows 0..6 on server 0 (over its 4-entry cache),
+    // flows 6..8 on server 1 (warm). Clients round-robin.
+    let server_spec = TlsSpec {
+        rx_offload: true,
+        ..TlsSpec::default()
+    };
+    let streams = Rc::new(RefCell::new(BTreeMap::new()));
+    let mut conns = Vec::new();
+    let mut expected = BTreeMap::new();
+    let mut per_client: Vec<Vec<(ano_stack::prelude::ConnId, Vec<u8>)>> =
+        vec![Vec::new(); sc.clients];
+    for k in 0..sc.flows {
+        let (ci, sj) = (k % sc.clients, usize::from(k >= 6));
+        let conn = fleet.connect(
+            ci,
+            sj,
+            ConnSpec::Tls(TlsSpec::default()),
+            ConnSpec::Tls(server_spec),
+        );
+        let data = sc.flow_pattern(k);
+        expected.insert(conn, data.clone());
+        per_client[ci].push((conn, data));
+        conns.push((conn, ci, fleet.server(sj)));
+    }
+    for (ci, cs) in per_client.into_iter().enumerate() {
+        let host = fleet.client(ci);
+        fleet
+            .world_mut()
+            .set_app(host, Box::new(fleet::FleetSender::new(cs)));
+    }
+    for sj in 0..sc.servers {
+        let host = fleet.server(sj);
+        fleet
+            .world_mut()
+            .set_app(host, Box::new(fleet::FleetRecorder::new(Rc::clone(&streams))));
+    }
+
+    fleet.start();
+    let outcome = fleet::drive(&mut fleet, &sc, true, conns, expected, &streams);
+    assert!(outcome.complete, "golden fleet must finish");
+    outcome.assert_streams();
+    assert_eq!(outcome.trace_dropped, 0, "trace ring wrapped; golden would be truncated");
+
+    let got = export::canonical(&outcome.trace, &[Category::Resync, Category::Device]);
+    assert!(!got.is_empty(), "golden fleet produced no Resync/Device events");
+    let path = golden_path("fleet_ladder.golden");
+    if std::env::var("BLESS").is_ok() {
+        fs::write(&path, &got).expect("write golden");
+        eprintln!("blessed {} ({} lines)", path.display(), got.lines().count());
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run `BLESS=1 cargo test -p ano-scenario \
+             --test fleet` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "fleet golden trace mismatch; if the behavior change is intentional, \
+         re-bless with BLESS=1 and review the diff"
+    );
+    // The golden must meaningfully cover the ladder.
+    assert!(want.contains("device.ctx-evict"), "golden must pin evictions");
+    assert!(
+        want.contains("Confirmed->Offloading"),
+        "golden must pin the re-offload edge after the invalidation"
+    );
+}
+
+/// Fleet scale (the CI tier's `--include-ignored` backstop): thousands of
+/// concurrent flows across 8×2 hosts, server caches far below the flow
+/// count, thrash breakers armed. Everything must complete byte-exact with
+/// the fallback machinery absorbing the cache storm.
+#[test]
+#[ignore = "fleet-scale: thousands of flows; run via scripts/ci.sh fleet tier"]
+fn fleet_scale_thousands_of_flows() {
+    let sc = FleetScenario {
+        name: "fleet/scale".into(),
+        seed: 42,
+        clients: 8,
+        servers: 2,
+        flows: 2048,
+        bytes_per_flow: 24 * 1024,
+        server_cache: 256,
+        server_cores: 8,
+        client_cores: 8,
+        thrash_breaker: Some(2),
+        link_rate_bps: 100_000_000_000,
+        sim_budget: SimDuration::from_millis(500),
+    };
+    let on = fleet::run_fleet(&sc, true, None, false);
+    assert!(on.complete, "fleet-scale run incomplete at {:?}", on.end);
+    on.assert_streams();
+    assert!(
+        on.cache_misses >= sc.flows as u64,
+        "1024 flows per 256-entry cache churn every context ({} hits / {} misses)",
+        on.cache_hits,
+        on.cache_misses
+    );
+    assert!(on.breakers > 0, "thrash at this scale must trip breakers");
+    assert!(on.degraded_pkts > 0, "tripped flows must serve degraded packets");
+}

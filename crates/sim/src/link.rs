@@ -449,12 +449,115 @@ impl Link {
     }
 }
 
+/// A directed-pair link registry: the wiring of a multi-host topology.
+///
+/// Each `(src, dst)` host pair owns at most one unidirectional [`Link`].
+/// Registration hands back a dense `u32` id; the per-packet transmit path
+/// resolves ids with [`LinkRegistry::by_id_mut`] (a plain `Vec` index, so
+/// fan-out over thousands of flows pays no map lookup), while control-plane
+/// callers (impairment sweeps, partitions, stats) address links by host
+/// pair.
+#[derive(Debug, Default)]
+pub struct LinkRegistry {
+    links: Vec<Link>,
+    index: std::collections::BTreeMap<(u16, u16), u32>,
+}
+
+impl LinkRegistry {
+    /// An empty registry.
+    pub fn new() -> LinkRegistry {
+        LinkRegistry::default()
+    }
+
+    /// Registers the `src → dst` link and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair already has a link (topology wiring is static;
+    /// mutate the existing link instead of replacing it).
+    pub fn add(&mut self, src: u16, dst: u16, link: Link) -> u32 {
+        let id = self.links.len() as u32;
+        let prev = self.index.insert((src, dst), id);
+        assert!(prev.is_none(), "duplicate link {src} -> {dst}");
+        self.links.push(link);
+        id
+    }
+
+    /// The id of the `src → dst` link, if registered.
+    pub fn id(&self, src: u16, dst: u16) -> Option<u32> {
+        self.index.get(&(src, dst)).copied()
+    }
+
+    /// Resolves an id handed out by [`LinkRegistry::add`] (hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id this registry never issued.
+    pub fn by_id_mut(&mut self, id: u32) -> &mut Link {
+        &mut self.links[id as usize]
+    }
+
+    /// Read access by id.
+    pub fn by_id(&self, id: u32) -> &Link {
+        &self.links[id as usize]
+    }
+
+    /// The `src → dst` link, if registered.
+    pub fn between(&self, src: u16, dst: u16) -> Option<&Link> {
+        self.id(src, dst).map(|i| &self.links[i as usize])
+    }
+
+    /// Mutable access by host pair (impairment and script installs).
+    pub fn between_mut(&mut self, src: u16, dst: u16) -> Option<&mut Link> {
+        self.id(src, dst).map(|i| &mut self.links[i as usize])
+    }
+
+    /// Number of registered links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when no links are registered.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Iterates `((src, dst), link)` in host-pair order.
+    pub fn iter(&self) -> impl Iterator<Item = ((u16, u16), &Link)> {
+        self.index.iter().map(|(&pair, &id)| (pair, &self.links[id as usize]))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn gbps(g: u64) -> u64 {
         g * 1_000_000_000
+    }
+
+    #[test]
+    fn registry_ids_are_dense_and_pair_addressed() {
+        let mut reg = LinkRegistry::new();
+        let a = reg.add(0, 1, Link::new(gbps(100), SimDuration::ZERO, Impairments::none()));
+        let b = reg.add(1, 0, Link::new(gbps(10), SimDuration::ZERO, Impairments::none()));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(reg.id(0, 1), Some(0));
+        assert_eq!(reg.id(2, 0), None);
+        assert_eq!(reg.by_id(b).rate_bps(), gbps(10));
+        assert_eq!(reg.between(1, 0).map(|l| l.rate_bps()), Some(gbps(10)));
+        reg.between_mut(0, 1).expect("registered").set_impairments(Impairments::loss(0.5));
+        assert_eq!(reg.by_id(a).impairments().loss, 0.5);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn registry_rejects_duplicate_pairs() {
+        let mut reg = LinkRegistry::new();
+        reg.add(0, 1, Link::new(gbps(100), SimDuration::ZERO, Impairments::none()));
+        reg.add(0, 1, Link::new(gbps(100), SimDuration::ZERO, Impairments::none()));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //!
 //! * [`world`] — construction, connection specs, accessors;
 //! * [`runtime`] — event dispatch (packets, timers, resync, target I/O);
+//! * [`topology`] — N×M fleet builder on top of the host registry;
 //! * [`app`] — the application interface.
 //!
 //! # Examples
@@ -22,13 +23,15 @@
 
 pub mod app;
 pub mod runtime;
+pub mod topology;
 pub mod world;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::app::{Action, AppEvent, HostApi, HostApp, NullApp};
+    pub use crate::topology::{Fleet, FleetSpec};
     pub use crate::world::{
-        ConnId, ConnSpec, DegradeConfig, NvmeHostSpec, NvmeTargetSpec, TlsSpec, World,
-        WorldConfig,
+        ConnId, ConnSpec, DegradeConfig, HostSpec, NvmeHostSpec, NvmeTargetSpec, TlsSpec,
+        World, WorldConfig,
     };
 }

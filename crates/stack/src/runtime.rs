@@ -58,9 +58,11 @@ impl L5TxSource for TxAdapter<'_> {
 
 
 impl World {
-    /// Kicks off both applications.
+    /// Kicks off every host's application. Safe to call again after
+    /// installing fresh apps mid-run (churn workloads start each wave of
+    /// short-lived connections this way); hosts without an app are skipped.
     pub fn start(&mut self) {
-        for h in 0..2 {
+        for h in 0..self.apps.len() {
             self.fire_app(h, |app, api| app.on_event(api, AppEvent::Start));
         }
     }
@@ -309,7 +311,7 @@ impl World {
                 sched.schedule(
                     done,
                     Event::Consume {
-                        host: h as u8,
+                        host: h as u16,
                         conn,
                         bytes: consumed,
                     },
@@ -350,7 +352,7 @@ impl World {
             self.sched.schedule(
                 now + resync_delay + extra,
                 Event::ResyncReq {
-                    host: h as u8,
+                    host: h as u16,
                     conn,
                     layer,
                     tcpsn,
@@ -374,7 +376,7 @@ impl World {
             self.sched.schedule(
                 now + resync_delay + extra,
                 Event::ResyncResp {
-                    host: h as u8,
+                    host: h as u16,
                     conn,
                     layer,
                     tcpsn,
@@ -388,7 +390,7 @@ impl World {
             self.sched.schedule(
                 ready,
                 Event::TargetReply {
-                    host: h as u8,
+                    host: h as u16,
                     conn,
                     token,
                 },
@@ -438,7 +440,7 @@ impl World {
             Some(d) => self.sched.schedule(
                 d,
                 Event::Rto {
-                    host: h as u8,
+                    host: h as u16,
                     conn,
                     gen,
                 },
@@ -491,7 +493,7 @@ impl World {
             self.sched.schedule(
                 now + self.cfg.resync_delay + extra,
                 Event::ResyncResp {
-                    host: h as u8,
+                    host: h as u16,
                     conn,
                     layer,
                     tcpsn,
@@ -613,7 +615,6 @@ impl World {
         } = &mut *self;
         let now = sched.now();
         let cost = &cfg.cost;
-        let peer = (1 - h) as u8;
         // One connection lookup for the whole pump: nothing inside the loop
         // can remove the connection, and the host split-borrow keeps `cpu`
         // and `nic` usable alongside the `ConnState` borrow.
@@ -621,6 +622,11 @@ impl World {
         let Some(c) = conns.get_mut(&conn) else {
             return;
         };
+        // Topology routing is per connection: the peer host and the
+        // outgoing link were resolved once at `connect_pair` time, so the
+        // per-packet path stays O(1) regardless of fleet size.
+        let peer = c.peer;
+        let link = links.by_id_mut(c.link_out);
         loop {
             // Transmission is paced by the core: a packet effectively
             // leaves when the core's queued work drains. Using that time
@@ -662,7 +668,6 @@ impl World {
                 }
             }
             let wire_len = payload.len() + WIRE_HEADER_BYTES;
-            let link = &mut links[h]; // links[0] is 0→1
             burst.clear();
             link.transmit_into(send_at, wire_len, rng, burst);
             let fanout = burst.len();
@@ -716,7 +721,7 @@ impl World {
                     sched.schedule(
                         d,
                         Event::Rto {
-                            host: h as u8,
+                            host: h as u16,
                             conn,
                             gen: c.rto_gen,
                         },
@@ -811,7 +816,7 @@ impl World {
                     self.sched.schedule(
                         at,
                         Event::AppTimer {
-                            host: h as u8,
+                            host: h as u16,
                             token,
                         },
                     );

@@ -1,0 +1,200 @@
+//! Fleet topologies: N client hosts × M server hosts, fully meshed with
+//! per-pair links.
+//!
+//! The paper's context-cache results (§6.5) only appear at scale: one
+//! server NIC whose bounded LRU cache serves far more flows than it can
+//! hold. [`Fleet`] is the turmoil-style builder for that shape — it lays
+//! out client hosts `0..N`, server hosts `N..N+M`, registers both directed
+//! links for every client↔server pair, and hands out host indices so
+//! experiments can aim connections, impairments, and device-fault plans at
+//! arbitrary subsets of the fleet. Everything else — install ladders,
+//! breakers, resync, tracing — is the same [`World`] machinery the
+//! two-host façade uses.
+
+use ano_sim::link::Impairments;
+
+use crate::world::{ConnId, ConnSpec, HostSpec, World, WorldConfig};
+
+/// Fleet construction parameters.
+#[derive(Clone, Debug)]
+pub struct FleetSpec {
+    /// Number of client hosts (world hosts `0..clients`).
+    pub clients: usize,
+    /// Number of server hosts (world hosts `clients..clients+servers`).
+    pub servers: usize,
+    /// Hardware of every client host.
+    pub client: HostSpec,
+    /// Hardware of every server host (typically the interesting NIC:
+    /// a small `ctx_cache_capacity` makes the cache the bottleneck).
+    pub server: HostSpec,
+    /// Seed, cost model, payload mode, TCP tunables, link rate/delay and
+    /// the degradation policy. The façade-only fields (`cores`, `nic`,
+    /// `impair_*`) are ignored.
+    pub cfg: WorldConfig,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        FleetSpec {
+            clients: 2,
+            servers: 1,
+            client: HostSpec::default(),
+            server: HostSpec::default(),
+            cfg: WorldConfig::default(),
+        }
+    }
+}
+
+/// A built fleet: the [`World`] plus the client/server host layout.
+pub struct Fleet {
+    world: World,
+    clients: usize,
+    servers: usize,
+}
+
+impl Fleet {
+    /// Builds the fleet world and wires both directions of every
+    /// client↔server pair (no client↔client or server↔server links:
+    /// the workloads this models are strictly request/response).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either side is empty.
+    pub fn build(spec: FleetSpec) -> Fleet {
+        assert!(spec.clients > 0 && spec.servers > 0, "fleet needs clients and servers");
+        let mut hosts = Vec::with_capacity(spec.clients + spec.servers);
+        hosts.extend(std::iter::repeat_n(spec.client.clone(), spec.clients));
+        hosts.extend(std::iter::repeat_n(spec.server.clone(), spec.servers));
+        let mut world = World::with_topology(spec.cfg, hosts);
+        for ci in 0..spec.clients {
+            for sj in 0..spec.servers {
+                let c = ci as u16;
+                let s = (spec.clients + sj) as u16;
+                world.add_link(c, s, Impairments::none());
+                world.add_link(s, c, Impairments::none());
+            }
+        }
+        Fleet {
+            world,
+            clients: spec.clients,
+            servers: spec.servers,
+        }
+    }
+
+    /// Number of client hosts.
+    pub fn num_clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Number of server hosts.
+    pub fn num_servers(&self) -> usize {
+        self.servers
+    }
+
+    /// World host index of client `i`.
+    pub fn client(&self, i: usize) -> usize {
+        assert!(i < self.clients, "client index out of range");
+        i
+    }
+
+    /// World host index of server `j`.
+    pub fn server(&self, j: usize) -> usize {
+        assert!(j < self.servers, "server index out of range");
+        self.clients + j
+    }
+
+    /// Connects client `i` to server `j` with the given endpoint specs.
+    pub fn connect(
+        &mut self,
+        client: usize,
+        server: usize,
+        client_spec: ConnSpec,
+        server_spec: ConnSpec,
+    ) -> ConnId {
+        let c = self.client(client) as u16;
+        let s = self.server(server) as u16;
+        self.world.connect_pair(c, s, client_spec, server_spec)
+    }
+
+    /// The underlying world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable access to the underlying world.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+}
+
+impl std::ops::Deref for Fleet {
+    type Target = World;
+
+    fn deref(&self) -> &World {
+        &self.world
+    }
+}
+
+impl std::ops::DerefMut for Fleet {
+    fn deref_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::TlsSpec;
+
+    fn small() -> FleetSpec {
+        FleetSpec {
+            clients: 3,
+            servers: 2,
+            ..FleetSpec::default()
+        }
+    }
+
+    #[test]
+    fn fleet_lays_out_hosts_and_links() {
+        let fleet = Fleet::build(small());
+        assert_eq!(fleet.num_hosts(), 5);
+        assert_eq!(fleet.client(2), 2);
+        assert_eq!(fleet.server(0), 3);
+        assert_eq!(fleet.server(1), 4);
+        // 3 clients × 2 servers × 2 directions.
+        for ci in 0..3u16 {
+            for sj in 3..5u16 {
+                assert!(fleet.world().link_stats_between(ci, sj).offered == 0);
+                assert!(fleet.world().link_stats_between(sj, ci).offered == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_connects_engines_on_the_right_hosts() {
+        let mut fleet = Fleet::build(small());
+        let spec = TlsSpec {
+            rx_offload: true,
+            ..TlsSpec::default()
+        };
+        let conn = fleet.connect(1, 0, ConnSpec::Tls(TlsSpec::default()), ConnSpec::Tls(spec));
+        let server = fleet.server(0);
+        assert_eq!(fleet.conn_endpoints(conn), Some((1, server as u16)));
+        assert!(fleet.rx_engine_stats(server, conn).is_some(), "server rx engine");
+        assert!(fleet.tx_engine_stats(1, conn).is_none(), "client tx software");
+        // Disconnect retires the id and destroys the contexts.
+        fleet.world_mut().disconnect(conn);
+        assert_eq!(fleet.conn_endpoints(conn), None);
+        assert!(fleet.rx_engine_stats(server, conn).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unwired_pairs_cannot_connect() {
+        let mut fleet = Fleet::build(small());
+        // Client↔client has no link; connect_pair must refuse.
+        fleet
+            .world_mut()
+            .connect_pair(0, 1, ConnSpec::Raw, ConnSpec::Raw);
+    }
+}

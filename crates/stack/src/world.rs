@@ -1,10 +1,17 @@
-//! The two-host discrete-event world: construction and accessors.
+//! The discrete-event world: host registry, link topology, construction
+//! and accessors.
 //!
-//! A [`World`] owns two hosts (CPUs, NICs, TCP endpoints, L5P layers), two
-//! unidirectional links, and the event queue. Connections are created with
-//! a [`ConnSpec`] per endpoint; autonomous offload engines are installed on
-//! the NICs according to the spec. Applications ([`crate::app::HostApp`])
-//! drive traffic and receive events.
+//! A [`World`] owns a registry of hosts (CPUs, per-host NICs, TCP
+//! endpoints, L5P layers), a directed-pair [`LinkRegistry`], and the event
+//! queue. Topology worlds are built with [`World::with_topology`] +
+//! [`World::add_link`] + [`World::connect_pair`] (see
+//! [`crate::topology::Fleet`] for the N×M builder); [`World::new`] remains
+//! the two-host client↔server façade every scenario and golden-trace test
+//! runs through — host 0, host 1, `links` ids 0 (`0→1`) and 1 (`1→0`),
+//! byte-identical event ordering. Connections are created with a
+//! [`ConnSpec`] per endpoint; autonomous offload engines are installed on
+//! the owning host's NIC according to the spec. Applications
+//! ([`crate::app::HostApp`]) drive traffic and receive events.
 //!
 //! Timing model: every packet charges the paper-calibrated per-packet stack
 //! costs to the connection's core; L5P layers return their own cycle counts
@@ -31,7 +38,7 @@ use ano_nvme::parser::PduParser;
 use ano_nvme::target::{NvmeTargetConfig, NvmeTcpTarget, Reply};
 use ano_sim::cost::CostModel;
 use ano_sim::cpu::CpuSet;
-use ano_sim::link::{Impairments, Link};
+use ano_sim::link::{Impairments, Link, LinkRegistry};
 use ano_sim::payload::{DataMode, Payload};
 use ano_sim::rng::SimRng;
 use ano_sim::sched::Scheduler;
@@ -188,7 +195,33 @@ impl Default for DegradeConfig {
     }
 }
 
+/// Per-host hardware description for topology worlds: core count and the
+/// NIC (context-cache) configuration. [`World::new`]'s two-host façade
+/// derives these from [`WorldConfig::cores`] / [`WorldConfig::nic`]; fleet
+/// builders mix heterogeneous hosts — e.g. many small clients against one
+/// server whose NIC cache is the experiment's bottleneck.
+#[derive(Clone, Debug)]
+pub struct HostSpec {
+    /// Cores on this host.
+    pub cores: usize,
+    /// This host's NIC configuration (context cache).
+    pub nic: NicConfig,
+}
+
+impl Default for HostSpec {
+    fn default() -> Self {
+        HostSpec {
+            cores: 8,
+            nic: NicConfig::default(),
+        }
+    }
+}
+
 /// World construction parameters.
+///
+/// `cores`, `nic`, `impair_0to1` and `impair_1to0` describe the two-host
+/// façade ([`World::new`]); [`World::with_topology`] takes per-host
+/// [`HostSpec`]s instead and starts with no links.
 #[derive(Clone, Debug)]
 pub struct WorldConfig {
     /// RNG seed (drives loss, reordering, key material).
@@ -450,6 +483,11 @@ pub(crate) struct ConnState {
     pub(crate) tcp: TcpEndpoint,
     pub(crate) out_flow: FlowId,
     pub(crate) in_flow: FlowId,
+    /// The host at the other end of this connection.
+    pub(crate) peer: u16,
+    /// Registry id of the outgoing link (this host → peer); resolved with
+    /// a plain index in the transmit pump.
+    pub(crate) link_out: u32,
     pub(crate) proto: Proto,
     pub(crate) core: usize,
     /// The connection's true retransmission deadline (mirrors
@@ -487,7 +525,7 @@ pub(crate) struct HostState {
 /// Queued events.
 pub(crate) enum Event {
     Packet {
-        host: u8,
+        host: u16,
         conn: ConnId,
         seq: u32,
         seq64: u64,
@@ -499,23 +537,23 @@ pub(crate) enum Event {
     /// The application finished processing `bytes` of conn's stream
     /// (reopens the advertised receive window at CPU-completion time).
     Consume {
-        host: u8,
+        host: u16,
         conn: ConnId,
         bytes: u64,
     },
     Rto {
-        host: u8,
+        host: u16,
         conn: ConnId,
         gen: u64,
     },
     ResyncReq {
-        host: u8,
+        host: u16,
         conn: ConnId,
         layer: u8,
         tcpsn: u64,
     },
     ResyncResp {
-        host: u8,
+        host: u16,
         conn: ConnId,
         layer: u8,
         tcpsn: u64,
@@ -527,23 +565,23 @@ pub(crate) enum Event {
     },
     /// Retry one half of a connection's offload install after a backoff.
     InstallRetry {
-        host: u8,
+        host: u16,
         conn: ConnId,
         rx: bool,
         attempt: u32,
     },
     /// Fire entry `idx` of the host's scheduled device-fault list.
     DeviceFault {
-        host: u8,
+        host: u16,
         idx: usize,
     },
     TargetReply {
-        host: u8,
+        host: u16,
         conn: ConnId,
         token: u64,
     },
     AppTimer {
-        host: u8,
+        host: u16,
         token: u64,
     },
 }
@@ -554,10 +592,13 @@ pub struct World {
     pub(crate) sched: Scheduler<Event>,
     pub(crate) rng: SimRng,
     pub(crate) hosts: Vec<HostState>,
-    /// `links[0]`: host0 → host1; `links[1]`: host1 → host0.
-    pub(crate) links: Vec<Link>,
+    /// Directed-pair link registry. The two-host façade registers ids 0
+    /// (`0→1`) and 1 (`1→0`) so dir-based accessors keep their meaning.
+    pub(crate) links: LinkRegistry,
     pub(crate) apps: Vec<Option<Box<dyn HostApp>>>,
     pub(crate) tracer: ano_trace::Tracer,
+    /// Endpoint hosts per live connection (`disconnect` teardown).
+    conn_hosts: BTreeMap<ConnId, (u16, u16)>,
     next_conn: u32,
     /// Reusable event-burst buffer for the batched `run_until` loop; lives
     /// here so steady state dispatches with zero allocation per batch.
@@ -574,35 +615,57 @@ pub struct World {
 }
 
 impl World {
-    /// Builds an idle world.
+    /// Builds the two-host client↔server façade: hosts 0 and 1 from
+    /// `cfg.cores` / `cfg.nic`, links `0→1` (registry id 0, with
+    /// `cfg.impair_0to1`) and `1→0` (id 1, `cfg.impair_1to0`). Every
+    /// pre-topology scenario, chaos and golden-trace test runs through
+    /// this constructor unchanged.
     pub fn new(cfg: WorldConfig) -> World {
+        let specs = [0, 1].map(|i| HostSpec {
+            cores: cfg.cores[i],
+            nic: cfg.nic,
+        });
+        let mut w = World::with_topology(cfg, specs.to_vec());
+        w.add_link(0, 1, w.cfg.impair_0to1.clone());
+        w.add_link(1, 0, w.cfg.impair_1to0.clone());
+        w
+    }
+
+    /// Builds an idle world with one host per [`HostSpec`] and **no
+    /// links**: wire the topology with [`World::add_link`] before
+    /// connecting. `cfg.cores`, `cfg.nic` and `cfg.impair_*` are façade
+    /// parameters and are ignored here.
+    pub fn with_topology(cfg: WorldConfig, specs: Vec<HostSpec>) -> World {
+        assert!(
+            specs.len() >= 2 && specs.len() <= u16::MAX as usize,
+            "a topology needs 2..=65535 hosts"
+        );
         let rng = SimRng::seed(cfg.seed);
         let tracer = ano_trace::Tracer::default();
-        let hosts = (0..2)
-            .map(|i| {
-                let mut nic = Nic::new(cfg.nic);
+        let hosts: Vec<HostState> = specs
+            .iter()
+            .map(|spec| {
+                let mut nic = Nic::new(spec.nic);
                 nic.set_tracer(tracer.clone());
                 HostState {
-                    cpu: CpuSet::new(cfg.cores[i], cfg.cost.freq_hz),
+                    cpu: CpuSet::new(spec.cores, cfg.cost.freq_hz),
                     nic,
                     conns: BTreeMap::new(),
-                    last_conn: vec![None; cfg.cores[i]],
+                    last_conn: vec![None; spec.cores],
                     faults: DeviceFaults::none(),
                 }
             })
             .collect();
-        let links = vec![
-            Link::new(cfg.link_rate_bps, cfg.link_delay, cfg.impair_0to1.clone()),
-            Link::new(cfg.link_rate_bps, cfg.link_delay, cfg.impair_1to0.clone()),
-        ];
+        let apps = specs.iter().map(|_| None).collect();
         World {
             cfg,
             sched: Scheduler::new(),
             rng,
             hosts,
-            links,
-            apps: vec![None, None],
+            links: LinkRegistry::new(),
+            apps,
             tracer,
+            conn_hosts: BTreeMap::new(),
             next_conn: 0,
             batch: Vec::new(),
             burst: Vec::new(),
@@ -610,6 +673,29 @@ impl World {
             plains_pool: Vec::new(),
             clamps_traced: 0,
         }
+    }
+
+    /// Registers the unidirectional `src → dst` link (rate and propagation
+    /// from the world config) and returns its registry id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range hosts or a duplicate pair.
+    pub fn add_link(&mut self, src: u16, dst: u16, impair: Impairments) -> u32 {
+        assert!(
+            (src as usize) < self.hosts.len() && (dst as usize) < self.hosts.len() && src != dst,
+            "link endpoints must be distinct registered hosts"
+        );
+        self.links.add(
+            src,
+            dst,
+            Link::new(self.cfg.link_rate_bps, self.cfg.link_delay, impair),
+        )
+    }
+
+    /// Number of hosts in the topology.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
     }
 
     /// The world's shared [`ano_trace::Tracer`]. Disabled by default; call
@@ -647,27 +733,73 @@ impl World {
         self.apps[host] = Some(app);
     }
 
-    /// Replaces a link's impairments mid-run (loss/reorder sweeps).
+    /// Replaces the façade link's impairments mid-run (loss/reorder
+    /// sweeps). `true` is the `0→1` direction; topology worlds address
+    /// links by pair via [`World::set_impairments_between`].
     pub fn set_impairments(&mut self, dir0to1: bool, imp: Impairments) {
-        self.links[if dir0to1 { 0 } else { 1 }].set_impairments(imp);
+        let (src, dst) = if dir0to1 { (0, 1) } else { (1, 0) };
+        self.set_impairments_between(src, dst, imp);
     }
 
-    /// Installs a scripted per-packet schedule on one link direction,
-    /// keeping that direction's probabilistic knobs (scenario harness hook;
-    /// scripting only `dir0to1 = false` gives asymmetric ACK-path adversity
-    /// for a 0→1 data flow).
+    /// Installs a scripted per-packet schedule on one façade link
+    /// direction, keeping that direction's probabilistic knobs (scenario
+    /// harness hook; scripting only `dir0to1 = false` gives asymmetric
+    /// ACK-path adversity for a 0→1 data flow).
     pub fn set_script(&mut self, dir0to1: bool, script: ano_sim::link::Script) {
-        self.links[if dir0to1 { 0 } else { 1 }].set_script(script);
+        let (src, dst) = if dir0to1 { (0, 1) } else { (1, 0) };
+        self.set_script_between(src, dst, script);
     }
 
-    /// Creates a connection with `spec0` on host 0 and `spec1` on host 1.
+    /// Replaces the `src → dst` link's impairments (per-pair partitions
+    /// and sweeps in topology worlds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair has no link.
+    pub fn set_impairments_between(&mut self, src: u16, dst: u16, imp: Impairments) {
+        self.links
+            .between_mut(src, dst)
+            .unwrap_or_else(|| panic!("no link {src} -> {dst}"))
+            .set_impairments(imp);
+    }
+
+    /// Installs a scripted schedule on the `src → dst` link, keeping its
+    /// probabilistic knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair has no link.
+    pub fn set_script_between(&mut self, src: u16, dst: u16, script: ano_sim::link::Script) {
+        self.links
+            .between_mut(src, dst)
+            .unwrap_or_else(|| panic!("no link {src} -> {dst}"))
+            .set_script(script);
+    }
+
+    /// Creates a connection with `spec0` on host 0 and `spec1` on host 1
+    /// (the two-host façade of [`World::connect_pair`]).
+    pub fn connect(&mut self, spec0: ConnSpec, spec1: ConnSpec) -> ConnId {
+        self.connect_pair(0, 1, spec0, spec1)
+    }
+
+    /// Creates a connection with `spec_a` on host `a` and `spec_b` on host
+    /// `b`. Both directed links must already be registered.
     ///
     /// # Panics
     ///
     /// Panics on nonsensical pairings (an NVMe host whose peer is not a
-    /// matching target, TLS against Raw, …).
-    pub fn connect(&mut self, spec0: ConnSpec, spec1: ConnSpec) -> ConnId {
+    /// matching target, TLS against Raw, …), identical endpoints, or a
+    /// missing link in either direction.
+    pub fn connect_pair(&mut self, a: u16, b: u16, spec0: ConnSpec, spec1: ConnSpec) -> ConnId {
         check_pairing(&spec0, &spec1);
+        let link_ab = self
+            .links
+            .id(a, b)
+            .unwrap_or_else(|| panic!("no link {a} -> {b}"));
+        let link_ba = self
+            .links
+            .id(b, a)
+            .unwrap_or_else(|| panic!("no link {b} -> {a}"));
         let id = ConnId(self.next_conn);
         self.next_conn += 1;
         let flow0 = FlowId(id.0 as u64 * 2);
@@ -689,18 +821,20 @@ impl World {
         attach_proto_tracer(&mut b0.proto, &self.tracer, flow1);
         attach_proto_tracer(&mut b1.proto, &self.tracer, flow0);
 
-        let core0 = id.0 as usize % self.cfg.cores[0];
-        let core1 = id.0 as usize % self.cfg.cores[1];
+        let core0 = id.0 as usize % self.hosts[a as usize].cpu.num_cores();
+        let core1 = id.0 as usize % self.hosts[b as usize].cpu.num_cores();
         let mut tcp0 = TcpEndpoint::new(flow0, self.cfg.tcp.clone());
         tcp0.set_tracer(self.tracer.scoped(flow0.0));
         let mut tcp1 = TcpEndpoint::new(flow1, self.cfg.tcp.clone());
         tcp1.set_tracer(self.tracer.scoped(flow1.0));
-        self.hosts[0].conns.insert(
+        self.hosts[a as usize].conns.insert(
             id,
             ConnState {
                 tcp: tcp0,
                 out_flow: flow0,
                 in_flow: flow1,
+                peer: b,
+                link_out: link_ab,
                 proto: b0.proto,
                 core: core0,
                 armed_rto: None,
@@ -713,12 +847,14 @@ impl World {
                 health: OffloadHealth::default(),
             },
         );
-        self.hosts[1].conns.insert(
+        self.hosts[b as usize].conns.insert(
             id,
             ConnState {
                 tcp: tcp1,
                 out_flow: flow1,
                 in_flow: flow0,
+                peer: a,
+                link_out: link_ba,
                 proto: b1.proto,
                 core: core1,
                 armed_rto: None,
@@ -731,13 +867,43 @@ impl World {
                 health: OffloadHealth::default(),
             },
         );
+        self.conn_hosts.insert(id, (a, b));
         // Offloads go through the degradation policy: the host's fault
         // script may fail or delay the install, starting a retry ladder.
-        for h in 0..2 {
-            self.try_install(h, id, true, 0);
-            self.try_install(h, id, false, 0);
+        for h in [a, b] {
+            self.try_install(h as usize, id, true, 0);
+            self.try_install(h as usize, id, false, 0);
         }
         id
+    }
+
+    /// Tears a connection down on both hosts: offload contexts are
+    /// destroyed with orderly write-back, per-core batching state is
+    /// cleared, and the id is retired. In-flight events addressed to the
+    /// dead connection are discarded on dispatch — exactly how the runtime
+    /// already treats unknown connections — so churn workloads (short-lived
+    /// connections stressing the §4.4 install path) need no quiescing.
+    pub fn disconnect(&mut self, conn: ConnId) {
+        let Some((a, b)) = self.conn_hosts.remove(&conn) else {
+            return;
+        };
+        for h in [a, b] {
+            let host = &mut self.hosts[h as usize];
+            if let Some(c) = host.conns.remove(&conn) {
+                host.nic.destroy(c.in_flow);
+                host.nic.destroy(c.out_flow);
+                for slot in host.last_conn.iter_mut() {
+                    if *slot == Some(conn) {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `(host_a, host_b)` endpoints of a live connection.
+    pub fn conn_endpoints(&self, conn: ConnId) -> Option<(u16, u16)> {
+        self.conn_hosts.get(&conn).copied()
     }
 
     /// One rung of an install ladder: offers the install to the host's
@@ -799,7 +965,7 @@ impl World {
                     self.sched.schedule(
                         now + delay,
                         Event::InstallRetry {
-                            host: h as u8,
+                            host: h as u16,
                             conn,
                             rx,
                             attempt: next,
@@ -813,7 +979,7 @@ impl World {
                 self.sched.schedule(
                     now + d,
                     Event::InstallRetry {
-                        host: h as u8,
+                        host: h as u16,
                         conn,
                         rx,
                         attempt,
@@ -883,7 +1049,7 @@ impl World {
             self.sched.schedule(
                 *when,
                 Event::DeviceFault {
-                    host: host as u8,
+                    host: host as u16,
                     idx,
                 },
             );
@@ -1243,9 +1409,22 @@ impl World {
         self.hosts[host].conns.get(&conn).map(|c| c.tcp.rx_stats())
     }
 
-    /// Link statistics (`true`: host0 → host1).
+    /// Façade link statistics (`true`: host0 → host1).
     pub fn link_stats(&self, dir0to1: bool) -> ano_sim::link::LinkStats {
-        self.links[if dir0to1 { 0 } else { 1 }].stats()
+        let (src, dst) = if dir0to1 { (0, 1) } else { (1, 0) };
+        self.link_stats_between(src, dst)
+    }
+
+    /// Statistics of the `src → dst` link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair has no link.
+    pub fn link_stats_between(&self, src: u16, dst: u16) -> ano_sim::link::LinkStats {
+        self.links
+            .between(src, dst)
+            .unwrap_or_else(|| panic!("no link {src} -> {dst}"))
+            .stats()
     }
 
     /// Why `conn`'s circuit breaker opened at `host`, or `None` while it

@@ -235,6 +235,14 @@ pub enum Event {
         /// TCP sequence the late response referred to.
         tcpsn: u64,
     },
+    /// This flow's context was displaced from the NIC's bounded LRU context
+    /// cache by another flow's fill (§6.5 context-cache pressure). The
+    /// record is scoped to the *victim* flow; the write-back and the
+    /// displacing fill are both charged as PCIe bytes.
+    CtxEvict {
+        /// Which half of the victim's context ("rx" or "tx").
+        dir: &'static str,
+    },
     /// The scheduler clamped past-time events to "now" since the last
     /// dispatch batch. Small counts are benign (completion times computed
     /// before the clock advanced); steady growth signals a
@@ -272,7 +280,8 @@ impl Event {
             | Event::InstallOk { .. }
             | Event::BreakerOpen { .. }
             | Event::DeviceReset { .. }
-            | Event::StaleResyncResp { .. } => Category::Device,
+            | Event::StaleResyncResp { .. }
+            | Event::CtxEvict { .. } => Category::Device,
         }
     }
 
@@ -303,6 +312,7 @@ impl Event {
             Event::BreakerOpen { .. } => "device.breaker-open",
             Event::DeviceReset { .. } => "device.reset",
             Event::StaleResyncResp { .. } => "device.stale-resync",
+            Event::CtxEvict { .. } => "device.ctx-evict",
         }
     }
 
@@ -335,6 +345,7 @@ impl Event {
             Event::BreakerOpen { reason } => format!("reason={reason}"),
             Event::DeviceReset { wiped } => format!("wiped={wiped}"),
             Event::StaleResyncResp { tcpsn } => format!("tcpsn={tcpsn}"),
+            Event::CtxEvict { dir } => format!("dir={dir}"),
         }
     }
 }
@@ -382,6 +393,7 @@ mod tests {
             (Event::BreakerOpen { reason: "install_failures" }, Category::Device),
             (Event::DeviceReset { wiped: 4 }, Category::Device),
             (Event::StaleResyncResp { tcpsn: 99 }, Category::Device),
+            (Event::CtxEvict { dir: "rx" }, Category::Device),
         ];
         for (ev, cat) in cases {
             assert_eq!(ev.category(), cat, "{ev}");
@@ -404,5 +416,7 @@ mod tests {
         assert_eq!(ev.to_string(), "device.reset wiped=3");
         let ev = Event::BreakerOpen { reason: "resync_storm" };
         assert_eq!(ev.to_string(), "device.breaker-open reason=resync_storm");
+        let ev = Event::CtxEvict { dir: "rx" };
+        assert_eq!(ev.to_string(), "device.ctx-evict dir=rx");
     }
 }

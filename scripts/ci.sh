@@ -65,6 +65,15 @@ echo "== device-fault chaos matrix: degradation under install/mailbox/reset faul
 # fail CI, not hang it.
 CARGO_NET_OFFLINE=true timeout 900 cargo test -q -p ano-scenario --test chaos -- --include-ignored
 
+echo "== fleet: N×M topology, context-cache sensitivity, churn storm =="
+# Fleet-scale tier (see DESIGN.md "Fleet topology"): many hosts and flows
+# through one server NIC's bounded context cache. Runs the §6.5 sensitivity
+# curve against its committed expected data, the cache-thrash breaker pair,
+# the churn-storm install ladder, the fleet golden trace, and the
+# #[ignore]d thousands-of-flows run (~90s) that only this tier executes.
+# The timeout is a hard backstop against a wedged scheduler, not a budget.
+CARGO_NET_OFFLINE=true timeout 900 cargo test -q -p ano-scenario --test fleet -- --include-ignored
+
 echo "== golden traces: canonical event logs vs committed .golden files =="
 # Behavioral regression net on top of the differential matrix: the exact
 # TCP-recovery + resync event sequence of known scenarios must match the
