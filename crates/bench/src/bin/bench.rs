@@ -210,6 +210,137 @@ fn fleet_once() -> FleetSpeed {
     }
 }
 
+struct RssSpeed {
+    /// Simulated application bytes delivered per wall second, summed over
+    /// every flow through the multi-queue server.
+    sim_bytes_per_wall_sec: f64,
+    /// Wall nanoseconds per packet offered to any link.
+    ns_per_packet: f64,
+    /// Max-over-mean packet load across the server's rx queues.
+    queue_imbalance: f64,
+    /// Max-over-mean busy cycles across the server's cores over the
+    /// measured window (1.0 = perfectly even, cores = single-core pileup).
+    busy_core_spread: f64,
+}
+
+/// Multi-queue shape for the timed run: one 4-core/4-queue server fed by
+/// 32 RSS-hashed TLS flows, with the default rebalancer armed — the tile
+/// prices the steering path (per-packet queue accounting, per-core stacks)
+/// and reports how evenly hash placement spreads the load.
+const RSS_CLIENTS: usize = 4;
+const RSS_FLOWS: usize = 32;
+const RSS_QUEUES: u16 = 4;
+const RSS_CORES: usize = 4;
+
+/// One timed RSS run: the multi-queue counterpart of [`fleet_once`].
+fn rss_once() -> RssSpeed {
+    let mut fleet = Fleet::build(FleetSpec {
+        clients: RSS_CLIENTS,
+        servers: 1,
+        client: HostSpec {
+            cores: 4,
+            ..HostSpec::default()
+        },
+        server: HostSpec {
+            cores: RSS_CORES,
+            nic: NicConfig {
+                rx_queues: RSS_QUEUES,
+                rss_buckets: 128,
+                ..NicConfig::default()
+            },
+        },
+        cfg: WorldConfig {
+            seed: 42,
+            mode: DataMode::Modeled,
+            tcp: dc_tcp(),
+            rebalance: Some(RebalanceConfig::default()),
+            ..Default::default()
+        },
+    });
+
+    let server = fleet.server(0);
+    let mut per_client: Vec<Vec<ConnId>> = vec![Vec::new(); RSS_CLIENTS];
+    let mut conns = Vec::with_capacity(RSS_FLOWS);
+    for k in 0..RSS_FLOWS {
+        let ci = k % RSS_CLIENTS;
+        let conn = fleet.connect(
+            ci,
+            0,
+            ConnSpec::Tls(TlsSpec::default()),
+            ConnSpec::Tls(TlsSpec {
+                rx_offload: true,
+                ..TlsSpec::default()
+            }),
+        );
+        per_client[ci].push(conn);
+        conns.push(conn);
+    }
+    for (ci, list) in per_client.into_iter().enumerate() {
+        let sender = ano_apps::iperf::IperfSender::new(list, 256 * 1024, DataMode::Modeled);
+        fleet.set_app(ci, Box::new(sender));
+    }
+    fleet.set_app(server, Box::new(ano_apps::iperf::IperfSink::new()));
+    fleet.start();
+    fleet.run_until(SimTime::ZERO + WARMUP);
+
+    let mesh_pkts = |f: &Fleet| -> u64 {
+        let mut total = 0;
+        for ci in 0..RSS_CLIENTS as u16 {
+            let s = RSS_CLIENTS as u16;
+            total += f.link_stats_between(ci, s).offered;
+            total += f.link_stats_between(s, ci).offered;
+        }
+        total
+    };
+    let delivered =
+        |f: &Fleet| -> u64 { conns.iter().map(|&conn| f.delivered_bytes(server, conn)).sum() };
+
+    let t0 = fleet.now();
+    let bytes0 = delivered(&fleet);
+    let pkts0 = mesh_pkts(&fleet);
+    let cpu0 = fleet.cpu_snapshot(server);
+    let wall = Instant::now();
+    fleet.run_until(t0 + WINDOW);
+    let wall_ns = wall.elapsed().as_nanos() as f64;
+    let bytes = (delivered(&fleet) - bytes0) as f64;
+    let pkts = (mesh_pkts(&fleet) - pkts0) as f64;
+
+    let cpu1 = fleet.cpu_snapshot(server);
+    let deltas: Vec<u64> = cpu1
+        .iter()
+        .zip(&cpu0)
+        .map(|(a, b)| a.saturating_sub(*b))
+        .collect();
+    let total: u64 = deltas.iter().sum();
+    let max = deltas.iter().copied().max().unwrap_or(0);
+    let busy_core_spread = if total == 0 || deltas.len() <= 1 {
+        1.0
+    } else {
+        max as f64 * deltas.len() as f64 / total as f64
+    };
+
+    RssSpeed {
+        sim_bytes_per_wall_sec: bytes / (wall_ns / 1e9),
+        ns_per_packet: wall_ns / pkts.max(1.0),
+        queue_imbalance: fleet.queue_imbalance(server),
+        busy_core_spread,
+    }
+}
+
+fn rss_speed() -> RssSpeed {
+    let mut best: Option<RssSpeed> = None;
+    for _ in 0..REPS {
+        let r = rss_once();
+        let better = best
+            .as_ref()
+            .is_none_or(|b| r.sim_bytes_per_wall_sec > b.sim_bytes_per_wall_sec);
+        if better {
+            best = Some(r);
+        }
+    }
+    best.expect("REPS > 0")
+}
+
 fn fleet_speed() -> FleetSpeed {
     let mut best: Option<FleetSpeed> = None;
     for _ in 0..REPS {
@@ -286,7 +417,13 @@ fn kernels() -> Kernels {
 
 /// Renders the benchmark document. Hand-rolled JSON (hermetic workspace:
 /// no serde); fixed key order so diffs stay readable.
-fn render(iperf: &IperfSpeed, fleet: &FleetSpeed, k: &Kernels, pre_pr: f64) -> String {
+fn render(
+    iperf: &IperfSpeed,
+    fleet: &FleetSpeed,
+    rss: &RssSpeed,
+    k: &Kernels,
+    pre_pr: f64,
+) -> String {
     let speedup = if pre_pr > 0.0 {
         iperf.sim_bytes_per_wall_sec / pre_pr
     } else {
@@ -298,6 +435,9 @@ fn render(iperf: &IperfSpeed, fleet: &FleetSpeed, k: &Kernels, pre_pr: f64) -> S
          \"events_per_wall_sec\": {:.0},\n    \"sim_gbps\": {:.2}\n  }},\n  \
          \"fleet\": {{\n    \"sim_bytes_per_wall_sec\": {:.0},\n    \
          \"ns_per_packet\": {:.1}\n  }},\n  \
+         \"rss\": {{\n    \"sim_bytes_per_wall_sec\": {:.0},\n    \
+         \"ns_per_packet\": {:.1},\n    \"queue_imbalance\": {:.3},\n    \
+         \"busy_core_spread\": {:.3}\n  }},\n  \
          \"pre_pr\": {{\n    \"sim_bytes_per_wall_sec\": {pre_pr:.0},\n    \
          \"speedup\": {speedup:.2}\n  }},\n  \"kernels\": {{\n    \
          \"crc32c_cpb\": {:.3},\n    \"aes_gcm_seal_cpb\": {:.3},\n    \
@@ -308,6 +448,10 @@ fn render(iperf: &IperfSpeed, fleet: &FleetSpeed, k: &Kernels, pre_pr: f64) -> S
         iperf.sim_gbps,
         fleet.sim_bytes_per_wall_sec,
         fleet.ns_per_packet,
+        rss.sim_bytes_per_wall_sec,
+        rss.ns_per_packet,
+        rss.queue_imbalance,
+        rss.busy_core_spread,
         k.crc32c_cpb,
         k.aes_gcm_seal_cpb,
         k.sha256_cpb,
@@ -382,6 +526,19 @@ fn main() {
         fleet.sim_bytes_per_wall_sec / 1e6,
         fleet.ns_per_packet,
     );
+    eprintln!(
+        "measuring rss sim speed ({RSS_CLIENTS}x1 hosts, {RSS_FLOWS} flows over {RSS_QUEUES} \
+         queues/{RSS_CORES} cores, {REPS} x {}ms sim window)...",
+        WINDOW.as_nanos() / 1_000_000
+    );
+    let rss = rss_speed();
+    eprintln!(
+        "  sim {:.1} MB/wall-s | {:.0} ns/pkt | imbalance {:.2} | core spread {:.2}",
+        rss.sim_bytes_per_wall_sec / 1e6,
+        rss.ns_per_packet,
+        rss.queue_imbalance,
+        rss.busy_core_spread,
+    );
     eprintln!("measuring kernels...");
     let k = kernels();
     eprintln!(
@@ -392,7 +549,7 @@ fn main() {
         NOMINAL_HZ / 1e9
     );
 
-    let doc = render(&iperf, &fleet, &k, pre_pr);
+    let doc = render(&iperf, &fleet, &rss, &k, pre_pr);
     if let Some(path) = &check_path {
         let committed = match std::fs::read_to_string(path) {
             Ok(c) => c,
@@ -442,6 +599,30 @@ fn main() {
             }
         } else {
             eprintln!("check: baseline {path} has no fleet entry (pre-fleet baseline); skipping fleet gate");
+        }
+        // RSS gate: same ratio test on the "rss" object; pre-RSS baselines
+        // skip it until a BLESS adds the entry.
+        let rss_base = committed
+            .split("\"rss\"")
+            .nth(1)
+            .and_then(|tail| json_number(tail, "ns_per_packet"))
+            .unwrap_or(0.0);
+        if rss_base > 0.0 {
+            let rss_pct = 100.0 * (rss.ns_per_packet - rss_base) / rss_base;
+            eprintln!(
+                "check: rss ns/packet {:.1} vs baseline {rss_base:.1} ({rss_pct:+.1}%)",
+                rss.ns_per_packet
+            );
+            if rss_pct > MAX_REGRESS_PCT {
+                eprintln!(
+                    "bench: REGRESSION: rss ns/packet worsened {rss_pct:.1}% \
+                     (> {MAX_REGRESS_PCT}% gate). If intentional, regenerate with \
+                     BLESS=1 scripts/bench.sh and commit the diff."
+                );
+                std::process::exit(1);
+            }
+        } else {
+            eprintln!("check: baseline {path} has no rss entry (pre-rss baseline); skipping rss gate");
         }
         println!("{doc}");
     } else if let Some(path) = &write_path {

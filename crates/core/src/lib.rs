@@ -12,7 +12,9 @@
 //! * [`tx`] — the transmit engine with driver-shadowed context recovery
 //!   (§4.2, Fig. 6);
 //! * [`nic`] — the NIC model: per-flow engines, the bounded context cache
-//!   of §6.5, and PCIe accounting for Fig. 16b;
+//!   of §6.5, PCIe accounting for Fig. 16b, and multi-queue rx/tx;
+//! * [`rss`] — receive-side scaling: the deterministic Toeplitz hash and
+//!   the bucket→queue indirection table steering flows to queues;
 //! * [`cache`] — the LRU context cache itself;
 //! * [`fault`] — scripted device-fault injection (install failures,
 //!   context loss/corruption, full resets) driving the degradation policy;
@@ -44,6 +46,7 @@ pub mod fault;
 pub mod flow;
 pub mod msg;
 pub mod nic;
+pub mod rss;
 pub mod rx;
 pub mod tx;
 pub mod walker;

@@ -16,6 +16,7 @@ use ano_tcp::segment::{FlowId, SkbFlags};
 use crate::cache::{CacheOutcome, LruSet};
 use crate::flow::L5TxSource;
 use crate::msg::{DataRef, EngineEvent};
+use crate::rss::{FourTuple, RssSteering};
 use crate::rx::{RxEngine, RxStats};
 use crate::tx::{TxEngine, TxStats};
 
@@ -27,6 +28,19 @@ pub struct NicConfig {
     pub ctx_cache_capacity: usize,
     /// Per-flow context size in bytes (PCIe cost of a cache fill).
     pub ctx_bytes: u64,
+    /// Number of receive queues. The default of 1 is the classic
+    /// single-queue device and disables all RSS machinery (no steering
+    /// state is consulted, no queue events are traced), so existing
+    /// scenarios and golden traces are byte-identical to the pre-RSS
+    /// model. Values > 1 enable Toeplitz steering ([`crate::rss`]).
+    pub rx_queues: u16,
+    /// RSS indirection-table size (buckets). Flows hash into a bucket;
+    /// the table maps buckets to queues and can be reprogrammed per
+    /// bucket at runtime.
+    pub rss_buckets: usize,
+    /// Seed for the Toeplitz secret key (derived via the in-repo PRNG,
+    /// so steering is identical across runs and processes).
+    pub rss_key_seed: u64,
 }
 
 impl Default for NicConfig {
@@ -34,6 +48,9 @@ impl Default for NicConfig {
         NicConfig {
             ctx_cache_capacity: 20_000,
             ctx_bytes: 208,
+            rx_queues: 1,
+            rss_buckets: 128,
+            rss_key_seed: 0x5253_5321, // "RSS!"
         }
     }
 }
@@ -44,6 +61,10 @@ pub enum NicConfigError {
     /// `ctx_cache_capacity == 0`: a NIC with no room for even the context
     /// it is working on cannot offload anything.
     ZeroCacheCapacity,
+    /// `rx_queues == 0`: packets have to land somewhere.
+    ZeroRxQueues,
+    /// `rss_buckets == 0`: the indirection table cannot be empty.
+    ZeroRssBuckets,
 }
 
 impl std::fmt::Display for NicConfigError {
@@ -52,6 +73,8 @@ impl std::fmt::Display for NicConfigError {
             NicConfigError::ZeroCacheCapacity => {
                 f.write_str("ctx_cache_capacity must be at least 1")
             }
+            NicConfigError::ZeroRxQueues => f.write_str("rx_queues must be at least 1"),
+            NicConfigError::ZeroRssBuckets => f.write_str("rss_buckets must be at least 1"),
         }
     }
 }
@@ -63,6 +86,12 @@ impl NicConfig {
     pub fn validate(&self) -> Result<(), NicConfigError> {
         if self.ctx_cache_capacity == 0 {
             return Err(NicConfigError::ZeroCacheCapacity);
+        }
+        if self.rx_queues == 0 {
+            return Err(NicConfigError::ZeroRxQueues);
+        }
+        if self.rss_buckets == 0 {
+            return Err(NicConfigError::ZeroRssBuckets);
         }
         Ok(())
     }
@@ -92,6 +121,11 @@ pub struct NicCounters {
     /// Resync responses discarded because they carried a pre-reset device
     /// epoch (a late answer must not resurrect a dead context).
     pub stale_resyncs: u64,
+    /// Times a flow's packets started arriving on a different rx queue
+    /// (indirection-table reprogramming). Each crossing evicts the flow's
+    /// resident rx context — the thrash cost of steering-based
+    /// rebalancing. Always 0 on a single-queue NIC.
+    pub queue_crossings: u64,
 }
 
 impl NicCounters {
@@ -131,6 +165,24 @@ pub struct Nic {
     cache: LruSet<(FlowId, Dir)>,
     counters: NicCounters,
     tracer: ano_trace::Tracer,
+    /// RSS steering state (hash key + indirection table). Built even for
+    /// a single-queue NIC (steering to queue 0 is trivially correct) but
+    /// only consulted when `cfg.rx_queues > 1`.
+    steering: RssSteering,
+    /// Each steered flow's hash bucket, computed once at [`Nic::steer_rx`]
+    /// so the per-packet path is a table lookup, not a 96-bit hash.
+    rx_bucket: BTreeMap<FlowId, usize>,
+    /// The rx queue each steered flow most recently landed on (crossing
+    /// detection). Survives engine teardown — steering is a filter-table
+    /// property of the *flow*, not of its offload context.
+    rx_queue: BTreeMap<FlowId, u16>,
+    /// Transmit-queue pinning (XPS-style: the driver points a flow's tx
+    /// completions at the queue of the core that runs it).
+    tx_queue: BTreeMap<FlowId, u16>,
+    /// Per-queue received-packet counters (queue-imbalance accounting).
+    queue_rx_pkts: Vec<u64>,
+    /// Per-queue transmitted-packet counters.
+    queue_tx_pkts: Vec<u64>,
     /// Device epoch: bumped whenever contexts are destroyed outside the
     /// driver's control (reset, invalidation). Driver↔device exchanges
     /// carry the epoch they were issued under; answers from an older
@@ -160,7 +212,9 @@ impl Nic {
     pub fn new(mut cfg: NicConfig) -> Nic {
         let cfg_clamped = cfg.validate().is_err();
         if cfg_clamped {
-            cfg.ctx_cache_capacity = 1;
+            cfg.ctx_cache_capacity = cfg.ctx_cache_capacity.max(1);
+            cfg.rx_queues = cfg.rx_queues.max(1);
+            cfg.rss_buckets = cfg.rss_buckets.max(1);
         }
         Nic {
             cfg,
@@ -169,9 +223,21 @@ impl Nic {
             cache: LruSet::new(cfg.ctx_cache_capacity),
             counters: NicCounters::default(),
             tracer: ano_trace::Tracer::default(),
+            steering: RssSteering::new(cfg.rx_queues, cfg.rss_buckets, cfg.rss_key_seed),
+            rx_bucket: BTreeMap::new(),
+            rx_queue: BTreeMap::new(),
+            tx_queue: BTreeMap::new(),
+            queue_rx_pkts: vec![0; cfg.rx_queues as usize],
+            queue_tx_pkts: vec![0; cfg.rx_queues as usize],
             epoch: 0,
             cfg_clamped,
         }
+    }
+
+    /// True when RSS is in play (`rx_queues > 1`). The single-queue
+    /// default never consults steering state or traces queue events.
+    fn multi_queue(&self) -> bool {
+        self.cfg.rx_queues > 1
     }
 
     /// Installs the tracing handle engines registered from now on inherit
@@ -192,12 +258,14 @@ impl Nic {
     /// Registers a receive offload for `flow` (`l5o_create`, rx half).
     pub fn install_rx(&mut self, flow: FlowId, mut engine: RxEngine) {
         engine.set_tracer(self.tracer.scoped(flow.0));
+        engine.set_queue(self.rx_queue_of(flow));
         self.rx.insert(flow, engine);
     }
 
     /// Registers a transmit offload for `flow` (`l5o_create`, tx half).
     pub fn install_tx(&mut self, flow: FlowId, mut engine: TxEngine) {
         engine.set_tracer(self.tracer.scoped(flow.0));
+        engine.set_queue(self.tx_queue.get(&flow).copied().unwrap_or(0));
         self.tx.insert(flow, engine);
     }
 
@@ -208,6 +276,9 @@ impl Nic {
         self.tx.remove(&flow);
         self.writeback_remove(flow, Dir::Rx);
         self.writeback_remove(flow, Dir::Tx);
+        self.rx_bucket.remove(&flow);
+        self.rx_queue.remove(&flow);
+        self.tx_queue.remove(&flow);
     }
 
     /// Removes a cache entry, charging the write-back if it was resident.
@@ -327,6 +398,130 @@ impl Nic {
         self.rx.get(&flow)
     }
 
+    /// Number of receive queues.
+    pub fn rx_queues(&self) -> u16 {
+        self.cfg.rx_queues
+    }
+
+    /// Registers RSS steering for a flow's receive side: hashes the
+    /// 4-tuple once, records the bucket, and returns the queue the flow
+    /// currently steers to. On a multi-queue NIC the initial placement is
+    /// traced as a `nic.queue` event; a single-queue NIC records nothing.
+    pub fn steer_rx(&mut self, flow: FlowId, tuple: FourTuple) -> u16 {
+        let bucket = self.steering.bucket_of(&tuple);
+        let q = self.steering.queue_of_bucket(bucket);
+        self.rx_bucket.insert(flow, bucket);
+        self.rx_queue.insert(flow, q);
+        if let Some(e) = self.rx.get_mut(&flow) {
+            e.set_queue(q);
+        }
+        if self.multi_queue() {
+            self.tracer
+                .scoped(flow.0)
+                .record(|| ano_trace::Event::NicQueue { queue: q });
+        }
+        q
+    }
+
+    /// Pins a flow's transmit completions to a queue (XPS-style; the
+    /// driver points it at the queue of the core that runs the flow).
+    /// Out-of-range queues are ignored, as in [`RssSteering::set_bucket`].
+    pub fn steer_tx(&mut self, flow: FlowId, queue: u16) {
+        if queue < self.cfg.rx_queues {
+            self.tx_queue.insert(flow, queue);
+            if let Some(e) = self.tx.get_mut(&flow) {
+                e.set_queue(queue);
+            }
+        }
+    }
+
+    /// The rx queue a steered flow most recently landed on (0 for
+    /// unsteered flows — a single-queue NIC has only queue 0).
+    pub fn rx_queue_of(&self, flow: FlowId) -> u16 {
+        self.rx_queue.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// The indirection bucket a steered flow hashes into.
+    pub fn rx_bucket_of(&self, flow: FlowId) -> Option<usize> {
+        self.rx_bucket.get(&flow).copied()
+    }
+
+    /// The current RSS indirection table (bucket → queue).
+    pub fn rss_table(&self) -> &[u16] {
+        self.steering.table()
+    }
+
+    /// Reprograms one indirection bucket. The flows hashing into that
+    /// bucket cross queues on their *next* packet (hardware applies the
+    /// table at steering time, not retroactively); every crossing evicts
+    /// the flow's resident rx context. Returns whether the entry changed.
+    pub fn set_rss_bucket(&mut self, bucket: usize, queue: u16) -> bool {
+        self.steering.set_bucket(bucket, queue)
+    }
+
+    /// Replaces the whole indirection table (see [`RssSteering::set_table`]).
+    pub fn set_rss_table(&mut self, table: Vec<u16>) {
+        self.steering.set_table(table);
+    }
+
+    /// Per-queue received-packet counters.
+    pub fn queue_rx_pkts(&self) -> &[u64] {
+        &self.queue_rx_pkts
+    }
+
+    /// Per-queue transmitted-packet counters.
+    pub fn queue_tx_pkts(&self) -> &[u64] {
+        &self.queue_tx_pkts
+    }
+
+    /// Queue-imbalance metric: max-over-mean of per-queue rx packets.
+    /// 1.0 is perfectly balanced, `n` means one of `n` queues took
+    /// everything. Single-queue and idle NICs report 1.0.
+    pub fn queue_imbalance(&self) -> f64 {
+        let n = self.queue_rx_pkts.len();
+        let total: u64 = self.queue_rx_pkts.iter().sum();
+        if n <= 1 || total == 0 {
+            return 1.0;
+        }
+        let max = self.queue_rx_pkts.iter().copied().max().unwrap_or(0);
+        max as f64 * n as f64 / total as f64
+    }
+
+    /// Per-packet rx steering: charge the packet to the flow's current
+    /// queue and detect queue crossings after an indirection-table
+    /// reprogram. A crossing moves the flow's context into another
+    /// queue's working set, modeled as an eviction (write-back + traced
+    /// `device.ctx-evict`) so the next [`Nic::touch_cache`] pays a miss —
+    /// the thrash physics that couples the rebalancer to the PR-5
+    /// cache-thrash breaker. No-op unless `rx_queues > 1`.
+    fn note_rx_queue(&mut self, flow: FlowId) {
+        if !self.multi_queue() {
+            return;
+        }
+        let Some(&bucket) = self.rx_bucket.get(&flow) else {
+            return;
+        };
+        let q = self.steering.queue_of_bucket(bucket);
+        self.queue_rx_pkts[q as usize] += 1;
+        let prev = self.rx_queue.insert(flow, q);
+        if prev.is_some() && prev != Some(q) {
+            self.counters.queue_crossings += 1;
+            self.tracer.count("nic.queue_crossings", 1);
+            if let Some(e) = self.rx.get_mut(&flow) {
+                e.set_queue(q);
+            }
+            if self.cache.remove(&(flow, Dir::Rx)) {
+                self.counters.pcie_ctx_bytes += self.cfg.ctx_bytes;
+                self.tracer
+                    .scoped(flow.0)
+                    .record(|| ano_trace::Event::CtxEvict { dir: "rx" });
+            }
+            self.tracer
+                .scoped(flow.0)
+                .record(|| ano_trace::Event::NicQueue { queue: q });
+        }
+    }
+
     fn touch_cache(&mut self, flow: FlowId, dir: Dir) -> bool {
         let (outcome, evicted) = self.cache.touch_evict(&(flow, dir));
         let miss = outcome == CacheOutcome::Miss;
@@ -364,6 +559,10 @@ impl Nic {
                 cache_miss: false,
             };
         }
+        // Queue steering happens in hardware before any offload engine
+        // sees the packet — software (pass-through) flows land on queues
+        // too, which is what routes them to per-core stacks.
+        self.note_rx_queue(flow);
         let Some(engine) = self.rx.get_mut(&flow) else {
             return RxProcess {
                 flags: SkbFlags::default(),
@@ -416,6 +615,10 @@ impl Nic {
         payload: &mut Payload,
         src: &dyn L5TxSource,
     ) -> TxProcess {
+        if self.multi_queue() && !payload.is_empty() {
+            let q = self.tx_queue.get(&flow).copied().unwrap_or(0);
+            self.queue_tx_pkts[q as usize] += 1;
+        }
         let Some(engine) = self.tx.get_mut(&flow) else {
             return TxProcess {
                 offloaded: false,
@@ -498,6 +701,7 @@ mod tests {
         let cfg = NicConfig {
             ctx_cache_capacity: 2,
             ctx_bytes: 208,
+            ..NicConfig::default()
         };
         let mut nic = Nic::new(cfg);
         for i in 0..3u64 {
@@ -535,7 +739,7 @@ mod tests {
     #[test]
     fn pcie_accounting_splits_fill_and_writeback() {
         // Capacity 1: the second flow's fill displaces the first.
-        let cfg = NicConfig { ctx_cache_capacity: 1, ctx_bytes: 100 };
+        let cfg = NicConfig { ctx_cache_capacity: 1, ctx_bytes: 100, ..NicConfig::default() };
         let mut nic = Nic::new(cfg);
         for i in 0..2u64 {
             nic.install_rx(FlowId(i), RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
@@ -558,7 +762,7 @@ mod tests {
 
     #[test]
     fn reset_wipes_without_writeback_and_bumps_epoch() {
-        let cfg = NicConfig { ctx_cache_capacity: 4, ctx_bytes: 100 };
+        let cfg = NicConfig { ctx_cache_capacity: 4, ctx_bytes: 100, ..NicConfig::default() };
         let mut nic = Nic::new(cfg);
         for i in 0..2u64 {
             nic.install_rx(FlowId(i), RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
@@ -647,10 +851,10 @@ mod tests {
     #[test]
     fn zero_capacity_config_clamps_not_panics() {
         assert_eq!(
-            NicConfig { ctx_cache_capacity: 0, ctx_bytes: 208 }.validate(),
+            NicConfig { ctx_cache_capacity: 0, ..NicConfig::default() }.validate(),
             Err(NicConfigError::ZeroCacheCapacity)
         );
-        let mut nic = Nic::new(NicConfig { ctx_cache_capacity: 0, ctx_bytes: 208 });
+        let mut nic = Nic::new(NicConfig { ctx_cache_capacity: 0, ..NicConfig::default() });
         nic.install_rx(FlowId(0), RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
         feed(&mut nic, FlowId(0), 0);
         assert_eq!(nic.counters().cache_misses, 1, "single-entry cache works");
@@ -670,5 +874,117 @@ mod tests {
         nic.destroy(flow);
         assert!(!nic.has_rx(flow));
         assert!(nic.rx_stats(flow).is_none());
+    }
+
+    use crate::rss::FourTuple;
+
+    fn rss_nic(queues: u16) -> Nic {
+        Nic::new(NicConfig { rx_queues: queues, rss_buckets: 8, ..NicConfig::default() })
+    }
+
+    fn tuple(n: u32) -> FourTuple {
+        FourTuple { src_ip: 0x0A00_0000 | n, dst_ip: 0x0A00_00FF, src_port: 443, dst_port: 443 }
+    }
+
+    #[test]
+    fn single_queue_nic_ignores_steering() {
+        let mut nic = rss_nic(1);
+        assert_eq!(nic.steer_rx(FlowId(0), tuple(0)), 0, "one queue, one destination");
+        feed(&mut nic, FlowId(0), 0);
+        assert_eq!(nic.queue_rx_pkts(), &[0], "single-queue path never counts queues");
+        assert_eq!(nic.queue_imbalance(), 1.0);
+        assert_eq!(nic.counters().queue_crossings, 0);
+    }
+
+    #[test]
+    fn packets_land_on_the_steered_queue() {
+        let mut nic = rss_nic(4);
+        nic.install_rx(FlowId(0), RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
+        let q = nic.steer_rx(FlowId(0), tuple(1));
+        assert!(q < 4);
+        for round in 0..3u64 {
+            feed(&mut nic, FlowId(0), round * msg().len() as u64);
+        }
+        assert_eq!(nic.queue_rx_pkts()[q as usize], 3);
+        assert_eq!(nic.queue_rx_pkts().iter().sum::<u64>(), 3, "only the steered queue counts");
+        assert_eq!(nic.rx_queue_of(FlowId(0)), q);
+        assert_eq!(nic.counters().queue_crossings, 0, "stable steering never crosses");
+    }
+
+    #[test]
+    fn bucket_reprogram_crosses_queue_and_evicts_context() {
+        let mut nic = rss_nic(4);
+        let flow = FlowId(0);
+        nic.install_rx(flow, RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
+        let q = nic.steer_rx(flow, tuple(1));
+        feed(&mut nic, flow, 0);
+        let filled = nic.counters().pcie_ctx_bytes;
+        assert_eq!(nic.counters().cache_misses, 1, "first touch fills");
+
+        // Point the flow's bucket at a different queue: next packet crosses.
+        let bucket = nic.rx_bucket_of(flow).expect("steered");
+        let new_q = (q + 1) % 4;
+        assert!(nic.set_rss_bucket(bucket, new_q));
+        feed(&mut nic, flow, msg().len() as u64);
+        assert_eq!(nic.rx_queue_of(flow), new_q);
+        assert_eq!(nic.counters().queue_crossings, 1);
+        // The crossing wrote the old context back and refilled it on the
+        // new queue: write-back + fill on top of the original fill.
+        assert_eq!(nic.counters().cache_misses, 2, "crossing thrashes the context");
+        assert_eq!(nic.counters().pcie_ctx_bytes, filled + 2 * nic.cfg.ctx_bytes);
+
+        // Stable again: the next packet hits.
+        feed(&mut nic, flow, 2 * msg().len() as u64);
+        assert_eq!(nic.counters().queue_crossings, 1);
+        assert_eq!(nic.counters().cache_hits, 1);
+    }
+
+    #[test]
+    fn queue_imbalance_reports_max_over_mean() {
+        let mut nic = rss_nic(4);
+        assert_eq!(nic.queue_imbalance(), 1.0, "idle NIC is balanced");
+        // Find tuples for two distinct queues and send 3:1 traffic.
+        nic.install_rx(FlowId(0), RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
+        nic.install_rx(FlowId(1), RxEngine::new(Box::new(DemoFlow::rx_functional(0)), 0, 0));
+        let q0 = nic.steer_rx(FlowId(0), tuple(1));
+        let mut n = 2;
+        while nic.steer_rx(FlowId(1), tuple(n)) == q0 {
+            n += 1;
+        }
+        for round in 0..3u64 {
+            feed(&mut nic, FlowId(0), round * msg().len() as u64);
+        }
+        feed(&mut nic, FlowId(1), 0);
+        // max=3, mean=1 over 4 queues: spread 3.0.
+        assert!((nic.queue_imbalance() - 3.0).abs() < 1e-9, "{}", nic.queue_imbalance());
+    }
+
+    #[test]
+    fn tx_packets_count_on_the_pinned_queue() {
+        let mut nic = rss_nic(4);
+        let flow = FlowId(0);
+        nic.steer_tx(flow, 2);
+        let mut p = Payload::real(vec![1, 2, 3]);
+        nic.tx_process(flow, 0, &mut p, &NoSrc);
+        assert_eq!(nic.queue_tx_pkts(), &[0, 0, 1, 0]);
+        nic.steer_tx(flow, 9);
+        let mut p = Payload::real(vec![1, 2, 3]);
+        nic.tx_process(flow, 0, &mut p, &NoSrc);
+        assert_eq!(nic.queue_tx_pkts(), &[0, 0, 2, 0], "out-of-range pin ignored");
+    }
+
+    #[test]
+    fn zero_queue_config_clamps_not_panics() {
+        assert_eq!(
+            NicConfig { rx_queues: 0, ..NicConfig::default() }.validate(),
+            Err(NicConfigError::ZeroRxQueues)
+        );
+        assert_eq!(
+            NicConfig { rss_buckets: 0, ..NicConfig::default() }.validate(),
+            Err(NicConfigError::ZeroRssBuckets)
+        );
+        let mut nic = Nic::new(NicConfig { rx_queues: 0, rss_buckets: 0, ..NicConfig::default() });
+        assert_eq!(nic.rx_queues(), 1);
+        assert_eq!(nic.steer_rx(FlowId(0), tuple(0)), 0);
     }
 }

@@ -35,6 +35,7 @@ pub mod chaos;
 pub mod fleet;
 pub mod gen;
 pub mod invariant;
+pub mod rss;
 pub mod runner;
 pub mod scenario;
 
@@ -44,5 +45,6 @@ pub use fleet::{
     FleetScenario, SensitivityPoint,
 };
 pub use invariant::Violation;
+pub use rss::{run_rss, run_rss_differential, RssOutcome, RssScenario};
 pub use runner::{run_differential, run_scenario, run_scenario_faulted, DiffOutcome, RunOutcome};
 pub use scenario::{Scenario, Workload};

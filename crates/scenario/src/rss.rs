@@ -1,0 +1,372 @@
+//! Multi-queue RSS scenarios: many flows hashed across NIC rx queues,
+//! per-core stacks, and the oRSS-style flow→core rebalancer.
+//!
+//! The fleet tier stresses the context cache's *capacity*; this tier
+//! stresses its *placement*. A multi-queue NIC spreads flows over rx
+//! queues with a Toeplitz hash, each queue interrupts one core, and the
+//! stack runs every connection on its queue's core. Two distinct moves
+//! exist when load skews:
+//!
+//! * **migration** — the rebalancer moves a connection to another core.
+//!   The NIC context survives (same device, same queue): offload keeps
+//!   running, only the software stack moves.
+//! * **re-steering** — the rebalancer additionally reprograms the flow's
+//!   RSS indirection bucket toward the destination core's queue. The
+//!   queue crossing evicts the rx context, costing a PCIe refill and a
+//!   `cache_thrash`-visible miss.
+//!
+//! Every RSS scenario runs differentially against a *single-queue,
+//! software-only* twin and must deliver byte-identical per-flow streams:
+//! steering and rebalancing are performance machinery, never allowed to
+//! become application-visible.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use ano_core::nic::NicConfig;
+use ano_sim::payload::DataMode;
+use ano_sim::time::{SimDuration, SimTime};
+use ano_stack::prelude::{
+    ConnId, ConnSpec, DegradeConfig, Fleet, FleetSpec, HostSpec, RebalanceConfig, TlsSpec,
+    WorldConfig,
+};
+use ano_trace::Record;
+
+use crate::fleet::{FleetRecorder, FleetSender};
+
+/// Stepping granularity for the RSS run loop.
+const STEP: SimDuration = SimDuration::from_micros(100);
+
+/// One RSS experiment: flow population, queue/core shape, and the
+/// rebalancing policy under test.
+#[derive(Clone, Debug)]
+pub struct RssScenario {
+    /// Scenario name (diagnostics).
+    pub name: String,
+    /// World seed.
+    pub seed: u64,
+    /// Client hosts (single-queue senders; the NIC under test is the
+    /// server's).
+    pub clients: usize,
+    /// Concurrent connections, placed round-robin over the clients.
+    pub flows: usize,
+    /// Plaintext bytes each client streams per connection.
+    pub bytes_per_flow: usize,
+    /// Server cores (one software stack each).
+    pub server_cores: usize,
+    /// Server NIC rx queues (the software twin always runs one).
+    pub server_queues: u16,
+    /// RSS indirection-table size.
+    pub rss_buckets: usize,
+    /// Server NIC context-cache capacity.
+    pub server_cache: usize,
+    /// Flow→core rebalancing policy for the multi-queue run (`None`
+    /// keeps placements static).
+    pub rebalance: Option<RebalanceConfig>,
+    /// RSS indirection table installed *before* any flow connects —
+    /// the imbalance-induction knob (e.g. all-zeros pins every flow to
+    /// queue 0, overloading its core).
+    pub induce_table: Option<Vec<u16>>,
+    /// Rx cache-thrash breaker threshold (PR-5 policy); `None` measures
+    /// thrash without reacting.
+    pub thrash_breaker: Option<u32>,
+    /// Link rate for every link.
+    pub link_rate_bps: u64,
+    /// Give-up horizon in sim time.
+    pub sim_budget: SimDuration,
+}
+
+impl Default for RssScenario {
+    fn default() -> Self {
+        RssScenario {
+            name: "rss".into(),
+            seed: 11,
+            clients: 4,
+            flows: 16,
+            bytes_per_flow: 32 * 1024,
+            server_cores: 4,
+            server_queues: 4,
+            rss_buckets: 64,
+            server_cache: 1024,
+            rebalance: None,
+            induce_table: None,
+            thrash_breaker: None,
+            link_rate_bps: 100_000_000_000,
+            sim_budget: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl RssScenario {
+    /// Deterministic per-flow payload (same scheme as the fleet tier).
+    pub fn flow_pattern(&self, k: usize) -> Vec<u8> {
+        let base = (k as u64).wrapping_mul(13).wrapping_add(self.seed);
+        (0..self.bytes_per_flow)
+            .map(|j| ((base + j as u64) % 251) as u8)
+            .collect()
+    }
+
+    /// A rebalancer tuned for these short runs: tick well inside the
+    /// transfer, low noise floor, affinity-only moves.
+    pub fn fast_rebalance() -> RebalanceConfig {
+        RebalanceConfig {
+            interval: SimDuration::from_micros(20),
+            trigger: 1.5,
+            min_cycles: 5_000,
+            max_moves: 1,
+            steer_queues: false,
+        }
+    }
+}
+
+/// Result of one RSS run (multi-queue or the single-queue software twin).
+#[derive(Debug)]
+pub struct RssOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Whether this was the multi-queue offload run.
+    pub multi_queue: bool,
+    /// Every flow delivered every byte.
+    pub complete: bool,
+    /// Step time at which the last expected byte arrived.
+    pub finish: Option<SimTime>,
+    /// Step time at which the run stopped.
+    pub end: SimTime,
+    /// Delivered plaintext per connection, in arrival order.
+    pub streams: BTreeMap<ConnId, Vec<u8>>,
+    /// What each flow was supposed to deliver.
+    pub expected: BTreeMap<ConnId, Vec<u8>>,
+    /// `(conn, final rx queue, final core)` on the server, in id order.
+    pub placements: Vec<(ConnId, u16, usize)>,
+    /// Per-queue received-packet counters on the server NIC.
+    pub queue_rx_pkts: Vec<u64>,
+    /// Max-over-mean packet load across the server's rx queues.
+    pub queue_imbalance: f64,
+    /// Flow→core migrations the rebalancer performed on the server.
+    pub migrations: u64,
+    /// Packets that arrived on a different queue than the flow's last
+    /// (context-thrashing crossings).
+    pub queue_crossings: u64,
+    /// Context-cache hits on the server NIC.
+    pub cache_hits: u64,
+    /// Context-cache misses on the server NIC.
+    pub cache_misses: u64,
+    /// Packets fully offloaded by surviving server rx engines.
+    pub rx_offloaded_pkts: u64,
+    /// Server-side breaker reasons (open connections only).
+    pub breaker_reasons: Vec<&'static str>,
+    /// Cumulative per-core busy cycles on the server at run end.
+    pub core_cycles: Vec<u64>,
+    /// Full trace when tracing was enabled (empty otherwise).
+    pub trace: Vec<Record>,
+    /// Trace records the ring overwrote.
+    pub trace_dropped: u64,
+}
+
+impl RssOutcome {
+    /// Max-over-mean busy cycles across the server's cores: 1.0 is a
+    /// perfectly even spread, `num_cores` is everything on one core.
+    pub fn busy_spread(&self) -> f64 {
+        let total: u64 = self.core_cycles.iter().sum();
+        let max = self.core_cycles.iter().copied().max().unwrap_or(0);
+        if total == 0 || self.core_cycles.len() <= 1 {
+            return 1.0;
+        }
+        max as f64 * self.core_cycles.len() as f64 / total as f64
+    }
+
+    /// Panics unless every flow delivered exactly its expected stream.
+    pub fn assert_streams(&self) {
+        assert_eq!(
+            self.streams.keys().collect::<Vec<_>>(),
+            self.expected.keys().collect::<Vec<_>>(),
+            "rss '{}': flow population mismatch",
+            self.name
+        );
+        for (conn, want) in &self.expected {
+            let got = &self.streams[conn];
+            assert_eq!(
+                got.len(),
+                want.len(),
+                "rss '{}': conn {conn:?} delivered {} of {} bytes",
+                self.name,
+                got.len(),
+                want.len()
+            );
+            assert!(
+                got == want,
+                "rss '{}': conn {conn:?} delivered corrupted bytes",
+                self.name
+            );
+        }
+    }
+}
+
+/// Runs one RSS scenario. `multi_queue` selects the arm: the real run
+/// (RSS-hashed queues, rx offload, the scenario's rebalancer) or the
+/// single-queue, software-only twin every run is differentially checked
+/// against. `trace` enables the shared tracer (golden-trace runs).
+pub fn run_rss(sc: &RssScenario, multi_queue: bool, trace: bool) -> RssOutcome {
+    let queues = if multi_queue { sc.server_queues } else { 1 };
+    let mut fleet = Fleet::build(FleetSpec {
+        clients: sc.clients,
+        servers: 1,
+        client: HostSpec {
+            cores: 2,
+            nic: NicConfig::default(),
+        },
+        server: HostSpec {
+            cores: sc.server_cores,
+            nic: NicConfig {
+                ctx_cache_capacity: sc.server_cache,
+                rx_queues: queues,
+                rss_buckets: sc.rss_buckets,
+                ..NicConfig::default()
+            },
+        },
+        cfg: WorldConfig {
+            seed: sc.seed,
+            mode: DataMode::Functional,
+            link_rate_bps: sc.link_rate_bps,
+            degrade: DegradeConfig {
+                breaker_cache_thrash: sc.thrash_breaker,
+                ..DegradeConfig::default()
+            },
+            rebalance: if multi_queue { sc.rebalance } else { None },
+            ..WorldConfig::default()
+        },
+    });
+    if trace {
+        fleet.tracer().set_enabled(true);
+    }
+    let server = fleet.server(0);
+    if multi_queue {
+        if let Some(table) = &sc.induce_table {
+            fleet.world_mut().set_rss_table(server, table.clone());
+        }
+    }
+
+    // Connect the flow population and install sender/recorder apps.
+    let server_spec = TlsSpec {
+        rx_offload: multi_queue,
+        ..TlsSpec::default()
+    };
+    let streams = Rc::new(RefCell::new(BTreeMap::new()));
+    let mut expected = BTreeMap::new();
+    let mut conns = Vec::with_capacity(sc.flows);
+    let mut per_client: Vec<Vec<(ConnId, Vec<u8>)>> = vec![Vec::new(); sc.clients];
+    for k in 0..sc.flows {
+        let ci = k % sc.clients;
+        let conn = fleet.connect(
+            ci,
+            0,
+            ConnSpec::Tls(TlsSpec::default()),
+            ConnSpec::Tls(server_spec),
+        );
+        let data = sc.flow_pattern(k);
+        expected.insert(conn, data.clone());
+        per_client[ci].push((conn, data));
+        conns.push(conn);
+    }
+    for (ci, client_streams) in per_client.into_iter().enumerate() {
+        let host = fleet.client(ci);
+        fleet
+            .world_mut()
+            .set_app(host, Box::new(FleetSender::new(client_streams)));
+    }
+    fleet
+        .world_mut()
+        .set_app(server, Box::new(FleetRecorder::new(Rc::clone(&streams))));
+
+    // Drive to completion (or the budget).
+    let expected_total: u64 = expected.values().map(|v| v.len() as u64).sum();
+    let deadline = fleet.now() + sc.sim_budget;
+    let mut t = fleet.now();
+    let mut finish = None;
+    fleet.start();
+    let end = loop {
+        t += STEP;
+        fleet.world_mut().run_until(t);
+        let delivered: u64 = streams.borrow().values().map(|v| v.len() as u64).sum();
+        if delivered >= expected_total && finish.is_none() {
+            finish = Some(t);
+        }
+        if fleet.is_idle() || t >= deadline {
+            break t;
+        }
+    };
+
+    let counters = fleet.nic_counters(server);
+    let mut breaker_reasons = Vec::new();
+    let mut rx_offloaded_pkts = 0;
+    let mut placements = Vec::with_capacity(conns.len());
+    for &conn in &conns {
+        if let Some(reason) = fleet.breaker_reason(server, conn) {
+            breaker_reasons.push(reason);
+        }
+        rx_offloaded_pkts += fleet
+            .rx_engine_stats(server, conn)
+            .map(|s| s.pkts_offloaded)
+            .unwrap_or(0);
+        placements.push((
+            conn,
+            fleet.rx_queue_of(server, conn).unwrap_or(0),
+            fleet.conn_core(server, conn).unwrap_or(0),
+        ));
+    }
+
+    let delivered = streams.borrow().clone();
+    RssOutcome {
+        name: sc.name.clone(),
+        multi_queue,
+        complete: finish.is_some(),
+        finish,
+        end,
+        streams: delivered,
+        expected,
+        placements,
+        queue_rx_pkts: fleet.queue_rx_pkts(server).to_vec(),
+        queue_imbalance: fleet.queue_imbalance(server),
+        migrations: fleet.migrations(server),
+        queue_crossings: counters.queue_crossings,
+        cache_hits: counters.cache_hits,
+        cache_misses: counters.cache_misses,
+        rx_offloaded_pkts,
+        breaker_reasons,
+        core_cycles: fleet.cpu_snapshot(server),
+        trace: fleet.tracer().records(),
+        trace_dropped: fleet.tracer().dropped(),
+    }
+}
+
+/// Runs `sc` multi-queue and as the single-queue software twin, asserting
+/// the steering machinery is invisible: both complete and deliver
+/// byte-identical per-flow streams.
+pub fn run_rss_differential(sc: &RssScenario) -> (RssOutcome, RssOutcome) {
+    let on = run_rss(sc, true, false);
+    let off = run_rss(sc, false, false);
+    assert_rss_twins(&on, &off);
+    (on, off)
+}
+
+/// The RSS differential contract.
+pub fn assert_rss_twins(on: &RssOutcome, off: &RssOutcome) {
+    assert!(on.complete, "rss '{}': multi-queue run incomplete", on.name);
+    assert!(off.complete, "rss '{}': software twin incomplete", off.name);
+    on.assert_streams();
+    off.assert_streams();
+    assert!(
+        on.streams == off.streams,
+        "rss '{}': multi-queue and software twins delivered different bytes",
+        on.name
+    );
+    assert_eq!(
+        off.rx_offloaded_pkts, 0,
+        "software twin must not touch rx engines"
+    );
+    assert_eq!(
+        off.queue_crossings, 0,
+        "a single-queue NIC cannot cross queues"
+    );
+}

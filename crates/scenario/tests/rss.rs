@@ -1,0 +1,233 @@
+//! RSS steering tier: multi-queue runs vs the single-queue software twin,
+//! induced imbalance and the oRSS rebalancer, and the context-survival vs
+//! cache-thrash split between affinity migration and queue re-steering.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ano_core::rss::RssSteering;
+use ano_scenario::rss::{run_rss, run_rss_differential, RssScenario};
+use ano_sim::time::SimDuration;
+use ano_stack::prelude::RebalanceConfig;
+use ano_trace::event::Category;
+use ano_trace::export;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.golden"))
+}
+
+/// The steering scenario every test in this tier riffs on: 4 clients,
+/// 16 TLS flows into one 4-core/4-queue server.
+fn base() -> RssScenario {
+    RssScenario::default()
+}
+
+/// The imbalance-induction variant: an all-zeros indirection table pins
+/// every flow to queue 0 (and so core 0), and the fast rebalancer is on.
+fn induced(steer_queues: bool) -> RssScenario {
+    let mut sc = base();
+    sc.name = format!("rss/induced/steer={steer_queues}");
+    sc.induce_table = Some(vec![0; sc.rss_buckets]);
+    sc.rebalance = Some(RebalanceConfig {
+        steer_queues,
+        ..RssScenario::fast_rebalance()
+    });
+    sc
+}
+
+/// An iperf-style 4-queue/4-core run is byte-identical, per flow, to its
+/// single-queue software twin — steering must be application-invisible —
+/// and actually spreads the population over multiple queues and cores.
+#[test]
+fn multi_queue_run_matches_single_queue_software_twin() {
+    let (on, off) = run_rss_differential(&base());
+
+    let live_queues = on.queue_rx_pkts.iter().filter(|&&p| p > 0).count();
+    assert!(
+        live_queues > 1,
+        "16 hashed flows must land on more than one queue (got {:?})",
+        on.queue_rx_pkts
+    );
+    let mut cores: Vec<usize> = on.placements.iter().map(|&(_, _, c)| c).collect();
+    cores.sort_unstable();
+    cores.dedup();
+    assert!(cores.len() > 1, "flows must run on more than one core");
+    // Every placement agrees with an independent Toeplitz computation
+    // over the same key seed and table (the NIC default, 0x5253_5321).
+    let steering = RssSteering::new(base().server_queues, base().rss_buckets, 0x5253_5321);
+    for &(_conn, queue, _core) in &on.placements {
+        assert!((queue as usize) < base().server_queues as usize);
+    }
+    assert_eq!(
+        steering.table().len(),
+        base().rss_buckets,
+        "default table covers every bucket"
+    );
+    // The single-queue twin keeps everything on queue 0 by construction.
+    assert_eq!(off.queue_rx_pkts.len(), 1);
+    assert!(on.migrations == 0 && off.migrations == 0, "no rebalancer configured");
+}
+
+/// With parallelism measured: the multi-queue run's per-core busy-cycle
+/// spread stays far from the everything-on-one-core extreme.
+#[test]
+fn hashed_flows_spread_cpu_load() {
+    let on = run_rss(&base(), true, false);
+    assert!(on.complete);
+    let spread = on.busy_spread();
+    let cores = on.core_cycles.len() as f64;
+    assert!(
+        spread < cores * 0.75,
+        "busy-core spread {spread:.2} too close to single-core ({cores} cores)"
+    );
+}
+
+/// An induced hot core (all flows steered to queue 0) trips the
+/// rebalancer: migrations happen, the population ends up on several
+/// cores, and every post-migration stream is still byte-identical to the
+/// software twin.
+#[test]
+fn induced_imbalance_triggers_rebalancing() {
+    let sc = induced(false);
+    let (on, off) = run_rss_differential(&sc);
+
+    assert!(
+        on.queue_imbalance > 3.0,
+        "all-zeros table must overload queue 0 (imbalance {:.2})",
+        on.queue_imbalance
+    );
+    assert!(
+        on.migrations > 0,
+        "hot core must trigger flow migrations (imbalance {:.2})",
+        on.queue_imbalance
+    );
+    let mut cores: Vec<usize> = on.placements.iter().map(|&(_, _, c)| c).collect();
+    cores.sort_unstable();
+    cores.dedup();
+    assert!(
+        cores.len() > 1,
+        "rebalancer must spread the population off the hot core"
+    );
+    // Twin equality (checked inside run_rss_differential) is the headline;
+    // also pin that the static twin saw no rebalancing machinery at all.
+    assert_eq!(off.migrations, 0);
+}
+
+/// The paper-physics split the rebalancer trades on: affinity migration
+/// keeps the NIC context alive (same device, same queue — zero crossings,
+/// only cold-start misses), while queue re-steering thrashes it (bucket
+/// remaps cross queues, each crossing evicting an rx context).
+#[test]
+fn migration_survives_context_while_steering_thrashes_it() {
+    let affinity = run_rss(&induced(false), true, false);
+    let steer = run_rss(&induced(true), true, false);
+
+    assert!(affinity.complete && steer.complete);
+    affinity.assert_streams();
+    steer.assert_streams();
+    assert!(affinity.migrations > 0, "affinity arm must migrate");
+    assert!(steer.migrations > 0, "steering arm must migrate");
+
+    // Affinity-only: the context survives every migration. The flow count
+    // bounds cold misses: one per installed rx engine, nothing more.
+    assert_eq!(
+        affinity.queue_crossings, 0,
+        "affinity migration must not cross queues"
+    );
+    assert!(
+        affinity.cache_misses <= affinity.expected.len() as u64,
+        "affinity arm paid more than cold-start misses: {} > {}",
+        affinity.cache_misses,
+        affinity.expected.len()
+    );
+
+    // Re-steering: every remapped flow crosses queues and pays an evict +
+    // refill. Strictly more misses than the affinity arm's cold start.
+    assert!(
+        steer.queue_crossings > 0,
+        "steering arm must cross queues"
+    );
+    assert!(
+        steer.cache_misses > affinity.cache_misses,
+        "queue crossings must thrash the context cache ({} vs {})",
+        steer.cache_misses,
+        affinity.cache_misses
+    );
+}
+
+/// The steer→imbalance→migrate→re-offload ladder as a committed golden
+/// trace (Device category): initial `nic.queue` placements, `core.migrate`
+/// moves, and — because this variant re-steers queues — the
+/// `device.ctx-evict` records of each crossing, after which the flow keeps
+/// offloading on the new queue.
+///
+/// Regenerate after an intentional behavior change with
+/// `BLESS=1 cargo test -p ano-scenario --test rss golden` and review the
+/// diff — the ladder is the review artifact.
+#[test]
+fn golden_rss_migrate_ladder() {
+    let mut sc = induced(true);
+    sc.name = "rss/golden/migrate".into();
+    let run = run_rss(&sc, true, true);
+    assert!(run.complete, "golden scenario must complete");
+    assert_eq!(run.trace_dropped, 0, "trace ring wrapped; golden would be truncated");
+    let got = export::canonical(&run.trace, &[Category::Device]);
+    assert!(!got.is_empty(), "golden scenario produced no Device events");
+
+    let path = golden_path("rss_migrate");
+    if std::env::var("BLESS").is_ok() {
+        fs::write(&path, &got).expect("write golden");
+        eprintln!("blessed {} ({} lines)", path.display(), got.lines().count());
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run `BLESS=1 cargo test -p ano-scenario \
+             --test rss` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "rss golden trace mismatch. If the behavior change is intentional, \
+         re-bless with BLESS=1 and review the steer→migrate ladder."
+    );
+
+    // The golden meaningfully pins the ladder, not just any device noise.
+    assert!(want.contains("nic.queue"), "golden must pin the initial steering");
+    assert!(want.contains("core.migrate"), "golden must pin the migrations");
+    assert!(
+        want.contains("device.ctx-evict"),
+        "golden must pin the crossing-evict cost"
+    );
+}
+
+/// Scale run (CI `rss` tier): 512 flows hashed over 16 queues on an
+/// 8-core server still deliver byte-identically and respect the 2× fair
+/// share distribution bound end-to-end.
+#[test]
+#[ignore = "scale run: slow; exercised by the ci.sh rss tier"]
+fn rss_scale_16_queues_512_flows() {
+    let mut sc = base();
+    sc.name = "rss/scale".into();
+    sc.clients = 8;
+    sc.flows = 512;
+    sc.bytes_per_flow = 2 * 1024;
+    sc.server_cores = 8;
+    sc.server_queues = 16;
+    sc.rss_buckets = 256;
+    sc.server_cache = 4096;
+    sc.sim_budget = SimDuration::from_millis(400);
+    let (on, _off) = run_rss_differential(&sc);
+
+    let total: u64 = on.queue_rx_pkts.iter().sum();
+    let fair = total as f64 / on.queue_rx_pkts.len() as f64;
+    let max = on.queue_rx_pkts.iter().copied().max().unwrap_or(0) as f64;
+    assert!(
+        max <= 2.0 * fair,
+        "queue packet load {max} exceeds 2x fair share {fair:.0} ({:?})",
+        on.queue_rx_pkts
+    );
+}

@@ -31,7 +31,7 @@ pub mod prelude {
     pub use crate::app::{Action, AppEvent, HostApi, HostApp, NullApp};
     pub use crate::topology::{Fleet, FleetSpec};
     pub use crate::world::{
-        ConnId, ConnSpec, DegradeConfig, HostSpec, NvmeHostSpec, NvmeTargetSpec, TlsSpec,
-        World, WorldConfig,
+        ConnId, ConnSpec, DegradeConfig, HostSpec, NvmeHostSpec, NvmeTargetSpec, RebalanceConfig,
+        TlsSpec, World, WorldConfig,
     };
 }

@@ -191,6 +191,115 @@ impl World {
                     app.on_event(api, AppEvent::Timer { token })
                 });
             }
+            Event::Rebalance { host } => self.handle_rebalance(host as usize),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flow→core rebalancing (oRSS).
+
+    /// One rebalance-window tick on host `h`: compare per-core cycles
+    /// consumed since the window opened; if the hottest core exceeds
+    /// `trigger ×` the mean (and the noise floor), migrate its busiest
+    /// connection to the idlest core. Migration alone keeps the NIC
+    /// context alive — same device, same queue; with `steer_queues` the
+    /// flow's RSS bucket is reprogrammed toward the destination core's
+    /// queue, which evicts the rx context on the next packet (the miss
+    /// then feeds the `cache_thrash` breaker accounting like any other).
+    /// Re-arms for another window while traffic flowed; disarms otherwise
+    /// so a drained world still reports idle.
+    fn handle_rebalance(&mut self, h: usize) {
+        let World {
+            cfg,
+            hosts,
+            sched,
+            tracer,
+            ..
+        } = &mut *self;
+        let Some(rb) = cfg.rebalance.as_ref() else {
+            return;
+        };
+        let host = &mut hosts[h];
+        let now = sched.now();
+        let n = host.cpu.num_cores();
+        let deltas: Vec<u64> = (0..n)
+            .map(|core| {
+                let prev = host.rebalance_snapshot.get(core).copied().unwrap_or(0);
+                host.cpu.busy_cycles_of(core).saturating_sub(prev)
+            })
+            .collect();
+        let total: u64 = deltas.iter().sum();
+        let had_traffic = host.conns.values().any(|c| c.pkts_in_window > 0);
+
+        if n > 1 && total > 0 {
+            // Deterministic argmax/argmin: ties go to the lowest index, so
+            // a uniformly-loaded host picks hot == cold and does nothing.
+            let hot = (0..n)
+                .max_by_key(|&i| (deltas[i], std::cmp::Reverse(i)))
+                .expect("n > 1");
+            let cold = (0..n).min_by_key(|&i| (deltas[i], i)).expect("n > 1");
+            let mean = total as f64 / n as f64;
+            if hot != cold && deltas[hot] as f64 > rb.trigger * mean && deltas[hot] >= rb.min_cycles
+            {
+                for _ in 0..rb.max_moves {
+                    // Hottest connection on the hot core by window packets
+                    // (ties → lowest id). Moving the *only* active
+                    // connection would shift the load, not spread it, so
+                    // a one-flow core is left alone.
+                    let mut active = 0usize;
+                    let mut pick: Option<(ConnId, u64)> = None;
+                    for (&cid, c) in host.conns.iter() {
+                        if c.core == hot && c.pkts_in_window > 0 {
+                            active += 1;
+                            if pick.is_none_or(|(_, best)| c.pkts_in_window > best) {
+                                pick = Some((cid, c.pkts_in_window));
+                            }
+                        }
+                    }
+                    let Some((cid, _)) = pick else { break };
+                    if active < 2 {
+                        break;
+                    }
+                    let c = host.conns.get_mut(&cid).expect("picked above");
+                    c.core = cold;
+                    c.pkts_in_window = 0;
+                    // The destination core starts a fresh batch; the hot
+                    // core's affinity slot is stale either way.
+                    for slot in host.last_conn.iter_mut() {
+                        if *slot == Some(cid) {
+                            *slot = None;
+                        }
+                    }
+                    host.migrations += 1;
+                    tracer.count("stack.core_migrations", 1);
+                    tracer.scoped(c.in_flow.0).record(|| ano_trace::Event::CoreMigrate {
+                        from: hot as u64,
+                        to: cold as u64,
+                    });
+                    if rb.steer_queues && host.nic.rx_queues() > 1 {
+                        // Make interrupts follow the flow: remap its RSS
+                        // bucket to a queue the destination core services.
+                        // The queue crossing evicts the rx context (this
+                        // is the expensive half of the trade).
+                        let bucket = host.nic.rx_bucket_of(c.in_flow);
+                        let dest_q = host.queue_core.iter().position(|&qc| qc == cold);
+                        if let (Some(bucket), Some(q)) = (bucket, dest_q) {
+                            host.nic.set_rss_bucket(bucket, q as u16);
+                            host.nic.steer_tx(c.out_flow, q as u16);
+                        }
+                    }
+                }
+            }
+        }
+
+        for c in host.conns.values_mut() {
+            c.pkts_in_window = 0;
+        }
+        if had_traffic {
+            host.rebalance_snapshot = host.cpu.snapshot();
+            sched.schedule(now + rb.interval, Event::Rebalance { host: h as u16 });
+        } else {
+            host.rebalance_armed = false;
         }
     }
 
@@ -243,6 +352,20 @@ impl World {
             if c.health.breaker_open.is_some() && !payload.is_empty() {
                 c.health.degraded_pkts += 1;
                 tracer.count("stack.degraded_pkts", 1);
+            }
+
+            // Rebalancer bookkeeping: payload packets elect the hot flow,
+            // and the first one of a window lazily arms the host's tick
+            // (nothing is ever scheduled on an idle or rebalance-off host).
+            if !payload.is_empty() {
+                if let Some(rb) = cfg.rebalance.as_ref() {
+                    c.pkts_in_window += 1;
+                    if !host.rebalance_armed {
+                        host.rebalance_armed = true;
+                        host.rebalance_snapshot = host.cpu.snapshot();
+                        sched.schedule(now + rb.interval, Event::Rebalance { host: h as u16 });
+                    }
+                }
             }
 
             // 1. NIC receive processing (offload engines).

@@ -29,6 +29,7 @@ use ano_core::fault::DeviceFaults;
 use ano_core::flow::{L5Flow, L5TxSource, TxMsgRef};
 use ano_core::msg::FrameIndex;
 use ano_core::nic::{Nic, NicConfig};
+use ano_core::rss::FourTuple;
 use ano_core::rx::RxEngine;
 use ano_core::tx::TxEngine;
 use ano_nvme::block::{BlockDevice, BlockDeviceConfig};
@@ -195,6 +196,45 @@ impl Default for DegradeConfig {
     }
 }
 
+/// oRSS-style flow→core rebalancing policy. When set, every host watches
+/// per-core cycle consumption over fixed windows and migrates the hottest
+/// flow off an overloaded core onto the idlest one. Migration alone is an
+/// *affinity* change: the flow's NIC context survives (same device, same
+/// queue). With [`RebalanceConfig::steer_queues`] the rebalancer also
+/// reprograms the NIC's RSS indirection bucket toward a queue of the
+/// destination core, which makes interrupts follow the flow — at the cost
+/// of a queue crossing that evicts the flow's rx context (the thrash the
+/// PR-7 cache accounting and the PR-5 `cache_thrash` breaker observe).
+#[derive(Clone, Copy, Debug)]
+pub struct RebalanceConfig {
+    /// Observation-window width; the rebalancer ticks once per window
+    /// while the host is receiving traffic (it disarms when idle, so a
+    /// drained world still reports idle).
+    pub interval: SimDuration,
+    /// A core is *hot* when its window cycles exceed `trigger ×` the
+    /// per-core mean.
+    pub trigger: f64,
+    /// Noise floor: hot cores below this many window cycles are ignored.
+    pub min_cycles: u64,
+    /// Migrations per tick per host.
+    pub max_moves: usize,
+    /// Also reprogram the RSS indirection bucket so the flow's queue
+    /// follows it to the new core (context-thrashing; see above).
+    pub steer_queues: bool,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            interval: SimDuration::from_micros(1_000),
+            trigger: 1.25,
+            min_cycles: 20_000,
+            max_moves: 1,
+            steer_queues: false,
+        }
+    }
+}
+
 /// Per-host hardware description for topology worlds: core count and the
 /// NIC (context-cache) configuration. [`World::new`]'s two-host façade
 /// derives these from [`WorldConfig::cores`] / [`WorldConfig::nic`]; fleet
@@ -248,6 +288,9 @@ pub struct WorldConfig {
     pub resync_delay: SimDuration,
     /// Offload degradation policy (fault retry/backoff, circuit breaker).
     pub degrade: DegradeConfig,
+    /// Flow→core rebalancing policy (`None` = static placement; the
+    /// default, so existing scenarios and goldens see no new events).
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl Default for WorldConfig {
@@ -265,6 +308,7 @@ impl Default for WorldConfig {
             tcp: TcpConfig::default(),
             resync_delay: SimDuration::from_micros(5),
             degrade: DegradeConfig::default(),
+            rebalance: None,
         }
     }
 }
@@ -509,6 +553,12 @@ pub(crate) struct ConnState {
     pub(crate) tx_factory: Option<TxFactory>,
     /// Circuit-breaker state and the counters feeding it.
     pub(crate) health: OffloadHealth,
+    /// Payload packets received in the current rebalance window (hot-flow
+    /// selection; reset every tick, untouched when rebalancing is off).
+    pub(crate) pkts_in_window: u64,
+    /// The 4-tuple this endpoint's *incoming* flow is RSS-steered by on
+    /// the local NIC (`None` on single-queue hosts).
+    pub(crate) rx_tuple: Option<FourTuple>,
 }
 
 pub(crate) struct HostState {
@@ -520,6 +570,17 @@ pub(crate) struct HostState {
     /// The host NIC's scripted fault schedule (empty by default: every
     /// query is a counter bump, nothing else).
     pub(crate) faults: DeviceFaults,
+    /// IRQ affinity: which core services each NIC rx queue (default
+    /// `queue % cores`). Connections land on the core of their steered
+    /// queue when the NIC is multi-queue.
+    pub(crate) queue_core: Vec<usize>,
+    /// A rebalance tick is scheduled (armed lazily on traffic, disarmed
+    /// after an idle window so `is_idle` can drain).
+    pub(crate) rebalance_armed: bool,
+    /// Per-core cycle snapshot at the current rebalance-window start.
+    pub(crate) rebalance_snapshot: Vec<u64>,
+    /// Flow→core migrations performed by the rebalancer on this host.
+    pub(crate) migrations: u64,
 }
 
 /// Queued events.
@@ -579,6 +640,12 @@ pub(crate) enum Event {
         host: u16,
         conn: ConnId,
         token: u64,
+    },
+    /// Periodic flow→core rebalance tick for one host (armed lazily by
+    /// the first payload packet of a window; not rescheduled after an
+    /// idle window).
+    Rebalance {
+        host: u16,
     },
     AppTimer {
         host: u16,
@@ -647,12 +714,17 @@ impl World {
             .map(|spec| {
                 let mut nic = Nic::new(spec.nic);
                 nic.set_tracer(tracer.clone());
+                let queues = spec.nic.rx_queues.max(1) as usize;
                 HostState {
                     cpu: CpuSet::new(spec.cores, cfg.cost.freq_hz),
                     nic,
                     conns: BTreeMap::new(),
                     last_conn: vec![None; spec.cores],
                     faults: DeviceFaults::none(),
+                    queue_core: (0..queues).map(|q| q % spec.cores).collect(),
+                    rebalance_armed: false,
+                    rebalance_snapshot: Vec::new(),
+                    migrations: 0,
                 }
             })
             .collect();
@@ -821,8 +893,16 @@ impl World {
         attach_proto_tracer(&mut b0.proto, &self.tracer, flow1);
         attach_proto_tracer(&mut b1.proto, &self.tracer, flow0);
 
-        let core0 = id.0 as usize % self.hosts[a as usize].cpu.num_cores();
-        let core1 = id.0 as usize % self.hosts[b as usize].cpu.num_cores();
+        // Receive-side placement. Single-queue hosts keep the historical
+        // round-robin core assignment (byte-identical to every pre-RSS
+        // trace); multi-queue hosts steer the incoming flow through the
+        // NIC's RSS hash and land the connection on the steered queue's
+        // IRQ core. The outgoing flow's tx completions are pinned to a
+        // queue of the same core.
+        let (core0, tuple0) = Self::place_conn(&mut self.hosts[a as usize], id, flow1, b, a);
+        let (core1, tuple1) = Self::place_conn(&mut self.hosts[b as usize], id, flow0, a, b);
+        Self::pin_tx_queue(&mut self.hosts[a as usize], flow0, core0);
+        Self::pin_tx_queue(&mut self.hosts[b as usize], flow1, core1);
         let mut tcp0 = TcpEndpoint::new(flow0, self.cfg.tcp.clone());
         tcp0.set_tracer(self.tracer.scoped(flow0.0));
         let mut tcp1 = TcpEndpoint::new(flow1, self.cfg.tcp.clone());
@@ -845,6 +925,8 @@ impl World {
                 rx_factory: b0.rx_factory,
                 tx_factory: b0.tx_factory,
                 health: OffloadHealth::default(),
+                pkts_in_window: 0,
+                rx_tuple: tuple0,
             },
         );
         self.hosts[b as usize].conns.insert(
@@ -865,6 +947,8 @@ impl World {
                 rx_factory: b1.rx_factory,
                 tx_factory: b1.tx_factory,
                 health: OffloadHealth::default(),
+                pkts_in_window: 0,
+                rx_tuple: tuple1,
             },
         );
         self.conn_hosts.insert(id, (a, b));
@@ -904,6 +988,51 @@ impl World {
     /// The `(host_a, host_b)` endpoints of a live connection.
     pub fn conn_endpoints(&self, conn: ConnId) -> Option<(u16, u16)> {
         self.conn_hosts.get(&conn).copied()
+    }
+
+    /// Deterministic synthetic 4-tuple for the `src → dst` direction of a
+    /// connection: hosts live in 10.0.0.0/8 numbered by id, the source
+    /// port encodes the connection id, and every flow terminates on :443.
+    /// The simulator has no real addressing — this exists so the RSS hash
+    /// has honest per-flow entropy to chew on.
+    fn flow_tuple(src: u16, dst: u16, conn: u32) -> FourTuple {
+        FourTuple {
+            src_ip: 0x0A00_0000 | src as u32,
+            dst_ip: 0x0A00_0000 | dst as u32,
+            src_port: 10_000u16.wrapping_add(conn as u16),
+            dst_port: 443,
+        }
+    }
+
+    /// Picks the core a new connection runs on at `host` (whose incoming
+    /// flow is `in_flow`, flowing `src → dst`). Multi-queue NICs steer the
+    /// flow through the RSS hash and return the steered queue's IRQ core
+    /// plus the tuple (kept for later indirection-table reprogramming);
+    /// single-queue NICs keep the historical round-robin placement.
+    fn place_conn(
+        host: &mut HostState,
+        id: ConnId,
+        in_flow: FlowId,
+        src: u16,
+        dst: u16,
+    ) -> (usize, Option<FourTuple>) {
+        if host.nic.rx_queues() > 1 {
+            let tuple = Self::flow_tuple(src, dst, id.0);
+            let q = host.nic.steer_rx(in_flow, tuple);
+            (host.queue_core[q as usize], Some(tuple))
+        } else {
+            (id.0 as usize % host.cpu.num_cores(), None)
+        }
+    }
+
+    /// Pins a multi-queue host's outgoing flow to a tx queue serviced by
+    /// the connection's core, so completions land where the stack runs.
+    fn pin_tx_queue(host: &mut HostState, out_flow: FlowId, core: usize) {
+        if host.nic.rx_queues() > 1 {
+            if let Some(q) = host.queue_core.iter().position(|&c| c == core) {
+                host.nic.steer_tx(out_flow, q as u16);
+            }
+        }
     }
 
     /// One rung of an install ladder: offers the install to the host's
@@ -1336,6 +1465,64 @@ impl World {
     /// NIC counters for a host.
     pub fn nic_counters(&self, host: usize) -> ano_core::nic::NicCounters {
         self.hosts[host].nic.counters()
+    }
+
+    /// The core `conn` currently runs on at `host` (moves when the
+    /// rebalancer migrates the connection).
+    pub fn conn_core(&self, host: usize, conn: ConnId) -> Option<usize> {
+        self.hosts[host].conns.get(&conn).map(|c| c.core)
+    }
+
+    /// The NIC rx queue `conn`'s incoming flow last landed on at `host`.
+    pub fn rx_queue_of(&self, host: usize, conn: ConnId) -> Option<u16> {
+        let c = self.hosts[host].conns.get(&conn)?;
+        Some(self.hosts[host].nic.rx_queue_of(c.in_flow))
+    }
+
+    /// The synthetic 4-tuple `conn`'s incoming flow is RSS-hashed by at
+    /// `host` (`None` on single-queue hosts). Tests recompute the
+    /// Toeplitz bucket from this to cross-check the NIC's steering.
+    pub fn rx_tuple(&self, host: usize, conn: ConnId) -> Option<FourTuple> {
+        self.hosts[host].conns.get(&conn)?.rx_tuple
+    }
+
+    /// Per-queue received-packet counters of a host's NIC.
+    pub fn queue_rx_pkts(&self, host: usize) -> &[u64] {
+        self.hosts[host].nic.queue_rx_pkts()
+    }
+
+    /// Max-over-mean packet load across a host's NIC rx queues.
+    pub fn queue_imbalance(&self, host: usize) -> f64 {
+        self.hosts[host].nic.queue_imbalance()
+    }
+
+    /// IRQ affinity of a host's NIC rx queues (`queue → core`).
+    pub fn queue_cores(&self, host: usize) -> &[usize] {
+        &self.hosts[host].queue_core
+    }
+
+    /// Flow→core migrations the rebalancer performed on `host`.
+    pub fn migrations(&self, host: usize) -> u64 {
+        self.hosts[host].migrations
+    }
+
+    /// The RSS indirection table of a host's NIC (`bucket → queue`).
+    pub fn rss_table(&self, host: usize) -> &[u16] {
+        self.hosts[host].nic.rss_table()
+    }
+
+    /// Replaces the RSS indirection table of a host's NIC — the software
+    /// knob tests use to induce (or cure) queue imbalance. Flows already
+    /// hashed to a remapped bucket cross queues on their next packet,
+    /// with the context-thrash cost that implies.
+    pub fn set_rss_table(&mut self, host: usize, table: Vec<u16>) {
+        self.hosts[host].nic.set_rss_table(table);
+    }
+
+    /// Reprograms one RSS indirection bucket on a host's NIC. Returns
+    /// `false` (no change) for an out-of-range queue or a no-op remap.
+    pub fn set_rss_bucket(&mut self, host: usize, bucket: usize, queue: u16) -> bool {
+        self.hosts[host].nic.set_rss_bucket(bucket, queue)
     }
 
     /// Receive-engine stats for a connection's incoming flow at `host`.

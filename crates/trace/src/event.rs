@@ -243,6 +243,25 @@ pub enum Event {
         /// Which half of the victim's context ("rx" or "tx").
         dir: &'static str,
     },
+    /// The flow's rx steering landed on (or was reprogrammed onto) a NIC
+    /// receive queue. Recorded on initial RSS placement and on every
+    /// queue crossing — never per packet — and only when the NIC is
+    /// configured with more than one queue, so single-queue golden
+    /// traces cannot see it.
+    NicQueue {
+        /// The rx queue the flow now steers to.
+        queue: u16,
+    },
+    /// The stack rebalancer migrated a flow between cores (oRSS-style
+    /// hot-core mitigation). The flow's NIC context survives the move —
+    /// only a queue crossing (a separate [`Event::NicQueue`] +
+    /// [`Event::CtxEvict`] pair) costs device state.
+    CoreMigrate {
+        /// Core the flow ran on before the migration.
+        from: u64,
+        /// Core the flow was moved to.
+        to: u64,
+    },
     /// The scheduler clamped past-time events to "now" since the last
     /// dispatch batch. Small counts are benign (completion times computed
     /// before the clock advanced); steady growth signals a
@@ -281,7 +300,9 @@ impl Event {
             | Event::BreakerOpen { .. }
             | Event::DeviceReset { .. }
             | Event::StaleResyncResp { .. }
-            | Event::CtxEvict { .. } => Category::Device,
+            | Event::CtxEvict { .. }
+            | Event::NicQueue { .. }
+            | Event::CoreMigrate { .. } => Category::Device,
         }
     }
 
@@ -313,6 +334,8 @@ impl Event {
             Event::DeviceReset { .. } => "device.reset",
             Event::StaleResyncResp { .. } => "device.stale-resync",
             Event::CtxEvict { .. } => "device.ctx-evict",
+            Event::NicQueue { .. } => "nic.queue",
+            Event::CoreMigrate { .. } => "core.migrate",
         }
     }
 
@@ -346,6 +369,8 @@ impl Event {
             Event::DeviceReset { wiped } => format!("wiped={wiped}"),
             Event::StaleResyncResp { tcpsn } => format!("tcpsn={tcpsn}"),
             Event::CtxEvict { dir } => format!("dir={dir}"),
+            Event::NicQueue { queue } => format!("queue={queue}"),
+            Event::CoreMigrate { from, to } => format!("from={from} to={to}"),
         }
     }
 }
@@ -394,6 +419,8 @@ mod tests {
             (Event::DeviceReset { wiped: 4 }, Category::Device),
             (Event::StaleResyncResp { tcpsn: 99 }, Category::Device),
             (Event::CtxEvict { dir: "rx" }, Category::Device),
+            (Event::NicQueue { queue: 3 }, Category::Device),
+            (Event::CoreMigrate { from: 0, to: 2 }, Category::Device),
         ];
         for (ev, cat) in cases {
             assert_eq!(ev.category(), cat, "{ev}");
@@ -418,5 +445,9 @@ mod tests {
         assert_eq!(ev.to_string(), "device.breaker-open reason=resync_storm");
         let ev = Event::CtxEvict { dir: "rx" };
         assert_eq!(ev.to_string(), "device.ctx-evict dir=rx");
+        let ev = Event::NicQueue { queue: 3 };
+        assert_eq!(ev.to_string(), "nic.queue queue=3");
+        let ev = Event::CoreMigrate { from: 0, to: 2 };
+        assert_eq!(ev.to_string(), "core.migrate from=0 to=2");
     }
 }

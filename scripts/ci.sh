@@ -74,6 +74,17 @@ echo "== fleet: N×M topology, context-cache sensitivity, churn storm =="
 # The timeout is a hard backstop against a wedged scheduler, not a budget.
 CARGO_NET_OFFLINE=true timeout 900 cargo test -q -p ano-scenario --test fleet -- --include-ignored
 
+echo "== rss: multi-queue steering, per-core stacks, flow rebalancing =="
+# Multi-queue RSS tier (see DESIGN.md "Multi-queue and RSS"): Toeplitz
+# hash properties (determinism, distribution, exact indirection remaps)
+# with shrinking, the multi-queue-vs-single-queue differential, induced
+# imbalance driving the oRSS rebalancer, the context-survival vs
+# cache-thrash split, the steer→migrate golden ladder, and the #[ignore]d
+# 16-queue/512-flow scale run that only this tier executes. The timeout is
+# a hard backstop against a wedged scheduler, not a budget.
+CARGO_NET_OFFLINE=true timeout 600 cargo test -q -p ano-core --test rss_prop
+CARGO_NET_OFFLINE=true timeout 900 cargo test -q -p ano-scenario --test rss -- --include-ignored
+
 echo "== golden traces: canonical event logs vs committed .golden files =="
 # Behavioral regression net on top of the differential matrix: the exact
 # TCP-recovery + resync event sequence of known scenarios must match the
