@@ -1,8 +1,6 @@
 //! Reusable experiment engines: each sets up a [`World`], runs a warm-up,
 //! measures a window, and returns the quantities the paper's figures plot.
 
-use std::rc::Rc;
-
 use ano_apps::fio::Fio;
 use ano_apps::httpd::{Backing, Client, Server};
 use ano_apps::iperf::{IperfSender, IperfSink};
@@ -581,6 +579,3 @@ pub fn quick_window(quick: bool) -> SimDuration {
     }
 }
 
-/// The measurement helper used by the binary: `Rc` aliasing keeps the
-/// closures in the figure table builders simple.
-pub type Shared<T> = Rc<std::cell::RefCell<T>>;

@@ -7,6 +7,7 @@
 //! least-recently-used eviction, reporting hits and misses so experiments
 //! can charge the miss penalty.
 
+// ano-lint: allow-file(transitive-panic): intrusive-list slab: node indices are handles maintained by the list invariants
 // ano-lint: allow(hash-collection): LruSet models the NIC's O(1) context
 // cache; the map is keyed-access only — recency order lives in the
 // intrusive prev/next list and eviction follows `tail`, so hash iteration
@@ -211,7 +212,9 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
                 self.keys.len() - 1
             }
         };
+        // ano-lint: allow(hot-alloc): evicted-context clone handed to the caller, inventoried for arena round 2 (ROADMAP item 1)
         self.keys[idx] = Some(key.clone());
+        // ano-lint: allow(hot-alloc): evicted-context clone handed to the caller, inventoried for arena round 2 (ROADMAP item 1)
         self.map.insert(key.clone(), idx);
         self.push_front(idx);
         (CacheOutcome::Miss, evicted)

@@ -178,11 +178,6 @@ impl DeviceFaults {
         DeviceFaults::none().with(op, Match::Range(start, end), FaultAction::Drop)
     }
 
-    /// Delays attempts `[start, end)` of `op` by `extra`.
-    pub fn delay_range(op: DeviceOp, start: u64, end: u64, extra: SimDuration) -> DeviceFaults {
-        DeviceFaults::none().with(op, Match::Range(start, end), FaultAction::Delay(extra))
-    }
-
     /// Schedules a full device reset at `when`.
     pub fn reset_at(when: SimTime) -> DeviceFaults {
         DeviceFaults::none().at(when, ScheduledFault::Reset)

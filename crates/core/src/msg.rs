@@ -55,8 +55,10 @@ impl DataRef<'_> {
     /// Panics if the range is out of bounds.
     pub fn slice(&mut self, start: usize, end: usize) -> DataRef<'_> {
         match self {
+            // ano-lint: allow(transitive-panic): both arms share the caller-checked range; the Modeled arm asserts it
             DataRef::Real(b) => DataRef::Real(&mut b[start..end]),
             DataRef::Modeled(n) => {
+                // ano-lint: allow(transitive-panic): deliberate slice-contract assert
                 assert!(start <= end && end <= *n, "slice out of range");
                 DataRef::Modeled(end - start)
             }
@@ -110,7 +112,6 @@ struct Frame {
     off: u64,
     len: u32,
     idx: u64,
-    tag: u64,
     meta: Option<Rc<Vec<u8>>>,
 }
 
@@ -145,31 +146,23 @@ impl FrameIndex {
     ///
     /// Panics if messages are not appended in order.
     pub fn push(&self, offset: u64, total_len: u32) -> u64 {
-        self.push_tagged(offset, total_len, 0)
+        self.push_full(offset, total_len, None)
     }
 
-    /// Like [`FrameIndex::push`] with an application tag (e.g. the NVMe CID
-    /// a modeled copy-offload needs to find its destination buffer).
+    /// Like [`FrameIndex::push`] with an opaque metadata blob (e.g. the
+    /// logical header fields a modeled-mode parser would otherwise read
+    /// from real bytes).
     ///
     /// # Panics
     ///
     /// Panics if messages are not appended in order.
-    pub fn push_tagged(&self, offset: u64, total_len: u32, tag: u64) -> u64 {
-        self.push_full(offset, total_len, tag, None)
-    }
-
-    /// Full form: tag plus an opaque metadata blob (e.g. the logical header
-    /// fields a modeled-mode parser would otherwise read from real bytes).
-    ///
-    /// # Panics
-    ///
-    /// Panics if messages are not appended in order.
-    pub fn push_full(&self, offset: u64, total_len: u32, tag: u64, meta: Option<Vec<u8>>) -> u64 {
+    pub fn push_full(&self, offset: u64, total_len: u32, meta: Option<Vec<u8>>) -> u64 {
         let mut inner = self.0.borrow_mut();
         let idx = inner
             .frames
             .back()
             .map(|f| {
+                // ano-lint: allow(transitive-panic): append-order contract assert
                 assert!(offset >= f.off + f.len as u64, "frames must be appended in stream order");
                 f.idx + 1
             })
@@ -178,20 +171,9 @@ impl FrameIndex {
             off: offset,
             len: total_len,
             idx,
-            tag,
             meta: meta.map(Rc::new),
         });
         idx
-    }
-
-    /// The application tag of the message starting exactly at `offset`.
-    pub fn tag_at(&self, offset: u64) -> Option<u64> {
-        let inner = self.0.borrow();
-        inner
-            .frames
-            .binary_search_by_key(&offset, |f| f.off)
-            .ok()
-            .map(|i| inner.frames[i].tag)
     }
 
     /// The metadata blob of the message starting exactly at `offset`.
@@ -201,6 +183,7 @@ impl FrameIndex {
             .frames
             .binary_search_by_key(&offset, |f| f.off)
             .ok()
+            // ano-lint: allow(hot-alloc, transitive-panic): binary-search index is in range; metadata clone on the resync lookup path, inventoried for arena round 2 (ROADMAP item 1)
             .and_then(|i| inner.frames[i].meta.clone())
     }
 

@@ -92,6 +92,7 @@ fn ghost_walk(
             // `from` is in bounds by construction (caller clamps to the
             // packet), but a hot path must not be able to panic: an
             // out-of-range tail degrades to an empty walk.
+            // ano-lint: allow(hot-alloc): functional ghost-walk copy, search mode only
             let mut tmp = b.get(from..).unwrap_or_default().to_vec();
             w.walk(op, &mut DataRef::Real(&mut tmp))
         }
@@ -236,6 +237,7 @@ impl RxEngine {
     pub fn quiesce(&mut self) {
         let at = self.expected().unwrap_or(0);
         self.state = RxState::Searching {
+            // ano-lint: allow(hot-alloc): capacity-0 carry placeholder; fills only while searching
             carry: Vec::new(),
             carry_off: at,
         };
@@ -333,6 +335,7 @@ impl RxEngine {
         let state = std::mem::replace(
             &mut self.state,
             RxState::Searching {
+                // ano-lint: allow(hot-alloc): capacity-0 carry placeholder; fills only while searching
                 carry: Vec::new(),
                 carry_off: 0,
             },
@@ -472,6 +475,7 @@ impl RxEngine {
 
     fn enter_searching(&mut self, carry_off: u64) {
         self.state = RxState::Searching {
+            // ano-lint: allow(hot-alloc): capacity-0 carry placeholder; fills only while searching
             carry: Vec::new(),
             carry_off,
         };
@@ -503,6 +507,7 @@ impl RxEngine {
         let hl = self.op.header_len();
         let (carry, carry_off) = match &mut self.state {
             RxState::Searching { carry, carry_off } => (std::mem::take(carry), *carry_off),
+            // ano-lint: allow(hot-alloc): capacity-0 placeholder for the non-searching arm
             _ => (Vec::new(), 0),
         };
 
@@ -511,6 +516,7 @@ impl RxEngine {
         let mut combined: Vec<u8>;
         let (window_off, hit) = if contiguous {
             if let Some(bytes) = data.as_real() {
+                // ano-lint: allow(hot-alloc): carry+payload combine runs in search mode only
                 combined = carry.clone();
                 combined.extend_from_slice(bytes);
                 (carry_off, self.op.search(carry_off, SearchWindow::Real(&combined)))
@@ -547,6 +553,7 @@ impl RxEngine {
                 let carried_tail = carry
                     .get((track_from - carry_off) as usize..)
                     .unwrap_or_default();
+                // ano-lint: allow(hot-alloc): resync-search carried-tail copy, search mode only
                 let mut tmp = carried_tail.to_vec();
                 let a = walker.walk(&*self.op, &DataRef::Real(&mut tmp));
                 a && walker.walk(&*self.op, data)
@@ -578,10 +585,12 @@ impl RxEngine {
                 // non-panicking form keeps the hot path abort-free anyway.
                 let keep = (hl - 1).min(bytes.len());
                 (
+                    // ano-lint: allow(hot-alloc): resync-search tail copy, per search transition not per in-sync packet
                     bytes.get(bytes.len() - keep..).unwrap_or_default().to_vec(),
                     seq + (bytes.len() - keep) as u64,
                 )
             }
+            // ano-lint: allow(hot-alloc): capacity-0 carry placeholder; fills only while searching
             None => (Vec::new(), seq + data.len() as u64),
         };
         self.state = RxState::Searching { carry, carry_off };

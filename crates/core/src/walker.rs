@@ -44,6 +44,7 @@ impl Walker {
     /// `start_off` is the first header byte of message `msg_index`.
     pub fn new(start_off: u64, msg_index: u64) -> Walker {
         Walker {
+            // ano-lint: allow(hot-alloc): capacity-0 header buffer; fills only when a header spans packets
             hdr_buf: Vec::new(),
             hdr_collected: 0,
             cur: None,
@@ -96,6 +97,7 @@ impl Walker {
                     let need = hl - self.hdr_collected;
                     let take = need.min(len - pos);
                     if let Some(bytes) = data.as_real() {
+                        // ano-lint: allow(transitive-panic): pos+take clamped by min() against the buffer length
                         self.hdr_buf.extend_from_slice(&bytes[pos..pos + take]);
                     }
                     self.hdr_collected += take;
@@ -178,6 +180,7 @@ impl TrackWalker {
     /// header itself before constructing the tracker).
     pub fn new(candidate_off: u64, h: MsgHeader, header_len: usize) -> TrackWalker {
         TrackWalker {
+            // ano-lint: allow(hot-alloc): capacity-0 header buffer; fills only when a header spans packets
             hdr_buf: Vec::new(),
             hdr_collected: 0,
             remaining: h.total_len - header_len as u32,
@@ -225,6 +228,7 @@ impl TrackWalker {
                 let need = hl - self.hdr_collected;
                 let take = need.min(len - pos);
                 if let Some(b) = bytes {
+                    // ano-lint: allow(transitive-panic): pos+take clamped by min() against the buffer length
                     self.hdr_buf.extend_from_slice(&b[pos..pos + take]);
                 }
                 self.hdr_collected += take;
@@ -256,6 +260,7 @@ impl TrackWalker {
 /// Convenience for building a [`SearchWindow`] over a packet range.
 pub fn window_of<'a>(data: &'a DataRef<'_>, start: usize) -> SearchWindow<'a> {
     match data.as_real() {
+        // ano-lint: allow(transitive-panic): window start is clamped by the walker's collected-offset accounting
         Some(b) => SearchWindow::Real(&b[start..]),
         None => SearchWindow::Modeled(data.len() - start),
     }

@@ -5,6 +5,7 @@
 //! table-free S-box design: clarity over raw speed (the cycle-cost model, not
 //! this code, stands in for AES-NI in experiments).
 
+// ano-lint: allow-file(transitive-panic): AES kernel: every index is a compile-time constant into fixed-width state and round-key arrays
 /// AES key sizes supported by this module.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AesKeySize {

@@ -6,6 +6,7 @@
 //! message given only constant-size state" — the §3.2 precondition for
 //! autonomous offloading.
 
+// ano-lint: allow-file(transitive-panic): GHASH kernel: 16-byte block arithmetic; indices are constants and chunks_exact guarantees block width
 /// Multiplies two elements of GF(2^128) in the GCM bit order.
 ///
 /// Bit 0 of the polynomial is the most-significant bit of the first byte, and

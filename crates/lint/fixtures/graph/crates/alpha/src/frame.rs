@@ -1,0 +1,26 @@
+//! Framing helpers reached from `alpha::pump` — the panic and the alloc
+//! here are two and one call deep respectively.
+
+pub fn split(data: &[u8]) -> Vec<u8> {
+    header_byte(data);
+    data.to_vec()
+}
+
+fn header_byte(data: &[u8]) -> u8 {
+    data[0]
+}
+
+#[cfg(test)]
+mod tests {
+    // Everything under cfg(test) is pruned: this unwrap must never become
+    // a node, a seed, or a transitive finding.
+    pub fn test_only_panic(x: Option<u8>) -> u8 {
+        x.unwrap()
+    }
+
+    #[test]
+    fn split_keeps_bytes() {
+        assert_eq!(super::split(&[7]).len(), 1);
+        assert_eq!(test_only_panic(Some(3)), 3);
+    }
+}

@@ -1,0 +1,18 @@
+//! Graph-fixture crate `alpha`: a hot-path entry whose facts flow across
+//! a module boundary (into [`frame`]) and a crate boundary (into `beta`).
+
+#![forbid(unsafe_code)]
+
+pub mod frame;
+
+// ano-lint: entry(hot-path)
+pub fn pump(data: &[u8]) -> u64 {
+    frame::split(data);
+    rebuild(data);
+    beta::clock::sample()
+}
+
+// ano-lint: cold(recovery slow path; the alloc below must not count)
+pub fn rebuild(data: &[u8]) -> Vec<u8> {
+    data.to_vec()
+}

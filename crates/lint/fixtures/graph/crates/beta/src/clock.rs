@@ -1,0 +1,10 @@
+//! A wall-clock read two calls below the `alpha` entry.
+
+pub fn sample() -> u64 {
+    stamp()
+}
+
+fn stamp() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}

@@ -1,0 +1,6 @@
+//! Graph-fixture crate `beta`: the nondeterminism source that taints
+//! `alpha::pump` from one crate away.
+
+#![forbid(unsafe_code)]
+
+pub mod clock;

@@ -13,16 +13,30 @@
 //!   hot paths plus the stack runtime (`crates/stack/src/runtime.rs`);
 //! * **unsafe-attr** covers every crate root;
 //! * test modules (`#[cfg(test)]`), `tests/`, `benches/`, and `examples/`
-//!   are out of scope entirely — the engine only walks `src/`.
+//!   are out of scope for *rules* — the engine only runs them on `src/` —
+//!   but their identifier usage still counts for the dead-export pass.
+//!
+//! The workspace run is two-phase. Phase one lexes every `src/` file,
+//! runs the token rules, parses items/call-sites, and collects the file's
+//! suppressions. Phase two is workspace-global: build the cross-crate call
+//! graph, propagate panic/nondet/alloc facts from `entry(hot-path)` roots,
+//! run the dead-export pass, cross-check the resync table, and only then
+//! apply suppressions — so a stale allow is judged against *every* pass,
+//! not just the per-file ones.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use crate::diag::{Diagnostic, Severity};
-use crate::lexer::{lex, LineIndex};
+use crate::facts::{self, AllocEntry};
+use crate::graph;
+use crate::lexer::{lex, LineIndex, TokenKind};
+use crate::parser::{self, ParsedFile};
 use crate::resync;
 use crate::rules::{run_token_rules, test_spans, FileCtx, FileScope};
-use crate::suppress;
+use crate::suppress::{self, Suppressions};
 
 /// Crates whose code can affect traces, golden files, or scheduling.
 /// `crypto`, `accel`, and `testkit` are pure functions of their inputs;
@@ -68,6 +82,7 @@ pub fn scope_for(crate_name: &str, rel_path: &str, is_crate_root: bool) -> FileS
 
 /// Lints one file's source under the given scope: token rules filtered
 /// through inline suppressions, plus suppression-syntax diagnostics.
+/// Per-file view only — no call-graph passes (use [`lint_workspace`]).
 pub fn lint_source(rel_path: &str, src: &str, scope: FileScope) -> Vec<Diagnostic> {
     let lexed = lex(src);
     let lines = LineIndex::new(src);
@@ -80,15 +95,33 @@ pub fn lint_source(rel_path: &str, src: &str, scope: FileScope) -> Vec<Diagnosti
     };
     let raw = run_token_rules(&ctx, scope);
     let mut sup = suppress::parse(rel_path, &lexed, &lines);
-    let mut out = suppress::apply(rel_path, &mut sup, raw);
+    let mut out = suppress::apply(&mut sup, raw);
+    out.extend(suppress::stale_diags(rel_path, &sup));
     out.extend(sup.diags);
     out
+}
+
+/// Call-graph shape summary, printed with the report so coverage drift
+/// (crates falling out of the graph, resolution rate collapsing) is
+/// visible in CI logs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GraphStats {
+    pub fns: usize,
+    pub edges: usize,
+    pub unresolved: usize,
+    pub crates: usize,
+    pub entries: usize,
 }
 
 /// Result of a whole-workspace run.
 pub struct Report {
     pub diags: Vec<Diagnostic>,
     pub files: usize,
+    /// Ranked allocation-site inventory (`--alloc-report`).
+    pub alloc_report: Vec<AllocEntry>,
+    pub graph: GraphStats,
+    /// `(pass name, milliseconds)` in execution order (`--timing`).
+    pub timings: Vec<(&'static str, f64)>,
 }
 
 impl Report {
@@ -101,18 +134,40 @@ impl Report {
     }
 }
 
+/// Per-file state carried between the two phases.
+struct FileEntry {
+    rel: String,
+    sup: Suppressions,
+    /// Token-rule findings awaiting workspace-level suppression.
+    raw: Vec<Diagnostic>,
+    /// Parse diagnostics (bad annotations) — not suppressible.
+    parse_diags: Vec<Diagnostic>,
+}
+
 /// Lints the whole workspace rooted at `root`.
 pub fn lint_workspace(root: &Path) -> Report {
-    let mut diags = Vec::new();
+    let mut entries: Vec<FileEntry> = Vec::new();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
+    let mut io_errors: Vec<Diagnostic> = Vec::new();
     let mut files = 0usize;
+    let mut timings = Vec::new();
 
-    for (crate_name, src_dir) in crate_src_dirs(root, &mut diags) {
+    // Phase 1: per-file — lex once, token rules + suppressions + parse.
+    let t = Instant::now();
+    for (crate_name, src_dir) in crate_src_dirs(root, &mut io_errors) {
         let mut rs_files = Vec::new();
         collect_rs_files(&src_dir, &mut rs_files);
         rs_files.sort();
         for path in rs_files {
             files += 1;
             let rel = rel_path(root, &path);
+            let src = match fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    io_errors.push(io_diag(&rel, format!("cannot read file: {e}")));
+                    continue;
+                }
+            };
             let is_root = {
                 let fname = path.file_name().and_then(|s| s.to_str()).unwrap_or("");
                 let parent = path
@@ -125,30 +180,212 @@ pub fn lint_workspace(root: &Path) -> Report {
                     || parent == "bin"
             };
             let scope = scope_for(&crate_name, &rel, is_root);
-            match fs::read_to_string(&path) {
-                Ok(src) => diags.extend(lint_source(&rel, &src, scope)),
-                Err(e) => diags.push(io_diag(&rel, format!("cannot read file: {e}"))),
-            }
+            let lexed = lex(&src);
+            let lines = LineIndex::new(&src);
+            let spans = test_spans(&lexed);
+            let ctx = FileCtx {
+                path: &rel,
+                lexed: &lexed,
+                lines: &lines,
+                test_spans: &spans,
+            };
+            let raw = run_token_rules(&ctx, scope);
+            let sup = suppress::parse(&rel, &lexed, &lines);
+            let file_mod = module_path(&rel);
+            let pf = parser::parse_file(&rel, &crate_name, &file_mod, &src);
+            entries.push(FileEntry {
+                rel,
+                sup,
+                raw,
+                parse_diags: pf.diags.clone(),
+            });
+            parsed.push(pf);
         }
     }
+    timings.push(("parse+token-rules", ms(t)));
 
-    // Spec-vs-code: the resync transition table.
+    // Phase 2a: identifier usage in trees the rules do not cover —
+    // tests/, benches/, examples/ — feeds the dead-export pass only.
+    let t = Instant::now();
+    let extra_idents = extra_ident_counts(root);
+    timings.push(("usage-scan", ms(t)));
+
+    // Phase 2b: the cross-crate call graph.
+    let t = Instant::now();
+    let g = graph::build(&parsed);
+    let stats = GraphStats {
+        fns: g.nodes.len(),
+        edges: g.edge_count(),
+        unresolved: g.unresolved.len(),
+        crates: g.crates.len(),
+        entries: g.entries().len(),
+    };
+    timings.push(("call-graph", ms(t)));
+
+    // Phase 2c: fact propagation. The allow callback routes each seed
+    // through its file's suppressions (same audited allows as the
+    // syntactic rules), marking them used.
+    let t = Instant::now();
+    let by_rel: BTreeMap<String, usize> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.rel.clone(), i))
+        .collect();
+    let fr = facts::analyze(&g, |file, line, rules| {
+        by_rel
+            .get(file)
+            .map(|&i| entries[i].sup.covers(line, rules))
+            .unwrap_or(false)
+    });
+    timings.push(("fact-propagation", ms(t)));
+
+    // Phase 2d: dead exports (fns from the graph, other pub items from the
+    // parsed files), against src + tests/benches/examples usage.
+    let t = Instant::now();
+    let mut ident_totals: BTreeMap<String, usize> = BTreeMap::new();
+    for p in &parsed {
+        for (k, v) in &p.ident_counts {
+            *ident_totals.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+    let mut dead = facts::dead_exports(&g, &ident_totals, &extra_idents);
+    let items: Vec<(String, &'static str, String, usize)> = parsed
+        .iter()
+        .flat_map(|p| {
+            p.pub_items
+                .iter()
+                .map(|it| (it.name.clone(), it.kind, p.path.clone(), it.line))
+        })
+        .collect();
+    dead.extend(facts::dead_pub_items(&items, &ident_totals, &extra_idents));
+    timings.push(("dead-export", ms(t)));
+
+    // Phase 2e: spec-vs-code — the resync transition table.
+    let t = Instant::now();
+    let mut resync_diags = Vec::new();
     let rx_path = root.join("crates/core/src/rx.rs");
     let inv_path = root.join("crates/scenario/src/invariant.rs");
-    match (fs::read_to_string(&rx_path), fs::read_to_string(&inv_path)) {
-        (Ok(rx), Ok(inv)) => diags.extend(resync::cross_check(&rx, &inv)),
-        (Err(e), _) => diags.push(io_diag("crates/core/src/rx.rs", format!("cannot read: {e}"))),
-        (_, Err(e)) => diags.push(io_diag(
-            "crates/scenario/src/invariant.rs",
-            format!("cannot read: {e}"),
-        )),
+    // The pass only applies to roots that carry the resync pair at all
+    // (fixture workspaces don't); losing just *one* of the two files is
+    // still an error — the cross-check exists to keep them in lockstep.
+    if rx_path.is_file() || inv_path.is_file() {
+        match (fs::read_to_string(&rx_path), fs::read_to_string(&inv_path)) {
+            (Ok(rx), Ok(inv)) => resync_diags.extend(resync::cross_check(&rx, &inv)),
+            (Err(e), _) => {
+                io_errors.push(io_diag("crates/core/src/rx.rs", format!("cannot read: {e}")))
+            }
+            (_, Err(e)) => io_errors.push(io_diag(
+                "crates/scenario/src/invariant.rs",
+                format!("cannot read: {e}"),
+            )),
+        }
     }
+    timings.push(("resync-check", ms(t)));
+
+    // Suppression application, last: every suppressible finding (token
+    // rules, transitive facts, dead exports, resync) is routed through its
+    // file's suppressions; only then are stale allows judged.
+    let t = Instant::now();
+    let mut pending: Vec<Diagnostic> = Vec::new();
+    for e in &mut entries {
+        pending.append(&mut e.raw);
+    }
+    pending.extend(fr.diags);
+    pending.extend(dead);
+    pending.extend(resync_diags);
+
+    let mut by_file: BTreeMap<usize, Vec<Diagnostic>> = BTreeMap::new();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for d in pending {
+        match by_rel.get(&d.file) {
+            Some(&i) => by_file.entry(i).or_default().push(d),
+            None => diags.push(d), // no suppression context for this path
+        }
+    }
+    for (i, file_diags) in by_file {
+        diags.extend(suppress::apply(&mut entries[i].sup, file_diags));
+    }
+    for e in &entries {
+        diags.extend(suppress::stale_diags(&e.rel, &e.sup));
+        diags.extend(e.sup.diags.iter().cloned());
+        diags.extend(e.parse_diags.iter().cloned());
+    }
+    diags.extend(io_errors);
+    timings.push(("suppressions", ms(t)));
 
     // Deterministic report order (the lint must satisfy its own standard).
     diags.sort_by(|a, b| {
         (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
     });
-    Report { diags, files }
+    Report {
+        diags,
+        files,
+        alloc_report: fr.alloc_report,
+        graph: stats,
+        timings,
+    }
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Module path of a file within its crate: `crates/tcp/src/receiver.rs` →
+/// `["receiver"]`, `src/foo/mod.rs` → `["foo"]`, crate roots → `[]`.
+fn module_path(rel: &str) -> Vec<String> {
+    let after_src = rel
+        .strip_prefix("src/")
+        .or_else(|| rel.split("/src/").nth(1))
+        .unwrap_or(rel);
+    let mut parts: Vec<&str> = after_src.split('/').collect();
+    let Some(last) = parts.pop() else {
+        return Vec::new();
+    };
+    let stem = last.strip_suffix(".rs").unwrap_or(last);
+    let mut out: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+    match stem {
+        "lib" | "main" | "mod" => {}
+        _ => out.push(stem.to_string()),
+    }
+    // src/bin/name.rs is its own crate root, not a `bin::name` module.
+    if out.first().map(String::as_str) == Some("bin") {
+        return Vec::new();
+    }
+    out
+}
+
+/// Identifier usage counts from `tests/`, `benches/`, and `examples/`
+/// trees of every crate and the workspace root. The dead-export pass
+/// treats any mention there as use.
+fn extra_ident_counts(root: &Path) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for sub in ["tests", "benches", "examples"] {
+        dirs.push(root.join(sub));
+        if let Ok(rd) = fs::read_dir(root.join("crates")) {
+            for e in rd.filter_map(Result::ok) {
+                dirs.push(e.path().join(sub));
+            }
+        }
+    }
+    let mut rs = Vec::new();
+    for d in dirs {
+        if d.is_dir() {
+            collect_rs_files(&d, &mut rs);
+        }
+    }
+    rs.sort();
+    for path in rs {
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue;
+        };
+        for t in &lex(&src).tokens {
+            if let TokenKind::Ident(name) = &t.kind {
+                *out.entry(name.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    out
 }
 
 fn io_diag(file: &str, message: String) -> Diagnostic {
@@ -159,6 +396,7 @@ fn io_diag(file: &str, message: String) -> Diagnostic {
         line: 1,
         col: 1,
         message,
+        chain: Vec::new(),
     }
 }
 
@@ -255,5 +493,15 @@ mod tests {
             crate_root: true,
         };
         assert!(lint_source("x.rs", src, scope).is_empty());
+    }
+
+    #[test]
+    fn module_paths() {
+        assert!(module_path("crates/tcp/src/lib.rs").is_empty());
+        assert_eq!(module_path("crates/tcp/src/receiver.rs"), ["receiver"]);
+        assert_eq!(module_path("src/main.rs"), Vec::<String>::new());
+        assert_eq!(module_path("crates/x/src/foo/mod.rs"), ["foo"]);
+        assert_eq!(module_path("crates/x/src/foo/bar.rs"), ["foo", "bar"]);
+        assert!(module_path("crates/x/src/bin/tool.rs").is_empty());
     }
 }

@@ -11,8 +11,19 @@
 //!   stream with byte offsets (no `syn`, preserving the hermetic build);
 //! * a rule engine ([`rules`], [`engine`]) applies scoped rule families —
 //!   determinism, panic-freedom, observability, unsafe-code hygiene;
+//! * an item/call-site extractor ([`parser`]) lifts each file to its fns,
+//!   call sites, and fact seeds, pruning `#[cfg(test)]` code;
+//! * a cross-crate call graph ([`graph`]) links those fns workspace-wide,
+//!   with method calls resolved by receiver-name heuristics and everything
+//!   unresolvable counted in an explicit bucket;
+//! * fixed-point fact propagation ([`facts`]) pushes may-panic,
+//!   nondeterminism-taint, and may-allocate facts along the graph and
+//!   reports any that reach a `// ano-lint: entry(hot-path)` fn, with the
+//!   full call chain (`transitive-panic`, `transitive-nondet`,
+//!   `hot-alloc`), plus a dead-export pass and the ranked allocation-site
+//!   inventory behind `--alloc-report`;
 //! * inline suppressions ([`suppress`]) allow audited exceptions but
-//!   *require* a written justification;
+//!   *require* a written justification, and error when stale;
 //! * a spec-vs-code pass ([`resync`]) extracts the §4.3 resync transition
 //!   table from `crates/core/src/rx.rs` and cross-checks it against the
 //!   legal-edge set in `crates/scenario/src/invariant.rs`.
@@ -24,11 +35,14 @@
 
 pub mod diag;
 pub mod engine;
+pub mod facts;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod resync;
 pub mod rules;
 pub mod suppress;
 
 pub use diag::{Diagnostic, Severity};
-pub use engine::{lint_source, lint_workspace, scope_for, Report};
+pub use engine::{lint_source, lint_workspace, scope_for, GraphStats, Report};
 pub use rules::FileScope;

@@ -1,12 +1,17 @@
 //! CLI for `ano-lint`.
 //!
 //! ```text
-//! cargo run -p ano-lint [--root <dir>] [--format text|json]
+//! cargo run -p ano-lint [--root <dir>] [--format text|json] [--json]
+//!                       [--alloc-report] [--timing]
 //! ```
 //!
 //! Exits non-zero iff any error-severity diagnostic survives suppression.
-//! In `json` mode every diagnostic is one JSON object per line (stable
-//! field order), for machine consumption.
+//! `--json` (alias for `--format json`) emits one JSON object per line in
+//! stable field order (rule, severity, file, line, col, message, chain)
+//! for machine consumption. `--alloc-report` prints the ranked inventory
+//! of allocation sites reachable from the hot-path entries instead of
+//! diagnostics (and exits zero — it is a measurement, not a gate).
+//! `--timing` appends per-pass wall-clock milliseconds to stderr.
 
 #![forbid(unsafe_code)]
 
@@ -15,9 +20,14 @@ use std::process::ExitCode;
 
 use ano_lint::lint_workspace;
 
+const USAGE: &str =
+    "usage: ano-lint [--root <dir>] [--format text|json] [--json] [--alloc-report] [--timing]";
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Text;
+    let mut alloc_report = false;
+    let mut timing = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -30,8 +40,11 @@ fn main() -> ExitCode {
                 Some("json") => format = Format::Json,
                 _ => return usage("--format must be text or json"),
             },
+            "--json" => format = Format::Json,
+            "--alloc-report" => alloc_report = true,
+            "--timing" => timing = true,
             "--help" | "-h" => {
-                println!("usage: ano-lint [--root <dir>] [--format text|json]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -47,6 +60,32 @@ fn main() -> ExitCode {
     });
 
     let report = lint_workspace(&root);
+    if timing {
+        for (pass, millis) in &report.timings {
+            eprintln!("ano-lint: timing {pass} {millis:.1}ms");
+        }
+    }
+
+    if alloc_report {
+        // The inventory is the deliverable: every allocation site reachable
+        // from an `entry(hot-path)` fn, hottest first. Suppressed sites are
+        // listed too — an audited allow silences the error, not the
+        // measurement (this list feeds the arena/slab work).
+        println!(
+            "# allocation sites reachable from {} hot-path entr{} \
+             ({} fns, {} edges, {} unresolved calls)",
+            report.graph.entries,
+            if report.graph.entries == 1 { "y" } else { "ies" },
+            report.graph.fns,
+            report.graph.edges,
+            report.graph.unresolved,
+        );
+        for (i, e) in report.alloc_report.iter().enumerate() {
+            println!("{}", e.render(i + 1));
+        }
+        return ExitCode::SUCCESS;
+    }
+
     for d in &report.diags {
         match format {
             Format::Text => println!("{}", d.render_text()),
@@ -56,8 +95,14 @@ fn main() -> ExitCode {
     let (errors, warnings) = (report.errors(), report.warnings());
     if format == Format::Text {
         println!(
-            "ano-lint: {} file(s) checked, {errors} error(s), {warnings} warning(s)",
-            report.files
+            "ano-lint: {} file(s) checked, {} fn(s), {} call edge(s) \
+             ({} unresolved), {} hot-path entr{}; {errors} error(s), {warnings} warning(s)",
+            report.files,
+            report.graph.fns,
+            report.graph.edges,
+            report.graph.unresolved,
+            report.graph.entries,
+            if report.graph.entries == 1 { "y" } else { "ies" },
         );
     }
     if errors > 0 {
@@ -74,6 +119,6 @@ enum Format {
 }
 
 fn usage(err: &str) -> ExitCode {
-    eprintln!("ano-lint: {err}\nusage: ano-lint [--root <dir>] [--format text|json]");
+    eprintln!("ano-lint: {err}\n{USAGE}");
     ExitCode::FAILURE
 }

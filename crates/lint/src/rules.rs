@@ -19,6 +19,12 @@ pub const RULES: &[&str] = &[
     "direct-output",
     "unsafe-attr",
     "resync-table",
+    // Call-graph rules (see `graph` / `facts`): transitive facts reaching a
+    // `// ano-lint: entry(hot-path)` fn, plus the dead-export pass.
+    "transitive-panic",
+    "transitive-nondet",
+    "hot-alloc",
+    "dead-export",
 ];
 
 /// Which rule families apply to one file (derived from the per-crate
@@ -65,6 +71,7 @@ impl FileCtx<'_> {
             line,
             col,
             message,
+            chain: Vec::new(),
         }
     }
 }
@@ -147,6 +154,7 @@ pub fn run_token_rules(ctx: &FileCtx<'_>, scope: FileScope) -> Vec<Diagnostic> {
             message: "crate root must carry `#![forbid(unsafe_code)]` (or \
                       `#![deny(unsafe_code)]` with a documented exception)"
                 .to_string(),
+            chain: Vec::new(),
         });
     }
 

@@ -1,10 +1,16 @@
 //! Inline suppressions: `// ano-lint: allow(<rule>): <justification>`.
 //!
 //! A suppression silences diagnostics of the named rule(s) on its own line
-//! or on the next line that holds code. The justification is mandatory —
-//! an allow without one is itself an error (`bad-suppression`), as is one
-//! naming a rule that does not exist. Suppressions that silence nothing
-//! earn a warning so stale ones get cleaned up.
+//! or on the next line that holds code; `allow-file(<rule>): <why>` covers
+//! the whole file (for e.g. the array-index density of crypto kernels).
+//! The justification is mandatory — an allow without one is itself an
+//! error (`bad-suppression`), as is one naming a rule that does not exist.
+//! A suppression that silences nothing is an **error** too: stale allows
+//! are latent holes in the policy, not clutter.
+//!
+//! Two further directives share the `ano-lint:` prefix but are consumed by
+//! the parser, not here: `entry(<class>)` marks a call-graph root and
+//! `cold(<why>)` marks an audited allocation boundary (see `parser.rs`).
 
 use crate::diag::{Diagnostic, Severity};
 use crate::lexer::{Lexed, LineIndex};
@@ -18,13 +24,41 @@ pub struct Suppression {
     pub line: usize,
     /// First code line at or after the comment that it covers.
     pub applies_to: usize,
+    /// True for `allow-file`: covers every line of the file.
+    pub file_scope: bool,
     pub used: bool,
+}
+
+impl Suppression {
+    /// Does this suppression cover rule `rule` at `line`? Does not mark
+    /// used — callers decide (a *query* during fact seeding marks used via
+    /// [`Suppressions::covers`], the final filter via [`apply`]).
+    fn matches(&self, line: usize, rule: &str) -> bool {
+        (self.file_scope || line == self.line || line == self.applies_to)
+            && self.rules.iter().any(|r| r == rule)
+    }
 }
 
 /// Parse result: valid suppressions plus diagnostics for malformed ones.
 pub struct Suppressions {
     pub list: Vec<Suppression>,
     pub diags: Vec<Diagnostic>,
+}
+
+impl Suppressions {
+    /// True when some suppression covers any of `rules` at `line`; marks
+    /// every matching suppression used. This is how transitive-fact seeds
+    /// consult the same audited allows as the syntactic rules.
+    pub fn covers(&mut self, line: usize, rules: &[&str]) -> bool {
+        let mut hit = false;
+        for s in &mut self.list {
+            if rules.iter().any(|r| s.matches(line, r)) {
+                s.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
 }
 
 /// Scans captured comments for `ano-lint:` directives.
@@ -38,6 +72,11 @@ pub fn parse(path: &str, lexed: &Lexed, lines: &LineIndex) -> Suppressions {
             continue;
         };
         let rest = rest.trim();
+        // `entry(...)` and `cold(...)` are call-graph annotations owned by
+        // the parser (which also validates their placement and arguments).
+        if rest.starts_with("entry") || rest.starts_with("cold") {
+            continue;
+        }
         let (line, col) = lines.line_col(c.off);
         let bad = |msg: String| Diagnostic {
             rule: "bad-suppression",
@@ -46,12 +85,18 @@ pub fn parse(path: &str, lexed: &Lexed, lines: &LineIndex) -> Suppressions {
             line,
             col,
             message: msg,
+            chain: Vec::new(),
         };
 
-        let Some(args) = rest.strip_prefix("allow") else {
+        let (args, file_scope) = if let Some(a) = rest.strip_prefix("allow-file") {
+            (a, true)
+        } else if let Some(a) = rest.strip_prefix("allow") {
+            (a, false)
+        } else {
             out.diags.push(bad(format!(
                 "unknown ano-lint directive `{rest}`; expected \
-                 `allow(<rule>): <justification>`"
+                 `allow(<rule>): <justification>`, `allow-file(<rule>): <justification>`, \
+                 `entry(<class>)`, or `cold(<why>)`"
             )));
             continue;
         };
@@ -111,22 +156,23 @@ pub fn parse(path: &str, lexed: &Lexed, lines: &LineIndex) -> Suppressions {
             rules,
             line,
             applies_to,
+            file_scope,
             used: false,
         });
     }
     out
 }
 
-/// Filters `diags` through the suppressions, marking the ones used, and
-/// appends an unused-suppression warning for each that silenced nothing.
-pub fn apply(path: &str, sup: &mut Suppressions, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+/// Filters `diags` through the suppressions, marking the ones used.
+/// Stale-suppression errors are *not* emitted here — a suppression may
+/// still be consumed by a later pass (fact seeding); the engine calls
+/// [`stale_diags`] once every pass has run.
+pub fn apply(sup: &mut Suppressions, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
     let mut kept = Vec::new();
     for d in diags {
         let mut suppressed = false;
         for s in &mut sup.list {
-            if (d.line == s.line || d.line == s.applies_to)
-                && s.rules.iter().any(|r| r == d.rule)
-            {
+            if s.matches(d.line, d.rule) {
                 s.used = true;
                 suppressed = true;
             }
@@ -135,22 +181,28 @@ pub fn apply(path: &str, sup: &mut Suppressions, diags: Vec<Diagnostic>) -> Vec<
             kept.push(d);
         }
     }
-    for s in &sup.list {
-        if !s.used {
-            kept.push(Diagnostic {
-                rule: "bad-suppression",
-                severity: Severity::Warning,
-                file: path.to_string(),
-                line: s.line,
-                col: 1,
-                message: format!(
-                    "suppression of `{}` matches no diagnostic; remove it",
-                    s.rules.join(", ")
-                ),
-            });
-        }
-    }
     kept
+}
+
+/// One error per suppression that silenced nothing across *all* passes.
+pub fn stale_diags(path: &str, sup: &Suppressions) -> Vec<Diagnostic> {
+    sup.list
+        .iter()
+        .filter(|s| !s.used)
+        .map(|s| Diagnostic {
+            rule: "bad-suppression",
+            severity: Severity::Error,
+            file: path.to_string(),
+            line: s.line,
+            col: 1,
+            message: format!(
+                "suppression of `{}` matches no diagnostic and silences no \
+                 fact seed; remove it",
+                s.rules.join(", ")
+            ),
+            chain: Vec::new(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -175,7 +227,8 @@ mod tests {
         };
         let diags = run_token_rules(&ctx, scope);
         let mut sup = parse("t.rs", &lexed, &lines);
-        let mut out = apply("t.rs", &mut sup, diags);
+        let mut out = apply(&mut sup, diags);
+        out.extend(stale_diags("t.rs", &sup));
         out.extend(sup.diags);
         out
     }
@@ -190,6 +243,13 @@ mod tests {
     fn same_line_suppression_works() {
         let src = "use std::collections::HashMap; // ano-lint: allow(hash-collection): keyed only\n";
         assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn allow_file_covers_every_line() {
+        let src = "// ano-lint: allow-file(hash-collection): lookup tables, never iterated\n\
+                   use std::collections::HashMap;\nfn f() {}\nuse std::collections::HashSet;\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
     }
 
     #[test]
@@ -213,12 +273,29 @@ mod tests {
     }
 
     #[test]
-    fn unused_suppression_warns() {
+    fn stale_suppression_is_an_error() {
         let src = "// ano-lint: allow(wall-clock): pretend\nlet x = 1;\n";
         let d = lint(src);
         assert_eq!(d.len(), 1);
-        assert_eq!(d[0].severity, Severity::Warning);
+        assert_eq!(d[0].severity, Severity::Error);
         assert!(d[0].message.contains("matches no diagnostic"));
+    }
+
+    #[test]
+    fn entry_and_cold_are_not_suppressions() {
+        let src = "// ano-lint: entry(hot-path)\nfn f() {}\n// ano-lint: cold(setup)\nfn g() {}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn covers_marks_used_for_fact_seeds() {
+        let src = "// ano-lint: allow(hot-alloc): ring is preallocated, this is the one-time splice\nlet v = grow();\n";
+        let lexed = lex(src);
+        let lines = LineIndex::new(src);
+        let mut sup = parse("t.rs", &lexed, &lines);
+        assert!(sup.covers(2, &["hot-alloc", "hot-config-clone"]));
+        assert!(!sup.covers(9, &["hot-alloc"]));
+        assert!(stale_diags("t.rs", &sup).is_empty());
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Workspace-level self-tests for the call-graph analysis, driven by the
+//! fixture mini-workspace in `fixtures/graph`: a cross-module panic chain,
+//! a cross-crate taint chain, a cold-cut allocation, and a `cfg(test)`
+//! false-positive guard.
+
+use std::path::{Path, PathBuf};
+
+use ano_lint::engine::{lint_workspace, Report};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/graph")
+}
+
+fn report() -> Report {
+    lint_workspace(&fixture_root())
+}
+
+/// Chain hops are `fn-id (file:line)`; strip the location for comparisons.
+fn chain_ids(chain: &[String]) -> Vec<&str> {
+    chain
+        .iter()
+        .map(|h| h.split(" (").next().unwrap_or(h))
+        .collect()
+}
+
+#[test]
+fn fixture_graph_covers_both_crates() {
+    let r = report();
+    assert_eq!(r.files, 4, "alpha lib+frame, beta lib+clock");
+    assert_eq!(r.graph.crates, 2);
+    assert_eq!(r.graph.entries, 1);
+    // pump, rebuild, split, header_byte, sample, stamp — and nothing from
+    // the cfg(test) module in frame.rs.
+    assert_eq!(r.graph.fns, 6, "cfg(test) items must be pruned");
+}
+
+#[test]
+fn cross_module_panic_chain_lands_on_the_seed_line() {
+    let r = report();
+    let panics: Vec<_> = r
+        .diags
+        .iter()
+        .filter(|d| d.rule == "transitive-panic")
+        .collect();
+    // Exactly one: the unwrap inside the cfg(test) module must not show up.
+    assert_eq!(panics.len(), 1, "{panics:?}");
+    let d = panics[0];
+    assert_eq!(d.file, "crates/alpha/src/frame.rs");
+    assert!(d.message.contains("`slice-index`"), "{}", d.message);
+    assert!(
+        d.message.contains("hot-path entry `alpha::pump`"),
+        "{}",
+        d.message
+    );
+    assert!(d.message.contains("2 calls deep"), "{}", d.message);
+    assert_eq!(
+        chain_ids(&d.chain),
+        ["alpha::pump", "alpha::frame::split", "alpha::frame::header_byte"]
+    );
+}
+
+#[test]
+fn cross_crate_taint_chain_is_reported() {
+    let r = report();
+    let taints: Vec<_> = r
+        .diags
+        .iter()
+        .filter(|d| d.rule == "transitive-nondet")
+        .collect();
+    assert_eq!(taints.len(), 1, "{taints:?}");
+    let d = taints[0];
+    assert_eq!(d.file, "crates/beta/src/clock.rs");
+    assert!(d.message.contains("std::time::Instant"), "{}", d.message);
+    assert_eq!(
+        chain_ids(&d.chain),
+        ["alpha::pump", "beta::clock::sample", "beta::clock::stamp"]
+    );
+}
+
+#[test]
+fn cold_fn_cuts_the_alloc_walk() {
+    let r = report();
+    let allocs: Vec<_> = r.diags.iter().filter(|d| d.rule == "hot-alloc").collect();
+    // split's `.to_vec()` is hot; rebuild's identical `.to_vec()` sits
+    // behind a `cold(...)` boundary and must not be found.
+    assert_eq!(allocs.len(), 1, "{allocs:?}");
+    assert_eq!(allocs[0].file, "crates/alpha/src/frame.rs");
+    assert_eq!(chain_ids(&allocs[0].chain), ["alpha::pump", "alpha::frame::split"]);
+
+    assert_eq!(r.alloc_report.len(), 1, "{:?}", r.alloc_report);
+    let a = &r.alloc_report[0];
+    assert_eq!(a.in_fn, "alpha::frame::split");
+    assert_eq!(a.what, ".to_vec()");
+    assert_eq!(a.entries, 1);
+    assert_eq!(a.depth, 1);
+    assert!(!a.suppressed);
+}
+
+#[test]
+fn entry_fns_are_not_dead_exports() {
+    let r = report();
+    // `pump` has no caller inside the fixture workspace, but it is a
+    // declared `entry(hot-path)` root; `rebuild`/`split`/`sample` are
+    // called. No dead-export findings at all.
+    assert!(
+        r.diags.iter().all(|d| d.rule != "dead-export"),
+        "{:?}",
+        r.diags
+    );
+}

@@ -164,11 +164,11 @@ fn suppression_misuse_is_diagnosed() {
         3,
         "{d:?}"
     );
-    // A well-formed suppression of the wrong rule silences nothing and is
-    // reported as unused.
+    // A well-formed suppression of the wrong rule silences nothing; a
+    // stale suppression is a hard error so they cannot accumulate.
     assert!(
         d.iter().any(|d| d.rule == "bad-suppression"
-            && d.severity == Severity::Warning
+            && d.severity == Severity::Error
             && d.message.contains("matches no diagnostic")),
         "{d:?}"
     );
@@ -245,6 +245,12 @@ fn workspace_is_lint_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let report = lint_workspace(&root);
     assert!(report.files > 50, "walked only {} files", report.files);
+    // The call graph must span the whole workspace (14 member crates plus
+    // the root package) and keep every annotated hot-path root.
+    assert_eq!(report.graph.crates, 15, "crates in graph: {}", report.graph.crates);
+    assert!(report.graph.entries >= 10, "hot-path entries: {}", report.graph.entries);
+    assert!(report.graph.fns > 1000, "fns: {}", report.graph.fns);
+    assert!(report.graph.edges > 2000, "edges: {}", report.graph.edges);
     assert_eq!(
         report.errors(),
         0,

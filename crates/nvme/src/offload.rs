@@ -9,6 +9,7 @@
 //! The CID → buffer map ([`RrMap`]) is the request-response state of
 //! Listing 1's `l5o_add_rr_state` / `l5o_del_rr_state`.
 
+// ano-lint: allow-file(transitive-panic): meta-capsule codec: fixed offsets into a capsule whose length is checked before decode
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -95,6 +96,7 @@ pub fn meta_data_pdu(kind: PduType, cid: u16, datao: u32, datal: u32) -> Vec<u8>
 /// Metadata blob for modeled-mode command capsules:
 /// `[kind, cid(2), op, offset(8), len(4), inline_data_len(4)]`.
 pub fn meta_cmd_pdu(cid: u16, op: u8, offset: u64, len: u32, inline: u32) -> Vec<u8> {
+    // ano-lint: allow(hot-alloc): per-capsule meta encode buffer, inventoried for arena round 2 (ROADMAP item 1)
     let mut m = Vec::with_capacity(20);
     m.push(PduType::CapsuleCmd as u8);
     m.extend_from_slice(&cid.to_le_bytes());
@@ -685,7 +687,7 @@ mod tests {
         let rr = RrMap::new();
         rr.add(3, RrEntry { buf: None, len: 4096 });
         let total = (PduType::C2HData.hlen() + 4096 + DDGST_LEN) as u32;
-        frames.push_full(0, total, 0, Some(meta_data_pdu(PduType::C2HData, 3, 0, 4096)));
+        frames.push_full(0, total, Some(meta_data_pdu(PduType::C2HData, 3, 0, 4096)));
         let mut e = RxEngine::new(
             Box::new(NvmeRxFlow::new(NvmeMode::Modeled(frames), rr, true)),
             0,

@@ -161,6 +161,7 @@ impl PduParser {
     }
 
     fn flush_resyncs(&mut self) {
+        // ano-lint: allow(hot-alloc): capacity-0; fills only while resyncs are pending
         let mut still = Vec::new();
         for tcpsn in std::mem::take(&mut self.pending_resync) {
             if tcpsn >= self.pos {
@@ -178,6 +179,7 @@ impl PduParser {
     /// Consumes one in-order chunk, returning completed PDUs.
     pub fn on_chunk(&mut self, chunk: StreamChunk) -> Vec<ParsedPdu> {
         debug_assert_eq!(chunk.offset, self.pos, "chunks must be in order");
+        // ano-lint: allow(hot-alloc): per-chunk event buffer, inventoried for arena round 2 (ROADMAP item 1)
         let mut out = Vec::new();
         let len = chunk.payload.len();
         let mut consumed = 0usize;
@@ -190,6 +192,7 @@ impl PduParser {
                     let need = CH_LEN - self.hdr.len();
                     let take = need.min(len - consumed);
                     match chunk.payload.as_real() {
+                        // ano-lint: allow(transitive-panic): consumed+take clamped by min() against the header remainder
                         Some(bytes) => self.hdr.extend_from_slice(&bytes[consumed..consumed + take]),
                         None => self.hdr.extend(std::iter::repeat(0).take(take)),
                     }
@@ -233,8 +236,10 @@ impl PduParser {
                 has_ddgst: ch.has_ddgst(),
                 total: ch.plen,
                 consumed: CH_LEN as u32,
+                // ano-lint: allow(hot-alloc): capacity-0 PDU field placeholder
                 ext: Vec::new(),
                 meta: None,
+                // ano-lint: allow(hot-alloc): capacity-0 PDU field placeholder
                 data: Vec::new(),
                 ddgst: [0; DDGST_LEN],
                 ddgst_got: 0,
@@ -271,8 +276,10 @@ impl PduParser {
                             has_ddgst,
                             total,
                             consumed: CH_LEN as u32,
+                            // ano-lint: allow(hot-alloc): capacity-0 PDU field placeholder
                             ext: Vec::new(),
                             meta: Some(meta),
+                            // ano-lint: allow(hot-alloc): capacity-0 PDU field placeholder
                             data: Vec::new(),
                             ddgst: [0; DDGST_LEN],
                             ddgst_got: 0,
@@ -307,6 +314,7 @@ impl PduParser {
         if off < ext_end {
             let take = (ext_end - off).min(len);
             if let Some(bytes) = payload.as_real() {
+                // ano-lint: allow(transitive-panic): take clamped against the remaining ext length
                 cur.ext.extend_from_slice(&bytes[..take as usize]);
             }
             pos += take;
@@ -324,6 +332,7 @@ impl PduParser {
                 let take = len - pos;
                 if let Some(bytes) = payload.slice(pos as usize, len as usize).as_real() {
                     let s = (o - data_end) as usize;
+                    // ano-lint: allow(transitive-panic): digest window bounded by the DDGST_LEN framing arithmetic
                     cur.ddgst[s..s + bytes.len()].copy_from_slice(bytes);
                     cur.ddgst_got = s + bytes.len();
                 }
@@ -333,6 +342,7 @@ impl PduParser {
     }
 
     fn finish_pdu(&mut self) -> ParsedPdu {
+        // ano-lint: allow(transitive-panic): state-machine contract: finish_pdu runs only with a PDU open
         let cur = self.cur.take().expect("PDU in progress");
         let (sqe, ext, cqe) = match cur.kind {
             PduType::CapsuleCmd => (parse_sqe(&cur.ext), None, None),

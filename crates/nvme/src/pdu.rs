@@ -12,6 +12,7 @@
 //! used, and the header digest is disabled (the data digest — the offloaded
 //! computation — is always on for data-bearing PDUs).
 
+// ano-lint: allow-file(transitive-panic): fixed-offset PDU codec: every index is a compile-time header offset behind the length guards at each parse entry
 use ano_crypto::crc32c::crc32c;
 
 /// Common-header length.
@@ -172,6 +173,7 @@ pub fn encode_capsule_cmd(cid: u16, op: IoOpcode, offset: u64, len: u32, data: O
         hlen: (CH_LEN + SQE_LEN) as u8,
         plen,
     };
+    // ano-lint: allow(hot-alloc): per-PDU encode buffer, inventoried for arena round 2 (ROADMAP item 1)
     let mut out = Vec::with_capacity(plen as usize);
     out.extend_from_slice(&ch.encode());
     let mut sqe = [0u8; SQE_LEN];

@@ -159,6 +159,7 @@ impl NvmeTcpTarget {
     where
         I: IntoIterator<Item = StreamChunk>,
     {
+        // ano-lint: allow(hot-alloc): per-call output accumulation, inventoried for arena round 2 (ROADMAP item 1)
         let mut out = Vec::new();
         let mut cycles = 0u64;
         for c in chunks {
@@ -284,7 +285,7 @@ impl NvmeTcpTarget {
     }
 
     fn push_tx_frame(&mut self, total: u32, meta: Vec<u8>) {
-        let idx = self.tx_frames.push_full(self.tx_off, total, 0, Some(meta));
+        let idx = self.tx_frames.push_full(self.tx_off, total, Some(meta));
         self.tx_msgs.push_back(TxMsgRef {
             msg_start: self.tx_off,
             msg_index: idx,
@@ -307,6 +308,7 @@ impl NvmeTcpTarget {
 
     /// Releases acknowledged reply state.
     pub fn release_below(&mut self, acked: u64) {
+        // ano-lint: allow(transitive-panic): index 1 guarded by the len > 1 loop condition
         while self.tx_msgs.len() > 1 && self.tx_msgs[1].msg_start <= acked {
             self.tx_msgs.pop_front();
         }

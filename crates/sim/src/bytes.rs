@@ -24,6 +24,7 @@ impl Bytes {
     pub fn new() -> Bytes {
         static EMPTY: std::sync::OnceLock<Arc<[u8]>> = std::sync::OnceLock::new();
         Bytes {
+            // ano-lint: allow(transitive-panic): full-range slice of an empty literal, not an index
             data: Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..]))),
             start: 0,
             end: 0,
@@ -68,11 +69,13 @@ impl Bytes {
 
     /// Copies the visible bytes into an owned `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
+        // ano-lint: allow(hot-alloc): explicit materialization API; callers own the copy (ROADMAP item 1)
         self.as_slice().to_vec()
     }
 
     /// The visible bytes.
     pub fn as_slice(&self) -> &[u8] {
+        // ano-lint: allow(transitive-panic): start/end maintained within the backing slice by construction
         &self.data[self.start..self.end]
     }
 }

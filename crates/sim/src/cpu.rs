@@ -5,6 +5,7 @@
 //! expressed in cycles, occupies a core for `cycles / freq` of simulated
 //! time, and is accumulated for utilization reporting.
 
+// ano-lint: allow-file(transitive-panic): per-core arrays are sized at construction and indexed by runtime-issued core ids; divisors are nonzero clock rates
 use crate::time::{SimDuration, SimTime};
 
 /// One core's accounting state.
@@ -157,6 +158,7 @@ impl CpuSet {
     }
 
     /// Per-core cycle counters (for windowed utilization: snapshot, run, diff).
+    // ano-lint: cold(diagnostic cycle snapshot for reports, not the packet path)
     pub fn snapshot(&self) -> Vec<u64> {
         self.cores.iter().map(|c| c.busy_cycles).collect()
     }

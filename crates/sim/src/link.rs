@@ -187,6 +187,7 @@ impl Script {
             .iter()
             .filter(|r| r.when.hits(index, now))
             .map(|r| r.action)
+            // ano-lint: allow(hot-alloc): fault-script rule expansion; allocates only on links with an active script
             .collect()
     }
 }
@@ -366,6 +367,7 @@ impl Link {
             Some(40) => bits / 40,
             Some(100) => bits / 100,
             Some(400) => bits / 400,
+            // ano-lint: allow(transitive-panic): link rate is a nonzero model parameter
             _ => bits.saturating_mul(1_000_000_000) / self.rate_bps,
         };
         SimDuration::from_nanos(ns)
@@ -494,6 +496,7 @@ impl LinkRegistry {
     ///
     /// Panics on an id this registry never issued.
     pub fn by_id_mut(&mut self, id: u32) -> &mut Link {
+        // ano-lint: allow(transitive-panic): link ids are registry handles issued at construction
         &mut self.links[id as usize]
     }
 
@@ -524,6 +527,7 @@ impl LinkRegistry {
 
     /// Iterates `((src, dst), link)` in host-pair order.
     pub fn iter(&self) -> impl Iterator<Item = ((u16, u16), &Link)> {
+        // ano-lint: allow(transitive-panic): link ids are registry handles issued at construction
         self.index.iter().map(|(&pair, &id)| (pair, &self.links[id as usize]))
     }
 }

@@ -72,6 +72,7 @@ impl Payload {
     ///
     /// Panics if `start > end` or `end > self.len()`.
     pub fn slice(&self, start: usize, end: usize) -> Payload {
+        // ano-lint: allow(transitive-panic): deliberate slice-contract assert
         assert!(start <= end && end <= self.len(), "slice out of range");
         match self {
             Payload::Real(b) => Payload::Real(b.slice(start..end)),
@@ -99,10 +100,13 @@ impl Payload {
     /// Concatenates a list of payloads. The result is synthetic if any input
     /// chunk is synthetic (fidelity can only be lowered, never invented).
     pub fn concat<'a>(chunks: impl IntoIterator<Item = &'a Payload>) -> Payload {
+        // ano-lint: allow(hot-alloc): concat assembly buffer, inventoried for arena round 2 (ROADMAP item 1)
         let chunks: Vec<&Payload> = chunks.into_iter().collect();
         if chunks.iter().all(|c| c.is_real()) {
+            // ano-lint: allow(hot-alloc): concat assembly buffer, inventoried for arena round 2 (ROADMAP item 1)
             let mut out = Vec::with_capacity(chunks.iter().map(|c| c.len()).sum());
             for c in &chunks {
+                // ano-lint: allow(transitive-panic): guarded by the all-real check above
                 out.extend_from_slice(c.as_real().expect("checked real"));
             }
             Payload::Real(out.into())

@@ -103,6 +103,7 @@ impl HostApi {
     pub(crate) fn new(now: SimTime) -> HostApi {
         HostApi {
             now,
+            // ano-lint: allow(hot-alloc): capacity-0 action queue; fills only when the app acts
             actions: Vec::new(),
         }
     }

@@ -306,6 +306,7 @@ impl World {
     // ------------------------------------------------------------------
     // Packet receive path.
 
+    // ano-lint: entry(hot-path)
     #[allow(clippy::too_many_arguments)]
     fn handle_packet(
         &mut self,
@@ -336,12 +337,16 @@ impl World {
         let cost = &cfg.cost;
         let resync_delay = cfg.resync_delay;
         let degrade = &cfg.degrade;
+        // ano-lint: allow(hot-alloc): capacity-0 resync mailbox; fills only when the NIC requests resync
         let mut resync_reqs: Vec<(u8, u64)> = Vec::new();
+        // ano-lint: allow(hot-alloc): capacity-0 resync mailbox; fills only when the NIC requests resync
         let mut resync_resps: Vec<(u8, u64, bool, u64)> = Vec::new();
+        // ano-lint: allow(hot-alloc): capacity-0 resync mailbox; fills only when the NIC requests resync
         let mut target_replies: Vec<(u64, SimTime)> = Vec::new();
         let mut open_reason: Option<&'static str> = None;
 
         let in_flow = {
+            // ano-lint: allow(transitive-panic): host index is a dispatch-validated topology id
             let host = &mut hosts[h];
             let Some(c) = host.conns.get_mut(&conn) else {
                 return;
@@ -395,7 +400,9 @@ impl World {
                 if rxp.flags != Default::default() {
                     cyc += cost.per_pkt_rx_offload_extra;
                 }
+                // ano-lint: allow(transitive-panic): core id is bounded by the per-host core table
                 if host.last_conn[c.core] != Some(conn) {
+                    // ano-lint: allow(transitive-panic): core id is bounded by the per-host core table
                     host.last_conn[c.core] = Some(conn);
                     cyc += cost.per_wakeup;
                 }
@@ -462,6 +469,7 @@ impl World {
         for (layer, tcpsn) in resync_reqs {
             // The NIC→driver request crosses the device mailbox, which the
             // fault script can lose or slow down.
+            // ano-lint: allow(transitive-panic): host index is a dispatch-validated topology id
             let extra = match self.hosts[h].faults.on_op(DeviceOp::ResyncReq, now) {
                 Some(FaultAction::Fail | FaultAction::Drop) => {
                     self.tracer
@@ -484,8 +492,10 @@ impl World {
         }
         // Responses carry the epoch they were issued under so answers that
         // race a reset are discarded rather than resurrecting dead contexts.
+        // ano-lint: allow(transitive-panic): host index is a dispatch-validated topology id
         let epoch = self.hosts[h].nic.epoch();
         for (layer, tcpsn, ok, idx) in resync_resps {
+            // ano-lint: allow(transitive-panic): host index is a dispatch-validated topology id
             let extra = match self.hosts[h].faults.on_op(DeviceOp::ResyncResp, now) {
                 Some(FaultAction::Fail | FaultAction::Drop) => {
                     self.tracer
@@ -723,6 +733,7 @@ impl World {
     // Transmit pump.
 
     /// Drains TCP's transmit queue through the NIC onto the link.
+    // ano-lint: entry(hot-path)
     pub(crate) fn pump_conn(&mut self, h: usize, conn: ConnId) {
         // Split-borrow the world once: hot config stays a shared borrow,
         // link deliveries land in the world-owned reusable burst buffer —
@@ -741,6 +752,7 @@ impl World {
         // One connection lookup for the whole pump: nothing inside the loop
         // can remove the connection, and the host split-borrow keeps `cpu`
         // and `nic` usable alongside the `ConnState` borrow.
+        // ano-lint: allow(transitive-panic): host index is a dispatch-validated topology id
         let HostState { cpu, nic, conns, .. } = &mut hosts[h];
         let Some(c) = conns.get_mut(&conn) else {
             return;
@@ -798,6 +810,7 @@ impl World {
                 let deliver = if delivery.corrupt {
                     corrupt_copy(&payload)
                 } else {
+                    // ano-lint: allow(hot-alloc): Bytes-backed payload clone is an Arc refcount bump, not a heap copy
                     Some(payload.clone())
                 };
                 // A corrupt frame with no bytes to flip (synthetic payload or
@@ -808,6 +821,7 @@ impl World {
                 let sack = if i + 1 == fanout {
                     std::mem::take(&mut seg.sack)
                 } else {
+                    // ano-lint: allow(hot-alloc): SACK vector clone per retained segment, inventoried for arena round 2 (ROADMAP item 1)
                     seg.sack.clone()
                 };
                 sched.schedule(
@@ -859,11 +873,13 @@ impl World {
     // Application plumbing.
 
     fn fire_app(&mut self, h: usize, f: impl FnOnce(&mut dyn crate::app::HostApp, &mut HostApi)) {
+        // ano-lint: allow(transitive-panic): host index is a dispatch-validated topology id
         let Some(mut app) = self.apps[h].take() else {
             return;
         };
         let mut api = HostApi::new(self.sched.now());
         f(app.as_mut(), &mut api);
+        // ano-lint: allow(transitive-panic): host index is a dispatch-validated topology id
         self.apps[h] = Some(app);
         let actions = std::mem::take(&mut api.actions);
         self.run_actions(h, actions);
@@ -931,6 +947,7 @@ impl World {
                 } => self.nvme_submit(h, conn, id, offset, data.len() as u32, Some(data)),
                 Action::Charge { cycles } => {
                     let now = self.sched.now();
+                    // ano-lint: allow(transitive-panic): host index is a dispatch-validated topology id
                     let host = &mut self.hosts[h];
                     let core = host.cpu.least_busy();
                     host.cpu.run(core, now, cycles);
@@ -954,6 +971,7 @@ impl World {
         let World { cfg, hosts, .. } = &mut *self;
         let cost = &cfg.cost;
         {
+            // ano-lint: allow(transitive-panic): host index is a dispatch-validated topology id
             let host = &mut hosts[h];
             let Some(c) = host.conns.get_mut(&conn) else {
                 return;
@@ -971,6 +989,7 @@ impl World {
                         c.tcp.send(w);
                     }
                 }
+                // ano-lint: allow(transitive-panic): dispatch contract: Send is only routed to Raw/Tls connections
                 _ => panic!("Send is only valid on Raw/Tls connections"),
             }
             host.cpu.run(c.core, now, cycles);
@@ -993,6 +1012,7 @@ impl World {
         let World { cfg, hosts, .. } = &mut *self;
         let cost = &cfg.cost;
         {
+            // ano-lint: allow(transitive-panic): host index is a dispatch-validated topology id
             let host = &mut hosts[h];
             let Some(c) = host.conns.get_mut(&conn) else {
                 return;
@@ -1001,10 +1021,12 @@ impl World {
                 Proto::NvmeHost { host: nh } => match &write_data {
                     None => {
                         let (w, cyc) = nh.submit_read(id, offset, len, cost);
+                        // ano-lint: allow(hot-alloc): single-capsule wrapper vec per NVMe submit, inventoried for arena round 2 (ROADMAP item 1)
                         (vec![w], cyc)
                     }
                     Some(d) => {
                         let (w, cyc) = nh.submit_write(id, offset, d, cost);
+                        // ano-lint: allow(hot-alloc): single-capsule wrapper vec per NVMe submit, inventoried for arena round 2 (ROADMAP item 1)
                         (vec![w], cyc)
                     }
                 },
@@ -1023,6 +1045,7 @@ impl World {
                     cyc += c2;
                     (recs, cyc)
                 }
+                // ano-lint: allow(transitive-panic): dispatch contract: NVMe ops are only routed to initiator connections
                 _ => panic!("NVMe I/O is only valid on initiator connections"),
             };
             host.cpu.run(c.core, now, cycles);
@@ -1042,8 +1065,10 @@ impl World {
 fn corrupt_copy(payload: &Payload) -> Option<Payload> {
     match payload.as_real() {
         Some(bytes) if !bytes.is_empty() => {
+            // ano-lint: allow(hot-alloc): fault-injection copy; runs only when the chaos script corrupts a payload
             let mut copy = bytes.to_vec();
             let mid = copy.len() / 2;
+            // ano-lint: allow(transitive-panic): mid is len/2 of a checked non-empty buffer
             copy[mid] ^= 0xA5;
             Some(Payload::real(copy))
         }

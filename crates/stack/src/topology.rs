@@ -81,16 +81,6 @@ impl Fleet {
         }
     }
 
-    /// Number of client hosts.
-    pub fn num_clients(&self) -> usize {
-        self.clients
-    }
-
-    /// Number of server hosts.
-    pub fn num_servers(&self) -> usize {
-        self.servers
-    }
-
     /// World host index of client `i`.
     pub fn client(&self, i: usize) -> usize {
         assert!(i < self.clients, "client index out of range");

@@ -412,6 +412,7 @@ impl RetainBuf {
         if from < self.start || to > self.end() {
             return None;
         }
+        // ano-lint: allow(hot-alloc): retransmit range assembly, inventoried for arena round 2 (ROADMAP item 1)
         let mut parts = Vec::new();
         let mut off = self.start;
         for c in &self.chunks {
@@ -460,6 +461,7 @@ impl InnerTxShared {
             msg_index: idx,
         });
         self.end += payload.len() as u64;
+        // ano-lint: allow(hot-alloc): Bytes-backed payload clone is an Arc refcount bump, not a heap copy
         self.retain.push(payload.clone());
     }
 
@@ -786,12 +788,6 @@ impl World {
     /// The cost model in use.
     pub fn cost(&self) -> CostModel {
         self.cfg.cost.clone()
-    }
-
-    /// Number of schedules whose requested time was in the past and got
-    /// clamped to "now" (see [`ano_sim::sched::Scheduler::clamped`]).
-    pub fn events_clamped(&self) -> u64 {
-        self.sched.clamped()
     }
 
     /// Sets the tolerated past-time scheduling lag before debug builds
@@ -1154,6 +1150,7 @@ impl World {
     /// uninstalled (orderly, with context write-back) and the flow runs in
     /// software permanently. Idempotent.
     pub(crate) fn open_breaker(&mut self, h: usize, conn: ConnId, reason: &'static str) {
+        // ano-lint: allow(transitive-panic): host index is a dispatch-validated topology id
         let host = &mut self.hosts[h];
         let Some(c) = host.conns.get_mut(&conn) else {
             return;
@@ -1496,11 +1493,6 @@ impl World {
         self.hosts[host].nic.queue_imbalance()
     }
 
-    /// IRQ affinity of a host's NIC rx queues (`queue → core`).
-    pub fn queue_cores(&self, host: usize) -> &[usize] {
-        &self.hosts[host].queue_core
-    }
-
     /// Flow→core migrations the rebalancer performed on `host`.
     pub fn migrations(&self, host: usize) -> u64 {
         self.hosts[host].migrations
@@ -1589,11 +1581,6 @@ impl World {
     /// TCP transmit stats.
     pub fn tcp_tx_stats(&self, host: usize, conn: ConnId) -> Option<ano_tcp::sender::SenderStats> {
         self.hosts[host].conns.get(&conn).map(|c| c.tcp.tx_stats())
-    }
-
-    /// TCP receive stats.
-    pub fn tcp_rx_stats(&self, host: usize, conn: ConnId) -> Option<ano_tcp::receiver::ReceiverStats> {
-        self.hosts[host].conns.get(&conn).map(|c| c.tcp.rx_stats())
     }
 
     /// Façade link statistics (`true`: host0 → host1).

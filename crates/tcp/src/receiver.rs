@@ -91,6 +91,7 @@ impl TcpReceiver {
             .iter()
             .take(3)
             .map(|(&off, (p, _))| (off as u32, (off + p.len() as u64) as u32))
+            // ano-lint: allow(hot-alloc): SACK range vector per ACK emission, inventoried for arena round 2 (ROADMAP item 1)
             .collect()
     }
 
@@ -118,6 +119,7 @@ impl TcpReceiver {
     /// Accepts one packet's payload (`seq` is the wire sequence number).
     /// In-order data (and any newly contiguous buffered data) becomes
     /// readable via [`TcpReceiver::take_ready`].
+    // ano-lint: entry(hot-path)
     pub fn on_segment(&mut self, seq: u32, payload: Payload, flags: SkbFlags) {
         if payload.is_empty() {
             return; // pure ACK

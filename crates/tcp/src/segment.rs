@@ -82,16 +82,6 @@ impl SkbFlags {
     }
 }
 
-/// A received packet as handed from the NIC driver to the TCP stack:
-/// the wire segment plus offload metadata.
-#[derive(Clone, Debug)]
-pub struct RxPacket {
-    /// The wire segment.
-    pub segment: Segment,
-    /// Offload results for this packet.
-    pub flags: SkbFlags,
-}
-
 /// An in-order chunk of the byte stream delivered to the L5P, carrying the
 /// offload flags of the packet(s) it came from.
 #[derive(Clone, Debug)]

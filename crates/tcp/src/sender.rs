@@ -42,11 +42,13 @@ impl SendBuffer {
     /// zero-allocation slice; only ranges straddling a chunk boundary pay
     /// for stitching.
     fn range(&self, from: u64, to: u64) -> Payload {
+        // ano-lint: allow(transitive-panic): send-buffer range contract assert
         assert!(from >= self.start && to <= self.end && from <= to, "range outside buffer");
         if from == to {
             return Payload::empty();
         }
         let mut first: Option<Payload> = None;
+        // ano-lint: allow(hot-alloc): capacity-0; fills only when a range spans payload boundaries
         let mut rest: Vec<Payload> = Vec::new();
         let mut off = self.start;
         for c in &self.chunks {
@@ -73,6 +75,7 @@ impl SendBuffer {
             None => Payload::empty(),
             Some(first) if rest.is_empty() => first,
             Some(first) => {
+                // ano-lint: allow(hot-alloc): multi-part range assembly, inventoried for arena round 2 (ROADMAP item 1)
                 let mut parts = Vec::with_capacity(1 + rest.len());
                 parts.push(first);
                 parts.append(&mut rest);
@@ -261,6 +264,7 @@ impl TcpSender {
 
     /// Produces the next segment to emit, or `None` if cwnd/buffer don't
     /// allow one. Call in a loop until `None`.
+    // ano-lint: entry(hot-path)
     pub fn poll_transmit(&mut self, now: SimTime, ack_for_peer: u32) -> Option<Segment> {
         // SACK-driven loss recovery: while loss is established (fast
         // recovery, or the go-back-N window after a timeout), probe the
@@ -319,6 +323,7 @@ impl TcpSender {
                         seq64: cursor,
                         ack: ack_for_peer,
                         wnd: 0, // filled by the endpoint
+                        // ano-lint: allow(hot-alloc): capacity-0 SACK placeholder; the endpoint fills it
                         sack: Vec::new(),
                         is_retransmit: true,
                         payload,
@@ -356,6 +361,7 @@ impl TcpSender {
             seq64,
             ack: ack_for_peer,
             wnd: 0, // filled by the endpoint
+            // ano-lint: allow(hot-alloc): capacity-0 SACK placeholder; the endpoint fills it
             sack: Vec::new(),
             is_retransmit: false,
             payload,
@@ -374,6 +380,7 @@ impl TcpSender {
         }
         // Merge and prune the scoreboard.
         self.sacked.sort_unstable();
+        // ano-lint: allow(hot-alloc): SACK merge rebuild per SACK-carrying ACK, inventoried for arena round 2 (ROADMAP item 1)
         let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.sacked.len());
         for &(s, e) in &self.sacked {
             if e <= self.snd_una {
@@ -435,6 +442,7 @@ impl TcpSender {
             seq64: h,
             ack: ack_for_peer,
             wnd: 0, // filled by the endpoint
+            // ano-lint: allow(hot-alloc): capacity-0 SACK placeholder; the endpoint fills it
             sack: Vec::new(),
             is_retransmit: true,
             payload: self.buf.range(h, end),
@@ -443,6 +451,7 @@ impl TcpSender {
 
     /// Processes a cumulative acknowledgment (with advertised window `wnd`)
     /// from the peer.
+    // ano-lint: entry(hot-path)
     pub fn on_ack_wnd(&mut self, ack_wire: u32, wnd: u32, now: SimTime) -> AckOutcome {
         let ack = unwrap_seq(self.snd_una, ack_wire);
         // The window's right edge never moves left.
@@ -510,6 +519,7 @@ impl TcpSender {
             } else {
                 // Congestion avoidance.
                 let mss = self.cfg.mss as f64;
+                // ano-lint: allow(transitive-panic): f64 division cannot panic
                 self.cwnd = (self.cwnd + mss * mss / self.cwnd).min(self.cfg.max_cwnd as f64);
             }
 

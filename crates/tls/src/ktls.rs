@@ -101,7 +101,9 @@ impl KtlsTx {
     /// # Panics
     ///
     /// Panics in functional mode if `app` is synthetic.
+    // ano-lint: entry(hot-path)
     pub fn send(&mut self, app: &Payload, cost: &CostModel) -> (Vec<Payload>, u64) {
+        // ano-lint: allow(hot-alloc): per-send record batch buffer, inventoried for arena round 2 (ROADMAP item 1)
         let mut out = Vec::new();
         let mut cycles = 0u64;
         let len = app.len();
@@ -113,7 +115,9 @@ impl KtlsTx {
             cycles += cost.per_record_tx;
             let wire = match (self.cfg.mode, self.cfg.offload) {
                 (DataMode::Functional, true) => {
+                    // ano-lint: allow(transitive-panic): mode contract: functional mode always carries real bytes
                     let plain = chunk.as_real().expect("functional mode requires real bytes");
+                    // ano-lint: allow(hot-alloc): per-record wire buffer; the record_alloc cycle cost models it, inventoried for arena round 2 (ROADMAP item 1)
                     let mut w = Vec::with_capacity(take + HEADER_LEN + TAG_LEN);
                     w.extend_from_slice(&RecordHeader::for_plaintext(take).encode());
                     w.extend_from_slice(plain);
@@ -124,6 +128,7 @@ impl KtlsTx {
                     Payload::real(w)
                 }
                 (DataMode::Functional, false) => {
+                    // ano-lint: allow(transitive-panic): mode contract: functional mode always carries real bytes
                     let plain = chunk.as_real().expect("functional mode requires real bytes");
                     cycles += cost.record_alloc + cost.encrypt_cycles(take);
                     Payload::real(self.session.seal_record(self.next_seq, plain))
@@ -309,6 +314,7 @@ impl KtlsRx {
     }
 
     fn flush_resyncs(&mut self) {
+        // ano-lint: allow(hot-alloc): capacity-0; fills only while resync responses are pending
         let mut still = Vec::new();
         for tcpsn in std::mem::take(&mut self.pending) {
             if tcpsn >= self.pos {
@@ -339,6 +345,7 @@ impl KtlsRx {
     /// so the steady-state receive path allocates nothing.
     ///
     /// [`on_chunks`]: KtlsRx::on_chunks
+    // ano-lint: entry(hot-path)
     pub fn on_chunks_into<I>(
         &mut self,
         chunks: I,
@@ -364,6 +371,7 @@ impl KtlsRx {
                         match chunk.payload.as_real() {
                             Some(bytes) => self
                                 .hdr_buf
+                                // ano-lint: allow(transitive-panic): take is clamped by min() against the header remainder
                                 .extend_from_slice(&bytes[consumed..consumed + take]),
                             None => self.hdr_buf.extend(std::iter::repeat(0).take(take)),
                         }
@@ -434,6 +442,7 @@ impl KtlsRx {
     /// `out` and returning the CPU cycles spent. Appends (rather than
     /// returns) so the per-record output needs no fresh allocation.
     fn finish_record(&mut self, cost: &CostModel, out: &mut Vec<PlainChunk>) -> u64 {
+        // ano-lint: allow(transitive-panic): state-machine contract: finish_record runs only with an open record
         let (total, start) = self.cur.take().expect("record in progress");
         let parts = std::mem::take(&mut self.parts);
         self.hdr_buf.clear();
@@ -502,6 +511,7 @@ impl KtlsRx {
             }
         }
         self.tracer.count("tls.records", 1);
+        // ano-lint: allow(transitive-panic): mark is a prior out.len(); the slice start never exceeds the length
         let delivered: u64 = out[mark..].iter().map(|c| c.payload.len() as u64).sum();
         self.plain_pos += plen as u64;
         self.stats.plain_bytes += delivered;
@@ -529,6 +539,7 @@ impl KtlsRx {
             }
             let take = p.len().min(plen - off);
             let payload = match plain {
+                // ano-lint: allow(hot-alloc, transitive-panic): functional-mode chunk copy; offsets clamped by min() against the part length
                 Some(bytes) => Payload::real(bytes[off..off + take].to_vec()),
                 None => Payload::synthetic(take),
             };
@@ -542,6 +553,7 @@ impl KtlsRx {
     }
 
     /// Functional-mode plaintext recovery for all three record classes.
+    // ano-lint: cold(functional-mode record reconstruction, the modeled software fallback per completed record, not the offload fast path)
     fn recover_plaintext(
         &self,
         seq: u64,
@@ -552,6 +564,7 @@ impl KtlsRx {
         let plen = total as usize - HEADER_LEN - TAG_LEN;
         let mut body_tag = Vec::with_capacity(total as usize - HEADER_LEN);
         for (p, _) in parts {
+            // ano-lint: allow(transitive-panic): mode contract: functional recovery only runs on real bytes
             body_tag.extend_from_slice(p.as_real().expect("functional bytes"));
         }
         debug_assert_eq!(body_tag.len(), total as usize - HEADER_LEN);
@@ -559,6 +572,7 @@ impl KtlsRx {
         match class {
             Class::Full => {
                 // NIC already decrypted and authenticated: body is plaintext.
+                // ano-lint: allow(transitive-panic): plen < body_tag length by record framing (body = plain+tag)
                 Some(body_tag[..plen].to_vec())
             }
             Class::None | Class::Partial => {
@@ -568,6 +582,7 @@ impl KtlsRx {
                 let mut ct = body_tag.clone();
                 if class == Class::Partial {
                     // XOR-keystream pass over a copy flips plain<->cipher.
+                    // ano-lint: allow(transitive-panic): flipped window bounded by plen and the take clamps
                     let mut flipped = body_tag[..plen].to_vec();
                     let mut enc = GcmStream::new(
                         self.session.aes().clone(),
@@ -580,6 +595,7 @@ impl KtlsRx {
                     for (p, f) in parts {
                         let take = p.len().min(plen.saturating_sub(off));
                         if f.tls_decrypted {
+                            // ano-lint: allow(transitive-panic): ct holds body+tag, so plen+TAG_LEN is exactly its length
                             ct[off..off + take].copy_from_slice(&flipped[off..off + take]);
                         }
                         off += take;
@@ -588,7 +604,9 @@ impl KtlsRx {
                         }
                     }
                 }
+                // ano-lint: allow(transitive-panic): plen+TAG_LEN is exactly the ct length by record framing
                 let tag: [u8; TAG_LEN] = ct[plen..plen + TAG_LEN].try_into().expect("tag");
+                // ano-lint: allow(transitive-panic): off+take clamped by min() against the part length
                 let mut body = ct[..plen].to_vec();
                 ano_crypto::gcm::open(
                     self.session.aes(),

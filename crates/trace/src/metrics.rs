@@ -133,16 +133,6 @@ impl MetricsRegistry {
         self.counters.iter().filter(|((_, n), _)| *n == name).map(|(_, v)| *v).sum()
     }
 
-    /// Gauge value, if set.
-    pub fn gauge_value(&self, flow: u64, name: &str) -> Option<i64> {
-        self.gauges.iter().find(|((f, n), _)| *f == flow && *n == name).map(|(_, v)| *v)
-    }
-
-    /// Histogram for `(flow, name)`, if any observation was recorded.
-    pub fn histogram(&self, flow: u64, name: &str) -> Option<&Histogram> {
-        self.histograms.iter().find(|((f, n), _)| *f == flow && *n == name).map(|(_, v)| v)
-    }
-
     /// Iterates counters in deterministic `(flow, name)` order.
     pub fn counters(&self) -> impl Iterator<Item = (u64, &'static str, u64)> + '_ {
         self.counters.iter().map(|(&(f, n), &v)| (f, n, v))

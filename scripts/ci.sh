@@ -32,15 +32,43 @@ if [ -n "$bad" ]; then
 fi
 echo "ok: all dependencies are path-only"
 
-echo "== static analysis: ano-lint (determinism / panic-freedom / output / resync spec) =="
+echo "== static analysis: ano-lint (call-graph facts / determinism / resync spec) =="
 # Structural enforcement of the trace-determinism and hot-path guarantees,
-# run before anything else is built: forbids wall-clock reads, OS threads,
-# hash-ordered collections, and {:p} in sim/trace-affecting crates; panics
-# and slice indexing in the per-packet hot paths; println!/dbg! in library
-# crates; and cross-checks the §4.3 resync transition table in rx.rs
-# against LEGAL_EDGES in invariant.rs. Exceptions need an inline
-# `// ano-lint: allow(<rule>): <justification>`. See DESIGN.md.
-CARGO_NET_OFFLINE=true cargo run -q -p ano-lint
+# run before anything else is built. Per-file rules forbid wall-clock
+# reads, OS threads, hash-ordered collections, and {:p} in
+# sim/trace-affecting crates; panics and slice indexing in the per-packet
+# hot paths; println!/dbg! in library crates; and the §4.3 resync table in
+# rx.rs is cross-checked against LEGAL_EDGES in invariant.rs. On top, the
+# workspace call graph propagates may-panic / nondet-taint / may-allocate
+# facts from every `// ano-lint: entry(hot-path)` root (transitive-panic,
+# transitive-nondet, hot-alloc), flags never-referenced pub items
+# (dead-export), and makes stale suppressions errors. Exceptions need an
+# inline `// ano-lint: allow(<rule>): <justification>`. See DESIGN.md.
+# The timeout is the analysis wall-clock budget: the whole pass runs in
+# well under a second today (--timing prints per-pass numbers to stderr);
+# if it ever needs minutes, the linter — not the budget — is broken.
+CARGO_NET_OFFLINE=true timeout 120 cargo run -q -p ano-lint -- --timing
+
+echo "== static analysis: hot-path allocation inventory vs ALLOC_baseline.txt =="
+# The ranked inventory of allocation sites reachable from the hot-path
+# entries is a committed snapshot: a new hot allocation (or a removed one)
+# must show up in review as a diff of ALLOC_baseline.txt, not slip in
+# silently behind an allow. Regenerate intentionally with
+# BLESS=1 scripts/ci.sh (or the cargo command below) and review the diff.
+alloc_tmp="${TMPDIR:-/tmp}/ano-alloc-report.$$"
+CARGO_NET_OFFLINE=true timeout 120 cargo run -q -p ano-lint -- --alloc-report > "$alloc_tmp"
+if [ "${BLESS:-0}" = "1" ]; then
+    cp "$alloc_tmp" ALLOC_baseline.txt
+    echo "blessed: ALLOC_baseline.txt regenerated"
+fi
+if ! diff -u ALLOC_baseline.txt "$alloc_tmp"; then
+    rm -f "$alloc_tmp"
+    echo "hot-path allocation inventory drifted from ALLOC_baseline.txt" >&2
+    echo "(intentional? BLESS=1 scripts/ci.sh and review the diff)" >&2
+    exit 1
+fi
+rm -f "$alloc_tmp"
+echo "ok: allocation inventory matches baseline"
 
 echo "== tier-1: offline release build (warnings are errors) =="
 CARGO_NET_OFFLINE=true cargo build --release
