@@ -142,6 +142,8 @@ fn fleet_once() -> FleetSpeed {
                 ..NicConfig::default()
             },
         },
+        impair: Vec::new(),
+        scripts: Vec::new(),
         cfg: WorldConfig {
             seed: 42,
             mode: DataMode::Modeled,
@@ -249,6 +251,8 @@ fn rss_once() -> RssSpeed {
                 ..NicConfig::default()
             },
         },
+        impair: Vec::new(),
+        scripts: Vec::new(),
         cfg: WorldConfig {
             seed: 42,
             mode: DataMode::Modeled,

@@ -21,6 +21,7 @@ use std::rc::Rc;
 
 use ano_core::fault::DeviceFaults;
 use ano_core::nic::NicConfig;
+use ano_sim::link::{Impairments, Script};
 use ano_sim::payload::{DataMode, Payload};
 use ano_sim::time::{SimDuration, SimTime};
 use ano_stack::app::{AppEvent, HostApi, HostApp};
@@ -63,6 +64,13 @@ pub struct FleetScenario {
     pub link_rate_bps: u64,
     /// Give-up horizon in sim time.
     pub sim_budget: SimDuration,
+    /// Per-directed-pair impairment overrides `((src, dst), impairments)`
+    /// in world host indices — the PR-2 scripted-adversity knobs aimed at
+    /// fleet subsets (one lossy client, one scripted uplink). Unlisted
+    /// pairs stay pristine.
+    pub impair: Vec<((u16, u16), Impairments)>,
+    /// Per-directed-pair scripted schedules, installed after `impair`.
+    pub scripts: Vec<((u16, u16), Script)>,
 }
 
 impl Default for FleetScenario {
@@ -80,6 +88,8 @@ impl Default for FleetScenario {
             thrash_breaker: None,
             link_rate_bps: 100_000_000_000,
             sim_budget: SimDuration::from_millis(50),
+            impair: Vec::new(),
+            scripts: Vec::new(),
         }
     }
 }
@@ -278,6 +288,8 @@ pub fn build_fleet(sc: &FleetScenario) -> Fleet {
             },
             ..WorldConfig::default()
         },
+        impair: sc.impair.clone(),
+        scripts: sc.scripts.clone(),
     })
 }
 

@@ -7,6 +7,7 @@
 
 use ano_sim::link::{Match, Rule, Script, ScriptAction};
 use ano_sim::rng::SimRng;
+use ano_sim::time::SimTime;
 use ano_testkit::gen::{sorted_u64_set, SortedU64Set};
 use ano_testkit::Gen;
 
@@ -38,6 +39,106 @@ pub fn drop_indices_of(script: &Script) -> Vec<u64> {
             _ => None,
         })
         .collect()
+}
+
+/// How many grid points [`WindowScriptGen`] quantizes window endpoints to.
+/// A coarse grid makes overlapping and *exactly adjacent* windows (one
+/// rule's `to` equal to another's `from`) common instead of vanishingly
+/// rare — those boundaries are where half-open-interval bugs live.
+const WINDOW_GRID: u64 = 16;
+
+/// Generates windowed-drop schedules: up to `max_windows` [`Match::Window`]
+/// drop rules with endpoints on a coarse grid below `max_ns` nanoseconds —
+/// the shape [`Script::partition`] rules compose into. Windows may overlap,
+/// touch or be empty (`from == to`).
+pub fn window_script_gen(max_ns: u64, max_windows: usize) -> WindowScriptGen {
+    WindowScriptGen { max_ns, max_windows }
+}
+
+/// See [`window_script_gen`].
+#[derive(Clone, Debug)]
+pub struct WindowScriptGen {
+    max_ns: u64,
+    max_windows: usize,
+}
+
+/// Recovers `(from, to)` nanosecond pairs from a schedule of windowed drop
+/// rules (ignores non-drop and non-`Window` rules) — the inverse of
+/// [`windowed_script`].
+pub fn windows_of(script: &Script) -> Vec<(u64, u64)> {
+    script
+        .rules()
+        .iter()
+        .filter_map(|r| match r {
+            Rule {
+                when: Match::Window(f, t),
+                action: ScriptAction::Drop,
+            } => Some((f.as_nanos(), t.as_nanos())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Builds the composed schedule: one [`Script::partition`]-shaped rule per
+/// window, accumulated the way chaos-plan authors stack partitions.
+pub fn windowed_script(windows: &[(u64, u64)]) -> Script {
+    windows.iter().fold(Script::none(), |s, &(f, t)| {
+        s.with(
+            Match::Window(SimTime::from_nanos(f), SimTime::from_nanos(t)),
+            ScriptAction::Drop,
+        )
+    })
+}
+
+impl WindowScriptGen {
+    fn grid_step(&self) -> u64 {
+        (self.max_ns / WINDOW_GRID).max(1)
+    }
+}
+
+impl Gen for WindowScriptGen {
+    type Value = Script;
+
+    fn generate(&self, rng: &mut SimRng) -> Script {
+        let step = self.grid_step();
+        let n = rng.range_u64(0, self.max_windows as u64 + 1) as usize;
+        let windows: Vec<(u64, u64)> = (0..n)
+            .map(|_| {
+                let a = rng.range_u64(0, WINDOW_GRID + 1) * step;
+                let b = rng.range_u64(0, WINDOW_GRID + 1) * step;
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        windowed_script(&windows)
+    }
+
+    /// Smaller means: fewer windows first, then the same windows earlier
+    /// (both endpoints halved), then narrower (width halved).
+    fn shrink(&self, value: &Script) -> Vec<Script> {
+        let windows = windows_of(value);
+        let mut out = Vec::new();
+        for i in 0..windows.len() {
+            let mut fewer = windows.clone();
+            fewer.remove(i);
+            out.push(fewer);
+        }
+        for (i, &(f, t)) in windows.iter().enumerate() {
+            if f > 0 || t > 0 {
+                let mut earlier = windows.clone();
+                earlier[i] = (f / 2, t / 2);
+                out.push(earlier);
+            }
+            if t > f {
+                let mut narrower = windows.clone();
+                narrower[i] = (f, f + (t - f) / 2);
+                out.push(narrower);
+            }
+        }
+        out.into_iter()
+            .map(|w| windowed_script(&w))
+            .filter(|c| c != value)
+            .collect()
+    }
 }
 
 impl Gen for ScriptGen {
@@ -79,6 +180,41 @@ mod tests {
             assert_eq!(idxs, sorted, "indices sorted and distinct");
             assert_eq!(s, Script::drop_indices(&idxs), "round-trips");
         }
+    }
+
+    #[test]
+    fn window_gen_composes_partitions_and_round_trips() {
+        let g = window_script_gen(1_000_000, 4);
+        let mut rng = SimRng::seed(21);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            let ws = windows_of(&s);
+            assert!(ws.len() <= 4);
+            assert!(ws.iter().all(|&(f, t)| f <= t && t <= 1_000_000));
+            assert_eq!(s, windowed_script(&ws), "round-trips");
+        }
+        // A one-window schedule IS `Script::partition`; stacking more
+        // windows appends rules exactly like chained partitions.
+        let one = windowed_script(&[(100, 300)]);
+        assert_eq!(
+            one,
+            Script::partition(SimTime::from_nanos(100), SimTime::from_nanos(300))
+        );
+        let two = windowed_script(&[(100, 300), (300, 500)]);
+        assert_eq!(two.rules().len(), 2);
+        assert_eq!(two.rules()[0], one.rules()[0]);
+    }
+
+    #[test]
+    fn window_gen_shrinks_toward_fewer_and_narrower_windows() {
+        let g = window_script_gen(1_000_000, 4);
+        let s = windowed_script(&[(200, 600), (600, 800)]);
+        let cands = g.shrink(&s);
+        assert!(cands.contains(&windowed_script(&[(600, 800)])), "removes first");
+        assert!(cands.contains(&windowed_script(&[(200, 600)])), "removes second");
+        assert!(cands.contains(&windowed_script(&[(100, 300), (600, 800)])), "halves endpoints");
+        assert!(cands.contains(&windowed_script(&[(200, 400), (600, 800)])), "halves width");
+        assert!(g.shrink(&Script::none()).is_empty(), "empty is minimal");
     }
 
     #[test]

@@ -26,6 +26,71 @@ impl std::fmt::Display for Violation {
     }
 }
 
+/// Partition-aware forward-progress watchdog: some byte must land within
+/// every `budget` window — except inside a *declared* outage, where the
+/// peer is dark by design and silence is the expected behavior. The
+/// watchdog suspends for the duration of each declared window and re-arms
+/// with a full fresh budget at repair, so recovery gets the same grace a
+/// cold start does.
+///
+/// Shared by the two-host [`Checkers`] and the fleet netchaos runner
+/// (`crate::netchaos`), which derives its windows from the world's
+/// `NetPlan` via `NetPlan::outage_windows`.
+pub(crate) struct ProgressWatchdog {
+    budget: SimDuration,
+    /// Declared `[from, to]` outage windows. Deliberately explicit, never
+    /// inferred from impairment scripts: an *undeclared* blackhole must
+    /// still trip the watchdog (the `tls/blackhole` replay target).
+    outages: Vec<(SimTime, SimTime)>,
+    last_at: SimTime,
+    last_bytes: u64,
+}
+
+impl ProgressWatchdog {
+    pub(crate) fn new(budget: SimDuration, outages: Vec<(SimTime, SimTime)>) -> ProgressWatchdog {
+        ProgressWatchdog {
+            budget,
+            outages,
+            last_at: SimTime::ZERO,
+            last_bytes: 0,
+        }
+    }
+
+    /// Total bytes seen so far (for completion reporting).
+    pub(crate) fn bytes(&self) -> u64 {
+        self.last_bytes
+    }
+
+    /// Feeds one observation; returns the stall detail if the watchdog
+    /// fires (the caller wraps it in a [`Violation`]). `target` is the
+    /// byte count at which the transfer is complete and the watchdog
+    /// stands down.
+    pub(crate) fn observe(&mut self, now: SimTime, bytes: u64, target: u64) -> Option<String> {
+        if bytes > self.last_bytes {
+            self.last_bytes = bytes;
+            self.last_at = now;
+            return None;
+        }
+        if self.outages.iter().any(|&(from, to)| now >= from && now <= to) {
+            // Declared outage: suspend, and keep re-arming so the budget
+            // restarts from the repair edge, not from the last pre-cut byte.
+            self.last_at = now;
+            return None;
+        }
+        if bytes < target && now > self.last_at + self.budget {
+            let detail = format!(
+                "no byte delivered since t={:?} ({bytes} of {target} bytes)",
+                self.last_at
+            );
+            // Re-arm so a genuinely wedged run reports once per window, not
+            // once per step.
+            self.last_at = now;
+            return Some(detail);
+        }
+        None
+    }
+}
+
 /// Step-by-step invariant state for one run.
 pub(crate) struct Checkers {
     expected: Vec<u8>,
@@ -33,9 +98,7 @@ pub(crate) struct Checkers {
     /// each step, keeping the step loop linear in delivered bytes).
     checked_chunks: usize,
     checked_completions: usize,
-    last_progress_at: SimTime,
-    last_progress_bytes: u64,
-    progress_budget: SimDuration,
+    progress: ProgressWatchdog,
     /// Whether the watchdog applies (disabled for unrecoverable scenarios,
     /// which stall by design once the damage is done).
     watchdog: bool,
@@ -48,9 +111,7 @@ impl Checkers {
             expected: sc.workload.expected(),
             checked_chunks: 0,
             checked_completions: 0,
-            last_progress_at: SimTime::ZERO,
-            last_progress_bytes: 0,
-            progress_budget: sc.progress_budget,
+            progress: ProgressWatchdog::new(sc.progress_budget, sc.declared_partitions.clone()),
             watchdog: sc.expect_complete,
             violations: Vec::new(),
         }
@@ -144,31 +205,18 @@ impl Checkers {
     }
 
     /// Watchdog: some byte must land within every `progress_budget` window
-    /// until the transfer completes.
+    /// until the transfer completes (suspended inside declared outages).
     fn check_forward_progress(&mut self, now: SimTime, delivered: &Delivered) {
-        let bytes = delivered.bytes();
-        if bytes > self.last_progress_bytes {
-            self.last_progress_bytes = bytes;
-            self.last_progress_at = now;
-            return;
-        }
-        if self.watchdog
-            && bytes < self.expected.len() as u64
-            && now > self.last_progress_at + self.progress_budget
-        {
-            self.violations.push(Violation {
-                invariant: "forward-progress",
-                at: now,
-                detail: format!(
-                    "no byte delivered since t={:?} ({} of {} bytes)",
-                    self.last_progress_at,
-                    bytes,
-                    self.expected.len()
-                ),
-            });
-            // Re-arm so a genuinely wedged run reports once per window, not
-            // once per step.
-            self.last_progress_at = now;
+        let target = self.expected.len() as u64;
+        let stalled = self.progress.observe(now, delivered.bytes(), target);
+        if self.watchdog {
+            if let Some(detail) = stalled {
+                self.violations.push(Violation {
+                    invariant: "forward-progress",
+                    at: now,
+                    detail,
+                });
+            }
         }
     }
 
@@ -197,7 +245,7 @@ impl Checkers {
                 at: now,
                 detail: format!(
                     "transfer incomplete at sim budget ({} of {} bytes)",
-                    self.last_progress_bytes,
+                    self.progress.bytes(),
                     self.expected.len()
                 ),
             });
@@ -314,7 +362,7 @@ pub const LEGAL_EDGES: &[(ResyncPhase, ResyncPhase)] = &[
 ///   — software confirmation cannot be skipped — and `Offloading` is only
 ///   re-entered from `Confirmed` — hardware never resumes without a
 ///   confirmed record boundary.
-pub(crate) fn check_resync_transitions(resync: &[(ResyncPhase, ResyncPhase)]) -> Vec<String> {
+pub fn check_resync_transitions(resync: &[(ResyncPhase, ResyncPhase)]) -> Vec<String> {
     let mut problems = Vec::new();
     let mut prev = ResyncPhase::Offloading;
     for (i, &(from, to)) in resync.iter().enumerate() {
@@ -443,5 +491,37 @@ mod tests {
     fn render_ladder_reads_left_to_right() {
         let edges = [(Offloading, Searching), (Searching, Tracking)];
         assert_eq!(render_ladder(&edges), "Offloading->Searching->Tracking");
+    }
+
+    #[test]
+    fn watchdog_fires_on_undeclared_stall_and_rearms() {
+        let mut wd = ProgressWatchdog::new(SimDuration::from_millis(10), vec![]);
+        assert!(wd.observe(SimTime::from_millis(1), 10, 1000).is_none());
+        assert!(wd.observe(SimTime::from_millis(12), 10, 1000).is_some());
+        // Re-armed: quiet for another full window, then fires again.
+        assert!(wd.observe(SimTime::from_millis(13), 10, 1000).is_none());
+        assert!(wd.observe(SimTime::from_millis(24), 10, 1000).is_some());
+    }
+
+    #[test]
+    fn watchdog_suspends_inside_declared_outage_then_rearms_at_repair() {
+        let dark = (SimTime::from_millis(5), SimTime::from_millis(100));
+        let mut wd = ProgressWatchdog::new(SimDuration::from_millis(10), vec![dark]);
+        assert!(wd.observe(SimTime::from_millis(1), 10, 1000).is_none());
+        // Silent far past the budget, but inside the declared window.
+        for ms in [20, 50, 99] {
+            assert!(wd.observe(SimTime::from_millis(ms), 10, 1000).is_none(), "t={ms}ms");
+        }
+        // Repair at 100ms: recovery gets one full fresh budget...
+        assert!(wd.observe(SimTime::from_millis(105), 10, 1000).is_none());
+        // ...and only then does continued silence become a violation.
+        assert!(wd.observe(SimTime::from_millis(111), 10, 1000).is_some());
+    }
+
+    #[test]
+    fn watchdog_stands_down_once_the_target_is_reached() {
+        let mut wd = ProgressWatchdog::new(SimDuration::from_millis(10), vec![]);
+        assert!(wd.observe(SimTime::from_millis(1), 1000, 1000).is_none());
+        assert!(wd.observe(SimTime::from_secs(5), 1000, 1000).is_none());
     }
 }

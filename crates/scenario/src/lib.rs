@@ -35,6 +35,7 @@ pub mod chaos;
 pub mod fleet;
 pub mod gen;
 pub mod invariant;
+pub mod netchaos;
 pub mod rss;
 pub mod runner;
 pub mod scenario;
@@ -45,6 +46,10 @@ pub use fleet::{
     FleetScenario, SensitivityPoint,
 };
 pub use invariant::Violation;
+pub use netchaos::{
+    netchaos_builtin, netchaos_matrix, run_netchaos, run_netchaos_differential, ChaosWorkload,
+    NetChaosOutcome, NetChaosScenario,
+};
 pub use rss::{run_rss, run_rss_differential, RssOutcome, RssScenario};
 pub use runner::{run_differential, run_scenario, run_scenario_faulted, DiffOutcome, RunOutcome};
 pub use scenario::{Scenario, Workload};

@@ -1,0 +1,732 @@
+//! Fleet-scale network chaos: scheduled partition/repair plans, asymmetric
+//! holds, and subset-targeted impairments — verified differentially.
+//!
+//! The two-host matrix scripts adversity *per link*; this tier scripts it
+//! *per fleet subset*, turmoil-style: "rack goes dark at t₁, heals at t₂",
+//! "this client's uplinks turn lossy", "the ACK path stalls". Each step of
+//! a [`NetPlan`] fires as a simulation event under the world's seed
+//! discipline, so a chaos run replays bit-for-bit.
+//!
+//! The checked contract is the paper's autonomy claim under the harshest
+//! transport conditions: offload state is disposable (§4.3), so a
+//! partition may cost the affected flows their offload — quiesced at
+//! declare time, re-installed at repair, reconverged through the legal
+//! resync ladder — but may never cost *correctness* (byte-identical
+//! streams vs a fault-free software twin) and may never leak sideways
+//! (unaffected flows keep full offload, zero spurious breaker trips).
+//! The forward-progress watchdog stays armed through every run, suspended
+//! only inside the plan's *declared* outage windows
+//! ([`NetPlan::outage_windows`]).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use ano_core::rx::RxStateKind;
+use ano_sim::link::{Impairments, LinkMode};
+use ano_sim::time::{SimDuration, SimTime};
+use ano_stack::app::{AppEvent, HostApi, HostApp};
+use ano_stack::prelude::{ConnId, ConnSpec, Fleet, NvmeHostSpec, NvmeTargetSpec};
+use ano_stack::world::{NetOp, NetPlan};
+use ano_trace::{Event as TraceEvent, Record, ResyncPhase};
+
+use crate::fleet::{build_fleet, connect_flows, FleetScenario};
+use crate::invariant::{check_resync_transitions, ProgressWatchdog, Violation};
+
+/// Stepping granularity of the chaos run loop (matches the fleet runner).
+const STEP: SimDuration = SimDuration::from_micros(500);
+
+/// Which workload the fleet's flows carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosWorkload {
+    /// Clients stream TLS plaintext to servers (data client → server; the
+    /// rx engines under chaos live on the server NICs).
+    Tls,
+    /// Clients issue NVMe/TCP reads against server targets (data server →
+    /// client; the offloads under chaos live on the initiator NICs).
+    Nvme,
+}
+
+/// One fleet chaos experiment: a fleet shape, a workload, and a timed
+/// [`NetPlan`] aimed at subsets of it.
+#[derive(Clone, Debug)]
+pub struct NetChaosScenario {
+    /// Scenario name (replay key).
+    pub name: String,
+    /// Fleet shape, flow population and per-pair static adversity.
+    pub fleet: FleetScenario,
+    /// What the flows carry.
+    pub workload: ChaosWorkload,
+    /// The scheduled chaos.
+    pub plan: NetPlan,
+    /// Forward-progress budget outside declared outage windows.
+    pub progress_budget: SimDuration,
+    /// When true (every pure partition/hold pattern), no link may count a
+    /// single `lost` frame: partition drops are accounted separately
+    /// (`LinkStats::partitioned`) and nothing else in the plan is lossy.
+    pub expect_lossless: bool,
+    /// When true (every partition/hold pattern), non-breaker flows must end
+    /// back in `Offloading`. Impairment sweeps (probabilistic loss) may let
+    /// a transfer *finish* mid-resync with no later traffic to reconverge
+    /// on, so they relax this — the ladder-legality check still applies.
+    pub expect_reoffload: bool,
+}
+
+/// The directed pairs `plan` darkens at some point: every crossing of a
+/// `Partition` group pair (both directions) and every `Hold` pair. Used to
+/// split the fleet into affected and unaffected flows for the
+/// breaker-suppression and `partitioned`-counter assertions.
+pub fn dark_pairs(plan: &NetPlan) -> BTreeSet<(u16, u16)> {
+    let mut out = BTreeSet::new();
+    for (_, op) in plan.steps() {
+        match op {
+            NetOp::Partition(a, b) => {
+                for &x in a {
+                    for &y in b {
+                        out.insert((x, y));
+                        out.insert((y, x));
+                    }
+                }
+            }
+            NetOp::Hold(src, dst) => {
+                out.insert((*src, *dst));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The subset of [`dark_pairs`] darkened by `Partition` steps specifically.
+/// Only these swallow frames into `LinkStats::partitioned`; `Hold` pairs
+/// park deliveries in the world's hold queue and count nothing.
+fn partition_pairs(plan: &NetPlan) -> BTreeSet<(u16, u16)> {
+    let mut out = BTreeSet::new();
+    for (_, op) in plan.steps() {
+        if let NetOp::Partition(a, b) = op {
+            for &x in a {
+                for &y in b {
+                    out.insert((x, y));
+                    out.insert((y, x));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The reads flow `k` issues in an NVMe chaos run: two extents in a device
+/// region no other flow touches, so cross-flow placement mixups are
+/// byte-visible (the NVMe analogue of [`FleetScenario::flow_pattern`]).
+pub fn nvme_reads(k: usize, bytes_per_flow: usize) -> Vec<(u64, u32)> {
+    let half = (bytes_per_flow / 2) as u32;
+    let base = (k as u64) << 22; // 4 MiB per-flow region
+    vec![(base + 4096, half), (base + (1 << 21), half)]
+}
+
+/// Shared recording of NVMe completions across a fleet: per connection,
+/// the ok-completed buffers keyed by request id (flattened in id order for
+/// stream comparison), plus a count of failed completions.
+#[derive(Debug, Default)]
+pub struct NvmeFleetDeliveries {
+    /// Per-connection ok-completion buffers, keyed by request id.
+    pub per_conn: BTreeMap<ConnId, BTreeMap<u64, Vec<u8>>>,
+    /// Completions that arrived with `ok == false` (digest failures).
+    pub failures: u64,
+}
+
+impl NvmeFleetDeliveries {
+    /// Total delivered bytes (watchdog progress metric).
+    pub fn bytes(&self) -> u64 {
+        self.per_conn
+            .values()
+            .flat_map(|m| m.values())
+            .map(|b| b.len() as u64)
+            .sum()
+    }
+}
+
+/// Issues each owned flow's reads at start and records completions (one
+/// instance per client host; a host may own many flows).
+pub struct FleetNvmeInitiator {
+    flows: Vec<(ConnId, Vec<(u64, u32)>)>,
+    deliveries: Rc<RefCell<NvmeFleetDeliveries>>,
+}
+
+impl FleetNvmeInitiator {
+    /// Creates the initiator over this host's flows.
+    pub fn new(
+        flows: Vec<(ConnId, Vec<(u64, u32)>)>,
+        deliveries: Rc<RefCell<NvmeFleetDeliveries>>,
+    ) -> FleetNvmeInitiator {
+        FleetNvmeInitiator { flows, deliveries }
+    }
+}
+
+impl HostApp for FleetNvmeInitiator {
+    fn on_event(&mut self, api: &mut HostApi, event: AppEvent<'_>) {
+        match event {
+            AppEvent::Start => {
+                for (conn, reads) in &self.flows {
+                    for (i, &(off, len)) in reads.iter().enumerate() {
+                        api.nvme_read(*conn, i as u64, off, len);
+                    }
+                }
+            }
+            AppEvent::NvmeDone { conn, completion } => {
+                let mut d = self.deliveries.borrow_mut();
+                if !completion.ok {
+                    d.failures += 1;
+                    return;
+                }
+                let buf = completion
+                    .buffer
+                    .as_ref()
+                    // ano-lint: allow(hot-alloc): functional-mode completion copy handed to the app (same inventory entry as NvmeReadApp)
+                    .map(|b| b.borrow().clone())
+                    .unwrap_or_default();
+                d.per_conn.entry(conn).or_default().insert(completion.id, buf);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Result of one chaos run (offload on or off).
+#[derive(Debug)]
+pub struct NetChaosOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Whether offload was requested.
+    pub offload: bool,
+    /// Every flow delivered every byte.
+    pub complete: bool,
+    /// Step time at which the last expected byte arrived.
+    pub finish: Option<SimTime>,
+    /// Step time at which the run stopped.
+    pub end: SimTime,
+    /// Delivered bytes per connection (TLS: arrival order; NVMe: request
+    /// id order).
+    pub streams: BTreeMap<ConnId, Vec<u8>>,
+    /// What each flow was supposed to deliver.
+    pub expected: BTreeMap<ConnId, Vec<u8>>,
+    /// Connections with `(client host, server host)` world indices.
+    pub conns: Vec<(ConnId, u16, u16)>,
+    /// Open breakers at the data receiver, by connection.
+    pub breakers: BTreeMap<ConnId, &'static str>,
+    /// Rx engine state at the data receiver per connection, at run end.
+    pub rx_states: BTreeMap<ConnId, Option<RxStateKind>>,
+    /// Ordered resync transitions per connection (from the trace).
+    pub resync: BTreeMap<ConnId, Vec<(ResyncPhase, ResyncPhase)>>,
+    /// Packets fully offloaded by surviving rx engines (receiver side).
+    pub rx_offloaded_pkts: u64,
+    /// `LinkStats::partitioned` per directed pair at run end.
+    pub link_partitioned: BTreeMap<(u16, u16), u64>,
+    /// `LinkStats::lost` per directed pair at run end.
+    pub link_lost: BTreeMap<(u16, u16), u64>,
+    /// Forward-progress violations (watchdog suspended inside declared
+    /// outage windows; anything here is a real stall).
+    pub watchdog: Vec<Violation>,
+    /// NVMe digest failures (always 0 on a healthy run).
+    pub nvme_failures: u64,
+    /// Full trace.
+    pub trace: Vec<Record>,
+    /// Trace records the ring overwrote.
+    pub trace_dropped: u64,
+}
+
+impl NetChaosOutcome {
+    /// Panics unless every flow delivered exactly its expected bytes.
+    pub fn assert_streams(&self) {
+        assert_eq!(
+            self.streams.keys().collect::<Vec<_>>(),
+            self.expected.keys().collect::<Vec<_>>(),
+            "netchaos '{}': flow population mismatch",
+            self.name
+        );
+        for (conn, want) in &self.expected {
+            let got = &self.streams[conn];
+            assert_eq!(
+                got.len(),
+                want.len(),
+                "netchaos '{}': conn {conn:?} delivered {} of {} bytes",
+                self.name,
+                got.len(),
+                want.len()
+            );
+            assert!(
+                got == want,
+                "netchaos '{}': conn {conn:?} delivered corrupted bytes",
+                self.name
+            );
+        }
+    }
+}
+
+/// The data receiver's world host index for one connection.
+fn receiver_host(workload: ChaosWorkload, client: u16, server: u16) -> usize {
+    match workload {
+        ChaosWorkload::Tls => server as usize,
+        ChaosWorkload::Nvme => client as usize,
+    }
+}
+
+/// The rx engine's ordered `(from, to)` transitions for one flow label.
+fn resync_edges(trace: &[Record], rx_flow: u64) -> Vec<(ResyncPhase, ResyncPhase)> {
+    trace
+        .iter()
+        .filter(|r| r.flow == rx_flow)
+        .filter_map(|r| match r.event {
+            TraceEvent::Resync { from, to, .. } => Some((from, to)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Runs one chaos scenario. `offload` arms the workload's offload engines
+/// (server rx for TLS, initiator offloads for NVMe); the software twin
+/// runs the identical plan with none.
+pub fn run_netchaos(sc: &NetChaosScenario, offload: bool) -> NetChaosOutcome {
+    let mut fleet = build_fleet(&sc.fleet);
+    fleet.tracer().set_enabled(true);
+
+    // Wire flows and apps per workload.
+    let tls_streams = Rc::new(RefCell::new(BTreeMap::new()));
+    let nvme_deliveries = Rc::new(RefCell::new(NvmeFleetDeliveries::default()));
+    let (conns, expected) = match sc.workload {
+        ChaosWorkload::Tls => {
+            let (conns, expected) = connect_flows(&mut fleet, &sc.fleet, offload, &tls_streams);
+            let conns = conns
+                .into_iter()
+                .map(|(conn, ci, server_host)| (conn, ci as u16, server_host as u16))
+                .collect::<Vec<_>>();
+            (conns, expected)
+        }
+        ChaosWorkload::Nvme => connect_nvme_flows(&mut fleet, sc, offload, &nvme_deliveries),
+    };
+
+    fleet.world_mut().set_net_plan(sc.plan.clone());
+    fleet.start();
+
+    let expected_total: u64 = expected.values().map(|v| v.len() as u64).sum();
+    let deadline = fleet.now() + sc.fleet.sim_budget;
+    let mut watchdog = ProgressWatchdog::new(sc.progress_budget, sc.plan.outage_windows(deadline));
+    let mut violations = Vec::new();
+    let mut t = fleet.now();
+    let mut finish = None;
+    let end = loop {
+        t += STEP;
+        fleet.world_mut().run_until(t);
+        let bytes = match sc.workload {
+            ChaosWorkload::Tls => tls_streams
+                .borrow()
+                .values()
+                .map(|v: &Vec<u8>| v.len() as u64)
+                .sum(),
+            ChaosWorkload::Nvme => nvme_deliveries.borrow().bytes(),
+        };
+        if let Some(detail) = watchdog.observe(t, bytes, expected_total) {
+            violations.push(Violation {
+                invariant: "forward-progress",
+                at: t,
+                detail,
+            });
+        }
+        if bytes >= expected_total && finish.is_none() {
+            finish = Some(t);
+        }
+        if fleet.is_idle() || t >= deadline {
+            break t;
+        }
+    };
+
+    // Every chaos plan in this tier heals what it breaks: by run end no
+    // link may still be dark and no delivery may still be parked.
+    for &(conn, c, s) in &conns {
+        let _ = conn;
+        for (src, dst) in [(c, s), (s, c)] {
+            assert_eq!(
+                fleet.world().link_mode_between(src, dst),
+                LinkMode::Normal,
+                "netchaos '{}': link {src}->{dst} still dark at run end",
+                sc.name
+            );
+            assert_eq!(
+                fleet.world().held_between(src, dst),
+                0,
+                "netchaos '{}': deliveries still parked on {src}->{dst}",
+                sc.name
+            );
+        }
+    }
+
+    let trace = fleet.tracer().records();
+    let mut breakers = BTreeMap::new();
+    let mut rx_states = BTreeMap::new();
+    let mut resync = BTreeMap::new();
+    let mut rx_offloaded_pkts = 0;
+    for &(conn, c, s) in &conns {
+        let recv = receiver_host(sc.workload, c, s);
+        if let Some(reason) = fleet.breaker_reason(recv, conn) {
+            breakers.insert(conn, reason);
+        }
+        rx_states.insert(conn, fleet.rx_engine_state(recv, conn));
+        let rx_flow = fleet.flow_ids(recv, conn).map(|(_, f)| f).unwrap_or(0);
+        resync.insert(conn, resync_edges(&trace, rx_flow));
+        rx_offloaded_pkts += fleet
+            .rx_engine_stats(recv, conn)
+            .map(|st| st.pkts_offloaded)
+            .unwrap_or(0);
+    }
+
+    let mut link_partitioned = BTreeMap::new();
+    let mut link_lost = BTreeMap::new();
+    for ci in 0..sc.fleet.clients as u16 {
+        for sj in 0..sc.fleet.servers as u16 {
+            let s = sc.fleet.clients as u16 + sj;
+            for (src, dst) in [(ci, s), (s, ci)] {
+                let stats = fleet.link_stats_between(src, dst);
+                link_partitioned.insert((src, dst), stats.partitioned);
+                link_lost.insert((src, dst), stats.lost);
+            }
+        }
+    }
+
+    let streams = match sc.workload {
+        ChaosWorkload::Tls => tls_streams.borrow().clone(),
+        ChaosWorkload::Nvme => nvme_deliveries
+            .borrow()
+            .per_conn
+            .iter()
+            .map(|(conn, by_id)| {
+                (*conn, by_id.values().flatten().copied().collect::<Vec<u8>>())
+            })
+            .collect(),
+    };
+
+    let nvme_failures = nvme_deliveries.borrow().failures;
+    NetChaosOutcome {
+        name: sc.name.clone(),
+        offload,
+        complete: finish.is_some(),
+        finish,
+        end,
+        streams,
+        expected,
+        conns,
+        breakers,
+        rx_states,
+        resync,
+        rx_offloaded_pkts,
+        link_partitioned,
+        link_lost,
+        watchdog: violations,
+        nvme_failures,
+        trace,
+        trace_dropped: fleet.tracer().dropped(),
+    }
+}
+
+/// Connects the NVMe flow population (round-robin placement, one initiator
+/// app per client host) and returns placements plus expected streams.
+fn connect_nvme_flows(
+    fleet: &mut Fleet,
+    sc: &NetChaosScenario,
+    offload: bool,
+    deliveries: &Rc<RefCell<NvmeFleetDeliveries>>,
+) -> (Vec<(ConnId, u16, u16)>, BTreeMap<ConnId, Vec<u8>>) {
+    let hspec = if offload {
+        NvmeHostSpec::offloaded()
+    } else {
+        NvmeHostSpec::default()
+    };
+    let mut conns = Vec::with_capacity(sc.fleet.flows);
+    let mut expected = BTreeMap::new();
+    let mut per_client: Vec<Vec<(ConnId, Vec<(u64, u32)>)>> = vec![Vec::new(); sc.fleet.clients];
+    for k in 0..sc.fleet.flows {
+        let (ci, sj) = sc.fleet.place(k);
+        let tspec = NvmeTargetSpec {
+            crc_tx_offload: offload,
+            ..Default::default()
+        };
+        let conn = fleet.connect(ci, sj, ConnSpec::NvmeHost(hspec), ConnSpec::NvmeTarget(tspec));
+        let reads = nvme_reads(k, sc.fleet.bytes_per_flow);
+        let want: Vec<u8> = reads
+            .iter()
+            .flat_map(|&(off, len)| {
+                (0..len as u64).map(move |j| ano_nvme::block::pattern_byte(off + j))
+            })
+            .collect();
+        expected.insert(conn, want);
+        per_client[ci].push((conn, reads));
+        conns.push((conn, ci as u16, (sc.fleet.clients + sj) as u16));
+    }
+    for (ci, flows) in per_client.into_iter().enumerate() {
+        let host = fleet.client(ci);
+        fleet
+            .world_mut()
+            .set_app(host, Box::new(FleetNvmeInitiator::new(flows, Rc::clone(deliveries))));
+    }
+    (conns, expected)
+}
+
+/// Runs `sc` with offloads on and its fault-free-in-spirit software twin
+/// (same plan, no engines), then checks the full chaos contract. Returns
+/// both outcomes for further inspection.
+pub fn run_netchaos_differential(sc: &NetChaosScenario) -> (NetChaosOutcome, NetChaosOutcome) {
+    let on = run_netchaos(sc, true);
+    let off = run_netchaos(sc, false);
+    assert_netchaos(sc, &on, &off);
+    (on, off)
+}
+
+/// The netchaos contract:
+///
+/// 1. both arms complete with byte-identical per-flow streams (the twin
+///    never touches an rx engine);
+/// 2. the partition-aware watchdog stayed quiet in both arms;
+/// 3. partition drops are accounted as `partitioned`, never `lost`, and
+///    only on the pairs the plan actually darkened;
+/// 4. no breaker opened on any unaffected pair (partition suppression);
+/// 5. every offloaded flow's resync ladder is §4.3-legal and — unless a
+///    breaker legitimately opened — ends back in `Offloading`: repair
+///    drove the quiesced flows through re-install and reconvergence.
+pub fn assert_netchaos(sc: &NetChaosScenario, on: &NetChaosOutcome, off: &NetChaosOutcome) {
+    assert!(
+        on.complete,
+        "netchaos '{}': offload arm incomplete at {:?} ({:?})",
+        sc.name, on.end, on.watchdog
+    );
+    assert!(
+        off.complete,
+        "netchaos '{}': software arm incomplete at {:?} ({:?})",
+        sc.name, off.end, off.watchdog
+    );
+    on.assert_streams();
+    off.assert_streams();
+    assert!(
+        on.streams == off.streams,
+        "netchaos '{}': offload and software twins delivered different bytes",
+        sc.name
+    );
+    assert_eq!(
+        off.rx_offloaded_pkts, 0,
+        "netchaos '{}': software twin must not touch rx engines",
+        sc.name
+    );
+    assert_eq!(on.nvme_failures + off.nvme_failures, 0, "netchaos '{}': digest failures", sc.name);
+
+    for (arm, o) in [("offload", on), ("software", off)] {
+        assert!(
+            o.watchdog.is_empty(),
+            "netchaos '{}': {arm} arm stalled outside declared outages: {:?}",
+            sc.name,
+            o.watchdog
+        );
+        assert_eq!(o.trace_dropped, 0, "netchaos '{}': trace ring wrapped", sc.name);
+    }
+
+    // Satellite: the partitioned/lost split. Dark pairs swallow frames
+    // into `partitioned`; no other pair may count one, and on lossless
+    // plans the `lost` counters stay zero fleet-wide — a partition is not
+    // packet loss and must not masquerade as it.
+    let dark = dark_pairs(&sc.plan);
+    for (&(src, dst), &p) in &on.link_partitioned {
+        if dark.contains(&(src, dst)) {
+            continue;
+        }
+        assert_eq!(
+            p, 0,
+            "netchaos '{}': link {src}->{dst} was never darkened but counted {p} partitioned frames",
+            sc.name
+        );
+    }
+    // Only `Partition` steps swallow; `Hold` pairs park deliveries in the
+    // world's hold queue without touching the counter.
+    let cut = partition_pairs(&sc.plan);
+    if !cut.is_empty() {
+        let cut_total: u64 = cut.iter().filter_map(|p| on.link_partitioned.get(p)).sum();
+        assert!(
+            cut_total > 0,
+            "netchaos '{}': plan partitioned {:?} but nothing was swallowed",
+            sc.name,
+            cut
+        );
+    }
+    if sc.expect_lossless {
+        for (&(src, dst), &l) in &on.link_lost {
+            assert_eq!(
+                l, 0,
+                "netchaos '{}': partition inflated lost on {src}->{dst} ({l} frames)",
+                sc.name
+            );
+        }
+    }
+
+    // Partition-aware degradation: chaos on one subset must not open
+    // breakers on another.
+    for &(conn, c, s) in &on.conns {
+        let affected = dark.contains(&(c, s)) || dark.contains(&(s, c));
+        if !affected {
+            assert!(
+                !on.breakers.contains_key(&conn),
+                "netchaos '{}': breaker '{}' tripped on unpartitioned pair {c}<->{s}",
+                sc.name,
+                on.breakers[&conn]
+            );
+        }
+    }
+
+    // Repair drives the §4.3 ladder: every offloaded flow ends back in
+    // Offloading through legal edges only (breaker-open flows stay in
+    // software by design).
+    for &(conn, c, s) in &on.conns {
+        let problems = check_resync_transitions(&on.resync[&conn]);
+        assert!(
+            problems.is_empty(),
+            "netchaos '{}': conn {conn:?} ({c}<->{s}) illegal resync ladder {:?}: {problems:?}",
+            sc.name,
+            on.resync[&conn]
+        );
+        if sc.expect_reoffload && !on.breakers.contains_key(&conn) {
+            assert_eq!(
+                on.rx_states[&conn],
+                Some(RxStateKind::Offloading),
+                "netchaos '{}': conn {conn:?} ({c}<->{s}) did not re-offload after repair \
+                 (ladder {:?})",
+                sc.name,
+                on.resync[&conn]
+            );
+        }
+    }
+}
+
+/// The base 3×2 fleet every pattern runs on: three clients, two servers,
+/// six flows covering all six client/server pairs, 10 Gb/s links so a
+/// 20 µs chaos onset lands mid-transfer.
+fn base_fleet(name: &str) -> FleetScenario {
+    FleetScenario {
+        name: name.into(),
+        clients: 3,
+        servers: 2,
+        flows: 6,
+        bytes_per_flow: 96_000,
+        link_rate_bps: 10_000_000_000,
+        sim_budget: SimDuration::from_millis(200),
+        ..FleetScenario::default()
+    }
+}
+
+/// Microseconds helper for plan steps.
+fn us(n: u64) -> SimTime {
+    SimTime::from_micros(n)
+}
+
+/// One partition/repair pulse over two host groups.
+fn pulse(a: &[u16], b: &[u16], from: SimTime, to: SimTime) -> NetPlan {
+    NetPlan::new()
+        .step(from, NetOp::Partition(a.to_vec(), b.to_vec()))
+        .step(to, NetOp::Repair(a.to_vec(), b.to_vec()))
+}
+
+/// The netchaos differential matrix: partition patterns × workloads ×
+/// fleet shapes. Every scenario heals what it breaks and must satisfy the
+/// full [`assert_netchaos`] contract.
+pub fn netchaos_matrix() -> Vec<NetChaosScenario> {
+    let budget = SimDuration::from_millis(50);
+    let mut out = Vec::new();
+    for workload in [ChaosWorkload::Tls, ChaosWorkload::Nvme] {
+        let tag = match workload {
+            ChaosWorkload::Tls => "tls",
+            ChaosWorkload::Nvme => "nvme",
+        };
+        let sc = |pattern: &str, plan: NetPlan, lossless: bool| NetChaosScenario {
+            name: format!("netchaos/{tag}/{pattern}"),
+            fleet: base_fleet(&format!("netchaos/{tag}/{pattern}")),
+            workload,
+            plan,
+            progress_budget: budget,
+            expect_lossless: lossless,
+            expect_reoffload: true,
+        };
+        // One server rack goes dark for every client, then heals.
+        out.push(sc("server-dark", pulse(&[0, 1, 2], &[3], us(20), us(1_500)), true));
+        // One client is cut off from the whole server side.
+        out.push(sc("client-cut", pulse(&[0], &[3, 4], us(20), us(1_500)), true));
+        // A subset×subset cut: two clients lose one server only.
+        out.push(sc("half-dark", pulse(&[0, 1], &[3], us(20), us(1_500)), true));
+        // The same pair partitioned twice — repair, re-partition, repair:
+        // the install ladder must survive being driven repeatedly.
+        out.push(sc(
+            "flap",
+            NetPlan::new()
+                .step(us(20), NetOp::Partition(vec![1], vec![4]))
+                .step(us(600), NetOp::Repair(vec![1], vec![4]))
+                .step(us(1_200), NetOp::Partition(vec![1], vec![4]))
+                .step(us(1_800), NetOp::Repair(vec![1], vec![4])),
+            true,
+        ));
+        // Asymmetric stall: the server→client direction of one pair is
+        // held (deliveries park in order) and later released. For TLS
+        // this darkens the ACK path; for NVMe the data path itself.
+        out.push(sc(
+            "ack-hold",
+            NetPlan::new()
+                .step(us(20), NetOp::Hold(3, 0))
+                .step(us(900), NetOp::Release(3, 0)),
+            true,
+        ));
+        // Subset-targeted impairment sweep: one client's links turn lossy
+        // mid-run, then heal (no partition — the breaker-suppression and
+        // partitioned-counter checks see an empty dark set). The transfer
+        // may finish mid-resync under probabilistic loss, so the
+        // end-in-Offloading expectation is relaxed for this pattern only.
+        let mut lossy = sc(
+            "lossy-client",
+            NetPlan::new()
+                .step(
+                    us(20),
+                    NetOp::Impair(
+                        vec![1],
+                        vec![3, 4],
+                        Impairments {
+                            loss: 0.2,
+                            ..Impairments::none()
+                        },
+                    ),
+                )
+                .step(us(2_000), NetOp::Impair(vec![1], vec![3, 4], Impairments::none())),
+            false,
+        );
+        lossy.expect_reoffload = false;
+        out.push(lossy);
+    }
+    // Fleet-shape variants: a 4×1 rack where the single server is the cut
+    // (full blackout, declared) and where a single client is.
+    for (pattern, a, b) in [
+        ("server-dark@4x1", vec![0u16, 1, 2, 3], vec![4u16]),
+        ("client-cut@4x1", vec![2], vec![4]),
+    ] {
+        let name = format!("netchaos/tls/{pattern}");
+        out.push(NetChaosScenario {
+            name: name.clone(),
+            fleet: FleetScenario {
+                clients: 4,
+                servers: 1,
+                flows: 8,
+                ..base_fleet(&name)
+            },
+            workload: ChaosWorkload::Tls,
+            plan: pulse(&a, &b, us(20), us(1_500)),
+            progress_budget: budget,
+            expect_lossless: true,
+            expect_reoffload: true,
+        });
+    }
+    out
+}
+
+/// Finds a netchaos scenario by name — the replay entry point.
+pub fn netchaos_builtin(name: &str) -> Option<NetChaosScenario> {
+    netchaos_matrix().into_iter().find(|s| s.name == name)
+}

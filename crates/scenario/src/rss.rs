@@ -236,6 +236,8 @@ pub fn run_rss(sc: &RssScenario, multi_queue: bool, trace: bool) -> RssOutcome {
             rebalance: if multi_queue { sc.rebalance } else { None },
             ..WorldConfig::default()
         },
+        impair: Vec::new(),
+        scripts: Vec::new(),
     });
     if trace {
         fleet.tracer().set_enabled(true);

@@ -92,6 +92,13 @@ pub struct Scenario {
     /// Differential bound: max allowed completion-time ratio between the
     /// offload and software runs.
     pub max_divergence: f64,
+    /// Declared network-outage windows `(from, to)`: the forward-progress
+    /// watchdog suspends inside each window and re-arms (with a full fresh
+    /// budget) when it closes. Deliberately *not* derived from the scripts
+    /// — an outage is only excusable when the scenario author declared it,
+    /// so an undeclared blackhole (`tls/blackhole`) still trips the
+    /// watchdog.
+    pub declared_partitions: Vec<(SimTime, SimTime)>,
 }
 
 impl Scenario {
@@ -108,7 +115,23 @@ impl Scenario {
             expect_complete: true,
             expect_reconverge: true,
             max_divergence: 8.0,
+            declared_partitions: Vec::new(),
         }
+    }
+
+    /// Declares a network outage over `[from, to]` (builder-style): the
+    /// watchdog tolerates silence inside the window and re-arms on repair.
+    pub fn declare_outage(mut self, from: SimTime, to: SimTime) -> Scenario {
+        self.declared_partitions.push((from, to));
+        self
+    }
+
+    /// Overrides the forward-progress budget (builder-style). Recovery
+    /// from a long declared outage is paced by the sender's accumulated
+    /// RTO backoff, which can exceed the default budget.
+    pub fn progress_budget(mut self, budget: SimDuration) -> Scenario {
+        self.progress_budget = budget;
+        self
     }
 
     /// Sets the payload-direction script (builder-style).
@@ -207,6 +230,19 @@ pub fn extras() -> Vec<Scenario> {
         // forward-progress watchdog fires on a wedged transfer.
         Scenario::new("tls/blackhole", tls_workload())
             .data_script(Script::partition(SimTime::from_micros(10), SimTime::from_secs(60)))
+            .sim_budget(SimDuration::from_secs(2)),
+        // The same outage shape, longer than the progress budget — but
+        // *declared*. The watchdog must stay quiet through the dark window,
+        // re-arm at repair, and the transfer must still complete and
+        // re-offload afterwards. The post-repair budget is raised above the
+        // ~230ms of RTO backoff a 400ms outage legitimately accumulates.
+        Scenario::new("tls/declared-partition", tls_workload())
+            .data_script(Script::partition(
+                SimTime::from_micros(20),
+                SimTime::from_millis(400),
+            ))
+            .declare_outage(SimTime::from_micros(20), SimTime::from_millis(400))
+            .progress_budget(SimDuration::from_millis(300))
             .sim_budget(SimDuration::from_secs(2)),
     ]
 }

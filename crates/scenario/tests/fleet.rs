@@ -62,6 +62,8 @@ fn curve_base() -> FleetScenario {
         thrash_breaker: Some(3),
         link_rate_bps: 100_000_000_000,
         sim_budget: SimDuration::from_millis(100),
+        impair: Vec::new(),
+        scripts: Vec::new(),
     }
 }
 
@@ -376,6 +378,8 @@ fn fleet_scale_thousands_of_flows() {
         thrash_breaker: Some(2),
         link_rate_bps: 100_000_000_000,
         sim_budget: SimDuration::from_millis(500),
+        impair: Vec::new(),
+        scripts: Vec::new(),
     };
     let on = fleet::run_fleet(&sc, true, None, false);
     assert!(on.complete, "fleet-scale run incomplete at {:?}", on.end);

@@ -24,6 +24,8 @@
 use std::fs;
 use std::path::PathBuf;
 
+use ano_scenario::invariant::check_resync_transitions;
+use ano_scenario::netchaos::{netchaos_builtin, run_netchaos};
 use ano_scenario::scenario::{self, tls_workload};
 use ano_scenario::{chaos_builtin, run_scenario, run_scenario_faulted, Scenario, Workload};
 use ano_sim::link::Script;
@@ -182,6 +184,62 @@ fn golden_tls_alternating_resync() {
     assert!(
         text.contains("Confirmed->Offloading"),
         "golden must pin the offload-resume edge"
+    );
+}
+
+/// The fleet partition ladder: one server rack of a 3×2-host fleet goes
+/// dark mid-transfer and heals. The golden pins the whole choreography in
+/// one file — `link.partition` events per severed direction, the RTO
+/// backoff the dark flows accumulate, `link.repair` at heal, and the
+/// §4.3 re-install ladder (`Searching→Tracking→Confirmed→Offloading`)
+/// repair drives on every surviving flow.
+#[test]
+fn golden_netchaos_partition_ladder() {
+    let sc = netchaos_builtin("netchaos/tls/server-dark").expect("built-in");
+    let on = run_netchaos(&sc, true);
+    assert_eq!(on.trace_dropped, 0, "trace ring wrapped; golden would be truncated");
+    let got = export::canonical(&on.trace, export::GOLDEN_CATEGORIES);
+    assert!(!got.is_empty(), "netchaos golden produced no Tcp/Resync/Net events");
+
+    // Legal-edge validation across the repair: every flow's recorded
+    // ladder must chain through §4.3 edges only — the golden diff shows
+    // *what* changed; this shows it stayed legal.
+    for (conn, ladder) in &on.resync {
+        let problems = check_resync_transitions(ladder);
+        assert!(problems.is_empty(), "conn {conn:?}: {problems:?}");
+    }
+
+    let path = golden_path("netchaos_server_dark");
+    if std::env::var("BLESS").is_ok() {
+        fs::write(&path, &got).expect("write golden");
+        eprintln!("blessed {} ({} lines)", path.display(), got.lines().count());
+    } else {
+        let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); run `BLESS=1 cargo test -p ano-scenario \
+                 --test golden_trace` to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            got, want,
+            "netchaos golden trace mismatch for '{}'. If the behavior change is \
+             intentional, re-bless with BLESS=1 and review the diff.",
+            sc.name
+        );
+    }
+
+    let text = fs::read_to_string(golden_path("netchaos_server_dark")).expect("golden exists");
+    assert!(text.contains("link.partition"), "golden must pin the partition events");
+    assert!(text.contains("link.repair"), "golden must pin the repair events");
+    assert!(text.contains("tcp.rto"), "golden must pin the RTO backoff while dark");
+    assert!(
+        text.contains("Offloading->Searching"),
+        "golden must pin the partition quiesce edge"
+    );
+    assert!(
+        text.contains("Confirmed->Offloading"),
+        "golden must pin the post-repair offload-resume edge"
     );
 }
 

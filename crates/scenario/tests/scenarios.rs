@@ -2,10 +2,11 @@
 //! matrix, the corruption/auth and watchdog extras, and property tests over
 //! randomly generated drop schedules.
 
-use ano_scenario::gen::{drop_indices_of, script_gen};
+use ano_scenario::gen::{drop_indices_of, script_gen, window_script_gen, windows_of};
 use ano_scenario::scenario::{self, tls_workload};
 use ano_scenario::{run_differential, run_scenario, Scenario, Workload};
 use ano_sim::link::Script;
+use ano_sim::time::SimTime;
 use ano_testkit::Gen;
 
 /// The core acceptance test: every built-in scenario (8 adversity schedules
@@ -107,6 +108,51 @@ fn random_drop_schedules_always_deliver() {
             let sc = Scenario::new("prop/drops", Workload::Tls { bytes: 24_000 })
                 .data_script(script.clone());
             run_scenario(&sc, true).assert_clean();
+        },
+    );
+}
+
+/// Overlapping, adjacent and empty `Match::Window` drop rules — the shape
+/// stacked `Script::partition`s compose into — agree with a naive per-rule
+/// containment oracle at every probe (including the exact endpoints, where
+/// half-open-interval bugs live), and `last_window_end` bounds every
+/// windowed drop.
+#[test]
+fn window_scripts_match_naive_oracle_and_bound_drops() {
+    const HORIZON_NS: u64 = 1_000_000;
+    let cfg = ano_testkit::Config::with_cases(128);
+    ano_testkit::check(
+        "window_scripts_match_naive_oracle_and_bound_drops",
+        &cfg,
+        &(window_script_gen(HORIZON_NS, 5),),
+        |(script,)| {
+            let windows = windows_of(script);
+            // Probe a grid denser than the generator's own, plus every
+            // window's exact `from`, `to` and `to - 1`.
+            let mut probes: Vec<u64> = (0..=64).map(|i| i * (HORIZON_NS / 64)).collect();
+            probes.extend(windows.iter().flat_map(|&(f, t)| [f, t, t.saturating_sub(1)]));
+            for &t in &probes {
+                let now = SimTime::from_nanos(t);
+                let naive = windows.iter().any(|&(f, to)| f <= t && t < to);
+                assert_eq!(
+                    script.drops(0, now),
+                    naive,
+                    "composed schedule disagrees with the per-rule oracle at t={t}ns \
+                     (windows {windows:?})"
+                );
+                if naive {
+                    let end = script.last_window_end().expect("windowed drop implies a window");
+                    assert!(
+                        now < end,
+                        "drop at t={t}ns outside last_window_end={end:?} (windows {windows:?})"
+                    );
+                }
+            }
+            assert_eq!(
+                script.last_window_end(),
+                windows.iter().map(|&(_, to)| to).max().map(SimTime::from_nanos),
+                "last_window_end is exactly the latest rule end"
+            );
         },
     );
 }

@@ -252,6 +252,28 @@ impl Impairments {
     }
 }
 
+/// What state a link is in with respect to fleet-level chaos operations.
+///
+/// Orthogonal to [`Impairments`]: impairments perturb packets the link still
+/// carries, while a mode decides whether the link carries anything at all.
+/// Group operations on [`LinkRegistry`] flip modes over host subsets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LinkMode {
+    /// Carrying traffic normally (impairments still apply).
+    #[default]
+    Normal,
+    /// Declared dark by a chaos plan: every offered frame vanishes and is
+    /// counted under [`LinkStats::partitioned`], not [`LinkStats::lost`] —
+    /// invariants can tell "the link ate it" from "chaos declared it dark".
+    Partitioned,
+    /// Frames are computed as usual but the caller must buffer the resulting
+    /// deliveries until [`LinkMode::Normal`] is restored (the link carries no
+    /// payloads, so the hold queue lives with the caller that owns the
+    /// packet events). Models a stalled-but-not-severed path: an asymmetric
+    /// ACK-path outage that later flushes in order.
+    Held,
+}
+
 /// Counters describing what a link did so far.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LinkStats {
@@ -261,6 +283,10 @@ pub struct LinkStats {
     pub delivered: u64,
     /// Packets dropped by the loss process (probabilistic or scripted).
     pub lost: u64,
+    /// Packets swallowed while the link was [`LinkMode::Partitioned`] —
+    /// deliberately *not* part of `lost`, so loss accounting stays honest
+    /// about what the impairment model did versus what chaos declared.
+    pub partitioned: u64,
     /// Packets given extra reordering/spike delay.
     pub reordered: u64,
     /// Extra deliveries due to duplication.
@@ -306,6 +332,7 @@ pub struct Link {
     gbps: Option<u64>,
     propagation: SimDuration,
     impair: Impairments,
+    mode: LinkMode,
     busy_until: SimTime,
     stats: LinkStats,
 }
@@ -325,9 +352,32 @@ impl Link {
             gbps,
             propagation,
             impair,
+            mode: LinkMode::Normal,
             busy_until: SimTime::ZERO,
             stats: LinkStats::default(),
         }
+    }
+
+    /// The link's current chaos mode.
+    pub fn mode(&self) -> LinkMode {
+        self.mode
+    }
+
+    /// Sets the chaos mode (see [`LinkMode`]). Mode changes are control-plane
+    /// operations; in-flight deliveries already returned by
+    /// [`Link::transmit_into`] are unaffected.
+    pub fn set_mode(&mut self, mode: LinkMode) {
+        self.mode = mode;
+    }
+
+    /// True while the link is declared dark by a partition.
+    pub fn is_partitioned(&self) -> bool {
+        self.mode == LinkMode::Partitioned
+    }
+
+    /// True while deliveries must be buffered by the caller.
+    pub fn is_held(&self) -> bool {
+        self.mode == LinkMode::Held
     }
 
     /// Replaces the impairment configuration.
@@ -399,6 +449,15 @@ impl Link {
         let index = self.stats.offered;
         self.stats.offered += 1;
         self.stats.bytes += wire_bytes as u64;
+
+        // A partitioned link swallows the frame before it ever reaches the
+        // wire: no serialization, no RNG draws (so the probabilistic
+        // impairment stream is untouched by chaos declarations), and the
+        // drop is accounted separately from the loss process.
+        if self.mode == LinkMode::Partitioned {
+            self.stats.partitioned += 1;
+            return;
+        }
 
         let start = now.max(self.busy_until);
         let done = start + self.serialization(wire_bytes);
@@ -502,6 +561,7 @@ impl LinkRegistry {
 
     /// Read access by id.
     pub fn by_id(&self, id: u32) -> &Link {
+        // ano-lint: allow(transitive-panic): link ids are registry handles issued at construction
         &self.links[id as usize]
     }
 
@@ -513,6 +573,104 @@ impl LinkRegistry {
     /// Mutable access by host pair (impairment and script installs).
     pub fn between_mut(&mut self, src: u16, dst: u16) -> Option<&mut Link> {
         self.id(src, dst).map(|i| &mut self.links[i as usize])
+    }
+
+    /// Severs every registered link crossing between the two host groups —
+    /// both directions — by flipping it to [`LinkMode::Partitioned`].
+    /// Frames offered while dark are swallowed and counted under
+    /// [`LinkStats::partitioned`]. Links wholly inside one group are
+    /// untouched, so the rest of the fleet keeps running at full rate.
+    ///
+    /// Returns the affected `(src, dst)` pairs in pair order, so callers can
+    /// trace one `link.partition` event per severed direction.
+    pub fn partition(&mut self, hosts_a: &[u16], hosts_b: &[u16]) -> Vec<(u16, u16)> {
+        self.set_mode_crossing(hosts_a, hosts_b, LinkMode::Partitioned)
+    }
+
+    /// Undoes [`LinkRegistry::partition`] for every link crossing between
+    /// the two groups: flips them back to [`LinkMode::Normal`] (this also
+    /// releases held links crossing the cut). Returns the affected pairs.
+    pub fn repair(&mut self, hosts_a: &[u16], hosts_b: &[u16]) -> Vec<(u16, u16)> {
+        self.set_mode_crossing(hosts_a, hosts_b, LinkMode::Normal)
+    }
+
+    fn set_mode_crossing(
+        &mut self,
+        hosts_a: &[u16],
+        hosts_b: &[u16],
+        mode: LinkMode,
+    ) -> Vec<(u16, u16)> {
+        let mut touched = Vec::new();
+        for (&(src, dst), &id) in &self.index {
+            let crosses = (hosts_a.contains(&src) && hosts_b.contains(&dst))
+                || (hosts_b.contains(&src) && hosts_a.contains(&dst));
+            if crosses {
+                self.links[id as usize].set_mode(mode);
+                touched.push((src, dst));
+            }
+        }
+        touched
+    }
+
+    /// Stalls the `src → dst` direction: deliveries keep being computed but
+    /// the caller must buffer them until [`LinkRegistry::release`] (see
+    /// [`LinkMode::Held`]). The reverse direction is untouched — this is the
+    /// asymmetric-outage primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pair has no registered link.
+    pub fn hold(&mut self, src: u16, dst: u16) {
+        self.between_mut(src, dst)
+            .unwrap_or_else(|| panic!("no link {src} -> {dst}"))
+            .set_mode(LinkMode::Held);
+    }
+
+    /// Restores a held `src → dst` direction to [`LinkMode::Normal`]; the
+    /// caller then flushes whatever it buffered.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pair has no registered link.
+    pub fn release(&mut self, src: u16, dst: u16) {
+        self.between_mut(src, dst)
+            .unwrap_or_else(|| panic!("no link {src} -> {dst}"))
+            .set_mode(LinkMode::Normal);
+    }
+
+    /// Installs a scripted schedule on the `src → dst` link, keeping its
+    /// probabilistic knobs (the registry-level spelling of
+    /// [`Link::set_script`], so chaos plans address links by host pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pair has no registered link.
+    pub fn set_script_between(&mut self, src: u16, dst: u16, script: Script) {
+        self.between_mut(src, dst)
+            .unwrap_or_else(|| panic!("no link {src} -> {dst}"))
+            .set_script(script);
+    }
+
+    /// Installs the same impairment configuration on every link crossing
+    /// between the two host groups (both directions): "this client's links
+    /// are lossy", without touching the rest of the mesh. Returns the
+    /// affected pairs.
+    pub fn impair_crossing(
+        &mut self,
+        hosts_a: &[u16],
+        hosts_b: &[u16],
+        impair: &Impairments,
+    ) -> Vec<(u16, u16)> {
+        let mut touched = Vec::new();
+        for (&(src, dst), &id) in &self.index {
+            let crosses = (hosts_a.contains(&src) && hosts_b.contains(&dst))
+                || (hosts_b.contains(&src) && hosts_a.contains(&dst));
+            if crosses {
+                self.links[id as usize].set_impairments(impair.clone());
+                touched.push((src, dst));
+            }
+        }
+        touched
     }
 
     /// Number of registered links.
@@ -700,5 +858,115 @@ mod tests {
     #[should_panic]
     fn zero_rate_rejected() {
         let _ = Link::new(0, SimDuration::ZERO, Impairments::none());
+    }
+
+    #[test]
+    fn partitioned_mode_swallows_without_counting_loss() {
+        let mut link = Link::new(gbps(100), SimDuration::ZERO, Impairments::none());
+        let mut rng = SimRng::seed(11);
+        assert_eq!(link.mode(), LinkMode::Normal);
+        link.set_mode(LinkMode::Partitioned);
+        assert!(link.is_partitioned());
+        assert!(link.transmit(SimTime::ZERO, 100, &mut rng).is_empty());
+        assert!(link.transmit(SimTime::ZERO, 100, &mut rng).is_empty());
+        link.set_mode(LinkMode::Normal);
+        assert_eq!(link.transmit(SimTime::ZERO, 100, &mut rng).len(), 1);
+        let s = link.stats();
+        assert_eq!((s.offered, s.partitioned, s.lost, s.delivered), (3, 2, 0, 1));
+    }
+
+    #[test]
+    fn partitioned_mode_does_not_advance_rng_or_wire() {
+        // Two identical links, same seed; one is partitioned for the first
+        // two frames. After repair the RNG-driven outcomes must realign —
+        // the dark interval consumed no draws and no wire time.
+        let imp = Impairments::loss(0.5);
+        let mut dark = Link::new(gbps(1), SimDuration::ZERO, imp.clone());
+        let mut fine = Link::new(gbps(1), SimDuration::ZERO, imp);
+        let mut rng_dark = SimRng::seed(12);
+        let mut rng_fine = SimRng::seed(12);
+        dark.set_mode(LinkMode::Partitioned);
+        for _ in 0..2 {
+            assert!(dark.transmit(SimTime::ZERO, 1250, &mut rng_dark).is_empty());
+        }
+        dark.set_mode(LinkMode::Normal);
+        for _ in 0..32 {
+            let a = dark.transmit(SimTime::from_millis(1), 1250, &mut rng_dark);
+            let b = fine.transmit(SimTime::from_millis(1), 1250, &mut rng_fine);
+            assert_eq!(a, b, "post-repair stream identical to never-dark twin");
+        }
+    }
+
+    #[test]
+    fn held_mode_still_computes_deliveries() {
+        let mut link = Link::new(gbps(100), SimDuration::from_micros(2), Impairments::none());
+        let mut rng = SimRng::seed(13);
+        link.set_mode(LinkMode::Held);
+        assert!(link.is_held());
+        // The link computes the delivery as usual — buffering is the
+        // caller's job (the link carries no payloads).
+        let d = link.transmit(SimTime::ZERO, 1500, &mut rng);
+        assert_eq!(d.len(), 1);
+        assert_eq!(link.stats().delivered, 1);
+    }
+
+    #[test]
+    fn registry_partitions_and_repairs_crossing_links_only() {
+        // 2 clients (0, 1) x 2 servers (2, 3), fully meshed both ways.
+        let mut reg = LinkRegistry::new();
+        for c in 0..2u16 {
+            for s in 2..4u16 {
+                reg.add(c, s, Link::new(gbps(100), SimDuration::ZERO, Impairments::none()));
+                reg.add(s, c, Link::new(gbps(100), SimDuration::ZERO, Impairments::none()));
+            }
+        }
+        // Rack-dark: server 3 severed from every client, both directions.
+        let cut = reg.partition(&[0, 1], &[3]);
+        assert_eq!(cut, vec![(0, 3), (1, 3), (3, 0), (3, 1)]);
+        for &(src, dst) in &cut {
+            assert!(reg.between(src, dst).expect("wired").is_partitioned());
+        }
+        // Server 2's links are untouched.
+        assert!(!reg.between(0, 2).expect("wired").is_partitioned());
+        assert!(!reg.between(2, 1).expect("wired").is_partitioned());
+        let healed = reg.repair(&[0, 1], &[3]);
+        assert_eq!(healed, cut);
+        assert!(!reg.between(3, 0).expect("wired").is_partitioned());
+    }
+
+    #[test]
+    fn registry_hold_and_release_are_directional() {
+        let mut reg = LinkRegistry::new();
+        reg.add(0, 1, Link::new(gbps(100), SimDuration::ZERO, Impairments::none()));
+        reg.add(1, 0, Link::new(gbps(100), SimDuration::ZERO, Impairments::none()));
+        reg.hold(1, 0);
+        assert!(reg.between(1, 0).expect("wired").is_held());
+        assert!(!reg.between(0, 1).expect("wired").is_held(), "forward path unaffected");
+        reg.release(1, 0);
+        assert!(!reg.between(1, 0).expect("wired").is_held());
+    }
+
+    #[test]
+    fn registry_group_impair_and_script_target_subsets() {
+        let mut reg = LinkRegistry::new();
+        for c in 0..2u16 {
+            reg.add(c, 2, Link::new(gbps(100), SimDuration::ZERO, Impairments::none()));
+            reg.add(2, c, Link::new(gbps(100), SimDuration::ZERO, Impairments::none()));
+        }
+        // Only client 1's pair turns lossy.
+        let touched = reg.impair_crossing(&[1], &[2], &Impairments::loss(0.1));
+        assert_eq!(touched, vec![(1, 2), (2, 1)]);
+        assert_eq!(reg.between(1, 2).expect("wired").impairments().loss, 0.1);
+        assert_eq!(reg.between(0, 2).expect("wired").impairments().loss, 0.0);
+        reg.set_script_between(0, 2, Script::drop_nth(3));
+        assert!(!reg.between(0, 2).expect("wired").impairments().script.is_empty());
+        assert!(reg.between(2, 0).expect("wired").impairments().script.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn registry_hold_requires_a_wired_pair() {
+        let mut reg = LinkRegistry::new();
+        reg.hold(0, 9);
     }
 }

@@ -183,6 +183,7 @@ impl World {
                 attempt,
             } => self.try_install(host as usize, conn, rx, attempt),
             Event::DeviceFault { host, idx } => self.handle_device_fault(host as usize, idx),
+            Event::NetStep { idx } => self.handle_net_step(idx),
             Event::TargetReply { host, conn, token } => {
                 self.handle_target_reply(host as usize, conn, token)
             }
@@ -329,6 +330,7 @@ impl World {
         let World {
             cfg,
             hosts,
+            links,
             sched,
             tracer,
             ..
@@ -351,6 +353,13 @@ impl World {
             let Some(c) = host.conns.get_mut(&conn) else {
                 return;
             };
+            // Chaos-aware breaker guard: while this connection's peer sits
+            // behind a declared partition (group cuts sever both
+            // directions, so the outgoing link's mode is authoritative),
+            // stalls and resync noise are the chaos plan's doing, not the
+            // device's — the breaker must not trip on them. Evaluated
+            // lazily: only the rare would-open branches pay for it.
+            let peer_dark = || links.by_id(c.link_out).is_partitioned();
 
             // Degraded-mode metering: payload packets on a breaker-open
             // connection run entirely in software.
@@ -382,11 +391,11 @@ impl World {
                 resync_reqs.push((layer, tcpsn));
                 // A flow that storms resync requests gains nothing from
                 // offload: its context never stabilizes.
-                if c.health.note_resync(now, degrade) {
+                if c.health.note_resync(now, degrade) && !peer_dark() {
                     open_reason = Some("resync_storm");
                 }
             }
-            if rxp.cache_miss && c.health.note_miss(now, degrade) {
+            if rxp.cache_miss && c.health.note_miss(now, degrade) && !peer_dark() {
                 open_reason = open_reason.or(Some("cache_thrash"));
             }
 
@@ -745,6 +754,7 @@ impl World {
             rng,
             sched,
             burst,
+            held,
             ..
         } = &mut *self;
         let now = sched.now();
@@ -761,7 +771,11 @@ impl World {
         // outgoing link were resolved once at `connect_pair` time, so the
         // per-packet path stays O(1) regardless of fleet size.
         let peer = c.peer;
-        let link = links.by_id_mut(c.link_out);
+        let link_out = c.link_out;
+        let link = links.by_id_mut(link_out);
+        // Hold-mode is sampled once per pump: a chaos plan flips modes from
+        // its own dispatch slot, never mid-pump.
+        let link_held = link.is_held();
         loop {
             // Transmission is paced by the core: a packet effectively
             // leaves when the core's queued work drains. Using that time
@@ -824,19 +838,25 @@ impl World {
                     // ano-lint: allow(hot-alloc): SACK vector clone per retained segment, inventoried for arena round 2 (ROADMAP item 1)
                     seg.sack.clone()
                 };
-                sched.schedule(
-                    delivery.at + cost.nic_latency,
-                    Event::Packet {
-                        host: peer,
-                        conn,
-                        seq: seg.seq,
-                        seq64: seg.seq64,
-                        ack: seg.ack,
-                        wnd: seg.wnd,
-                        sack,
-                        payload: deliver,
-                    },
-                );
+                let at = delivery.at + cost.nic_latency;
+                let ev = Event::Packet {
+                    host: peer,
+                    conn,
+                    seq: seg.seq,
+                    seq64: seg.seq64,
+                    ack: seg.ack,
+                    wnd: seg.wnd,
+                    sack,
+                    payload: deliver,
+                };
+                if link_held {
+                    // A held link stalls without dropping: the delivery is
+                    // parked (in computed-arrival order) until the chaos
+                    // plan releases the direction.
+                    held.entry(link_out).or_default().push((at, ev));
+                } else {
+                    sched.schedule(at, ev);
+                }
             }
         }
         // Arm/refresh the retransmission timer. One live `Event::Rto` per

@@ -11,7 +11,7 @@
 //! breakers, resync, tracing — is the same [`World`] machinery the
 //! two-host façade uses.
 
-use ano_sim::link::Impairments;
+use ano_sim::link::{Impairments, Script};
 
 use crate::world::{ConnId, ConnSpec, HostSpec, World, WorldConfig};
 
@@ -31,6 +31,16 @@ pub struct FleetSpec {
     /// the degradation policy. The façade-only fields (`cores`, `nic`,
     /// `impair_*`) are ignored.
     pub cfg: WorldConfig,
+    /// Per-directed-pair impairment overrides, applied once the mesh is
+    /// wired: `((src_host, dst_host), impairments)`. Host indices are
+    /// world indices (clients `0..N`, servers `N..N+M`); pairs not listed
+    /// stay pristine. This is the PR-2 scripted-adversity machinery aimed
+    /// at fleet subsets — one lossy client, one scripted server uplink —
+    /// instead of the façade's two fixed directions.
+    pub impair: Vec<((u16, u16), Impairments)>,
+    /// Per-directed-pair scripted schedules, installed after `impair`
+    /// (keeping that pair's probabilistic knobs).
+    pub scripts: Vec<((u16, u16), Script)>,
 }
 
 impl Default for FleetSpec {
@@ -41,6 +51,8 @@ impl Default for FleetSpec {
             client: HostSpec::default(),
             server: HostSpec::default(),
             cfg: WorldConfig::default(),
+            impair: Vec::new(),
+            scripts: Vec::new(),
         }
     }
 }
@@ -73,6 +85,14 @@ impl Fleet {
                 world.add_link(c, s, Impairments::none());
                 world.add_link(s, c, Impairments::none());
             }
+        }
+        // Per-pair adversity, applied after the mesh exists so unwired
+        // pairs panic loudly instead of being silently ignored.
+        for ((src, dst), imp) in &spec.impair {
+            world.set_impairments_between(*src, *dst, imp.clone());
+        }
+        for ((src, dst), script) in &spec.scripts {
+            world.set_script_between(*src, *dst, script.clone());
         }
         Fleet {
             world,
@@ -133,7 +153,11 @@ impl std::ops::DerefMut for Fleet {
 
 #[cfg(test)]
 mod tests {
+    use ano_sim::payload::Payload;
+    use ano_sim::time::SimTime;
+
     use super::*;
+    use crate::app::{AppEvent, HostApi, HostApp};
     use crate::world::TlsSpec;
 
     fn small() -> FleetSpec {
@@ -176,6 +200,54 @@ mod tests {
         fleet.world_mut().disconnect(conn);
         assert_eq!(fleet.conn_endpoints(conn), None);
         assert!(fleet.rx_engine_stats(server, conn).is_none());
+    }
+
+    struct Blaster {
+        conn: ConnId,
+    }
+
+    impl HostApp for Blaster {
+        fn on_event(&mut self, api: &mut HostApi, event: AppEvent<'_>) {
+            if let AppEvent::Start = event {
+                api.send(self.conn, Payload::real(vec![0xAB; 32 * 1024]));
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_applies_per_pair_adversity() {
+        let mut spec = small();
+        // Drown client 1's uplink; every other pair stays pristine.
+        spec.impair.push((
+            (1, 3),
+            Impairments {
+                loss: 1.0,
+                ..Impairments::none()
+            },
+        ));
+        let mut fleet = Fleet::build(spec);
+        let conn = fleet.connect(1, 0, ConnSpec::Raw, ConnSpec::Raw);
+        fleet.world_mut().set_app(1, Box::new(Blaster { conn }));
+        fleet.world_mut().start();
+        fleet.world_mut().run_until(SimTime::from_millis(50));
+        let dark = fleet.world().link_stats_between(1, 3);
+        assert!(dark.offered > 0, "sender kept trying");
+        assert_eq!(dark.lost, dark.offered, "uplink drowned every frame");
+        assert_eq!(fleet.world().delivered_bytes(fleet.server(0), conn), 0);
+        assert_eq!(
+            fleet.world().link_stats_between(0, 3).offered,
+            0,
+            "untargeted pairs untouched"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn per_pair_scripts_reject_unwired_pairs() {
+        let mut spec = small();
+        // Client↔client is never meshed; a script aimed there is a bug.
+        spec.scripts.push(((0, 1), Script::drop_nth(0)));
+        Fleet::build(spec);
     }
 
     #[test]

@@ -39,7 +39,7 @@ use ano_nvme::parser::PduParser;
 use ano_nvme::target::{NvmeTargetConfig, NvmeTcpTarget, Reply};
 use ano_sim::cost::CostModel;
 use ano_sim::cpu::CpuSet;
-use ano_sim::link::{Impairments, Link, LinkRegistry};
+use ano_sim::link::{Impairments, Link, LinkMode, LinkRegistry, Script};
 use ano_sim::payload::{DataMode, Payload};
 use ano_sim::rng::SimRng;
 use ano_sim::sched::Scheduler;
@@ -232,6 +232,105 @@ impl Default for RebalanceConfig {
             max_moves: 1,
             steer_queues: false,
         }
+    }
+}
+
+/// One network-chaos operation over the fleet's links. Group operations
+/// (`Partition`/`Repair`/`Impair`) address every link crossing between two
+/// host subsets, both directions; pair operations (`Hold`/`Release`/
+/// `Script`) address one directed link. Applied immediately by
+/// [`World::apply_net_op`] or on schedule through a [`NetPlan`].
+#[derive(Clone, Debug)]
+pub enum NetOp {
+    /// Sever every link crossing between the two host groups: frames are
+    /// swallowed (counted as `partitioned`, never `lost`) and the affected
+    /// connections' offload engines are quiesced to software — offload
+    /// state is disposable (§4.3), so declaring it gone is free.
+    Partition(Vec<u16>, Vec<u16>),
+    /// Restore every link crossing between the two host groups and drive
+    /// each surviving connection back through the §4.4 install ladder; the
+    /// reinstalled engines start in `Searching` and reconverge via §4.3.
+    Repair(Vec<u16>, Vec<u16>),
+    /// Stall the directed `src → dst` link: deliveries buffer in order
+    /// until the matching `Release` (asymmetric ACK-path outage).
+    Hold(u16, u16),
+    /// Resume a held link, flushing its buffered deliveries in order.
+    Release(u16, u16),
+    /// Replace the impairments of every link crossing between the two
+    /// groups ("this client's links turn lossy").
+    Impair(Vec<u16>, Vec<u16>, Impairments),
+    /// Install a scripted per-packet schedule on one directed link.
+    SetScript(u16, u16, Script),
+}
+
+/// A deterministic timed chaos schedule over the fleet's links: each step
+/// fires as a simulation event at its declared time, under the same seed
+/// discipline as everything else (no wall clock, no extra RNG draws).
+/// Install with [`World::set_net_plan`] before (or while) running.
+#[derive(Clone, Debug, Default)]
+pub struct NetPlan {
+    steps: Vec<(SimTime, NetOp)>,
+}
+
+impl NetPlan {
+    /// An empty plan.
+    pub fn new() -> NetPlan {
+        NetPlan::default()
+    }
+
+    /// Appends a step (builder-style). Steps may be appended in any order;
+    /// the scheduler fires them by time.
+    pub fn step(mut self, when: SimTime, op: NetOp) -> NetPlan {
+        self.steps.push((when, op));
+        self
+    }
+
+    /// The scheduled steps, in insertion order.
+    pub fn steps(&self) -> &[(SimTime, NetOp)] {
+        &self.steps
+    }
+
+    /// True when the plan has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The *declared outage windows* of this plan: for every `Partition`
+    /// (or `Hold`) step, the interval until the first later `Repair` over
+    /// the same groups (resp. `Release` of the same pair), or `horizon`
+    /// when the plan never heals it. Forward-progress watchdogs suspend
+    /// inside these windows and re-arm at their ends — a stall *during* a
+    /// declared outage is chaos; a stall after repair is a bug.
+    pub fn outage_windows(&self, horizon: SimTime) -> Vec<(SimTime, SimTime)> {
+        let mut windows = Vec::new();
+        for (i, (from, op)) in self.steps.iter().enumerate() {
+            let heals: Box<dyn Fn(&NetOp) -> bool> = match op {
+                NetOp::Partition(a, b) => {
+                    let (a, b) = (a.clone(), b.clone());
+                    Box::new(move |later| match later {
+                        NetOp::Repair(ra, rb) => {
+                            (*ra == a && *rb == b) || (*ra == b && *rb == a)
+                        }
+                        _ => false,
+                    })
+                }
+                NetOp::Hold(src, dst) => {
+                    let (src, dst) = (*src, *dst);
+                    Box::new(move |later| matches!(later, NetOp::Release(rs, rd) if *rs == src && *rd == dst))
+                }
+                _ => continue,
+            };
+            let to = self
+                .steps
+                .iter()
+                .skip(i + 1)
+                .filter(|(t, later)| *t >= *from && heals(later))
+                .map(|(t, _)| *t)
+                .min()
+                .unwrap_or(horizon);
+            windows.push((*from, to));
+        }
+        windows
     }
 }
 
@@ -555,6 +654,12 @@ pub(crate) struct ConnState {
     pub(crate) tx_factory: Option<TxFactory>,
     /// Circuit-breaker state and the counters feeding it.
     pub(crate) health: OffloadHealth,
+    /// An rx engine has been installed at least once. Only the *first*
+    /// install may take the at-offset-0 fast path (engine born in
+    /// `Offloading`); any reinstall — install retry, post-partition repair
+    /// — starts `Searching` so the flow's transition ladder stays legal
+    /// and reconvergence is earned on live traffic.
+    pub(crate) rx_installed_once: bool,
     /// Payload packets received in the current rebalance window (hot-flow
     /// selection; reset every tick, untouched when rebalancing is off).
     pub(crate) pkts_in_window: u64,
@@ -638,6 +743,11 @@ pub(crate) enum Event {
         host: u16,
         idx: usize,
     },
+    /// Fire step `idx` of the world's scheduled network-chaos plan
+    /// ([`World::set_net_plan`]).
+    NetStep {
+        idx: usize,
+    },
     TargetReply {
         host: u16,
         conn: ConnId,
@@ -669,6 +779,13 @@ pub struct World {
     /// Endpoint hosts per live connection (`disconnect` teardown).
     conn_hosts: BTreeMap<ConnId, (u16, u16)>,
     next_conn: u32,
+    /// The installed network-chaos schedule ([`World::set_net_plan`]);
+    /// `Event::NetStep { idx }` indexes into it.
+    net_plan: NetPlan,
+    /// Deliveries buffered per held link id ([`LinkMode::Held`]): the link
+    /// computes arrival times as usual, the world parks the packet events
+    /// here and flushes them — in order, clamped to "now" — on release.
+    pub(crate) held: BTreeMap<u32, Vec<(SimTime, Event)>>,
     /// Reusable event-burst buffer for the batched `run_until` loop; lives
     /// here so steady state dispatches with zero allocation per batch.
     pub(crate) batch: Vec<Event>,
@@ -741,6 +858,8 @@ impl World {
             tracer,
             conn_hosts: BTreeMap::new(),
             next_conn: 0,
+            net_plan: NetPlan::new(),
+            held: BTreeMap::new(),
             batch: Vec::new(),
             burst: Vec::new(),
             app_calls: Vec::new(),
@@ -921,6 +1040,7 @@ impl World {
                 rx_factory: b0.rx_factory,
                 tx_factory: b0.tx_factory,
                 health: OffloadHealth::default(),
+                rx_installed_once: false,
                 pkts_in_window: 0,
                 rx_tuple: tuple0,
             },
@@ -943,6 +1063,7 @@ impl World {
                 rx_factory: b1.rx_factory,
                 tx_factory: b1.tx_factory,
                 health: OffloadHealth::default(),
+                rx_installed_once: false,
                 pkts_in_window: 0,
                 rx_tuple: tuple1,
             },
@@ -1059,12 +1180,13 @@ impl World {
             if !have_factory || installed {
                 return; // nothing to offload, or a live engine already won
             }
-            // Install at stream offset 0 only while no bytes have been
-            // delivered; after that the context's cursor is unknown and the
-            // engine must re-derive it (Searching) like any mid-stream
-            // install.
+            // Install at stream offset 0 only on the flow's *first* install
+            // while no bytes have been delivered; after either, the
+            // context's cursor must be re-derived (Searching) like any
+            // mid-stream install — a reinstalled engine earns `Offloading`
+            // back through the §4.3 ladder on live traffic.
             let rcv = c.tcp.rcv_nxt();
-            (flow, if rcv == 0 { None } else { Some(rcv) })
+            (flow, if rcv == 0 && !c.rx_installed_once { None } else { Some(rcv) })
         };
         let op = if rx { DeviceOp::InstallRx } else { DeviceOp::InstallTx };
         let dir = if rx { "rx" } else { "tx" };
@@ -1121,6 +1243,7 @@ impl World {
                     let mut engine = f(at);
                     engine.set_rerequest_pkts(self.cfg.degrade.rerequest_pkts);
                     host.nic.install_rx(flow, engine);
+                    c.rx_installed_once = true;
                 } else {
                     let Some(f) = &c.tx_factory else { return };
                     host.nic.install_tx(flow, f());
@@ -1181,6 +1304,192 @@ impl World {
             );
         }
         self.hosts[host].faults = plan;
+    }
+
+    // ------------------------------------------------------------------
+    // Network chaos: partitions, holds and subset impairments.
+
+    /// Installs a timed network-chaos schedule: every step becomes a
+    /// simulation event at its declared time. Deterministic under the
+    /// world's seed — plan application draws no randomness.
+    pub fn set_net_plan(&mut self, plan: NetPlan) {
+        for (idx, (when, _)) in plan.steps().iter().enumerate() {
+            self.sched.schedule(*when, Event::NetStep { idx });
+        }
+        self.net_plan = plan;
+    }
+
+    /// Fires one step of the installed chaos plan (dispatch target of
+    /// `Event::NetStep`).
+    pub(crate) fn handle_net_step(&mut self, idx: usize) {
+        let Some((_, op)) = self.net_plan.steps().get(idx) else {
+            return;
+        };
+        let op = op.clone();
+        self.apply_net_op(op);
+    }
+
+    /// Applies one chaos operation immediately (imperative spelling of a
+    /// [`NetPlan`] step; harnesses drive mid-run chaos through this).
+    pub fn apply_net_op(&mut self, op: NetOp) {
+        match op {
+            NetOp::Partition(a, b) => {
+                self.partition(&a, &b);
+            }
+            NetOp::Repair(a, b) => {
+                self.repair(&a, &b);
+            }
+            NetOp::Hold(src, dst) => self.hold_between(src, dst),
+            NetOp::Release(src, dst) => self.release_between(src, dst),
+            NetOp::Impair(a, b, imp) => {
+                self.links.impair_crossing(&a, &b, &imp);
+            }
+            NetOp::SetScript(src, dst, script) => {
+                self.links.set_script_between(src, dst, script);
+            }
+        }
+    }
+
+    /// Severs every link crossing between two host groups (both
+    /// directions) and quiesces the affected connections' offload engines
+    /// to software. Quiescing at declare time is the §4.3 autonomy
+    /// property made operational: offload state is disposable, so the
+    /// driver throws it away the moment the path goes dark instead of
+    /// letting a blind engine accumulate resync noise; the engines'
+    /// transition ladders close at `Searching`, keeping per-flow traces
+    /// legal across the outage. Returns the severed pairs.
+    pub fn partition(&mut self, hosts_a: &[u16], hosts_b: &[u16]) -> Vec<(u16, u16)> {
+        let cut = self.links.partition(hosts_a, hosts_b);
+        for &(src, dst) in &cut {
+            self.tracer.record(|| ano_trace::Event::LinkPartition {
+                src: src as u64,
+                dst: dst as u64,
+            });
+        }
+        self.tracer.count("net.partitions", cut.len() as u64);
+        self.quiesce_cut(&cut);
+        cut
+    }
+
+    /// Restores every link crossing between two host groups, flushes any
+    /// deliveries a `Hold` buffered on them, and drives each surviving
+    /// connection back through the install ladder — reinstalled rx engines
+    /// start in `Searching` at the current stream cursor and reconverge
+    /// through the §4.3 resync ladder on the next data. Breaker-open
+    /// connections stay in software. Returns the healed pairs.
+    pub fn repair(&mut self, hosts_a: &[u16], hosts_b: &[u16]) -> Vec<(u16, u16)> {
+        let healed = self.links.repair(hosts_a, hosts_b);
+        for &(src, dst) in &healed {
+            self.tracer.record(|| ano_trace::Event::LinkRepair {
+                src: src as u64,
+                dst: dst as u64,
+            });
+            if let Some(id) = self.links.id(src, dst) {
+                self.flush_held(id);
+            }
+        }
+        self.tracer.count("net.repairs", healed.len() as u64);
+        self.reoffload_cut(&healed);
+        healed
+    }
+
+    /// Stalls the directed `src → dst` link: deliveries buffer (in the
+    /// world's hold queue) until [`World::release_between`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pair has no link.
+    pub fn hold_between(&mut self, src: u16, dst: u16) {
+        self.links.hold(src, dst);
+        self.tracer.record(|| ano_trace::Event::LinkHold {
+            src: src as u64,
+            dst: dst as u64,
+        });
+    }
+
+    /// Resumes a held `src → dst` link, flushing its buffered deliveries
+    /// in order (arrival times clamped to "now").
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pair has no link.
+    pub fn release_between(&mut self, src: u16, dst: u16) {
+        self.links.release(src, dst);
+        let flushed = match self.links.id(src, dst) {
+            Some(id) => self.flush_held(id),
+            None => 0,
+        };
+        self.tracer.record(|| ano_trace::Event::LinkRelease {
+            src: src as u64,
+            dst: dst as u64,
+            flushed,
+        });
+    }
+
+    /// The chaos mode of the `src → dst` link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair has no link.
+    pub fn link_mode_between(&self, src: u16, dst: u16) -> LinkMode {
+        self.links
+            .between(src, dst)
+            .unwrap_or_else(|| panic!("no link {src} -> {dst}"))
+            .mode()
+    }
+
+    /// Deliveries currently parked on the held `src → dst` link.
+    pub fn held_between(&self, src: u16, dst: u16) -> usize {
+        self.links
+            .id(src, dst)
+            .and_then(|id| self.held.get(&id))
+            .map(|v| v.len())
+            .unwrap_or(0)
+    }
+
+    /// Reschedules every delivery parked on link `id`; returns the count.
+    fn flush_held(&mut self, id: u32) -> u64 {
+        let Some(buf) = self.held.remove(&id) else {
+            return 0;
+        };
+        let now = self.sched.now();
+        let n = buf.len() as u64;
+        for (at, ev) in buf {
+            self.sched.schedule(at.max(now), ev);
+        }
+        n
+    }
+
+    /// Uninstalls the offload engines of every connection whose outgoing
+    /// link is in `cut` (orderly, with quiesce + write-back — the same
+    /// teardown a breaker performs, without opening the breaker).
+    fn quiesce_cut(&mut self, cut: &[(u16, u16)]) {
+        for &(src, dst) in cut {
+            let host = &mut self.hosts[src as usize];
+            for c in host.conns.values() {
+                if c.peer == dst {
+                    host.nic.uninstall_rx(c.in_flow);
+                    host.nic.uninstall_tx(c.out_flow);
+                }
+            }
+        }
+    }
+
+    /// Re-runs the install ladder for every connection whose outgoing link
+    /// is in `healed`.
+    fn reoffload_cut(&mut self, healed: &[(u16, u16)]) {
+        for &(src, dst) in healed {
+            let conns: Vec<ConnId> = self.hosts[src as usize]
+                .conns
+                .iter()
+                .filter(|(_, c)| c.peer == dst)
+                .map(|(&id, _)| id)
+                .collect();
+            for conn in conns {
+                self.try_install(src as usize, conn, true, 0);
+                self.try_install(src as usize, conn, false, 0);
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]

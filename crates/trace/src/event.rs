@@ -26,6 +26,11 @@ pub enum Category {
     /// first-attempt install path records nothing, so enabling the
     /// category cannot perturb fault-free golden traces.
     Device,
+    /// Fleet-level network chaos: link partitions, repairs, and holds over
+    /// host subsets. Silent on a chaos-free run — only explicit
+    /// `NetPlan`/group operations record anything, so enabling the category
+    /// cannot perturb historical golden traces.
+    Net,
 }
 
 /// Why a TCP segment was retransmitted.
@@ -271,6 +276,42 @@ pub enum Event {
         /// Clamps observed since the previous `sched.clamped` record.
         count: u64,
     },
+    /// A chaos plan severed the directed `src → dst` link: everything
+    /// offered to it until the matching [`Event::LinkRepair`] is swallowed
+    /// (counted as `partitioned`, not `lost`). One record per severed
+    /// direction, flow 0 (link events are flow-agnostic).
+    LinkPartition {
+        /// Source host of the dark link.
+        src: u64,
+        /// Destination host of the dark link.
+        dst: u64,
+    },
+    /// A chaos plan restored the directed `src → dst` link; surviving flows
+    /// crossing it re-enter the §4.3 resync→re-offload ladder.
+    LinkRepair {
+        /// Source host of the repaired link.
+        src: u64,
+        /// Destination host of the repaired link.
+        dst: u64,
+    },
+    /// A chaos plan stalled the directed `src → dst` link: deliveries are
+    /// buffered, not dropped, until the matching [`Event::LinkRelease`].
+    LinkHold {
+        /// Source host of the stalled link.
+        src: u64,
+        /// Destination host of the stalled link.
+        dst: u64,
+    },
+    /// A stalled link resumed; `flushed` buffered deliveries were released
+    /// in order.
+    LinkRelease {
+        /// Source host of the resumed link.
+        src: u64,
+        /// Destination host of the resumed link.
+        dst: u64,
+        /// Buffered deliveries flushed at release time.
+        flushed: u64,
+    },
 }
 
 impl Event {
@@ -303,6 +344,10 @@ impl Event {
             | Event::CtxEvict { .. }
             | Event::NicQueue { .. }
             | Event::CoreMigrate { .. } => Category::Device,
+            Event::LinkPartition { .. }
+            | Event::LinkRepair { .. }
+            | Event::LinkHold { .. }
+            | Event::LinkRelease { .. } => Category::Net,
         }
     }
 
@@ -336,6 +381,10 @@ impl Event {
             Event::CtxEvict { .. } => "device.ctx-evict",
             Event::NicQueue { .. } => "nic.queue",
             Event::CoreMigrate { .. } => "core.migrate",
+            Event::LinkPartition { .. } => "link.partition",
+            Event::LinkRepair { .. } => "link.repair",
+            Event::LinkHold { .. } => "link.hold",
+            Event::LinkRelease { .. } => "link.release",
         }
     }
 
@@ -371,6 +420,12 @@ impl Event {
             Event::CtxEvict { dir } => format!("dir={dir}"),
             Event::NicQueue { queue } => format!("queue={queue}"),
             Event::CoreMigrate { from, to } => format!("from={from} to={to}"),
+            Event::LinkPartition { src, dst } => format!("src={src} dst={dst}"),
+            Event::LinkRepair { src, dst } => format!("src={src} dst={dst}"),
+            Event::LinkHold { src, dst } => format!("src={src} dst={dst}"),
+            Event::LinkRelease { src, dst, flushed } => {
+                format!("src={src} dst={dst} flushed={flushed}")
+            }
         }
     }
 }
@@ -421,6 +476,10 @@ mod tests {
             (Event::CtxEvict { dir: "rx" }, Category::Device),
             (Event::NicQueue { queue: 3 }, Category::Device),
             (Event::CoreMigrate { from: 0, to: 2 }, Category::Device),
+            (Event::LinkPartition { src: 0, dst: 3 }, Category::Net),
+            (Event::LinkRepair { src: 3, dst: 0 }, Category::Net),
+            (Event::LinkHold { src: 1, dst: 2 }, Category::Net),
+            (Event::LinkRelease { src: 1, dst: 2, flushed: 7 }, Category::Net),
         ];
         for (ev, cat) in cases {
             assert_eq!(ev.category(), cat, "{ev}");
@@ -449,5 +508,11 @@ mod tests {
         assert_eq!(ev.to_string(), "nic.queue queue=3");
         let ev = Event::CoreMigrate { from: 0, to: 2 };
         assert_eq!(ev.to_string(), "core.migrate from=0 to=2");
+        let ev = Event::LinkPartition { src: 0, dst: 3 };
+        assert_eq!(ev.to_string(), "link.partition src=0 dst=3");
+        let ev = Event::LinkRepair { src: 3, dst: 0 };
+        assert_eq!(ev.to_string(), "link.repair src=3 dst=0");
+        let ev = Event::LinkRelease { src: 1, dst: 2, flushed: 7 };
+        assert_eq!(ev.to_string(), "link.release src=1 dst=2 flushed=7");
     }
 }

@@ -64,9 +64,11 @@ pub fn canonical(records: &[Record], keep: &[Category]) -> String {
 }
 
 /// The category filter golden tests use: TCP loss recovery plus resync
-/// transitions. Bounded by the scenario's loss schedule, unlike the
-/// per-packet `Offload`/`Cpu` firehose.
-pub const GOLDEN_CATEGORIES: &[Category] = &[Category::Tcp, Category::Resync];
+/// transitions, plus fleet chaos declarations (`Net` is silent on chaos-free
+/// runs, so adding it cannot perturb historical goldens). Bounded by the
+/// scenario's loss/chaos schedule, unlike the per-packet `Offload`/`Cpu`
+/// firehose.
+pub const GOLDEN_CATEGORIES: &[Category] = &[Category::Tcp, Category::Resync, Category::Net];
 
 #[cfg(test)]
 mod tests {

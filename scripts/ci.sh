@@ -102,6 +102,17 @@ echo "== fleet: N×M topology, context-cache sensitivity, churn storm =="
 # The timeout is a hard backstop against a wedged scheduler, not a budget.
 CARGO_NET_OFFLINE=true timeout 900 cargo test -q -p ano-scenario --test fleet -- --include-ignored
 
+echo "== netchaos: fleet partition/repair plans, holds, impairment sweeps =="
+# Network-chaos tier (see DESIGN.md "Network chaos and partitions"):
+# scheduled partition/repair plans over fleet subsets × {TLS, NVMe} ×
+# fleet shapes, each vs a fault-free software twin (byte-identical
+# streams, partitioned/lost split, breaker suppression on unaffected
+# pairs, §4.3 re-offload after every repair), plus the #[ignore]d full
+# matrix and the rack-partition-mid-churn scale run that only this tier
+# executes. The timeout is a hard backstop against a scheduler wedged by
+# a partition that never heals, not a budget.
+CARGO_NET_OFFLINE=true timeout 900 cargo test -q -p ano-scenario --test netchaos -- --include-ignored
+
 echo "== rss: multi-queue steering, per-core stacks, flow rebalancing =="
 # Multi-queue RSS tier (see DESIGN.md "Multi-queue and RSS"): Toeplitz
 # hash properties (determinism, distribution, exact indirection remaps)
